@@ -1,0 +1,121 @@
+//! The fully materialized transitive closure as successor lists.
+
+use tc_graph::{traverse, BitSet, DiGraph, NodeId};
+
+use crate::ReachabilityIndex;
+
+/// Explicit successor lists for every node — the naive materialization whose
+/// storage the paper's figures use as the 1.0 reference ("The total storage
+/// required was computed as the number of successors at each node", §3.3).
+///
+/// Queries are a binary search of the (sorted) successor list.
+#[derive(Debug, Clone)]
+pub struct FullClosure {
+    /// Sorted irreflexive successor lists.
+    lists: Vec<Vec<NodeId>>,
+}
+
+impl FullClosure {
+    /// Materializes the closure of `g` (cycles allowed).
+    pub fn build(g: &DiGraph) -> Self {
+        let rows = traverse::closure_rows(g);
+        let lists = rows
+            .iter()
+            .enumerate()
+            .map(|(ix, row)| {
+                row.iter()
+                    .filter(|&v| v != ix)
+                    .map(NodeId::from_index)
+                    .collect()
+            })
+            .collect();
+        FullClosure { lists }
+    }
+
+    /// Builds from precomputed closure rows (shared with other baselines).
+    pub fn from_rows(rows: &[BitSet]) -> Self {
+        let lists = rows
+            .iter()
+            .enumerate()
+            .map(|(ix, row)| {
+                row.iter()
+                    .filter(|&v| v != ix)
+                    .map(NodeId::from_index)
+                    .collect()
+            })
+            .collect();
+        FullClosure { lists }
+    }
+
+    /// The (irreflexive) successor list of `node`.
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        &self.lists[node.index()]
+    }
+
+    /// Total closure size (sum of list lengths) — the paper's `|closure|`.
+    pub fn size(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.lists.len()
+    }
+}
+
+impl ReachabilityIndex for FullClosure {
+    fn name(&self) -> &'static str {
+        "full-closure"
+    }
+
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || self.lists[src.index()].binary_search(&dst).is_ok()
+    }
+
+    fn storage_units(&self) -> usize {
+        self.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn materializes_all_pairs() {
+        let c = FullClosure::build(&diamond());
+        assert!(c.reaches(NodeId(0), NodeId(3)));
+        assert!(c.reaches(NodeId(1), NodeId(1)), "reflexive");
+        assert!(!c.reaches(NodeId(1), NodeId(2)));
+        assert_eq!(c.successors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(c.size(), (3 + 1 + 1));
+        assert_eq!(c.storage_units(), 5);
+    }
+
+    #[test]
+    fn handles_cycles() {
+        let g = DiGraph::from_edges([(0, 1), (1, 0), (1, 2)]);
+        let c = FullClosure::build(&g);
+        assert!(c.reaches(NodeId(0), NodeId(1)));
+        assert!(c.reaches(NodeId(1), NodeId(0)));
+        assert!(c.reaches(NodeId(0), NodeId(2)));
+        assert!(!c.reaches(NodeId(2), NodeId(1)));
+        // 0 -> {1,2}, 1 -> {0,2}, 2 -> {} = 4 entries.
+        assert_eq!(c.size(), 4);
+    }
+
+    #[test]
+    fn from_rows_matches_build() {
+        let g = diamond();
+        let rows = traverse::closure_rows(&g);
+        let a = FullClosure::build(&g);
+        let b = FullClosure::from_rows(&rows);
+        for u in g.nodes() {
+            assert_eq!(a.successors(u), b.successors(u));
+        }
+    }
+}

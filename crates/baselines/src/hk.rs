@@ -1,0 +1,138 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used to compute *minimum* chain decompositions via Dilworth's theorem
+//! (minimum chains = n − maximum matching over the closure's comparability
+//! pairs), so Theorem 2 is tested against the best possible chain cover,
+//! not just a greedy one.
+
+/// Computes a maximum matching in a bipartite graph.
+///
+/// `adj[u]` lists the right-side vertices adjacent to left vertex `u`.
+/// Returns `(match_left, size)` where `match_left[u]` is the right vertex
+/// matched to `u`, if any.
+pub fn hopcroft_karp(
+    left_n: usize,
+    right_n: usize,
+    adj: &[Vec<usize>],
+) -> (Vec<Option<usize>>, usize) {
+    assert_eq!(adj.len(), left_n);
+    const INF: u32 = u32::MAX;
+    let mut match_l: Vec<Option<usize>> = vec![None; left_n];
+    let mut match_r: Vec<Option<usize>> = vec![None; right_n];
+    let mut dist = vec![INF; left_n];
+    let mut size = 0usize;
+
+    loop {
+        // BFS layering from free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        for u in 0..left_n {
+            if match_l[u].is_none() {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                match match_r[v] {
+                    None => found_augmenting_layer = true,
+                    Some(w) => {
+                        if dist[w] == INF {
+                            dist[w] = dist[u] + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+
+        // DFS phase along the level graph.
+        fn try_augment(
+            u: usize,
+            adj: &[Vec<usize>],
+            dist: &mut [u32],
+            match_l: &mut [Option<usize>],
+            match_r: &mut [Option<usize>],
+        ) -> bool {
+            for ix in 0..adj[u].len() {
+                let v = adj[u][ix];
+                let ok = match match_r[v] {
+                    None => true,
+                    Some(w) => {
+                        dist[w] == dist[u] + 1
+                            && try_augment(w, adj, dist, match_l, match_r)
+                    }
+                };
+                if ok {
+                    match_l[u] = Some(v);
+                    match_r[v] = Some(u);
+                    return true;
+                }
+            }
+            dist[u] = u32::MAX;
+            false
+        }
+
+        for u in 0..left_n {
+            if match_l[u].is_none()
+                && try_augment(u, adj, &mut dist, &mut match_l, &mut match_r)
+            {
+                size += 1;
+            }
+        }
+    }
+    (match_l, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching() {
+        // K(3,3): perfect matching of size 3.
+        let adj = vec![vec![0, 1, 2]; 3];
+        let (m, size) = hopcroft_karp(3, 3, &adj);
+        assert_eq!(size, 3);
+        let mut rights: Vec<usize> = m.into_iter().flatten().collect();
+        rights.sort_unstable();
+        assert_eq!(rights, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn forced_augmenting_path() {
+        // 0-{0}, 1-{0,1}: greedy could match 1-0 and strand 0; HK must find 2.
+        let adj = vec![vec![0], vec![0, 1]];
+        let (_, size) = hopcroft_karp(2, 2, &adj);
+        assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn no_edges_no_matching() {
+        let adj = vec![vec![], vec![]];
+        let (m, size) = hopcroft_karp(2, 3, &adj);
+        assert_eq!(size, 0);
+        assert!(m.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn asymmetric_sides() {
+        // 4 left vertices compete for 2 right vertices.
+        let adj = vec![vec![0], vec![0], vec![1], vec![1]];
+        let (_, size) = hopcroft_karp(4, 2, &adj);
+        assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn long_alternating_chain() {
+        // Chain structure that requires augmenting through several layers.
+        let adj = vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3]];
+        let (_, size) = hopcroft_karp(4, 4, &adj);
+        assert_eq!(size, 4);
+    }
+}

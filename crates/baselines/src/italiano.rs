@@ -1,0 +1,203 @@
+//! Italiano's incremental transitive-closure structure (§5, [17]).
+//!
+//! "Tree-like data structures that have a low amortized cost for incremental
+//! updates of transitive closure have been developed in [17]. However, this
+//! scheme is not targetted towards compression and requires more storage
+//! than the complete transitive closure."
+//!
+//! For every node `u` the structure keeps a spanning tree `Desc(u)` of the
+//! nodes reachable from `u`, encoded as an n×n matrix of parent pointers.
+//! Queries are O(1); inserting an arc melds descendant trees with amortized
+//! cost O(n) over any sequence of insertions. Deletions are not supported
+//! (that is the published structure's limitation, and one of the paper's
+//! arguments for the interval scheme).
+
+use tc_graph::{DiGraph, NodeId};
+
+use crate::ReachabilityIndex;
+
+const NONE: u32 = u32::MAX;
+
+/// Italiano's descendant-tree reachability index (insert-only).
+#[derive(Debug, Clone)]
+pub struct ItalianoIndex {
+    n: usize,
+    /// `parent[u * n + v]` — parent of `v` in `Desc(u)`, `NONE` if `v` is
+    /// not reachable from `u` (the diagonal holds `u` itself, parent `u`).
+    parent: Vec<u32>,
+    /// Children adjacency of each `Desc(u)` tree, for the meld walk.
+    children: Vec<Vec<Vec<u32>>>,
+    edges: usize,
+}
+
+impl ItalianoIndex {
+    /// Creates the structure over `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        let mut parent = vec![NONE; n * n];
+        let children = vec![vec![Vec::new(); n]; n];
+        for u in 0..n {
+            parent[u * n + u] = u as u32; // u trivially reaches itself
+        }
+        ItalianoIndex {
+            n,
+            parent,
+            children,
+            edges: 0,
+        }
+    }
+
+    /// Builds the structure by inserting every arc of `g`.
+    pub fn build(g: &DiGraph) -> Self {
+        let mut ix = Self::new(g.node_count());
+        for (s, d) in g.edges() {
+            ix.insert_edge(s, d);
+        }
+        ix
+    }
+
+    /// Number of arcs inserted so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    #[inline]
+    fn has(&self, u: usize, v: usize) -> bool {
+        self.parent[u * self.n + v] != NONE
+    }
+
+    /// Inserts the arc `i -> j`, updating every affected descendant tree.
+    pub fn insert_edge(&mut self, i: NodeId, j: NodeId) {
+        let (i, j) = (i.index(), j.index());
+        assert!(i < self.n && j < self.n, "node out of range");
+        self.edges += 1;
+        // For every u that reaches i but not yet j, graft (a copy of) j's
+        // descendant tree under i in Desc(u).
+        for u in 0..self.n {
+            if self.has(u, i) && !self.has(u, j) {
+                self.meld(u, i, j);
+            }
+        }
+    }
+
+    /// Grafts `Desc(j)` into `Desc(u)` at attachment point `i` (classic
+    /// Italiano meld): walk `Desc(j)`, adding every node `u` cannot yet
+    /// reach.
+    fn meld(&mut self, u: usize, i: usize, j: usize) {
+        let n = self.n;
+        self.parent[u * n + j] = i as u32;
+        self.children[u][i].push(j as u32);
+        let mut stack = vec![j];
+        while let Some(v) = stack.pop() {
+            // Walk v's children in j's own descendant tree.
+            for ix in 0..self.children[j][v].len() {
+                let w = self.children[j][v][ix] as usize;
+                if !self.has(u, w) {
+                    self.parent[u * n + w] = v as u32;
+                    self.children[u][v].push(w as u32);
+                    stack.push(w);
+                }
+            }
+        }
+    }
+
+    /// Number of non-empty parent entries (≈ size of the full closure plus
+    /// the diagonal).
+    pub fn occupied_entries(&self) -> usize {
+        self.parent.iter().filter(|&&p| p != NONE).count()
+    }
+}
+
+impl ReachabilityIndex for ItalianoIndex {
+    fn name(&self) -> &'static str {
+        "italiano-desc-trees"
+    }
+
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.has(src.index(), dst.index())
+    }
+
+    /// The full n×n pointer matrix — "more storage than the complete
+    /// transitive closure".
+    fn storage_units(&self) -> usize {
+        self.n * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::generators;
+
+    #[test]
+    fn incremental_inserts_match_dfs() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 30,
+            avg_out_degree: 2.0,
+            seed: 4,
+        });
+        let ix = ItalianoIndex::build(&g);
+        for u in g.nodes() {
+            let truth = tc_graph::traverse::reachable_set(&g, u);
+            for v in g.nodes() {
+                assert_eq!(ix.reaches(u, v), truth.contains(v.index()), "({u:?},{v:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let forward = {
+            let mut ix = ItalianoIndex::new(4);
+            for &(a, b) in &edges {
+                ix.insert_edge(NodeId(a), NodeId(b));
+            }
+            ix
+        };
+        let backward = {
+            let mut ix = ItalianoIndex::new(4);
+            for &(a, b) in edges.iter().rev() {
+                ix.insert_edge(NodeId(a), NodeId(b));
+            }
+            ix
+        };
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(
+                    forward.reaches(NodeId(u), NodeId(v)),
+                    backward.reaches(NodeId(u), NodeId(v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_redundant_edges_are_harmless() {
+        let mut ix = ItalianoIndex::new(3);
+        ix.insert_edge(NodeId(0), NodeId(1));
+        ix.insert_edge(NodeId(1), NodeId(2));
+        let before = ix.occupied_entries();
+        ix.insert_edge(NodeId(0), NodeId(2)); // already derivable
+        ix.insert_edge(NodeId(0), NodeId(1)); // duplicate
+        assert_eq!(ix.occupied_entries(), before);
+        assert!(ix.reaches(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn storage_exceeds_closure_size() {
+        let g = generators::chain(10);
+        let ix = ItalianoIndex::build(&g);
+        let closure_pairs = 10 * 9 / 2;
+        assert!(ix.storage_units() >= closure_pairs);
+        assert_eq!(ix.occupied_entries(), closure_pairs + 10);
+    }
+
+    #[test]
+    fn reflexive_from_the_start() {
+        let ix = ItalianoIndex::new(5);
+        for v in 0..5u32 {
+            assert!(ix.reaches(NodeId(v), NodeId(v)));
+        }
+        assert!(!ix.reaches(NodeId(0), NodeId(1)));
+    }
+}

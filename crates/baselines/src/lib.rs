@@ -1,0 +1,61 @@
+//! Comparator reachability indexes.
+//!
+//! The paper positions interval compression against a spectrum of
+//! alternatives; this crate implements all of them, from scratch, behind the
+//! common [`ReachabilityIndex`] trait so experiments and tests can swap them
+//! freely:
+//!
+//! * [`FullClosure`] — the materialized transitive closure as explicit
+//!   successor lists ("linked lists or arrays of descendants", §2.2); the
+//!   storage yardstick of Figures 3.9–3.11.
+//! * [`ReachMatrix`] — the "2-dimensional Boolean array" of §2.2, as packed
+//!   bitset rows (with Warshall's algorithm for cyclic inputs).
+//! * [`InverseClosure`] — stores the *non*-reachable topologically
+//!   consistent pairs, the alternative §3.3 measures in Fig 3.10.
+//! * [`chain`] — chain-decomposition compression [Jagadish 1988], the
+//!   subject of Theorem 2 (tree covers never need more storage).
+//! * [`SchubertIndex`] — the per-hierarchy interval tagging of Schubert et
+//!   al. \[28\] discussed in §5.
+//! * [`DfsOracle`] — on-the-fly pointer chasing, "the current approach" the
+//!   paper wants to beat at query time (§2.1).
+//! * [`ItalianoIndex`] — the incremental descendant-tree structure of
+//!   Italiano \[17\] (§5): O(1) queries, amortized-efficient arc insertion,
+//!   but "requires more storage than the complete transitive closure".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chain;
+mod full;
+mod hk;
+mod inverse;
+mod italiano;
+mod matrix;
+mod onthefly;
+mod schubert;
+
+pub use chain::{ChainCover, ChainIndex};
+pub use full::FullClosure;
+pub use hk::hopcroft_karp;
+pub use inverse::InverseClosure;
+pub use italiano::ItalianoIndex;
+pub use matrix::ReachMatrix;
+pub use onthefly::DfsOracle;
+pub use schubert::SchubertIndex;
+
+use tc_graph::NodeId;
+
+/// A queryable reachability index with the paper's storage accounting.
+pub trait ReachabilityIndex {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether `src` reaches `dst` (reflexive).
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool;
+
+    /// Storage in the units of §3.3 (list entries, matrix bits are counted
+    /// as entries/64, interval endpoints, etc. — each implementation
+    /// documents its accounting).
+    fn storage_units(&self) -> usize;
+}

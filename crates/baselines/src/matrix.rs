@@ -1,0 +1,124 @@
+//! The boolean reachability matrix.
+
+use tc_graph::{traverse, BitSet, DiGraph, NodeId};
+
+use crate::ReachabilityIndex;
+
+/// The "2-dimensional Boolean array" of §2.2: one packed bitset row per
+/// node. O(1) queries, Θ(n²) bits of storage regardless of density — the
+/// representation the paper rejects for large sparse relations.
+#[derive(Debug, Clone)]
+pub struct ReachMatrix {
+    rows: Vec<BitSet>,
+}
+
+impl ReachMatrix {
+    /// Builds the (reflexive) reachability matrix of `g`. Acyclic graphs use
+    /// a reverse-topological OR-sweep; cyclic graphs fall back through the
+    /// SCC-aware row computation.
+    pub fn build(g: &DiGraph) -> Self {
+        ReachMatrix {
+            rows: traverse::closure_rows(g),
+        }
+    }
+
+    /// Builds by Warshall's classical O(n³/64) algorithm — kept as an
+    /// independently-derived oracle for cross-checking the sweep.
+    pub fn build_warshall(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for v in g.nodes() {
+            rows[v.index()].insert(v.index());
+            for &s in g.successors(v) {
+                rows[v.index()].insert(s.index());
+            }
+        }
+        for k in 0..n {
+            let k_row = rows[k].clone();
+            for row in rows.iter_mut() {
+                if row.contains(k) {
+                    row.union_with(&k_row);
+                }
+            }
+        }
+        ReachMatrix { rows }
+    }
+
+    /// The reachability row of `node` (includes the node itself).
+    pub fn row(&self, node: NodeId) -> &BitSet {
+        &self.rows[node.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of irreflexive reachable pairs.
+    pub fn pair_count(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum::<usize>() - self.rows.len()
+    }
+}
+
+impl ReachabilityIndex for ReachMatrix {
+    fn name(&self) -> &'static str {
+        "bit-matrix"
+    }
+
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.rows[src.index()].contains(dst.index())
+    }
+
+    /// n²/64 words — the matrix costs the same no matter how sparse the
+    /// relation is.
+    fn storage_units(&self) -> usize {
+        let n = self.rows.len();
+        (n * n).div_ceil(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_and_warshall_agree() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (3, 1), (2, 4)]);
+        let a = ReachMatrix::build(&g);
+        let b = ReachMatrix::build_warshall(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.reaches(u, v), b.reaches(u, v), "({u:?},{v:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn warshall_handles_cycles() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let m = ReachMatrix::build_warshall(&g);
+        assert!(m.reaches(NodeId(2), NodeId(1)));
+        assert!(m.reaches(NodeId(0), NodeId(3)));
+        assert!(!m.reaches(NodeId(3), NodeId(0)));
+        let sweep = ReachMatrix::build(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.reaches(u, v), sweep.reaches(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_quadratic_and_density_independent() {
+        let sparse = ReachMatrix::build(&DiGraph::with_nodes(128));
+        let mut g = DiGraph::with_nodes(128);
+        for i in 0..127 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let dense = ReachMatrix::build(&g);
+        assert_eq!(sparse.storage_units(), dense.storage_units());
+        assert_eq!(sparse.storage_units(), 128 * 128 / 64);
+        assert_eq!(sparse.pair_count(), 0);
+        assert_eq!(dense.pair_count(), 127 * 128 / 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! On-the-fly DFS reachability — "simple pointer chasing in the underlying
+//! data structure, the current approach" (§2.1).
+
+use std::cell::RefCell;
+
+use tc_graph::{BitSet, DiGraph, NodeId};
+
+use crate::ReachabilityIndex;
+
+/// Answers reachability by traversing the graph at query time. Stores
+/// nothing beyond the relation itself; every query costs O(V + E) in the
+/// worst case. The visited bitset and stack are reused across queries to
+/// keep the comparison against indexed schemes about *algorithm*, not
+/// allocator traffic.
+pub struct DfsOracle {
+    graph: DiGraph,
+    scratch: RefCell<(BitSet, Vec<NodeId>)>,
+}
+
+impl DfsOracle {
+    /// Wraps a graph for on-the-fly querying.
+    pub fn new(graph: DiGraph) -> Self {
+        let n = graph.node_count();
+        DfsOracle {
+            graph,
+            scratch: RefCell::new((BitSet::new(n), Vec::with_capacity(n))),
+        }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+impl ReachabilityIndex for DfsOracle {
+    fn name(&self) -> &'static str {
+        "dfs-on-the-fly"
+    }
+
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let (visited, stack) = &mut *scratch;
+        visited.clear();
+        stack.clear();
+        visited.insert(src.index());
+        stack.push(src);
+        while let Some(node) = stack.pop() {
+            for &succ in self.graph.successors(node) {
+                if succ == dst {
+                    return true;
+                }
+                if visited.insert(succ.index()) {
+                    stack.push(succ);
+                }
+            }
+        }
+        false
+    }
+
+    /// Just the adjacency lists — the base relation itself.
+    fn storage_units(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_match_graph_reachability() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (3, 1), (2, 4)]);
+        let oracle = DfsOracle::new(g.clone());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    oracle.reaches(u, v),
+                    tc_graph::traverse::reaches(&g, u, v),
+                    "({u:?},{v:?})"
+                );
+            }
+        }
+        assert_eq!(oracle.storage_units(), 4);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state() {
+        let g = DiGraph::from_edges([(0, 1), (2, 3)]);
+        let oracle = DfsOracle::new(g);
+        assert!(oracle.reaches(NodeId(0), NodeId(1)));
+        assert!(!oracle.reaches(NodeId(0), NodeId(3)));
+        assert!(oracle.reaches(NodeId(2), NodeId(3)));
+        assert!(!oracle.reaches(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn works_on_cycles() {
+        let g = DiGraph::from_edges([(0, 1), (1, 0), (1, 2)]);
+        let oracle = DfsOracle::new(g);
+        assert!(oracle.reaches(NodeId(1), NodeId(0)));
+        assert!(oracle.reaches(NodeId(0), NodeId(2)));
+        assert!(!oracle.reaches(NodeId(2), NodeId(0)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Schubert-style multi-hierarchy interval tagging (§5, \[28\]).
+//!
+//! "Schubert et al generalized their scheme somewhat to work for the case of
+//! overlapping hierarchies (not general directed acyclic graphs). Each
+//! hierarchy is treated independently and nodes are assigned intervals
+//! separately for each hierarchy. Thus, each node is assigned as many
+//! intervals as the number of hierarchies, and intervals associated with a
+//! node are differentiated by tagging them with the corresponding hierarchy
+//! identifiers. Hierarchies are taken as given; the decomposition of a graph
+//! into hierarchies is not addressed."
+//!
+//! Since the decomposition is "not addressed" in the original, this module
+//! supplies a greedy one (each forest takes as many remaining arcs as it can
+//! while keeping in-degree ≤ 1) and implements the published query power
+//! honestly: a query answers *yes* only for paths lying within a single
+//! hierarchy, and [`SchubertIndex::is_complete`] reports whether that
+//! captures all of the graph's reachability.
+
+use tc_graph::{topo, DiGraph, NodeId};
+
+use crate::ReachabilityIndex;
+
+/// One tree/forest hierarchy with Schubert's preorder interval labels:
+/// `[preorder, highest preorder among descendants]`.
+#[derive(Debug, Clone)]
+struct Hierarchy {
+    pre: Vec<u32>,
+    max_desc: Vec<u32>,
+}
+
+/// The per-hierarchy interval index of Schubert et al.
+#[derive(Debug, Clone)]
+pub struct SchubertIndex {
+    hierarchies: Vec<Hierarchy>,
+    node_count: usize,
+}
+
+impl SchubertIndex {
+    /// Decomposes `g` into forests greedily and labels each independently.
+    pub fn build(g: &DiGraph) -> Result<Self, topo::CycleError> {
+        topo::topo_sort(g)?; // the scheme presumes acyclic input
+        let n = g.node_count();
+
+        // Greedy forest decomposition over the arc set.
+        let mut remaining: Vec<(NodeId, NodeId)> = g.edges().collect();
+        let mut hierarchies = Vec::new();
+        while !remaining.is_empty() {
+            let mut parent: Vec<Option<NodeId>> = vec![None; n];
+            remaining.retain(|&(s, d)| {
+                if parent[d.index()].is_none() {
+                    parent[d.index()] = Some(s);
+                    false
+                } else {
+                    true
+                }
+            });
+            hierarchies.push(label_forest(n, &parent));
+        }
+        if hierarchies.is_empty() {
+            // Edgeless graph: a single trivial hierarchy of n roots.
+            hierarchies.push(label_forest(n, &vec![None; n]));
+        }
+        Ok(SchubertIndex {
+            hierarchies,
+            node_count: n,
+        })
+    }
+
+    /// Number of hierarchies the greedy decomposition produced (the maximum
+    /// in-degree of the graph).
+    pub fn hierarchy_count(&self) -> usize {
+        self.hierarchies.len()
+    }
+
+    /// Whether single-hierarchy queries capture *all* reachability of `g` —
+    /// generally false for DAGs with paths alternating between hierarchies,
+    /// which is exactly the limitation §5 points out.
+    pub fn is_complete(&self, g: &DiGraph) -> bool {
+        g.nodes().all(|u| {
+            let truth = tc_graph::traverse::reachable_set(g, u);
+            g.nodes()
+                .all(|v| self.reaches(u, v) == truth.contains(v.index()))
+        })
+    }
+}
+
+fn label_forest(n: usize, parent: &[Option<NodeId>]) -> Hierarchy {
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (ix, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[p.index()].push(ix as u32);
+        }
+    }
+    let mut pre = vec![0u32; n];
+    let mut max_desc = vec![0u32; n];
+    let mut counter = 0u32;
+    for root in 0..n {
+        if parent[root].is_some() {
+            continue;
+        }
+        // Iterative preorder; max_desc fills on frame pop.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        pre[root] = counter;
+        counter += 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < children[node].len() {
+                let child = children[node][*next] as usize;
+                *next += 1;
+                pre[child] = counter;
+                counter += 1;
+                stack.push((child, 0));
+            } else {
+                max_desc[node] = children[node]
+                    .iter()
+                    .map(|&c| max_desc[c as usize])
+                    .max()
+                    .unwrap_or(pre[node])
+                    .max(pre[node]);
+                stack.pop();
+            }
+        }
+    }
+    Hierarchy { pre, max_desc }
+}
+
+impl ReachabilityIndex for SchubertIndex {
+    fn name(&self) -> &'static str {
+        "schubert-hierarchies"
+    }
+
+    /// True iff some single hierarchy contains a tree path `src → dst`.
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.hierarchies.iter().any(|h| {
+            let p = h.pre[dst.index()];
+            h.pre[src.index()] <= p && p <= h.max_desc[src.index()]
+        })
+    }
+
+    /// Two numbers per node per hierarchy, as in \[28\].
+    fn storage_units(&self) -> usize {
+        2 * self.node_count * self.hierarchies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::generators;
+
+    #[test]
+    fn single_tree_is_exact() {
+        // On a tree the scheme coincides with ours and is complete.
+        let g = generators::balanced_tree(2, 3);
+        let ix = SchubertIndex::build(&g).unwrap();
+        assert_eq!(ix.hierarchy_count(), 1);
+        assert!(ix.is_complete(&g));
+        assert_eq!(ix.storage_units(), 2 * g.node_count());
+    }
+
+    #[test]
+    fn diamond_needs_two_hierarchies() {
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let ix = SchubertIndex::build(&g).unwrap();
+        assert_eq!(ix.hierarchy_count(), 2);
+        // Both single-hierarchy paths to 3 exist, so the diamond happens to
+        // be complete.
+        assert!(ix.is_complete(&g));
+        assert!(ix.reaches(NodeId(0), NodeId(3)));
+        assert!(!ix.reaches(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn cross_hierarchy_paths_are_missed() {
+        // 0 -> 1 and 2 -> 1 put (2,1) in hierarchy 2; with 1 -> 3 in
+        // hierarchy 1, the path 2 -> 1 -> 3 alternates hierarchies...
+        // actually greedy may still catch it; build a case that provably
+        // alternates: b -> c in h2 because c already has a parent in h1,
+        // and c -> d in h1; then b -> d needs h2-then-h1.
+        let g = DiGraph::from_edges([
+            (0, 2), // h1: c's parent is a
+            (1, 2), // h2: b -> c
+            (2, 3), // h1: c -> d
+        ]);
+        let ix = SchubertIndex::build(&g).unwrap();
+        assert!(ix.reaches(NodeId(0), NodeId(3)), "within hierarchy 1");
+        assert!(ix.reaches(NodeId(1), NodeId(2)), "within hierarchy 2");
+        assert!(
+            !ix.reaches(NodeId(1), NodeId(3)),
+            "cross-hierarchy path is invisible to the published scheme"
+        );
+        assert!(!ix.is_complete(&g));
+    }
+
+    #[test]
+    fn never_reports_false_positives() {
+        for seed in 0..5 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 30,
+                avg_out_degree: 2.0,
+                seed,
+            });
+            let ix = SchubertIndex::build(&g).unwrap();
+            for u in g.nodes() {
+                let truth = tc_graph::traverse::reachable_set(&g, u);
+                for v in g.nodes() {
+                    if ix.reaches(u, v) {
+                        assert!(truth.contains(v.index()), "false positive ({u:?},{v:?})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_count_tracks_max_in_degree() {
+        let g = generators::bipartite_worst(4, 3);
+        let ix = SchubertIndex::build(&g).unwrap();
+        assert_eq!(ix.hierarchy_count(), 4);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = DiGraph::with_nodes(4);
+        let ix = SchubertIndex::build(&g).unwrap();
+        assert_eq!(ix.hierarchy_count(), 1);
+        assert!(ix.reaches(NodeId(2), NodeId(2)));
+        assert!(!ix.reaches(NodeId(0), NodeId(1)));
+        assert!(ix.is_complete(&g));
+    }
+}

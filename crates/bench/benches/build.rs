@@ -1,0 +1,61 @@
+//! Construction-cost micro-benchmarks: "the complexity of computing the
+//! compressed transitive closure of a graph is the same as the computation
+//! of its transitive closure. However, compression is a one-time activity."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tc_baselines::{ChainIndex, FullClosure, ReachMatrix};
+use tc_core::{ClosureConfig, CoverStrategy};
+use tc_graph::generators::{random_dag, RandomDagConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_d2");
+    for nodes in [250usize, 500, 1000] {
+        let g = random_dag(RandomDagConfig {
+            nodes,
+            avg_out_degree: 2.0,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::new("compressed-alg1", nodes), &g, |b, g| {
+            b.iter(|| black_box(ClosureConfig::new().build(g).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("compressed-first-parent", nodes),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(
+                        ClosureConfig::new()
+                            .strategy(CoverStrategy::FirstParent)
+                            .build(g)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("full-closure", nodes), &g, |b, g| {
+            b.iter(|| black_box(FullClosure::build(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("bit-matrix", nodes), &g, |b, g| {
+            b.iter(|| black_box(ReachMatrix::build(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("chain-greedy", nodes), &g, |b, g| {
+            b.iter(|| black_box(ChainIndex::build_greedy(g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_dag_census(c: &mut Criterion) {
+    // The Fig 3.12 fast path: per-graph cost drives the census feasibility.
+    c.bench_function("small_dag_interval_count_n8", |b| {
+        let mut mask = 0u64;
+        b.iter(|| {
+            mask = mask.wrapping_add(0x9E3779B97F4A7C15) & ((1 << 28) - 1);
+            black_box(tc_core::small_dag::interval_count(8, mask))
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_small_dag_census);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Query-latency micro-benchmarks: one compressed-closure lookup vs the
+//! comparator indexes ("answering a transitive closure query … reduces to a
+//! lookup instead of a graph traversal", §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tc_baselines::{ChainIndex, DfsOracle, FullClosure, ReachMatrix, ReachabilityIndex};
+use tc_core::CompressedClosure;
+use tc_graph::generators::{random_dag, RandomDagConfig};
+use tc_graph::NodeId;
+
+fn query_mix(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                NodeId(rng.random_range(0..n as u32)),
+                NodeId(rng.random_range(0..n as u32)),
+            )
+        })
+        .collect()
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let n = 1000;
+    let g = random_dag(RandomDagConfig {
+        nodes: n,
+        avg_out_degree: 3.0,
+        seed: 11,
+    });
+    let mix = query_mix(n, 1024, 5);
+
+    let compressed = CompressedClosure::build(&g).unwrap();
+    let full = FullClosure::build(&g);
+    let matrix = ReachMatrix::build(&g);
+    let chain = ChainIndex::build_greedy(&g).unwrap();
+    let dfs = DfsOracle::new(g.clone());
+
+    let mut group = c.benchmark_group("reach_1k_d3");
+    group.bench_function(BenchmarkId::new("interval-compressed", n), |b| {
+        b.iter(|| {
+            for &(u, v) in &mix {
+                black_box(compressed.reaches(u, v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("full-closure-lists", n), |b| {
+        b.iter(|| {
+            for &(u, v) in &mix {
+                black_box(full.reaches(u, v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("bit-matrix", n), |b| {
+        b.iter(|| {
+            for &(u, v) in &mix {
+                black_box(matrix.reaches(u, v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("chain-compression", n), |b| {
+        b.iter(|| {
+            for &(u, v) in &mix {
+                black_box(chain.reaches(u, v));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("dfs-on-the-fly", n), |b| {
+        b.iter(|| {
+            for &(u, v) in &mix {
+                black_box(dfs.reaches(u, v));
+            }
+        })
+    });
+    let pooled = tc_core::pooled::PooledClosure::from_closure(&compressed);
+    group.bench_function(BenchmarkId::new("pooled-ranges", n), |b| {
+        b.iter(|| {
+            for &(u, v) in &mix {
+                black_box(pooled.reaches(u, v));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_successor_decode(c: &mut Criterion) {
+    let g = random_dag(RandomDagConfig {
+        nodes: 1000,
+        avg_out_degree: 3.0,
+        seed: 11,
+    });
+    let compressed = CompressedClosure::build(&g).unwrap();
+    let full = FullClosure::build(&g);
+    let mut group = c.benchmark_group("successors_1k_d3");
+    group.bench_function("decode-intervals", |b| {
+        b.iter(|| {
+            for v in 0..50u32 {
+                black_box(compressed.successors(NodeId(v)));
+            }
+        })
+    });
+    group.bench_function("copy-materialized-lists", |b| {
+        b.iter(|| {
+            for v in 0..50u32 {
+                black_box(full.successors(NodeId(v)).to_vec());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_successor_decode);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Incremental-update micro-benchmarks (§4): leaf addition, non-tree arc
+//! addition, constant-time refinement — against the full-rebuild
+//! alternative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tc_core::{ClosureConfig, CompressedClosure};
+use tc_graph::generators::{random_dag, RandomDagConfig};
+use tc_graph::NodeId;
+
+fn base() -> tc_graph::DiGraph {
+    random_dag(RandomDagConfig {
+        nodes: 1000,
+        avg_out_degree: 2.0,
+        seed: 21,
+    })
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let g = base();
+
+    c.bench_function("add_leaf", |b| {
+        b.iter_batched(
+            || ClosureConfig::new().build(&g).unwrap(),
+            |mut closure| {
+                for i in 0..32u32 {
+                    black_box(closure.add_node_with_parents(&[NodeId(i * 13 % 1000)]).unwrap());
+                }
+                closure
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("add_non_tree_arc", |b| {
+        b.iter_batched(
+            || {
+                let closure = ClosureConfig::new().build(&g).unwrap();
+                // Pre-compute 32 cycle-safe arcs.
+                let mut arcs = Vec::new();
+                let mut s = 3u64;
+                while arcs.len() < 32 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = NodeId((s >> 33) as u32 % 1000);
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let bnode = NodeId((s >> 33) as u32 % 1000);
+                    if a != bnode && !closure.reaches(bnode, a) && !closure.graph().has_edge(a, bnode)
+                    {
+                        arcs.push((a, bnode));
+                    }
+                }
+                (closure, arcs)
+            },
+            |(mut closure, arcs)| {
+                for (a, b) in arcs {
+                    let _ = black_box(closure.add_edge(a, b));
+                }
+                closure
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("refine_insert", |b| {
+        b.iter_batched(
+            || {
+                let mut closure = ClosureConfig::new().reserve(64).build(&g).unwrap();
+                let leaf = closure.add_node_with_parents(&[NodeId(0)]).unwrap();
+                (closure, leaf)
+            },
+            |(mut closure, leaf)| {
+                for _ in 0..32 {
+                    let preds: Vec<NodeId> = closure.graph().predecessors(leaf).to_vec();
+                    black_box(closure.refine_insert(leaf, &preds).unwrap());
+                }
+                closure
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("remove_arc", |b| {
+        b.iter_batched(
+            || {
+                let closure = ClosureConfig::new().build(&g).unwrap();
+                let victims: Vec<(NodeId, NodeId)> = closure.graph().edges().take(4).collect();
+                (closure, victims)
+            },
+            |(mut closure, victims)| {
+                for (a, bnode) in victims {
+                    closure.remove_edge(a, bnode).unwrap();
+                }
+                closure
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("full_rebuild_1k", |b| {
+        b.iter(|| black_box(CompressedClosure::build(&g).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

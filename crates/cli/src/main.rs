@@ -1,0 +1,231 @@
+//! `interval-tc` — command-line front end for the compressed transitive
+//! closure.
+//!
+//! ```text
+//! interval-tc info <graph>                  structural metrics (works on cyclic graphs)
+//! interval-tc stats <graph>                 storage accounting vs baselines
+//! interval-tc query <graph> <src> <dst>     reachability by interval lookup
+//! interval-tc successors <graph> <node>     decode the reachable set
+//! interval-tc predecessors <graph> <node>   who reaches <node>
+//! interval-tc path <graph> <src> <dst>      one concrete path witness
+//! interval-tc dot <graph>                   Graphviz with interval labels
+//! interval-tc compress <graph> <out.itc>    persist the closure
+//! interval-tc gen <nodes> <degree> [seed]   emit a random §3.3 edge list
+//! ```
+//!
+//! `<graph>` is an edge-list file (`src dst` per line, `#` comments, `-`
+//! for stdin) or a previously compressed `.itc` closure — the tool detects
+//! which by content.
+
+#![forbid(unsafe_code)]
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use tc_baselines::{FullClosure, ReachMatrix, ReachabilityIndex};
+use tc_core::CompressedClosure;
+use tc_graph::{edgelist, generators, NodeId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  interval-tc info <graph>
+  interval-tc stats <graph>
+  interval-tc query <graph> <src> <dst>
+  interval-tc successors <graph> <node>
+  interval-tc predecessors <graph> <node>
+  interval-tc path <graph> <src> <dst>
+  interval-tc dot <graph>
+  interval-tc compress <graph> <out.itc>
+  interval-tc gen <nodes> <degree> [seed]
+
+<graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "info" => info(arg(args, 1)?),
+        "stats" => stats(arg(args, 1)?),
+        "query" => query(arg(args, 1)?, arg(args, 2)?, arg(args, 3)?),
+        "successors" => neighbors(arg(args, 1)?, arg(args, 2)?, true),
+        "predecessors" => neighbors(arg(args, 1)?, arg(args, 2)?, false),
+        "path" => path(arg(args, 1)?, arg(args, 2)?, arg(args, 3)?),
+        "dot" => dot(arg(args, 1)?),
+        "compress" => compress(arg(args, 1)?, arg(args, 2)?),
+        "gen" => gen(args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn arg(args: &[String], ix: usize) -> Result<&str, String> {
+    args.get(ix)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument #{ix}"))
+}
+
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+/// Loads either a serialized closure or an edge list (building the closure).
+fn load(path: &str) -> Result<CompressedClosure, String> {
+    let data = read_input(path)?;
+    if data.starts_with(b"ITC1") {
+        return CompressedClosure::from_bytes(&data).map_err(|e| e.to_string());
+    }
+    let text = String::from_utf8(data).map_err(|_| "input is neither a closure nor UTF-8 text")?;
+    let graph = edgelist::parse(&text).map_err(|e| e.to_string())?;
+    CompressedClosure::build(&graph).map_err(|e| e.to_string())
+}
+
+fn parse_node(c: &CompressedClosure, s: &str) -> Result<NodeId, String> {
+    let id: u32 = s.parse().map_err(|_| format!("invalid node id {s:?}"))?;
+    if (id as usize) < c.node_count() {
+        Ok(NodeId(id))
+    } else {
+        Err(format!("node {id} out of range (graph has {} nodes)", c.node_count()))
+    }
+}
+
+fn info(path: &str) -> Result<(), String> {
+    // `info` accepts cyclic graphs (it reports on the relation itself, not
+    // the closure), so it parses the edge list directly.
+    let data = read_input(path)?;
+    let graph = if data.starts_with(b"ITC1") {
+        CompressedClosure::from_bytes(&data)
+            .map_err(|e| e.to_string())?
+            .graph()
+            .clone()
+    } else {
+        let text =
+            String::from_utf8(data).map_err(|_| "input is neither a closure nor UTF-8 text")?;
+        edgelist::parse(&text).map_err(|e| e.to_string())?
+    };
+    println!("{}", tc_graph::metrics::GraphMetrics::compute(&graph));
+    Ok(())
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let closure = load(path)?;
+    let s = closure.stats();
+    println!("nodes                 {}", s.nodes);
+    println!("relation arcs         {}", s.graph_arcs);
+    println!("closure pairs         {}", s.closure_size);
+    println!("tree intervals        {}", s.tree_intervals);
+    println!("non-tree intervals    {}", s.non_tree_intervals);
+    println!("compressed units      {}  ({:.2}x relation, {:.2}x closure)",
+        s.compressed_units(), s.compressed_ratio(), 1.0 / s.compression_factor());
+    let pooled = tc_core::pooled::PooledClosure::from_closure(&closure);
+    println!(
+        "pooled-range units    {}  ({} distinct ranges, {} refs)",
+        pooled.storage_units(),
+        pooled.pool_size(),
+        pooled.ref_count()
+    );
+    println!("serialized bytes      {}", closure.to_bytes().len());
+    let full = FullClosure::build(closure.graph());
+    let matrix = ReachMatrix::build(closure.graph());
+    println!("full closure units    {}", full.storage_units());
+    println!("bit-matrix units      {} (u64 words)", matrix.storage_units());
+    Ok(())
+}
+
+fn query(path: &str, src: &str, dst: &str) -> Result<(), String> {
+    let closure = load(path)?;
+    let s = parse_node(&closure, src)?;
+    let d = parse_node(&closure, dst)?;
+    let reachable = closure.reaches(s, d);
+    println!("{s} ->* {d}: {reachable}");
+    if !reachable {
+        return Err(format!("no path from {s} to {d}"));
+    }
+    Ok(())
+}
+
+fn neighbors(path: &str, node: &str, forward: bool) -> Result<(), String> {
+    let closure = load(path)?;
+    let n = parse_node(&closure, node)?;
+    let mut set = if forward {
+        closure.successors(n)
+    } else {
+        closure.predecessors(n)
+    };
+    set.sort_unstable();
+    for v in set {
+        println!("{v}");
+    }
+    Ok(())
+}
+
+fn path(input: &str, src: &str, dst: &str) -> Result<(), String> {
+    let closure = load(input)?;
+    let s = parse_node(&closure, src)?;
+    let d = parse_node(&closure, dst)?;
+    match closure.find_path(s, d) {
+        Some(route) => {
+            let text: Vec<String> = route.iter().map(|n| n.to_string()).collect();
+            println!("{}", text.join(" -> "));
+            Ok(())
+        }
+        None => Err(format!("no path from {s} to {d}")),
+    }
+}
+
+fn dot(path: &str) -> Result<(), String> {
+    let closure = load(path)?;
+    print!("{}", closure.to_dot());
+    Ok(())
+}
+
+fn compress(path: &str, out: &str) -> Result<(), String> {
+    let closure = load(path)?;
+    let bytes = closure.to_bytes();
+    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    let s = closure.stats();
+    eprintln!(
+        "wrote {out}: {} nodes, {} arcs, {} closure pairs in {} bytes",
+        s.nodes,
+        s.graph_arcs,
+        s.closure_size,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let nodes: usize = arg(args, 1)?
+        .parse()
+        .map_err(|_| "invalid node count".to_string())?;
+    let degree: f64 = arg(args, 2)?
+        .parse()
+        .map_err(|_| "invalid degree".to_string())?;
+    let seed: u64 = args.get(3).map_or(Ok(0), |s| {
+        s.parse().map_err(|_| "invalid seed".to_string())
+    })?;
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes,
+        avg_out_degree: degree,
+        seed,
+    });
+    print!("{}", edgelist::write(&g));
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! End-to-end tests driving the `interval-tc` binary as a subprocess.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_interval-tc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interval_tc_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn gen_stats_query_pipeline() {
+    let dir = tmpdir("pipeline");
+    let edges = dir.join("g.txt");
+
+    let out = bin().args(["gen", "30", "2.0", "5"]).output().unwrap();
+    assert!(out.status.success());
+    std::fs::write(&edges, &out.stdout).unwrap();
+
+    let out = bin().args(["stats", edges.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("nodes                 30"));
+    assert!(text.contains("compressed units"));
+    assert!(text.contains("full closure units"));
+
+    // A reflexive query always succeeds.
+    let out = bin()
+        .args(["query", edges.to_str().unwrap(), "3", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("3 ->* 3: true"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn compress_then_query_closure_file() {
+    let dir = tmpdir("compress");
+    let edges = dir.join("g.txt");
+    let itc = dir.join("g.itc");
+    std::fs::write(&edges, "0 1\n1 2\n2 3\n").unwrap();
+
+    let out = bin()
+        .args(["compress", edges.to_str().unwrap(), itc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(itc.exists());
+
+    // Query straight from the compressed artifact (no rebuild).
+    let out = bin()
+        .args(["query", itc.to_str().unwrap(), "0", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("true"));
+
+    // Unreachable pairs exit non-zero.
+    let out = bin()
+        .args(["query", itc.to_str().unwrap(), "3", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("false"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn successors_and_predecessors() {
+    let dir = tmpdir("succ");
+    let edges = dir.join("g.txt");
+    std::fs::write(&edges, "0 1\n0 2\n1 3\n2 3\n").unwrap();
+
+    let out = bin()
+        .args(["successors", edges.to_str().unwrap(), "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "0\n1\n2\n3\n");
+
+    let out = bin()
+        .args(["predecessors", edges.to_str().unwrap(), "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "0\n1\n2\n3\n");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn path_prints_a_witness() {
+    let dir = tmpdir("path");
+    let edges = dir.join("g.txt");
+    std::fs::write(&edges, "0 1\n1 2\n0 3\n").unwrap();
+    let out = bin()
+        .args(["path", edges.to_str().unwrap(), "0", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out), "0 -> 1 -> 2\n");
+    let out = bin()
+        .args(["path", edges.to_str().unwrap(), "3", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no path"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn info_reports_metrics_even_for_cyclic_graphs() {
+    let dir = tmpdir("info");
+    let edges = dir.join("g.txt");
+    std::fs::write(&edges, "0 1\n1 0\n1 2\n").unwrap();
+    // stats would fail (cyclic), info must not.
+    let out = bin().args(["info", edges.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("acyclic          false"));
+    assert!(text.contains("SCCs             2"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn dot_renders() {
+    let dir = tmpdir("dot");
+    let edges = dir.join("g.txt");
+    std::fs::write(&edges, "0 1\n").unwrap();
+    let out = bin().args(["dot", edges.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("0 -> 1"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+    assert!(stderr(&out).contains("usage"));
+
+    // Missing file.
+    let out = bin().args(["stats", "/nonexistent/file"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Cyclic input.
+    let dir = tmpdir("cycle");
+    let edges = dir.join("g.txt");
+    std::fs::write(&edges, "0 1\n1 0\n").unwrap();
+    let out = bin().args(["stats", edges.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cycle"));
+
+    // Node out of range.
+    std::fs::write(&edges, "0 1\n").unwrap();
+    let out = bin()
+        .args(["query", edges.to_str().unwrap(), "0", "99"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("out of range"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn stdin_input() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(["successors", "-", "0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"0 1\n1 2\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out), "0\n1\n2\n");
+}

@@ -1,0 +1,258 @@
+//! Bidirectional closure: fast predecessor queries.
+//!
+//! [`crate::CompressedClosure::predecessors`] scans every node's interval
+//! set (O(n log k)). Workloads that ask "who reaches v?" as often as "what
+//! does u reach?" — the *where-used* query of parts databases, the
+//! *ancestors* query of IS-A hierarchies — want the same lookup speed in
+//! both directions. [`BiClosure`] maintains two compressed closures, one
+//! over the relation and one over its reverse, and keeps them consistent
+//! under the §4 incremental updates.
+
+use tc_graph::{topo, DiGraph, NodeId};
+
+use crate::updates::UpdateError;
+use crate::{ClosureConfig, CompressedClosure};
+
+/// A pair of compressed closures over a relation and its reverse, giving
+/// interval-lookup speed for successor *and* predecessor queries at twice
+/// the storage.
+///
+/// ```
+/// use tc_graph::{DiGraph, NodeId};
+/// use tc_core::bidir::BiClosure;
+///
+/// let g = DiGraph::from_edges([(0, 1), (1, 2), (0, 3)]);
+/// let bi = BiClosure::build(&g).unwrap();
+/// assert!(bi.reaches(NodeId(0), NodeId(2)));
+/// assert_eq!(bi.predecessors(NodeId(2)).len(), 3); // {0, 1, 2} reflexive
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiClosure {
+    forward: CompressedClosure,
+    reverse: CompressedClosure,
+}
+
+impl BiClosure {
+    /// Builds both directions with the default configuration.
+    pub fn build(g: &DiGraph) -> Result<Self, topo::CycleError> {
+        Self::build_with(g, ClosureConfig::default())
+    }
+
+    /// Builds both directions with an explicit configuration.
+    pub fn build_with(g: &DiGraph, config: ClosureConfig) -> Result<Self, topo::CycleError> {
+        Ok(BiClosure {
+            forward: config.build(g)?,
+            reverse: config.build(&g.reversed())?,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.forward.node_count()
+    }
+
+    /// Whether `src` reaches `dst` (reflexive). One forward lookup.
+    pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.forward.reaches(src, dst)
+    }
+
+    /// All nodes reachable from `node` (including itself).
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        self.forward.successors(node)
+    }
+
+    /// All nodes reaching `node` (including itself) — one *reverse* decode
+    /// instead of a full scan.
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        self.reverse.successors(node)
+    }
+
+    /// Count of nodes reaching `node` (including itself).
+    pub fn predecessor_count(&self, node: NodeId) -> usize {
+        self.reverse.successor_count(node)
+    }
+
+    /// The forward closure.
+    pub fn forward(&self) -> &CompressedClosure {
+        &self.forward
+    }
+
+    /// The reverse closure.
+    pub fn reverse(&self) -> &CompressedClosure {
+        &self.reverse
+    }
+
+    /// Adds a node with incoming arcs from `parents` (mirrors
+    /// [`CompressedClosure::add_node_with_parents`]).
+    ///
+    /// In the reverse closure the new node becomes a *source* with out-arcs
+    /// to its parents: it is inserted as a root and each reversed arc is a
+    /// non-tree arc propagated the usual way (its only holder is the new
+    /// node itself, so the propagation is O(parents)).
+    pub fn add_node_with_parents(&mut self, parents: &[NodeId]) -> Result<NodeId, UpdateError> {
+        let node = self.forward.add_node_with_parents(parents)?;
+        let rev_node = self
+            .reverse
+            .add_node_with_parents(&[])
+            .expect("root insertion cannot fail");
+        debug_assert_eq!(node, rev_node);
+        let mut parents = parents.to_vec();
+        parents.dedup();
+        for p in parents {
+            self.reverse
+                .add_edge(node, p)
+                .expect("forward accepted the arc, reverse must too");
+        }
+        Ok(node)
+    }
+
+    /// Adds the arc `src -> dst` in both directions.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool, UpdateError> {
+        let added = self.forward.add_edge(src, dst)?;
+        if added {
+            self.reverse
+                .add_edge(dst, src)
+                .expect("forward accepted the arc, reverse must too");
+        }
+        Ok(added)
+    }
+
+    /// Removes the arc `src -> dst` from both directions.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), UpdateError> {
+        self.forward.remove_edge(src, dst)?;
+        self.reverse
+            .remove_edge(dst, src)
+            .expect("closures must stay in sync");
+        Ok(())
+    }
+
+    /// Combined storage statistics: forward plus reverse labels.
+    pub fn total_intervals(&self) -> usize {
+        self.forward.total_intervals() + self.reverse.total_intervals()
+    }
+
+    /// Exhaustively checks both directions against ground truth (tests
+    /// only).
+    pub fn verify(&self) -> Result<(), String> {
+        self.forward.verify()?;
+        self.reverse.verify()?;
+        // And mutual consistency.
+        for u in self.forward.graph().nodes() {
+            for v in self.forward.graph().nodes() {
+                if self.forward.reaches(u, v) != self.reverse.reaches(v, u) {
+                    return Err(format!("forward/reverse disagree on ({u:?},{v:?})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_graph::generators;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn predecessors_by_lookup() {
+        let bi = BiClosure::build(&diamond()).unwrap();
+        let mut preds = bi.predecessors(NodeId(3));
+        preds.sort_unstable();
+        assert_eq!(preds, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(bi.predecessor_count(NodeId(4)), 5);
+        bi.verify().unwrap();
+    }
+
+    #[test]
+    fn matches_scan_based_predecessors() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 60,
+            avg_out_degree: 2.5,
+            seed: 8,
+        });
+        let bi = BiClosure::build(&g).unwrap();
+        for v in g.nodes() {
+            let mut fast = bi.predecessors(v);
+            fast.sort_unstable();
+            let mut scan = bi.forward().predecessors(v);
+            scan.sort_unstable();
+            assert_eq!(fast, scan, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn updates_keep_both_directions_consistent() {
+        let mut bi = BiClosure::build(&diamond()).unwrap();
+        let n = bi.add_node_with_parents(&[NodeId(1), NodeId(4)]).unwrap();
+        assert!(bi.reaches(NodeId(0), n));
+        let mut preds = bi.predecessors(n);
+        preds.sort_unstable();
+        assert_eq!(preds.len(), 6, "everyone but node 2... plus reflexive");
+        bi.verify().unwrap();
+
+        bi.add_edge(NodeId(2), n).unwrap();
+        assert!(bi.predecessors(n).contains(&NodeId(2)));
+        bi.verify().unwrap();
+
+        bi.remove_edge(NodeId(1), NodeId(3)).unwrap();
+        assert!(bi.reaches(NodeId(0), NodeId(3)), "path through 2 survives");
+        assert!(!bi.predecessors(NodeId(3)).contains(&NodeId(1)));
+        bi.verify().unwrap();
+    }
+
+    #[test]
+    fn cycle_rejection_is_atomic() {
+        let mut bi = BiClosure::build(&diamond()).unwrap();
+        assert!(matches!(
+            bi.add_edge(NodeId(4), NodeId(0)),
+            Err(UpdateError::WouldCreateCycle { .. })
+        ));
+        bi.verify().unwrap();
+    }
+
+    #[test]
+    fn random_churn_on_both_directions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 15,
+            avg_out_degree: 1.5,
+            seed: 4,
+        });
+        let mut bi = BiClosure::build_with(&g, ClosureConfig::new().gap(32)).unwrap();
+        for step in 0..80 {
+            let n = bi.node_count() as u32;
+            match rng.random_range(0..3) {
+                0 => {
+                    let parents: Vec<NodeId> = (0..rng.random_range(0..3usize))
+                        .map(|_| NodeId(rng.random_range(0..n)))
+                        .collect();
+                    bi.add_node_with_parents(&parents).unwrap();
+                }
+                1 => {
+                    let a = NodeId(rng.random_range(0..n));
+                    let b = NodeId(rng.random_range(0..n));
+                    if a != b && !bi.reaches(b, a) {
+                        bi.add_edge(a, b).unwrap();
+                    }
+                }
+                _ => {
+                    let edges: Vec<(NodeId, NodeId)> = bi.forward().graph().edges().collect();
+                    if !edges.is_empty() {
+                        let (s, d) = edges[rng.random_range(0..edges.len())];
+                        bi.remove_edge(s, d).unwrap();
+                    }
+                }
+            }
+            if step % 20 == 19 {
+                bi.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        bi.verify().unwrap();
+    }
+}

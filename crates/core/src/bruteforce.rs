@@ -1,0 +1,135 @@
+//! Brute-force tree-cover optimality oracle (Theorem 1 validation).
+//!
+//! Theorem 1 claims Alg1's tree cover minimizes the total interval count
+//! over *all* tree covers. This module enumerates every tree cover of a
+//! (small) graph, builds the closure over each, and reports the minimum —
+//! the oracle our tests and the `optimality` experiment compare Alg1
+//! against.
+
+use tc_graph::DiGraph;
+
+use crate::treecover::{enumerate_covers, TreeCover};
+use crate::ClosureConfig;
+
+/// The outcome of an exhaustive tree-cover search.
+#[derive(Debug, Clone)]
+pub struct BruteForceResult {
+    /// Minimum total interval count over all covers.
+    pub min_intervals: usize,
+    /// Maximum total interval count over all covers (how bad a cover can be).
+    pub max_intervals: usize,
+    /// Number of covers examined.
+    pub covers_examined: usize,
+    /// One cover achieving the minimum.
+    pub best_cover: TreeCover,
+}
+
+/// Exhaustively evaluates every tree cover of `g` (without interval
+/// merging, matching the paper: "Two adjacent intervals count as two
+/// intervals for purposes of the following algorithm, lemmas, and theorem").
+///
+/// Returns `None` if the number of covers exceeds `limit`.
+pub fn exhaustive_min_intervals(g: &DiGraph, limit: usize) -> Option<BruteForceResult> {
+    let covers = enumerate_covers(g, limit)?;
+    let config = ClosureConfig::new().gap(1);
+    let mut best: Option<(usize, TreeCover)> = None;
+    let mut max = 0usize;
+    let examined = covers.len();
+    for cover in covers {
+        let closure = config
+            .build_with_cover(g, cover.clone())
+            .expect("enumerated covers exist only for DAGs");
+        let count = closure.total_intervals();
+        max = max.max(count);
+        match &best {
+            Some((m, _)) if *m <= count => {}
+            _ => best = Some((count, cover)),
+        }
+    }
+    let (min_intervals, best_cover) = best?;
+    Some(BruteForceResult {
+        min_intervals,
+        max_intervals: max,
+        covers_examined: examined,
+        best_cover,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompressedClosure;
+    use tc_graph::generators;
+
+    fn assert_alg1_optimal(g: &DiGraph, limit: usize) {
+        let Some(brute) = exhaustive_min_intervals(g, limit) else {
+            panic!("graph too large for brute force");
+        };
+        let alg1 = CompressedClosure::build(g).unwrap().total_intervals();
+        assert_eq!(
+            alg1, brute.min_intervals,
+            "Alg1 gave {alg1}, brute force found {} over {} covers",
+            brute.min_intervals, brute.covers_examined
+        );
+    }
+
+    #[test]
+    fn theorem1_on_hand_graphs() {
+        for edges in [
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)],
+            vec![(0, 2), (1, 2), (0, 3), (1, 3)],          // bipartite K22
+            vec![(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)],  // chain + chords
+        ] {
+            let g = DiGraph::from_edges(edges.clone());
+            assert_alg1_optimal(&g, 100_000);
+        }
+    }
+
+    #[test]
+    fn theorem1_on_all_five_node_dags() {
+        // Every DAG over 5 nodes with the fixed topological order: 2^10 masks.
+        for mask in generators::enumerate_dag_masks(5) {
+            let g = generators::dag_from_mask(5, mask);
+            let Some(brute) = exhaustive_min_intervals(&g, 50_000) else {
+                continue;
+            };
+            let alg1 = CompressedClosure::build(&g).unwrap().total_intervals();
+            assert_eq!(alg1, brute.min_intervals, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn theorem1_on_random_graphs() {
+        for seed in 0..20 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 8,
+                avg_out_degree: 1.8,
+                seed,
+            });
+            if let Some(brute) = exhaustive_min_intervals(&g, 200_000) {
+                let alg1 = CompressedClosure::build(&g).unwrap().total_intervals();
+                assert_eq!(alg1, brute.min_intervals, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_cover_rebuilds_to_min() {
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)]);
+        let brute = exhaustive_min_intervals(&g, 100_000).unwrap();
+        let rebuilt = ClosureConfig::new()
+            .gap(1)
+            .build_with_cover(&g, brute.best_cover.clone())
+            .unwrap();
+        assert_eq!(rebuilt.total_intervals(), brute.min_intervals);
+        assert!(brute.max_intervals >= brute.min_intervals);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let g = generators::bipartite_worst(5, 5); // 5^5 = 3125 covers
+        assert!(exhaustive_min_intervals(&g, 100).is_none());
+        assert!(exhaustive_min_intervals(&g, 5000).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! Closure construction configuration.
+
+use tc_graph::{topo, DiGraph};
+
+use crate::closure::CompressedClosure;
+use crate::labeling::Labeling;
+use crate::propagate::propagate_all;
+use crate::treecover::{CoverStrategy, TreeCover};
+use crate::DEFAULT_GAP;
+
+/// Configuration for building a [`CompressedClosure`].
+///
+/// ```
+/// use tc_core::{ClosureConfig, CoverStrategy};
+/// use tc_graph::DiGraph;
+///
+/// let g = DiGraph::from_edges([(0, 1), (1, 2), (0, 2)]);
+/// let closure = ClosureConfig::new()
+///     .strategy(CoverStrategy::Optimal)
+///     .gap(1 << 16)
+///     .merge_adjacent(true)
+///     .build(&g)
+///     .unwrap();
+/// assert!(closure.reaches(0.into(), 2.into()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureConfig {
+    pub(crate) strategy: CoverStrategy,
+    pub(crate) gap: u64,
+    pub(crate) reserve: u64,
+    pub(crate) merge_adjacent: bool,
+}
+
+impl Default for ClosureConfig {
+    /// Optimal (Alg1) cover, the [`DEFAULT_GAP`] spacing, no refinement
+    /// reserve, no adjacent-interval merging — the configuration the paper's
+    /// §3.3 experiments use (merging is evaluated separately and found to
+    /// save < 5%).
+    fn default() -> Self {
+        ClosureConfig {
+            strategy: CoverStrategy::Optimal,
+            gap: DEFAULT_GAP,
+            reserve: 0,
+            merge_adjacent: false,
+        }
+    }
+}
+
+impl ClosureConfig {
+    /// Default configuration (see [`ClosureConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the tree-cover strategy.
+    pub fn strategy(mut self, strategy: CoverStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the spacing between consecutive postorder numbers. `1` gives the
+    /// paper's §3 contiguous numbering (no room for updates); larger values
+    /// leave gaps for incremental insertion (§4.1).
+    ///
+    /// Must satisfy `gap >= 2 * (reserve + 1)` at build time.
+    pub fn gap(mut self, gap: u64) -> Self {
+        assert!(gap >= 1, "gap must be positive");
+        self.gap = gap;
+        self
+    }
+
+    /// Sets the per-node refinement reserve (§4.1): a tail of `reserve`
+    /// numbers above each postorder number into which
+    /// [`CompressedClosure::refine_insert`] can place new nodes without any
+    /// interval propagation.
+    pub fn reserve(mut self, reserve: u64) -> Self {
+        self.reserve = reserve;
+        self
+    }
+
+    /// Enables the §3.2 "Improvements" post-pass that merges adjacent and
+    /// overlapping intervals.
+    pub fn merge_adjacent(mut self, enable: bool) -> Self {
+        self.merge_adjacent = enable;
+        self
+    }
+
+    /// Builds the compressed closure of `g`.
+    ///
+    /// Fails with a [`topo::CycleError`] if `g` is cyclic — wrap cyclic
+    /// graphs with [`crate::cyclic::CyclicClosure`] instead.
+    pub fn build(self, g: &DiGraph) -> Result<CompressedClosure, topo::CycleError> {
+        let order = topo::topo_sort(g)?;
+        let cover = self.strategy.compute(g, &order);
+        Ok(self.build_parts(g, cover, &order))
+    }
+
+    /// Builds the closure over an explicit tree cover (used by the
+    /// brute-force optimality oracle and the Fig 3.8 order-dependence
+    /// experiments).
+    pub fn build_with_cover(
+        self,
+        g: &DiGraph,
+        cover: TreeCover,
+    ) -> Result<CompressedClosure, topo::CycleError> {
+        let order = topo::topo_sort(g)?;
+        Ok(self.build_parts(g, cover, &order))
+    }
+
+    fn build_parts(
+        self,
+        g: &DiGraph,
+        cover: TreeCover,
+        order: &[tc_graph::NodeId],
+    ) -> CompressedClosure {
+        let mut lab = Labeling::assign(&cover, self.gap, self.reserve);
+        propagate_all(g, order, &mut lab);
+        if self.merge_adjacent {
+            for set in &mut lab.sets {
+                set.merge_adjacent();
+            }
+        }
+        CompressedClosure::from_parts(g.clone(), cover, lab, self)
+    }
+}

@@ -1,0 +1,490 @@
+//! The compressed transitive closure and its query API.
+
+use tc_graph::{dot, topo, DiGraph, NodeId};
+use tc_interval::IntervalSet;
+
+use crate::builder::ClosureConfig;
+use crate::labeling::Labeling;
+use crate::propagate::propagate_all;
+use crate::stats::ClosureStats;
+use crate::treecover::TreeCover;
+
+/// A materialized, interval-compressed transitive closure of an acyclic
+/// binary relation.
+///
+/// Built with [`CompressedClosure::build`] (default configuration) or
+/// through [`ClosureConfig`]. Supports O(log k) reachability queries (k =
+/// intervals at the source node), successor/predecessor enumeration, and
+/// the paper's §4 incremental updates.
+///
+/// The closure owns a copy of the base relation: updates must keep the two
+/// consistent, and predecessor lists are needed for update propagation
+/// ("if the list of immediate predecessors is also maintained with each
+/// node, this propagation can be performed quite efficiently").
+#[derive(Debug, Clone)]
+pub struct CompressedClosure {
+    pub(crate) graph: DiGraph,
+    pub(crate) cover: TreeCover,
+    pub(crate) lab: Labeling,
+    pub(crate) config: ClosureConfig,
+}
+
+impl CompressedClosure {
+    /// Builds the closure of `g` with the default [`ClosureConfig`]
+    /// (optimal tree cover, gapped numbering, no merging).
+    pub fn build(g: &DiGraph) -> Result<Self, topo::CycleError> {
+        ClosureConfig::default().build(g)
+    }
+
+    pub(crate) fn from_parts(
+        graph: DiGraph,
+        cover: TreeCover,
+        lab: Labeling,
+        config: ClosureConfig,
+    ) -> Self {
+        CompressedClosure {
+            graph,
+            cover,
+            lab,
+            config,
+        }
+    }
+
+    /// The base relation this closure materializes.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The tree cover in use.
+    pub fn cover(&self) -> &TreeCover {
+        &self.cover
+    }
+
+    /// The configuration the closure was built with.
+    pub fn config(&self) -> &ClosureConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether `src` reaches `dst` (reflexive, per the paper: "we assume
+    /// that every node can reach itself").
+    ///
+    /// One binary search over `src`'s interval set — "a lookup instead of a
+    /// graph traversal".
+    #[inline]
+    pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.lab.sets[src.index()].contains_point(self.lab.post[dst.index()])
+    }
+
+    /// All nodes reachable from `node` (including itself), decoded from the
+    /// interval set in ascending postorder-number order.
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        self.lab.decode(&self.lab.sets[node.index()])
+    }
+
+    /// Number of nodes reachable from `node` (including itself), without
+    /// materializing the list.
+    pub fn successor_count(&self, node: NodeId) -> usize {
+        self.lab.decode_count(&self.lab.sets[node.index()])
+    }
+
+    /// All nodes that reach `node` (including itself), by scanning every
+    /// interval set. O(n log k); build a closure of the reversed relation if
+    /// predecessor queries dominate.
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let target = self.lab.post[node.index()];
+        self.graph
+            .nodes()
+            .filter(|u| self.lab.sets[u.index()].contains_point(target))
+            .collect()
+    }
+
+    /// Reconstructs one concrete path `src -> ... -> dst` (inclusive), or
+    /// `None` if `dst` is unreachable.
+    ///
+    /// The closure turns path search into greedy descent: from each node,
+    /// any immediate successor that still reaches `dst` (one lookup each)
+    /// is on a valid path, so the cost is O(path length × out-degree × log
+    /// k) with no backtracking — a provenance query the raw closure cannot
+    /// answer.
+    pub fn find_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reaches(src, dst) {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let next = self
+                .graph
+                .successors(cur)
+                .iter()
+                .copied()
+                .find(|&s| self.reaches(s, dst))
+                .expect("reaches(cur, dst) implies a successor on a path");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+
+    /// The postorder number assigned to `node`.
+    pub fn post_number(&self, node: NodeId) -> u64 {
+        self.lab.post[node.index()]
+    }
+
+    /// The interval set labeling `node` (its tree interval plus surviving
+    /// non-tree intervals).
+    pub fn intervals(&self, node: NodeId) -> &IntervalSet {
+        &self.lab.sets[node.index()]
+    }
+
+    /// The node's tree interval `[low, post]`.
+    pub fn tree_interval(&self, node: NodeId) -> tc_interval::Interval {
+        self.lab.tree_interval(node)
+    }
+
+    /// Total number of intervals across all nodes — the quantity Alg1
+    /// minimizes (Theorem 1).
+    pub fn total_intervals(&self) -> usize {
+        self.lab.sets.iter().map(IntervalSet::count).sum()
+    }
+
+    /// Storage statistics in the paper's §3.3 units. Computes the full
+    /// closure size by decoding every node's interval set (O(closure size)).
+    pub fn stats(&self) -> ClosureStats {
+        let n = self.node_count();
+        let total = self.total_intervals();
+        let closure_size: usize = self
+            .graph
+            .nodes()
+            .map(|v| self.successor_count(v) - 1) // drop the reflexive pair
+            .sum();
+        ClosureStats {
+            nodes: n,
+            graph_arcs: self.graph.edge_count(),
+            tree_intervals: n,
+            non_tree_intervals: total - n,
+            closure_size,
+        }
+    }
+
+    /// Exhaustively checks the closure against per-node DFS ground truth.
+    /// O(n·m) — for tests and debugging only.
+    pub fn verify(&self) -> Result<(), String> {
+        for u in self.graph.nodes() {
+            let truth = tc_graph::traverse::reachable_set(&self.graph, u);
+            for v in self.graph.nodes() {
+                let expect = truth.contains(v.index());
+                let got = self.reaches(u, v);
+                if got != expect {
+                    return Err(format!(
+                        "reach({u:?},{v:?}): closure says {got}, graph says {expect}"
+                    ));
+                }
+            }
+            // Decoded successor list must equal the truth set exactly.
+            let mut decoded = self.successors(u);
+            decoded.sort_unstable();
+            let mut expect: Vec<NodeId> = truth.iter().map(NodeId::from_index).collect();
+            expect.sort_unstable();
+            if decoded != expect {
+                return Err(format!(
+                    "successors({u:?}): decoded {decoded:?}, expected {expect:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the relation in DOT format with interval labels on nodes,
+    /// tree arcs solid and non-tree arcs dashed — the style of the paper's
+    /// Figures 3.2 and 4.1.
+    pub fn to_dot(&self) -> String {
+        dot::to_dot_with(
+            &self.graph,
+            |n| format!("{n}: {}", self.lab.sets[n.index()]),
+            |s, d| {
+                if self.cover.is_tree_arc(s, d) {
+                    dot::EdgeStyle::Solid
+                } else {
+                    dot::EdgeStyle::Dashed
+                }
+            },
+        )
+    }
+
+    /// Re-labels the closure: keeps the current tree cover but reassigns
+    /// postorder numbers with fresh gaps (and fresh refinement reserves),
+    /// dropping tombstones, then re-propagates all intervals. Called
+    /// automatically when an insertion finds no free number (§4.1 "What if
+    /// empty numbers run out"); also useful to reclaim space after many
+    /// deletions.
+    pub fn relabel(&mut self) {
+        let order = topo::topo_sort(&self.graph).expect("closure graph must stay acyclic");
+        self.lab = Labeling::assign(&self.cover, self.config.gap, self.config.reserve);
+        propagate_all(&self.graph, &order, &mut self.lab);
+        self.apply_merge_policy();
+    }
+
+    /// Rebuilds from scratch with a freshly optimized tree cover — the
+    /// paper's remedy when incremental updates have eroded optimality ("it
+    /// may be prudent to develop a new tree-cover after sufficient update
+    /// activity").
+    pub fn rebuild(&mut self) {
+        *self = self
+            .config
+            .build(&self.graph)
+            .expect("closure graph must stay acyclic");
+    }
+
+    pub(crate) fn apply_merge_policy(&mut self) {
+        if self.config.merge_adjacent {
+            for set in &mut self.lab.sets {
+                set.merge_adjacent();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoverStrategy;
+    use tc_graph::generators;
+
+    fn paper_dag() -> DiGraph {
+        // Diamond with tail and a side sink, exercising tree + non-tree arcs.
+        DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 5)])
+    }
+
+    #[test]
+    fn build_and_query_small_dag() {
+        let c = CompressedClosure::build(&paper_dag()).unwrap();
+        assert!(c.reaches(NodeId(0), NodeId(5)));
+        assert!(c.reaches(NodeId(2), NodeId(5)));
+        assert!(c.reaches(NodeId(4), NodeId(4)), "reflexive");
+        assert!(!c.reaches(NodeId(1), NodeId(4)));
+        assert!(!c.reaches(NodeId(5), NodeId(0)));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let c = CompressedClosure::build(&paper_dag()).unwrap();
+        let mut succ = c.successors(NodeId(2));
+        succ.sort_unstable();
+        assert_eq!(succ, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)]);
+        assert_eq!(c.successor_count(NodeId(2)), 4);
+        let mut pred = c.predecessors(NodeId(3));
+        pred.sort_unstable();
+        assert_eq!(pred, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn find_path_returns_real_paths() {
+        let c = CompressedClosure::build(&paper_dag()).unwrap();
+        let path = c.find_path(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(path.first(), Some(&NodeId(0)));
+        assert_eq!(path.last(), Some(&NodeId(5)));
+        for w in path.windows(2) {
+            assert!(c.graph().has_edge(w[0], w[1]), "{:?} not an arc", w);
+        }
+        assert_eq!(c.find_path(NodeId(4), NodeId(4)), Some(vec![NodeId(4)]));
+        assert_eq!(c.find_path(NodeId(5), NodeId(0)), None);
+    }
+
+    #[test]
+    fn find_path_on_random_graphs() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 80,
+            avg_out_degree: 2.0,
+            seed: 14,
+        });
+        let c = CompressedClosure::build(&g).unwrap();
+        for u in g.nodes().step_by(7) {
+            for v in g.nodes().step_by(11) {
+                match c.find_path(u, v) {
+                    Some(path) => {
+                        assert_eq!((path[0], *path.last().unwrap()), (u, v));
+                        assert!(path.windows(2).all(|w| g.has_edge(w[0], w[1])));
+                    }
+                    None => assert!(!c.reaches(u, v)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_paper_units() {
+        let c = CompressedClosure::build(&paper_dag()).unwrap();
+        let s = c.stats();
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.graph_arcs, 6);
+        assert_eq!(s.tree_intervals, 6);
+        // Full closure: 0->{1,2,3,4,5}, 1->{3,5}, 2->{3,4,5}, 3->{5} = 11.
+        assert_eq!(s.closure_size, 11);
+        assert_eq!(s.compressed_units(), 2 * c.total_intervals());
+    }
+
+    #[test]
+    fn all_strategies_produce_correct_closures() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 60,
+            avg_out_degree: 2.5,
+            seed: 11,
+        });
+        for strat in [
+            CoverStrategy::Optimal,
+            CoverStrategy::FirstParent,
+            CoverStrategy::Random { seed: 5 },
+            CoverStrategy::Deepest,
+        ] {
+            let c = ClosureConfig::new().strategy(strat).build(&g).unwrap();
+            c.verify().unwrap_or_else(|e| panic!("{strat:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn optimal_cover_never_worse_than_alternatives() {
+        for seed in 0..5 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 40,
+                avg_out_degree: 2.0,
+                seed,
+            });
+            let optimal = CompressedClosure::build(&g).unwrap().total_intervals();
+            for strat in [
+                CoverStrategy::FirstParent,
+                CoverStrategy::Random { seed: 99 },
+                CoverStrategy::Deepest,
+            ] {
+                let other = ClosureConfig::new()
+                    .strategy(strat)
+                    .build(&g)
+                    .unwrap()
+                    .total_intervals();
+                assert!(
+                    optimal <= other,
+                    "seed {seed}: Alg1 {optimal} > {strat:?} {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merging_preserves_correctness_and_never_grows() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 80,
+            avg_out_degree: 3.0,
+            seed: 21,
+        });
+        let plain = ClosureConfig::new().gap(1).build(&g).unwrap();
+        let merged = ClosureConfig::new().gap(1).merge_adjacent(true).build(&g).unwrap();
+        merged.verify().unwrap();
+        assert!(merged.total_intervals() <= plain.total_intervals());
+    }
+
+    #[test]
+    fn tree_closure_is_linear_and_single_interval() {
+        // §3.1: a tree needs exactly one interval per node.
+        let g = generators::balanced_tree(3, 3);
+        let c = ClosureConfig::new().gap(1).build(&g).unwrap();
+        assert_eq!(c.total_intervals(), g.node_count());
+        c.verify().unwrap();
+        let s = c.stats();
+        assert_eq!(s.non_tree_intervals, 0);
+        assert_eq!(s.compressed_units(), 2 * g.node_count());
+    }
+
+    #[test]
+    fn bipartite_worst_case_matches_formula() {
+        // Fig 3.6: K(m, n-m-1)... with m sources and k sinks the compressed
+        // closure needs m·k intervals beyond what the tree cover absorbs.
+        // For K(4,4): tree cover hangs all 4 sinks under one source; the
+        // other 3 sources hold 4 non-tree intervals each (none subsumable:
+        // sinks are tree-siblings). Total = 8 tree + 12 non-tree.
+        let g = generators::bipartite_worst(4, 4);
+        let c = ClosureConfig::new().gap(1).build(&g).unwrap();
+        assert_eq!(c.total_intervals(), 8 + 12);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn bipartite_hub_is_linear() {
+        // Fig 3.7: the hub rewrite collapses the quadratic blow-up.
+        let g = generators::bipartite_with_hub(4, 4);
+        let c = ClosureConfig::new().gap(1).build(&g).unwrap();
+        // One source adopts the hub as tree child; the other 3 inherit just
+        // the hub's interval: n + (top - 1) = 12 total, linear in n (versus
+        // 20 for the flat bipartite form of Fig 3.6).
+        assert_eq!(c.total_intervals(), g.node_count() + 3);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn relabel_preserves_semantics() {
+        let g = paper_dag();
+        let mut c = CompressedClosure::build(&g).unwrap();
+        let before = c.total_intervals();
+        c.relabel();
+        assert_eq!(c.total_intervals(), before);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn rebuild_preserves_semantics() {
+        let g = paper_dag();
+        let mut c = ClosureConfig::new()
+            .strategy(CoverStrategy::FirstParent)
+            .build(&g)
+            .unwrap();
+        c.rebuild();
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn dot_output_marks_non_tree_arcs() {
+        let c = CompressedClosure::build(&paper_dag()).unwrap();
+        let dot = c.to_dot();
+        assert!(dot.contains("style=dashed"), "non-tree arc must be dashed");
+        assert!(dot.contains('['), "labels must show intervals");
+    }
+
+    #[test]
+    fn random_dags_verify_across_seeds_and_degrees() {
+        for seed in 0..4 {
+            for degree in [1.0, 2.0, 4.0] {
+                let g = generators::random_dag(generators::RandomDagConfig {
+                    nodes: 50,
+                    avg_out_degree: degree,
+                    seed,
+                });
+                let c = CompressedClosure::build(&g).unwrap();
+                c.verify()
+                    .unwrap_or_else(|e| panic!("seed {seed} degree {degree}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_input_is_rejected() {
+        let g = DiGraph::from_edges([(0, 1), (1, 0)]);
+        assert!(CompressedClosure::build(&g).is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let c = CompressedClosure::build(&DiGraph::new()).unwrap();
+        assert_eq!(c.total_intervals(), 0);
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let c = CompressedClosure::build(&g).unwrap();
+        assert!(c.reaches(a, a));
+        assert_eq!(c.successors(a), vec![a]);
+        assert_eq!(c.stats().closure_size, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Postorder numbering and per-node interval labels.
+//!
+//! This module owns the numeric side of the scheme: assigning gapped
+//! postorder numbers over a tree cover (§3.1 and §4.1), tracking each node's
+//! tree interval `[low, post]`, the *advertised* interval that inheritors
+//! copy (which includes the optional refinement reserve, §4.1), and decoding
+//! interval sets back into node lists.
+
+use tc_graph::NodeId;
+use tc_interval::{Interval, IntervalSet, NumberLine};
+
+use crate::treecover::TreeCover;
+
+/// The numeric labels of a closure: postorder numbers, interval lows, the
+/// number line *L*, and the per-node interval sets.
+#[derive(Debug, Clone)]
+pub(crate) struct Labeling {
+    /// Postorder number per node.
+    pub post: Vec<u64>,
+    /// Tree-interval low per node: one above the highest number (including
+    /// reserve tail) preceding the node's subtree.
+    pub low: Vec<u64>,
+    /// Top of the node's *advertised* interval: `post + remaining reserve`.
+    /// Inheritors copy `[low, advertised_hi]`; the node itself answers
+    /// queries with `[low, post]` (it does not reach nodes refined into its
+    /// own reserve tail). With `reserve == 0` this equals `post`.
+    pub advertised_hi: Vec<u64>,
+    /// Full interval set per node: the node's own (true) tree interval plus
+    /// all inherited non-tree intervals.
+    pub sets: Vec<IntervalSet>,
+    /// The sorted list *L* of postorder numbers in use.
+    pub line: NumberLine,
+    /// Refinement reserve per node at (re)label time (the gap itself lives
+    /// in [`crate::ClosureConfig`]; labels never need it after assignment).
+    pub reserve: u64,
+}
+
+impl Labeling {
+    /// Assigns fresh postorder numbers over `cover`, spacing consecutive
+    /// numbers by `gap` and leaving a `reserve`-wide refinement tail above
+    /// each number. Interval sets are initialized to the tree intervals
+    /// only; run propagation afterwards to add non-tree intervals.
+    ///
+    /// Roots are visited in ascending id order; children in cover order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gap > 2 * reserve`: each gap must fit a reserve tail
+    /// and still leave at least some room between consecutive tails.
+    /// (`gap == 1` with no reserve is the paper's §3 contiguous numbering;
+    /// insertions then relabel on every exhaustion.)
+    pub fn assign(cover: &TreeCover, gap: u64, reserve: u64) -> Labeling {
+        assert!(
+            gap >= 1 && gap > 2 * reserve,
+            "gap {gap} too small for reserve {reserve}"
+        );
+        let n = cover.node_count();
+        let mut post = vec![0u64; n];
+        let mut low = vec![0u64; n];
+        let mut line = NumberLine::new();
+
+        let mut counter = 0u64;
+        let mut last_assigned = 0u64; // highest number handed out so far
+
+        // Iterative postorder: frames carry the entry-time `last_assigned`
+        // so a node's low is one past its predecessor subtree's tail.
+        for root in cover.roots() {
+            let mut stack: Vec<(NodeId, usize, u64)> = vec![(root, 0, last_assigned)];
+            while let Some(&mut (node, ref mut next, entry_last)) = stack.last_mut() {
+                let kids = cover.children(node);
+                if *next < kids.len() {
+                    let child = kids[*next];
+                    *next += 1;
+                    stack.push((child, 0, last_assigned));
+                } else {
+                    counter += 1;
+                    let num = counter * gap;
+                    post[node.index()] = num;
+                    low[node.index()] = entry_last + reserve + 1;
+                    line.assign(num, node.0);
+                    last_assigned = num;
+                    stack.pop();
+                }
+            }
+        }
+
+        let advertised_hi: Vec<u64> = post.iter().map(|&p| p + reserve).collect();
+        let sets: Vec<IntervalSet> = (0..n)
+            .map(|ix| IntervalSet::singleton(Interval::new(low[ix], post[ix])))
+            .collect();
+
+        Labeling {
+            post,
+            low,
+            advertised_hi,
+            sets,
+            line,
+
+            reserve,
+        }
+    }
+
+    /// The node's own tree interval `[low, post]` — what the node itself
+    /// queries with.
+    #[inline]
+    pub fn tree_interval(&self, v: NodeId) -> Interval {
+        Interval::new(self.low[v.index()], self.post[v.index()])
+    }
+
+    /// The interval inheritors copy: `[low, advertised_hi]` (covers the
+    /// remaining refinement tail).
+    #[inline]
+    pub fn advertised_interval(&self, v: NodeId) -> Interval {
+        Interval::new(self.low[v.index()], self.advertised_hi[v.index()])
+    }
+
+    /// Decodes an interval set into live node ids, ascending by postorder
+    /// number, deduplicating overlap between intervals.
+    pub fn decode(&self, set: &IntervalSet) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut next_free = 0u64; // numbers below this were already decoded
+        for iv in set.iter() {
+            let lo = iv.lo().max(next_free);
+            if lo > iv.hi() {
+                continue;
+            }
+            out.extend(self.line.live_in_range(lo, iv.hi()).map(|(_, n)| NodeId(n)));
+            next_free = iv.hi().saturating_add(1);
+        }
+        out
+    }
+
+    /// Counts live nodes covered by a set (without materializing them).
+    pub fn decode_count(&self, set: &IntervalSet) -> usize {
+        let mut count = 0;
+        let mut next_free = 0u64;
+        for iv in set.iter() {
+            let lo = iv.lo().max(next_free);
+            if lo > iv.hi() {
+                continue;
+            }
+            count += self.line.live_in_range(lo, iv.hi()).count();
+            next_free = iv.hi().saturating_add(1);
+        }
+        count
+    }
+
+    /// Resets every interval set to just the node's tree interval (the state
+    /// before propagation).
+    pub fn reset_sets(&mut self) {
+        for ix in 0..self.sets.len() {
+            self.sets[ix] = IntervalSet::singleton(Interval::new(self.low[ix], self.post[ix]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treecover::{cover_of, CoverStrategy};
+    use tc_graph::DiGraph;
+
+    /// A tree: 0 -> {1, 2}, 1 -> {3, 4}.
+    fn tree() -> DiGraph {
+        DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (1, 4)])
+    }
+
+    fn labeled(gap: u64, reserve: u64) -> (Labeling, TreeCover) {
+        let g = tree();
+        let cover = cover_of(&g, CoverStrategy::Optimal).unwrap();
+        (Labeling::assign(&cover, gap, reserve), cover)
+    }
+
+    #[test]
+    fn postorder_with_unit_gap_matches_paper_semantics() {
+        // With gap 1 and no reserve, numbers are 1..=n in postorder and the
+        // low equals the smallest descendant postorder number (§3.1).
+        let (lab, cover) = labeled(1, 0);
+        // Postorder: 3, 4, 1, 2, 0 -> numbers 1, 2, 3, 4, 5.
+        assert_eq!(lab.post[3], 1);
+        assert_eq!(lab.post[4], 2);
+        assert_eq!(lab.post[1], 3);
+        assert_eq!(lab.post[2], 4);
+        assert_eq!(lab.post[0], 5);
+        // Leaf interval is [post, post]; internal low = min descendant post.
+        assert_eq!(lab.tree_interval(tc_graph::NodeId(3)), Interval::new(1, 1));
+        assert_eq!(lab.tree_interval(tc_graph::NodeId(1)), Interval::new(1, 3));
+        assert_eq!(lab.tree_interval(tc_graph::NodeId(2)), Interval::new(4, 4));
+        assert_eq!(lab.tree_interval(tc_graph::NodeId(0)), Interval::new(1, 5));
+        assert!(cover.check_consistency(&tree()));
+    }
+
+    #[test]
+    fn gapped_numbers_are_spaced_and_lows_sit_after_previous_tail() {
+        let (lab, _) = labeled(10, 0);
+        // Numbers 10, 20, 30, 40, 50 in the same postorder.
+        assert_eq!(lab.post[3], 10);
+        assert_eq!(lab.post[0], 50);
+        // Leaf 3 opens the line: low = 1. Leaf 4 follows node 3: low = 11.
+        assert_eq!(lab.low[3], 1);
+        assert_eq!(lab.low[4], 11);
+        // Node 2 follows node 1 (post 30): low = 31.
+        assert_eq!(lab.low[2], 31);
+        // Root covers everything from 1.
+        assert_eq!(lab.tree_interval(tc_graph::NodeId(0)), Interval::new(1, 50));
+    }
+
+    #[test]
+    fn reserve_shifts_lows_and_advertised_his() {
+        let (lab, _) = labeled(10, 3);
+        // post(3) = 10, tail = (10, 13]; next node's low must clear it.
+        assert_eq!(lab.advertised_hi[3], 13);
+        assert_eq!(lab.low[4], 14);
+        assert_eq!(lab.advertised_interval(tc_graph::NodeId(3)), Interval::new(4, 13));
+        assert_eq!(lab.tree_interval(tc_graph::NodeId(3)), Interval::new(4, 10));
+    }
+
+    #[test]
+    fn line_knows_every_number() {
+        let (lab, _) = labeled(10, 0);
+        for v in 0..5u32 {
+            assert_eq!(lab.line.node_at(lab.post[v as usize]), Some(v));
+        }
+        assert_eq!(lab.line.live_count(), 5);
+    }
+
+    #[test]
+    fn decode_roundtrips_tree_reachability() {
+        let (lab, _) = labeled(10, 0);
+        let root_set = &lab.sets[0];
+        let mut nodes = lab.decode(root_set);
+        nodes.sort_unstable();
+        assert_eq!(nodes.len(), 5, "root reaches all (reflexively)");
+        assert_eq!(lab.decode_count(root_set), 5);
+        let leaf = lab.decode(&lab.sets[3]);
+        assert_eq!(leaf, vec![tc_graph::NodeId(3)]);
+    }
+
+    #[test]
+    fn decode_dedupes_overlapping_intervals() {
+        let (lab, _) = labeled(10, 0);
+        let mut set = IntervalSet::new();
+        set.insert(Interval::new(1, 25)); // covers posts 10, 20
+        set.insert(Interval::new(15, 45)); // covers posts 20, 30, 40
+        let nodes = lab.decode(&set);
+        assert_eq!(nodes.len(), 4, "post 20 must be emitted once");
+        assert_eq!(lab.decode_count(&set), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_gap_with_reserve_panics() {
+        let g = tree();
+        let cover = cover_of(&g, CoverStrategy::Optimal).unwrap();
+        let _ = Labeling::assign(&cover, 4, 3);
+    }
+
+    #[test]
+    fn forest_roots_get_disjoint_ranges() {
+        let g = DiGraph::from_edges([(0, 1), (2, 3)]);
+        let cover = cover_of(&g, CoverStrategy::Optimal).unwrap();
+        let lab = Labeling::assign(&cover, 10, 0);
+        let i0 = lab.tree_interval(tc_graph::NodeId(0));
+        let i2 = lab.tree_interval(tc_graph::NodeId(2));
+        assert!(i0.hi() < i2.lo() || i2.hi() < i0.lo(), "{i0} vs {i2} overlap");
+    }
+}

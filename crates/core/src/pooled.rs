@@ -1,0 +1,182 @@
+//! Shared-range storage: the paper's §3.3 footnote optimization.
+//!
+//! "For the compressed transitive closure, in the simplest scheme, one has
+//! to store both end-points for every range interval. One may do better,
+//! for example, by storing the ranges separately and pointers to ranges at
+//! the nodes."
+//!
+//! Non-tree intervals are *copies*: every one of them is some node's tree
+//! interval, inherited by possibly many predecessors. [`PooledClosure`]
+//! stores each distinct range once in a shared pool and replaces the
+//! per-node copies with pool indices, trading one number per reference
+//! against two. On graphs with heavily-shared sub-structures this roughly
+//! halves storage; a `storage_units` comparison quantifies it per graph.
+
+use std::collections::HashMap;
+
+use tc_graph::NodeId;
+use tc_interval::Interval;
+
+use crate::CompressedClosure;
+
+/// A read-optimized closure representation with a deduplicated range pool.
+///
+/// Built from a [`CompressedClosure`] snapshot; queries answer identically.
+/// (Being a compacted snapshot, it does not support incremental updates —
+/// rebuild it after an update epoch, like any other derived physical
+/// layout.)
+///
+/// ```
+/// use tc_graph::{generators, NodeId};
+/// use tc_core::{ClosureConfig, pooled::PooledClosure};
+///
+/// let g = generators::bipartite_worst(6, 6); // heavy interval sharing
+/// let closure = ClosureConfig::new().gap(1).build(&g).unwrap();
+/// let pooled = PooledClosure::from_closure(&closure);
+/// assert!(pooled.storage_units() < pooled.flat_storage_units());
+/// assert_eq!(pooled.reaches(NodeId(0), NodeId(7)), closure.reaches(NodeId(0), NodeId(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PooledClosure {
+    /// All distinct intervals, deduplicated.
+    pool: Vec<Interval>,
+    /// Per node: indices into `pool`, sorted by the interval's `lo` (the
+    /// per-node invariants of `IntervalSet` carry over, so queries stay a
+    /// binary search).
+    refs: Vec<Vec<u32>>,
+    /// Postorder number per node (the query key).
+    post: Vec<u64>,
+}
+
+impl PooledClosure {
+    /// Snapshots a closure into pooled form.
+    pub fn from_closure(closure: &CompressedClosure) -> Self {
+        let mut pool: Vec<Interval> = Vec::new();
+        let mut index: HashMap<(u64, u64), u32> = HashMap::new();
+        let n = closure.node_count();
+        let mut refs = Vec::with_capacity(n);
+        let mut post = Vec::with_capacity(n);
+        for v in closure.graph().nodes() {
+            post.push(closure.post_number(v));
+            let list: Vec<u32> = closure
+                .intervals(v)
+                .iter()
+                .map(|iv| {
+                    *index.entry((iv.lo(), iv.hi())).or_insert_with(|| {
+                        pool.push(iv);
+                        (pool.len() - 1) as u32
+                    })
+                })
+                .collect();
+            // IntervalSet iterates sorted by lo, so `list` is already in
+            // per-node query order.
+            refs.push(list);
+        }
+        PooledClosure { pool, refs, post }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether `src` reaches `dst` (reflexive) — binary search over the
+    /// node's pooled references.
+    pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        let target = self.post[dst.index()];
+        let list = &self.refs[src.index()];
+        // Last interval with lo <= target (his ascend with los).
+        let pos = list.partition_point(|&ix| self.pool[ix as usize].lo() <= target);
+        pos > 0 && self.pool[list[pos - 1] as usize].hi() >= target
+    }
+
+    /// Distinct ranges stored.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total per-node references.
+    pub fn ref_count(&self) -> usize {
+        self.refs.iter().map(Vec::len).sum()
+    }
+
+    /// Storage in §3.3 units: two numbers per pooled range plus one per
+    /// reference (versus `2 × references` for the flat layout).
+    pub fn storage_units(&self) -> usize {
+        2 * self.pool.len() + self.ref_count()
+    }
+
+    /// The flat layout's storage for the same label data, for comparison.
+    pub fn flat_storage_units(&self) -> usize {
+        2 * self.ref_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosureConfig;
+    use tc_graph::{generators, DiGraph};
+
+    fn pooled(g: &DiGraph) -> (CompressedClosure, PooledClosure) {
+        let c = ClosureConfig::new().gap(1).build(g).unwrap();
+        let p = PooledClosure::from_closure(&c);
+        (c, p)
+    }
+
+    #[test]
+    fn answers_match_flat_closure() {
+        for seed in 0..5 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 50,
+                avg_out_degree: 2.5,
+                seed,
+            });
+            let (c, p) = pooled(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(p.reaches(u, v), c.reaches(u, v), "({u:?},{v:?}) seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_pays_on_the_bipartite_worst_case() {
+        // Fig 3.6's worst case is ALL sharing: m sources each hold copies of
+        // the same k sink intervals.
+        let g = generators::bipartite_worst(8, 8);
+        let (c, p) = pooled(&g);
+        assert_eq!(p.flat_storage_units(), 2 * c.total_intervals());
+        assert!(
+            p.storage_units() < p.flat_storage_units(),
+            "pooled {} vs flat {}",
+            p.storage_units(),
+            p.flat_storage_units()
+        );
+        // Pool holds one entry per node (every interval is some tree
+        // interval).
+        assert_eq!(p.pool_size(), g.node_count());
+    }
+
+    #[test]
+    fn tree_has_no_sharing_to_exploit() {
+        // One interval per node, each referenced once: pooling costs more
+        // (pool + refs = 3n vs flat 2n) — the trade-off is graph-dependent,
+        // which is why the paper keeps the flat scheme as the baseline.
+        let g = generators::balanced_tree(3, 3);
+        let (_, p) = pooled(&g);
+        assert_eq!(p.pool_size(), g.node_count());
+        assert_eq!(p.ref_count(), g.node_count());
+        assert!(p.storage_units() > p.flat_storage_units());
+    }
+
+    #[test]
+    fn pool_is_deduplicated() {
+        let g = generators::bipartite_worst(4, 4);
+        let (c, p) = pooled(&g);
+        // Far fewer pooled ranges than total references.
+        assert!(p.pool_size() < c.total_intervals());
+        assert_eq!(p.ref_count(), c.total_intervals());
+    }
+}

@@ -1,0 +1,295 @@
+//! Specialized closure-size computation for tiny DAGs (Fig 3.12).
+//!
+//! The paper's Fig 3.12 is a *census*: "we generated all possible directed
+//! acyclic graphs of 8 nodes and computed the size of compressed closure in
+//! number of intervals". Over the fixed topological order 0 < 1 < … < n-1
+//! that is `2^(n(n-1)/2)` graphs — 268 million for n = 8 — so the general
+//! heap-allocating pipeline is replaced here by a stack-only implementation
+//! over `u8` bitmasks: Alg1, postorder labeling and reverse-topological
+//! interval propagation in a few hundred nanoseconds per graph.
+//!
+//! Correctness is established by testing against the general
+//! [`crate::CompressedClosure`] on every mask for small `n`.
+
+const MAX_N: usize = 8;
+/// Upper bound on intervals at one node for `n <= 8`: one tree interval
+/// plus at most `n` inherited tree intervals.
+const CAP: usize = MAX_N + 1;
+
+/// Computes the total interval count of the compressed closure (optimal
+/// Alg1 tree cover, no merging) of the `n`-node DAG encoded by `mask`.
+///
+/// Bit `k` of `mask` is the k-th pair `(i, j)`, `i < j`, in lexicographic
+/// order — the same encoding as [`tc_graph::generators::dag_from_mask`].
+///
+/// # Panics
+///
+/// Panics if `n > 8`.
+#[allow(clippy::needless_range_loop)] // index-coupled bitmask decode reads clearest this way
+pub fn interval_count(n: usize, mask: u64) -> u32 {
+    assert!(n <= MAX_N, "small_dag supports at most {MAX_N} nodes");
+
+    // Decode adjacency into per-node successor/predecessor bitmasks.
+    let mut succ = [0u8; MAX_N];
+    let mut pred = [0u8; MAX_N];
+    let mut bit = 0u32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if mask & (1u64 << bit) != 0 {
+                succ[i] |= 1 << j;
+                pred[j] |= 1 << i;
+            }
+            bit += 1;
+        }
+    }
+
+    // Alg1: nodes are already in topological order.
+    let mut pred_set = [0u8; MAX_N];
+    let mut parent = [usize::MAX; MAX_N];
+    for j in 0..n {
+        let mut best = usize::MAX;
+        let mut best_size = 0u32;
+        let mut p = pred[j];
+        while p != 0 {
+            let i = p.trailing_zeros() as usize;
+            p &= p - 1;
+            let size = pred_set[i].count_ones();
+            // Ties break to the smaller id; iterating ascending, strict `>`.
+            if best == usize::MAX || size > best_size {
+                best = i;
+                best_size = size;
+            }
+            pred_set[j] |= pred_set[i] | (1 << i);
+        }
+        parent[j] = best;
+    }
+
+    // Children bitmask per node (ascending id order = cover order).
+    let mut children = [0u8; MAX_N];
+    for (j, &p) in parent.iter().enumerate().take(n) {
+        if p != usize::MAX {
+            children[p] |= 1 << j;
+        }
+    }
+
+    // Postorder numbers 1..=n and subtree lows over the forest.
+    let mut post = [0u8; MAX_N];
+    let mut low = [0u8; MAX_N];
+    let mut counter = 0u8;
+    // Explicit stack: (node, remaining-children mask, low-so-far).
+    let mut stack = [(0usize, 0u8, 0u8); MAX_N + 1];
+    for root in 0..n {
+        if parent[root] != usize::MAX {
+            continue;
+        }
+        let mut top = 0usize;
+        stack[0] = (root, children[root], u8::MAX);
+        loop {
+            let (node, kids, low_acc) = stack[top];
+            if kids != 0 {
+                let child = kids.trailing_zeros() as usize;
+                stack[top].1 &= kids - 1;
+                top += 1;
+                stack[top] = (child, children[child], u8::MAX);
+            } else {
+                counter += 1;
+                post[node] = counter;
+                low[node] = if low_acc == u8::MAX { counter } else { low_acc };
+                if top == 0 {
+                    break;
+                }
+                top -= 1;
+                let parent_low = &mut stack[top].2;
+                *parent_low = (*parent_low).min(low[node]);
+            }
+        }
+    }
+
+    // Reverse-topological interval propagation with subsumption, on
+    // stack-allocated interval lists.
+    #[derive(Clone, Copy)]
+    struct Set {
+        items: [(u8, u8); CAP],
+        len: usize,
+    }
+    impl Set {
+        fn insert(&mut self, lo: u8, hi: u8) {
+            let mut w = 0;
+            for r in 0..self.len {
+                let (elo, ehi) = self.items[r];
+                if elo <= lo && hi <= ehi {
+                    return; // subsumed by existing
+                }
+                if lo <= elo && ehi <= hi {
+                    continue; // existing subsumed: drop it
+                }
+                self.items[w] = self.items[r];
+                w += 1;
+            }
+            self.items[w] = (lo, hi);
+            self.len = w + 1;
+        }
+    }
+
+    let mut sets = [Set {
+        items: [(0, 0); CAP],
+        len: 0,
+    }; MAX_N];
+    for v in 0..n {
+        sets[v].insert(low[v], post[v]);
+    }
+    // Node order 0..n is topological, so n-1..0 is reverse topological.
+    for v in (0..n).rev() {
+        let mut s = succ[v];
+        while s != 0 {
+            let q = s.trailing_zeros() as usize;
+            s &= s - 1;
+            let qset = sets[q];
+            for r in 0..qset.len {
+                let (lo, hi) = qset.items[r];
+                sets[v].insert(lo, hi);
+            }
+        }
+    }
+
+    (0..n).map(|v| sets[v].len as u32).sum()
+}
+
+/// A histogram of total interval counts over a stream of DAG masks — the
+/// data behind Fig 3.12.
+#[derive(Debug, Clone, Default)]
+pub struct Census {
+    /// `buckets[k]` = number of graphs whose compressed closure used `k`
+    /// intervals in total.
+    pub buckets: Vec<u64>,
+    /// Graphs examined.
+    pub total: u64,
+}
+
+impl Census {
+    /// Tallies one graph.
+    pub fn record(&mut self, intervals: u32) {
+        let ix = intervals as usize;
+        if self.buckets.len() <= ix {
+            self.buckets.resize(ix + 1, 0);
+        }
+        self.buckets[ix] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another census into this one (for parallel sweeps).
+    pub fn merge(&mut self, other: &Census) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (ix, &count) in other.buckets.iter().enumerate() {
+            self.buckets[ix] += count;
+        }
+        self.total += other.total;
+    }
+
+    /// Mean interval count.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(ix, &c)| ix as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Largest interval count observed (the worst case of Fig 3.6).
+    pub fn max(&self) -> usize {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+}
+
+/// Runs the census over an iterator of masks.
+pub fn census(n: usize, masks: impl Iterator<Item = u64>) -> Census {
+    let mut c = Census::default();
+    for mask in masks {
+        c.record(interval_count(n, mask));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompressedClosure;
+    use tc_graph::generators;
+
+    #[test]
+    fn matches_general_pipeline_on_all_5_node_dags() {
+        for mask in generators::enumerate_dag_masks(5) {
+            let g = generators::dag_from_mask(5, mask);
+            let general = CompressedClosure::build(&g).unwrap().total_intervals() as u32;
+            let fast = interval_count(5, mask);
+            assert_eq!(fast, general, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn matches_general_pipeline_on_sampled_8_node_dags() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let universe = generators::dag_mask_count(8);
+        for _ in 0..500 {
+            let mask = rng.random_range(0..universe);
+            let g = generators::dag_from_mask(8, mask);
+            let general = CompressedClosure::build(&g).unwrap().total_intervals() as u32;
+            assert_eq!(interval_count(8, mask), general, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_counts_one_interval_per_node() {
+        assert_eq!(interval_count(8, 0), 8);
+        assert_eq!(interval_count(3, 0), 3);
+    }
+
+    #[test]
+    fn full_upper_triangular_is_a_chain_closure() {
+        // All arcs present: the optimal cover is the chain 0->1->...->n-1 and
+        // every shortcut is subsumed -> n intervals.
+        let n = 6;
+        let all = generators::dag_mask_count(n) - 1;
+        assert_eq!(interval_count(n, all), n as u32);
+    }
+
+    #[test]
+    fn census_statistics() {
+        let c = census(4, generators::enumerate_dag_masks(4));
+        assert_eq!(c.total, 64);
+        assert_eq!(c.buckets.iter().sum::<u64>(), 64);
+        // The empty graph gives exactly 4 intervals; nothing can give fewer.
+        assert_eq!(c.buckets[..4].iter().sum::<u64>(), 0);
+        assert!(c.buckets[4] >= 1);
+        assert!(c.mean() >= 4.0);
+        assert!(c.max() <= 4 + 4); // generous bound for n=4
+    }
+
+    #[test]
+    fn census_merge() {
+        let mut a = census(3, 0..4);
+        let b = census(3, 4..8);
+        let whole = census(3, 0..8);
+        a.merge(&b);
+        assert_eq!(a.total, whole.total);
+        assert_eq!(a.buckets, whole.buckets);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_nodes_panics() {
+        let _ = interval_count(9, 0);
+    }
+}

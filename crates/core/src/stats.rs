@@ -1,0 +1,121 @@
+//! Storage accounting, exactly as the paper's §3.3 counts it.
+
+use std::fmt;
+
+/// Storage statistics of a compressed closure, in the units of the paper's
+/// performance evaluation:
+///
+/// * original graph = number of arcs ("the number of successors at each
+///   node" for the base relation),
+/// * full transitive closure = number of (irreflexive) closure successors,
+/// * compressed closure = `2 ×` interval count ("we have computed the
+///   storage required for the compressed closure as twice the number of
+///   intervals required at each node").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosureStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Arcs in the base relation.
+    pub graph_arcs: usize,
+    /// Tree intervals (always one per node).
+    pub tree_intervals: usize,
+    /// Non-tree intervals surviving subsumption (Lemma 4 counts these).
+    pub non_tree_intervals: usize,
+    /// Size of the full (uncompressed, irreflexive) transitive closure.
+    pub closure_size: usize,
+}
+
+impl ClosureStats {
+    /// Total interval count.
+    pub fn total_intervals(&self) -> usize {
+        self.tree_intervals + self.non_tree_intervals
+    }
+
+    /// Storage units for the compressed closure: `2 ×` intervals.
+    pub fn compressed_units(&self) -> usize {
+        2 * self.total_intervals()
+    }
+
+    /// Compressed storage as a multiple of the original relation (the y-axis
+    /// of Figures 3.9–3.11).
+    pub fn compressed_ratio(&self) -> f64 {
+        ratio(self.compressed_units(), self.graph_arcs)
+    }
+
+    /// Full-closure storage as a multiple of the original relation.
+    pub fn closure_ratio(&self) -> f64 {
+        ratio(self.closure_size, self.graph_arcs)
+    }
+
+    /// Compression factor: full closure size over compressed size.
+    pub fn compression_factor(&self) -> f64 {
+        ratio(self.closure_size, self.compressed_units())
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for ClosureStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} arcs | closure {} | intervals {} (tree {}, non-tree {}) | compressed {} units ({:.2}x graph, {:.2}x closure)",
+            self.nodes,
+            self.graph_arcs,
+            self.closure_size,
+            self.total_intervals(),
+            self.tree_intervals,
+            self.non_tree_intervals,
+            self.compressed_units(),
+            self.compressed_ratio(),
+            1.0 / self.compression_factor(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClosureStats {
+        ClosureStats {
+            nodes: 10,
+            graph_arcs: 20,
+            tree_intervals: 10,
+            non_tree_intervals: 5,
+            closure_size: 60,
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = sample();
+        assert_eq!(s.total_intervals(), 15);
+        assert_eq!(s.compressed_units(), 30);
+        assert!((s.compressed_ratio() - 1.5).abs() < 1e-12);
+        assert!((s.closure_ratio() - 3.0).abs() < 1e-12);
+        assert!((s.compression_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_arc_graph_yields_nan_ratios() {
+        let s = ClosureStats {
+            graph_arcs: 0,
+            ..sample()
+        };
+        assert!(s.compressed_ratio().is_nan());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = sample().to_string();
+        assert!(text.contains("10 nodes"));
+        assert!(text.contains("non-tree 5"));
+    }
+}

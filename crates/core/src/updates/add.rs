@@ -1,0 +1,332 @@
+//! Additions: new nodes (tree arcs) and new non-tree arcs (§4.1).
+
+use tc_graph::{BitSet, NodeId};
+use tc_interval::Interval;
+
+use crate::propagate::inherit_into_scratch;
+use crate::updates::UpdateError;
+use crate::CompressedClosure;
+
+impl CompressedClosure {
+    /// Adds a new node with arcs from every node in `parents`, returning the
+    /// new node's id.
+    ///
+    /// With a non-empty parent list, `parents[0]` becomes the tree parent
+    /// and the new leaf takes the midpoint of the gap owned by it — constant
+    /// work beyond the arc insertions themselves. Remaining parents are
+    /// processed "as an addition of a tree arc followed by an addition of a
+    /// non-tree arc" (§4.1). With an empty list the node becomes a new
+    /// forest root.
+    ///
+    /// If the parent's gap is exhausted, the closure relabels itself
+    /// (keeping the tree cover) and retries — §4.1 "What if empty numbers
+    /// run out".
+    pub fn add_node_with_parents(&mut self, parents: &[NodeId]) -> Result<NodeId, UpdateError> {
+        let mut parents = parents.to_vec();
+        parents.dedup();
+        for &p in &parents {
+            self.check_node(p)?;
+        }
+
+        let node = match parents.first() {
+            None => self.insert_root()?,
+            Some(&tree_parent) => self.insert_leaf_under(tree_parent)?,
+        };
+        // Remaining parents contribute non-tree arcs.
+        for &p in parents.iter().skip(1) {
+            self.add_edge(p, node)?;
+        }
+        Ok(node)
+    }
+
+    /// Adds the arc `src -> dst` between existing nodes as a *non-tree* arc,
+    /// propagating `dst`'s intervals to `src` and its predecessors with the
+    /// paper's subsumption cut-off. Returns `true` if the arc was new.
+    ///
+    /// Fails if the arc would create a cycle (checked with one closure
+    /// lookup: does `dst` already reach `src`?).
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool, UpdateError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(UpdateError::SelfLoop(src));
+        }
+        if self.graph.has_edge(src, dst) {
+            return Ok(false);
+        }
+        if self.reaches(dst, src) {
+            return Err(UpdateError::WouldCreateCycle { src, dst });
+        }
+        self.graph.add_edge(src, dst);
+        self.propagate_from(dst, src);
+        Ok(true)
+    }
+
+    /// Propagates `origin`'s inheritable intervals to `first` and onward to
+    /// predecessors, stopping at nodes where every interval was already
+    /// subsumed ("if no new interval is added to a node, the effect need not
+    /// be propagated to the predecessors of this node").
+    pub(crate) fn propagate_from(&mut self, origin: NodeId, first: NodeId) {
+        let mut scratch = Vec::new();
+        inherit_into_scratch(&self.lab, origin, &mut scratch);
+
+        let mut queued = BitSet::new(self.graph.node_count());
+        queued.insert(first.index());
+        let mut worklist = vec![first];
+        while let Some(x) = worklist.pop() {
+            let mut changed = false;
+            for &iv in &scratch {
+                changed |= self.lab.sets[x.index()].insert(iv);
+            }
+            if changed {
+                for &p in self.graph.predecessors(x) {
+                    if queued.insert(p.index()) {
+                        worklist.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts a new forest root above every existing number.
+    fn insert_root(&mut self) -> Result<NodeId, UpdateError> {
+        let boundary = match self.lab.line.max_used() {
+            None => 0,
+            Some(raw) => match self.lab.line.node_at(raw) {
+                Some(n) => self.lab.advertised_hi[n as usize],
+                None => raw, // tombstone: no reserve tail
+            },
+        };
+        let num = boundary + self.config.gap;
+        let low = boundary + 1;
+        Ok(self.push_labeled_node(None, num, low, self.config.reserve))
+    }
+
+    /// Inserts a new leaf in the gap owned by `parent` (§4.1: number 35,
+    /// interval [31,35] for the paper's `x` under `b`).
+    fn insert_leaf_under(&mut self, parent: NodeId) -> Result<NodeId, UpdateError> {
+        let (mut start, mut hi) = self.insertion_region(parent);
+        let num = match self.lab.line.midpoint_in(start, hi) {
+            Some(num) => num,
+            None => {
+                // Gap exhausted: relabel with fresh gaps and retry.
+                self.relabel();
+                (start, hi) = self.insertion_region(parent);
+                self.lab
+                    .line
+                    .midpoint_in(start, hi)
+                    .expect("fresh gap must admit a midpoint")
+            }
+        };
+        let tail = self.config.reserve.min(hi.saturating_sub(num + 1));
+        let node = self.push_labeled_node(Some(parent), num, start + 1, tail);
+        self.graph.add_edge(parent, node);
+        debug_assert!(self.reaches(parent, node));
+        Ok(node)
+    }
+
+    /// Appends a node to every parallel structure with the given labels.
+    fn push_labeled_node(
+        &mut self,
+        tree_parent: Option<NodeId>,
+        num: u64,
+        low: u64,
+        tail: u64,
+    ) -> NodeId {
+        let node = self.graph.add_node();
+        let in_cover = self.cover.push_node(tree_parent);
+        debug_assert_eq!(node, in_cover);
+        self.lab.post.push(num);
+        self.lab.low.push(low);
+        self.lab.advertised_hi.push(num + tail);
+        self.lab
+            .sets
+            .push(tc_interval::IntervalSet::singleton(Interval::new(low, num)));
+        self.lab.line.assign(num, node.0);
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClosureConfig, CompressedClosure};
+    use tc_graph::{generators, DiGraph};
+
+    /// The Fig 4.1 graph skeleton: a -> {b, c}; b -> {d?}; we model the
+    /// paper's a/b/c/... shape with a small tree plus one non-tree arc.
+    fn base() -> CompressedClosure {
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        ClosureConfig::new().gap(10).build(&g).unwrap()
+    }
+
+    #[test]
+    fn paper_fig_4_1_midpoint_numbers() {
+        // Rebuild the paper's exact scenario: node b has postorder number 30
+        // in Fig 4.1 and a free region (30, 40); adding x under it yields
+        // number 35 and interval [31,35]; then y under c gets the midpoint
+        // of its region.
+        let g = DiGraph::from_edges([(0, 1), (0, 2)]); // a -> b, a -> c
+        let mut c = ClosureConfig::new().gap(10).build(&g).unwrap();
+        // Postorder: b=10, c=20, a=30.
+        let b = NodeId(1);
+        assert_eq!(c.post_number(b), 10);
+        let x = c.add_node_with_parents(&[b]).unwrap();
+        // b owns (0+?, 10): low(b)=1, so region is (0,10) -> midpoint 5,
+        // interval [1,5].
+        assert_eq!(c.post_number(x), 5);
+        assert_eq!(c.tree_interval(x), Interval::new(1, 5));
+        assert!(c.reaches(b, x));
+        assert!(c.reaches(NodeId(0), x));
+        assert!(!c.reaches(NodeId(2), x));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn repeated_insertions_subdivide_the_gap() {
+        let mut c = base();
+        let parent = NodeId(1);
+        let mut last = None;
+        for _ in 0..6 {
+            let n = c.add_node_with_parents(&[parent]).unwrap();
+            assert!(c.reaches(parent, n));
+            last = Some(n);
+        }
+        c.verify().unwrap();
+        // All six leaves are distinct successors of the parent.
+        assert!(c.successor_count(parent) >= 7);
+        assert!(c.reaches(NodeId(0), last.unwrap()));
+    }
+
+    #[test]
+    fn gap_exhaustion_triggers_relabel() {
+        // gap 2 floods instantly: every insertion beyond the first must
+        // relabel, and queries must stay correct throughout.
+        let g = DiGraph::from_edges([(0, 1)]);
+        let mut c = ClosureConfig::new().gap(2).build(&g).unwrap();
+        for _ in 0..10 {
+            let n = c.add_node_with_parents(&[NodeId(1)]).unwrap();
+            assert!(c.reaches(NodeId(0), n));
+        }
+        c.verify().unwrap();
+        assert_eq!(c.node_count(), 12);
+    }
+
+    #[test]
+    fn new_root_insertion() {
+        let mut c = base();
+        let r = c.add_node_with_parents(&[]).unwrap();
+        assert!(c.reaches(r, r));
+        assert!(!c.reaches(r, NodeId(0)));
+        assert!(!c.reaches(NodeId(0), r));
+        // The new root can adopt children.
+        let child = c.add_node_with_parents(&[r]).unwrap();
+        assert!(c.reaches(r, child));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn root_insertion_into_empty_closure() {
+        let mut c = CompressedClosure::build(&DiGraph::new()).unwrap();
+        let a = c.add_node_with_parents(&[]).unwrap();
+        let b = c.add_node_with_parents(&[a]).unwrap();
+        assert!(c.reaches(a, b));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn multi_parent_node_addition() {
+        let mut c = base();
+        // New node under both 1 and 2 (the paper's "connected to more than
+        // one existing node").
+        let n = c.add_node_with_parents(&[NodeId(1), NodeId(2)]).unwrap();
+        assert!(c.reaches(NodeId(1), n));
+        assert!(c.reaches(NodeId(2), n));
+        assert!(c.reaches(NodeId(0), n));
+        assert!(!c.reaches(NodeId(3), n));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn duplicate_parents_are_deduped() {
+        let mut c = base();
+        let n = c
+            .add_node_with_parents(&[NodeId(1), NodeId(1), NodeId(1)])
+            .unwrap();
+        assert_eq!(c.graph().predecessors(n), &[NodeId(1)]);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut c = base();
+        assert_eq!(
+            c.add_node_with_parents(&[NodeId(99)]),
+            Err(UpdateError::UnknownNode(NodeId(99)))
+        );
+    }
+
+    #[test]
+    fn non_tree_arc_propagates_with_subsumption_cutoff() {
+        // Paper Fig 4.2: adding (x,h) where h's interval is already subsumed
+        // at b means no new interval lands at b or its ancestors.
+        let mut c = base();
+        // Add leaf x under 1 and a deep sink h under 3.
+        let x = c.add_node_with_parents(&[NodeId(1)]).unwrap();
+        let h = c.add_node_with_parents(&[NodeId(3)]).unwrap();
+        let before_0 = c.intervals(NodeId(0)).count();
+        c.add_edge(x, h).unwrap();
+        assert!(c.reaches(x, h));
+        assert!(c.reaches(NodeId(1), h), "x's parent reaches h through x");
+        // 0 reached h already through its tree interval; subsumption means
+        // its set is unchanged.
+        assert_eq!(c.intervals(NodeId(0)).count(), before_0);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn add_edge_rejects_cycles_and_self_loops() {
+        let mut c = base();
+        assert_eq!(
+            c.add_edge(NodeId(3), NodeId(0)),
+            Err(UpdateError::WouldCreateCycle {
+                src: NodeId(3),
+                dst: NodeId(0)
+            })
+        );
+        assert_eq!(c.add_edge(NodeId(2), NodeId(2)), Err(UpdateError::SelfLoop(NodeId(2))));
+        assert_eq!(c.add_edge(NodeId(0), NodeId(1)), Ok(false), "existing arc");
+    }
+
+    #[test]
+    fn random_update_sequences_match_rebuilt_closure() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 20,
+            avg_out_degree: 1.5,
+            seed: 1,
+        });
+        let mut c = ClosureConfig::new().gap(64).build(&g).unwrap();
+        for step in 0..120 {
+            if rng.random_bool(0.5) && c.node_count() >= 2 {
+                let src = NodeId(rng.random_range(0..c.node_count() as u32));
+                let dst = NodeId(rng.random_range(0..c.node_count() as u32));
+                if src != dst && !c.reaches(dst, src) {
+                    c.add_edge(src, dst).unwrap();
+                }
+            } else {
+                let k = rng.random_range(0..=2.min(c.node_count()));
+                let parents: Vec<NodeId> = (0..k)
+                    .map(|_| NodeId(rng.random_range(0..c.node_count() as u32)))
+                    .collect();
+                c.add_node_with_parents(&parents).unwrap();
+            }
+            if step % 30 == 29 {
+                c.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        c.verify().unwrap();
+    }
+}

@@ -1,0 +1,320 @@
+//! Deletions (§4.2).
+
+use tc_graph::NodeId;
+
+use crate::updates::UpdateError;
+use crate::CompressedClosure;
+
+impl CompressedClosure {
+    /// Removes the arc `src -> dst`.
+    ///
+    /// * **Non-tree arc**: the spanning tree is untouched; non-tree
+    ///   intervals are re-derived with one reverse-topological sweep ("There
+    ///   is no change to the spanning tree of the graph. Perform a traversal
+    ///   of all the nodes in the reverse topological order, recomputing the
+    ///   non-tree intervals", §4.2).
+    /// * **Tree arc**: the subtree rooted at `dst` is detached, made a child
+    ///   of the virtual root, and renumbered with fresh numbers above the
+    ///   current maximum (§4.2 "Take the subtree rooted at j and make it a
+    ///   child of the virtual root. Renumber the nodes in the subtree,
+    ///   assigning them numbers > l"). The old numbers are tombstoned —
+    ///   stale ancestor intervals still span them. Remaining arcs into the
+    ///   subtree (including the paper's "tree predecessors of j \[with\] a
+    ///   non-tree arc coming into node k of the subtree") are accounted for
+    ///   by the same reverse-topological sweep.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), UpdateError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if !self.graph.has_edge(src, dst) {
+            return Err(UpdateError::NoSuchEdge(src, dst));
+        }
+        let is_tree = self.cover.is_tree_arc(src, dst);
+        self.graph.remove_edge(src, dst);
+        if is_tree {
+            self.cover.detach(dst);
+            self.relocate_subtree(dst);
+        }
+        self.recompute_non_tree();
+        Ok(())
+    }
+
+    /// Removes `node` along with all its incident arcs. Children of `node`
+    /// in the tree cover are re-rooted (their subtrees relocate); the node's
+    /// number is tombstoned.
+    ///
+    /// In IS-A hierarchies deletion usually means "ignore the concept" with
+    /// relationships between the remaining nodes intact (§4.2); this method
+    /// implements true removal for the relational use case, preserving only
+    /// reachability that does not pass through `node`.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), UpdateError> {
+        self.check_node(node)?;
+        // Drop incident arcs from the base relation.
+        let out: Vec<NodeId> = self.graph.successors(node).to_vec();
+        let inn: Vec<NodeId> = self.graph.predecessors(node).to_vec();
+        for d in out {
+            self.graph.remove_edge(node, d);
+        }
+        for s in inn {
+            self.graph.remove_edge(s, node);
+        }
+        // Orphan the node's tree children: each becomes a forest root with
+        // fresh numbers (their old numbers sit inside stale intervals).
+        let kids: Vec<NodeId> = self.cover.children(node).to_vec();
+        for child in kids {
+            self.cover.detach(child);
+            self.relocate_subtree(child);
+        }
+        self.cover.detach(node);
+        // Quarantine the node itself: tombstone its number and give it an
+        // empty label far above everything, so no query can reach it and it
+        // reaches nothing. (Node ids are dense, so the slot remains.)
+        self.lab.line.tombstone(self.lab.post[node.index()]);
+        let boundary = self.boundary_above_max();
+        let num = boundary + self.config.gap;
+        self.lab.post[node.index()] = num;
+        self.lab.low[node.index()] = boundary + 1;
+        self.lab.advertised_hi[node.index()] = num;
+        self.lab.line.assign(num, node.0);
+        self.recompute_non_tree();
+        Ok(())
+    }
+
+    /// Highest committed boundary on the number line (advertised top of the
+    /// maximum live node, or the raw maximum for tombstones).
+    pub(crate) fn boundary_above_max(&self) -> u64 {
+        match self.lab.line.max_used() {
+            None => 0,
+            Some(raw) => match self.lab.line.node_at(raw) {
+                Some(n) => self.lab.advertised_hi[n as usize].max(raw),
+                None => raw,
+            },
+        }
+    }
+
+    /// Renumbers the (already detached) subtree rooted at `root` with fresh
+    /// numbers above the current maximum, preserving its internal postorder
+    /// structure. Old numbers become tombstones.
+    pub(crate) fn relocate_subtree(&mut self, root: NodeId) {
+        debug_assert!(self.cover.parent(root).is_none(), "relocate requires a detached root");
+        let gap = self.config.gap;
+        let reserve = self.config.reserve;
+
+        // Tombstone every old number first so fresh numbers cannot collide.
+        for &v in &self.cover.subtree(root) {
+            self.lab.line.tombstone(self.lab.post[v.index()]);
+        }
+
+        let mut last = self.boundary_above_max();
+        // Postorder walk mirroring `Labeling::assign`, offset past the max.
+        let mut stack: Vec<(NodeId, usize, u64)> = vec![(root, 0, last)];
+        while let Some(&mut (node, ref mut next, entry_last)) = stack.last_mut() {
+            let kids = self.cover.children(node);
+            if *next < kids.len() {
+                let child = kids[*next];
+                *next += 1;
+                stack.push((child, 0, last));
+            } else {
+                let num = last + gap;
+                self.lab.post[node.index()] = num;
+                self.lab.low[node.index()] = entry_last + 1;
+                self.lab.advertised_hi[node.index()] = num + reserve;
+                self.lab.line.assign(num, node.0);
+                last = num + reserve;
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClosureConfig, CompressedClosure};
+    use tc_graph::{generators, DiGraph};
+    use tc_interval::Interval;
+
+    fn diamond_tail() -> CompressedClosure {
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        ClosureConfig::new().gap(16).build(&g).unwrap()
+    }
+
+    #[test]
+    fn remove_non_tree_arc() {
+        let mut c = diamond_tail();
+        // (2,3) is the non-tree arc (3's tree parent is 1 by tie-break).
+        assert!(!c.cover().is_tree_arc(NodeId(2), NodeId(3)));
+        c.remove_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(!c.reaches(NodeId(2), NodeId(3)));
+        assert!(!c.reaches(NodeId(2), NodeId(4)));
+        assert!(c.reaches(NodeId(0), NodeId(4)), "path through 1 survives");
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_tree_arc_relocates_subtree() {
+        let mut c = diamond_tail();
+        assert!(c.cover().is_tree_arc(NodeId(1), NodeId(3)));
+        let old_num = c.post_number(NodeId(3));
+        c.remove_edge(NodeId(1), NodeId(3)).unwrap();
+        // Reachability via the other parent (2) must survive the move.
+        assert!(!c.reaches(NodeId(1), NodeId(3)));
+        assert!(c.reaches(NodeId(2), NodeId(3)));
+        assert!(c.reaches(NodeId(2), NodeId(4)));
+        assert!(c.reaches(NodeId(0), NodeId(4)));
+        // The subtree got fresh numbers above the old maximum.
+        assert!(c.post_number(NodeId(3)) > old_num);
+        assert!(c.post_number(NodeId(4)) > old_num);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_last_incoming_tree_arc_orphans_subtree() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2)]);
+        let mut c = ClosureConfig::new().gap(8).build(&g).unwrap();
+        c.remove_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(!c.reaches(NodeId(0), NodeId(1)));
+        assert!(!c.reaches(NodeId(0), NodeId(2)));
+        assert!(c.reaches(NodeId(1), NodeId(2)), "subtree stays intact");
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn missing_edge_is_an_error() {
+        let mut c = diamond_tail();
+        assert_eq!(
+            c.remove_edge(NodeId(4), NodeId(0)),
+            Err(UpdateError::NoSuchEdge(NodeId(4), NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn insertion_after_relocation_stays_correct() {
+        // The relocated subtree's old numbers are tombstoned; subsequent
+        // insertions under the old parent must skip them.
+        let mut c = diamond_tail();
+        c.remove_edge(NodeId(1), NodeId(3)).unwrap();
+        let n = c.add_node_with_parents(&[NodeId(1)]).unwrap();
+        assert!(c.reaches(NodeId(1), n));
+        assert!(c.reaches(NodeId(0), n));
+        assert!(!c.reaches(NodeId(2), n));
+        c.verify().unwrap();
+        // And under the relocated subtree too.
+        let m = c.add_node_with_parents(&[NodeId(3)]).unwrap();
+        assert!(c.reaches(NodeId(2), m));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn relabel_reclaims_tombstones() {
+        let mut c = diamond_tail();
+        c.remove_edge(NodeId(1), NodeId(3)).unwrap();
+        let total_before = c.lab.line.total_count();
+        assert!(total_before > c.node_count(), "tombstones present");
+        c.relabel();
+        assert_eq!(c.lab.line.total_count(), c.node_count());
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_node_detaches_everything() {
+        let mut c = diamond_tail();
+        c.remove_node(NodeId(3)).unwrap();
+        assert!(!c.reaches(NodeId(0), NodeId(4)), "only path went through 3");
+        assert!(!c.reaches(NodeId(1), NodeId(3)));
+        assert!(!c.reaches(NodeId(3), NodeId(4)));
+        assert!(c.reaches(NodeId(3), NodeId(3)), "reflexivity survives");
+        assert!(c.reaches(NodeId(0), NodeId(2)));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn remove_node_then_reuse() {
+        let mut c = diamond_tail();
+        c.remove_node(NodeId(3)).unwrap();
+        // The removed slot can re-enter the relation via new arcs.
+        c.add_edge(NodeId(4), NodeId(3)).unwrap_or_else(|e| panic!("{e}"));
+        assert!(c.reaches(NodeId(4), NodeId(3)));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn random_delete_sequences_match_ground_truth() {
+        use rand::rngs::StdRng;
+        use rand::seq::IndexedRandom;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..3 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 25,
+                avg_out_degree: 2.0,
+                seed,
+            });
+            let mut c = ClosureConfig::new().gap(32).build(&g).unwrap();
+            for _ in 0..15 {
+                let edges: Vec<(NodeId, NodeId)> = c.graph().edges().collect();
+                let Some(&(s, d)) = edges.choose(&mut rng) else { break };
+                c.remove_edge(s, d).unwrap();
+                c.verify()
+                    .unwrap_or_else(|e| panic!("seed {seed} removing {s:?}->{d:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_adds_and_deletes() {
+        use rand::rngs::StdRng;
+        use rand::seq::IndexedRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 15,
+            avg_out_degree: 1.5,
+            seed: 9,
+        });
+        let mut c = ClosureConfig::new().gap(32).build(&g).unwrap();
+        for step in 0..80 {
+            match rng.random_range(0..3) {
+                0 => {
+                    let parents: Vec<NodeId> = (0..rng.random_range(0..3usize))
+                        .map(|_| NodeId(rng.random_range(0..c.node_count() as u32)))
+                        .collect();
+                    c.add_node_with_parents(&parents).unwrap();
+                }
+                1 => {
+                    let src = NodeId(rng.random_range(0..c.node_count() as u32));
+                    let dst = NodeId(rng.random_range(0..c.node_count() as u32));
+                    if src != dst && !c.reaches(dst, src) {
+                        c.add_edge(src, dst).unwrap();
+                    }
+                }
+                _ => {
+                    let edges: Vec<(NodeId, NodeId)> = c.graph().edges().collect();
+                    if let Some(&(s, d)) = edges.choose(&mut rng) {
+                        c.remove_edge(s, d).unwrap();
+                    }
+                }
+            }
+            if step % 20 == 19 {
+                c.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn deleting_every_edge_leaves_reflexive_closure() {
+        let mut c = diamond_tail();
+        let edges: Vec<(NodeId, NodeId)> = c.graph().edges().collect();
+        for (s, d) in edges {
+            c.remove_edge(s, d).unwrap();
+        }
+        for u in c.graph().nodes() {
+            assert_eq!(c.successors(u), vec![u]);
+            assert_eq!(
+                c.intervals(u).as_slice(),
+                &[Interval::new(c.lab.low[u.index()], c.post_number(u))]
+            );
+        }
+        c.verify().unwrap();
+    }
+}

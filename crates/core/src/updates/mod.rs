@@ -1,0 +1,137 @@
+//! Incremental updates (§4 of the paper).
+//!
+//! The closure absorbs base-relation updates without recomputing the whole
+//! closure:
+//!
+//! * **Node + tree-arc addition** ([`crate::CompressedClosure::add_node_with_parents`]):
+//!   the new leaf takes the midpoint of the number gap *owned* by its tree
+//!   parent — no other label changes (§4.1 "Addition of a tree arc").
+//!   Additional parents are handled "as an addition of a tree arc followed
+//!   by an addition of a non-tree arc".
+//! * **Non-tree arc addition** ([`crate::CompressedClosure::add_edge`]): the
+//!   destination's intervals propagate to the source and its predecessors,
+//!   stopping wherever subsumption leaves a node unchanged (§4.1 "Addition
+//!   of a non-tree arc").
+//! * **Constant-time hierarchy refinement**
+//!   ([`crate::CompressedClosure::refine_insert`]): when a new node is
+//!   interposed below *all* current predecessors of an existing node, it is
+//!   placed in that node's *reserve tail* and **no interval anywhere
+//!   changes** (§4.1's `z` example with interval `[11,25]`).
+//! * **Arc deletion** ([`crate::CompressedClosure::remove_edge`]): deleting
+//!   a non-tree arc re-derives the non-tree intervals with one reverse-
+//!   topological sweep (§4.2). Deleting a tree arc additionally relocates
+//!   the orphaned subtree to fresh numbers above the current maximum,
+//!   tombstoning the old numbers (stale ancestor intervals still span them,
+//!   so they must not be reused until a [`crate::CompressedClosure::relabel`]).
+//!
+//! ## A note on gap ownership
+//!
+//! The paper picks the insertion number from "the two postorder numbers
+//! between n1 and n2 that ... have the largest difference". Read literally
+//! that may select a gap interior to a *sibling's* subtree, which would
+//! create false positives. This implementation follows the paper's running
+//! example instead (x under b → number 35 = the midpoint of b's own gap
+//! (30, 40), interval [31, 35]): every node owns exactly the unused region
+//! between its last descendant (or its interval low) and its own number, and
+//! new children are placed by repeated midpoint subdivision of that region.
+//! See DESIGN.md §3.2.
+
+mod add;
+mod delete;
+mod refine;
+
+use std::fmt;
+
+use tc_graph::NodeId;
+
+/// Errors from incremental update operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An operand node does not exist.
+    UnknownNode(NodeId),
+    /// The arc would create a directed cycle (the destination already
+    /// reaches the source).
+    WouldCreateCycle {
+        /// Requested arc source.
+        src: NodeId,
+        /// Requested arc destination.
+        dst: NodeId,
+    },
+    /// Self-loops are not representable (reflexivity is implicit).
+    SelfLoop(NodeId),
+    /// The arc to remove does not exist.
+    NoSuchEdge(NodeId, NodeId),
+    /// `refine_insert` requires the new node's parents to be exactly the
+    /// current immediate predecessors of the refined node; anything else
+    /// would make the no-propagation shortcut unsound.
+    RefineParentsMismatch {
+        /// The node being refined.
+        child: NodeId,
+    },
+    /// The refined node's reserve tail is exhausted; call
+    /// [`crate::CompressedClosure::relabel`] (which replenishes every tail)
+    /// and retry, or fall back to
+    /// [`crate::CompressedClosure::add_node_with_parents`].
+    ReserveExhausted(NodeId),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            UpdateError::WouldCreateCycle { src, dst } => {
+                write!(f, "arc ({src:?},{dst:?}) would create a cycle")
+            }
+            UpdateError::SelfLoop(n) => write!(f, "self loop on {n:?}"),
+            UpdateError::NoSuchEdge(s, d) => write!(f, "no arc ({s:?},{d:?})"),
+            UpdateError::RefineParentsMismatch { child } => write!(
+                f,
+                "refine_insert parents must be exactly the immediate predecessors of {child:?}"
+            ),
+            UpdateError::ReserveExhausted(n) => {
+                write!(f, "reserve tail of {n:?} is exhausted; relabel and retry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl crate::CompressedClosure {
+    /// Checks that `node` exists.
+    pub(crate) fn check_node(&self, node: NodeId) -> Result<(), UpdateError> {
+        if node.index() < self.graph.node_count() {
+            Ok(())
+        } else {
+            Err(UpdateError::UnknownNode(node))
+        }
+    }
+
+    /// The open number region `(start, post(parent))` into which new tree
+    /// children of `parent` are inserted. `start` is the highest committed
+    /// boundary below the parent's number: the advertised top of the
+    /// parent's last descendant (skipping its refinement tail), a tombstone,
+    /// or the parent's own interval low minus one — whichever is greatest.
+    pub(crate) fn insertion_region(&self, parent: NodeId) -> (u64, u64) {
+        let hi = self.lab.post[parent.index()];
+        let raw = self.lab.line.prev_used(hi).unwrap_or(0);
+        let mut start = raw;
+        if let Some(node) = self.lab.line.node_at(raw) {
+            start = start.max(self.lab.advertised_hi[node as usize]);
+        }
+        start = start.max(self.lab.low[parent.index()].saturating_sub(1));
+        debug_assert!(start < hi);
+        (start, hi)
+    }
+
+    /// Re-derives every non-tree interval with one reverse-topological
+    /// sweep over the current graph, keeping numbers, tree intervals and
+    /// consumed reserve tails as they are. Used by arc deletion (§4.2).
+    pub(crate) fn recompute_non_tree(&mut self) {
+        let order = tc_graph::topo::topo_sort(&self.graph)
+            .expect("closure graph must stay acyclic");
+        self.lab.reset_sets();
+        crate::propagate::propagate_all(&self.graph, &order, &mut self.lab);
+        self.apply_merge_policy();
+    }
+}

@@ -1,0 +1,262 @@
+//! Constant-time hierarchy refinement (§4.1).
+//!
+//! "In the case of concept hierarchies in AI systems, when a new node is
+//! added and connected to existing nodes, the reachability set of the
+//! existing nodes is unchanged (except that some nodes may now reach this
+//! new node also). Such updates frequently take place while 'refining' a
+//! hierarchy. … one can provide an additional gap beyond the postorder
+//! number in the tree interval associated with a node. Thus, h's interval
+//! could have been made [11,25] … Now when z is added, and if it is assigned
+//! a postorder number between 21 and 25, no update is required in both of
+//! its predecessors e and x, making hierarchy refinement a constant time
+//! operation."
+//!
+//! Soundness requires that the refining node's parents be **exactly the
+//! current immediate predecessors** of the refined node: those are the nodes
+//! (together with everything above them) whose inherited copies of the
+//! refined node's advertised interval cover the reserve tail. The tail is
+//! consumed **top-down** so that copies taken *after* a refinement (whose
+//! advertised top has shrunk) do not cover earlier refinements they have no
+//! path to.
+
+use tc_graph::NodeId;
+use tc_interval::{Interval, IntervalSet};
+
+use crate::propagate::inherit_into_scratch;
+use crate::updates::UpdateError;
+use crate::CompressedClosure;
+
+impl CompressedClosure {
+    /// Numbers still available in `node`'s refinement reserve tail.
+    pub fn reserve_remaining(&self, node: NodeId) -> u64 {
+        self.lab.advertised_hi[node.index()] - self.lab.post[node.index()]
+    }
+
+    /// Interposes a new node `z` between `parents` and `child`: adds arcs
+    /// `p -> z` for every parent and `z -> child`, **without updating any
+    /// existing interval** — constant time beyond the arc insertions.
+    ///
+    /// `parents` must be exactly the current immediate predecessors of
+    /// `child` (in any order); otherwise [`UpdateError::RefineParentsMismatch`]
+    /// is returned, because a parent that never inherited `child`'s
+    /// advertised interval would not see `z`. If `child`'s reserve tail is
+    /// exhausted, returns [`UpdateError::ReserveExhausted`]; call
+    /// [`CompressedClosure::relabel`] (which replenishes every tail) and
+    /// retry.
+    ///
+    /// The original `parent -> child` arcs are kept, exactly as in the
+    /// paper's Fig 4.2 (reachability is identical either way).
+    pub fn refine_insert(
+        &mut self,
+        child: NodeId,
+        parents: &[NodeId],
+    ) -> Result<NodeId, UpdateError> {
+        self.check_node(child)?;
+        for &p in parents {
+            self.check_node(p)?;
+        }
+
+        // Parents must be exactly the immediate predecessors of `child`.
+        let mut want: Vec<NodeId> = parents.to_vec();
+        want.sort_unstable();
+        want.dedup();
+        let mut have: Vec<NodeId> = self.graph.predecessors(child).to_vec();
+        have.sort_unstable();
+        if want != have {
+            return Err(UpdateError::RefineParentsMismatch { child });
+        }
+
+        // Consume the top of the reserve tail.
+        let num = self.lab.advertised_hi[child.index()];
+        if num == self.lab.post[child.index()] {
+            return Err(UpdateError::ReserveExhausted(child));
+        }
+        self.lab.advertised_hi[child.index()] = num - 1;
+
+        // Materialize z. Its own label is the single point [num, num]; it
+        // additionally inherits child's (freshly shrunk) advertised set so
+        // that z -> child queries work — and so z sees future refinements,
+        // in which it will participate as a predecessor.
+        let z = self.graph.add_node();
+        let tree_parent = want.first().copied();
+        let in_cover = self.cover.push_node(tree_parent);
+        debug_assert_eq!(z, in_cover);
+        self.lab.post.push(num);
+        self.lab.low.push(num);
+        self.lab.advertised_hi.push(num); // refinement nodes carry no tail
+        self.lab.line.assign(num, z.0);
+
+        let mut set = IntervalSet::singleton(Interval::point(num));
+        let mut scratch = Vec::new();
+        inherit_into_scratch(&self.lab, child, &mut scratch);
+        for iv in scratch {
+            set.insert(iv);
+        }
+        self.lab.sets.push(set);
+
+        // The arcs themselves. No propagation: every predecessor's copy of
+        // child's advertised interval already covers `num`.
+        for &p in &want {
+            self.graph.add_edge(p, z);
+        }
+        self.graph.add_edge(z, child);
+        Ok(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClosureConfig, CompressedClosure};
+    use tc_graph::DiGraph;
+
+    /// The paper's Fig 4.2 situation: h (node 3) reachable from e (node 1,
+    /// its tree parent) and x (node 2, a non-tree predecessor).
+    fn fig42() -> CompressedClosure {
+        let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        ClosureConfig::new().gap(16).reserve(5).build(&g).unwrap()
+    }
+
+    #[test]
+    fn refine_is_no_propagation_and_correct() {
+        let mut c = fig42();
+        let before: Vec<usize> = (0..4).map(|i| c.intervals(NodeId(i)).count()).collect();
+        let z = c.refine_insert(NodeId(3), &[NodeId(1), NodeId(2)]).unwrap();
+        // No existing node's interval set changed — the constant-time claim.
+        for (i, &count) in before.iter().enumerate() {
+            assert_eq!(c.intervals(NodeId(i as u32)).count(), count, "node {i} changed");
+        }
+        // Reachability is exactly an interposition.
+        assert!(c.reaches(NodeId(1), z));
+        assert!(c.reaches(NodeId(2), z));
+        assert!(c.reaches(NodeId(0), z));
+        assert!(c.reaches(z, NodeId(3)));
+        assert!(!c.reaches(NodeId(3), z));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn repeated_refinement_consumes_tail_top_down() {
+        let mut c = fig42();
+        let top = c.post_number(NodeId(3)) + 5;
+        let z1 = c.refine_insert(NodeId(3), &[NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(c.post_number(z1), top);
+        // Second refinement: preds of 3 now include z1.
+        let z2 = c
+            .refine_insert(NodeId(3), &[NodeId(1), NodeId(2), z1])
+            .unwrap();
+        assert_eq!(c.post_number(z2), top - 1);
+        // z1, being a predecessor at z2's insertion, must reach z2 — via the
+        // shrunk advertised copy it inherited, with no propagation.
+        assert!(c.reaches(z1, z2));
+        assert!(!c.reaches(z2, z1));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn tail_exhaustion_reported_then_relabel_recovers() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let mut c = ClosureConfig::new().gap(8).reserve(2).build(&g).unwrap();
+        let mut preds = vec![NodeId(0)];
+        for _ in 0..2 {
+            let z = c.refine_insert(NodeId(1), &preds).unwrap();
+            preds.push(z);
+        }
+        assert_eq!(
+            c.refine_insert(NodeId(1), &preds),
+            Err(UpdateError::ReserveExhausted(NodeId(1)))
+        );
+        c.relabel();
+        assert_eq!(c.reserve_remaining(NodeId(1)), 2, "relabel replenishes tails");
+        let z = c.refine_insert(NodeId(1), &preds).unwrap();
+        assert!(c.reaches(NodeId(0), z));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn wrong_parent_set_is_rejected() {
+        let mut c = fig42();
+        // Missing predecessor 2.
+        assert_eq!(
+            c.refine_insert(NodeId(3), &[NodeId(1)]),
+            Err(UpdateError::RefineParentsMismatch { child: NodeId(3) })
+        );
+        // Extraneous parent 0 (not an immediate predecessor).
+        assert_eq!(
+            c.refine_insert(NodeId(3), &[NodeId(0), NodeId(1), NodeId(2)]),
+            Err(UpdateError::RefineParentsMismatch { child: NodeId(3) })
+        );
+    }
+
+    #[test]
+    fn refine_root_with_no_predecessors() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let mut c = ClosureConfig::new().gap(8).reserve(2).build(&g).unwrap();
+        // Node 0 has no predecessors: refining it interposes a new root.
+        let z = c.refine_insert(NodeId(0), &[]).unwrap();
+        assert!(c.reaches(z, NodeId(0)));
+        assert!(c.reaches(z, NodeId(1)));
+        assert!(!c.reaches(NodeId(0), z));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn later_arcs_into_refined_node_do_not_leak_past_refinements() {
+        // q gains an arc into child AFTER a refinement; q must reach child
+        // but NOT the earlier z (there is no path q -> z).
+        let g = DiGraph::from_edges([(0, 1), (2, 3)]);
+        let mut c = ClosureConfig::new().gap(16).reserve(4).build(&g).unwrap();
+        let z = c.refine_insert(NodeId(1), &[NodeId(0)]).unwrap();
+        c.add_edge(NodeId(3), NodeId(1)).unwrap();
+        assert!(c.reaches(NodeId(3), NodeId(1)));
+        assert!(!c.reaches(NodeId(3), z), "post-hoc predecessor must not see old refinement");
+        // But node 3 participates in the NEXT refinement and sees it.
+        let z2 = c.refine_insert(NodeId(1), &[NodeId(0), z, NodeId(3)]).unwrap();
+        assert!(c.reaches(NodeId(3), z2));
+        assert!(c.reaches(z, z2));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn no_reserve_configured_means_immediate_exhaustion() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let mut c = ClosureConfig::new().gap(8).build(&g).unwrap();
+        assert_eq!(
+            c.refine_insert(NodeId(1), &[NodeId(0)]),
+            Err(UpdateError::ReserveExhausted(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn children_of_refinement_nodes_insert_correctly() {
+        // A refinement node lives inside another node's reserve tail; its
+        // own child-insertion region must not collide with the remaining
+        // tail (future refinements) or with neighbors.
+        let mut c = fig42();
+        let z = c.refine_insert(NodeId(3), &[NodeId(1), NodeId(2)]).unwrap();
+        let kid = c.add_node_with_parents(&[z]).unwrap();
+        assert!(c.reaches(z, kid));
+        assert!(c.reaches(NodeId(1), kid), "grandparents reach through z");
+        assert!(!c.reaches(NodeId(3), kid));
+        c.verify().unwrap();
+        // A later refinement of the same child must still be disjoint.
+        let z2 = c.refine_insert(NodeId(3), &[NodeId(1), NodeId(2), z]).unwrap();
+        assert!(!c.reaches(kid, z2));
+        assert!(c.reaches(z, z2));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn updates_after_refinement_stay_consistent() {
+        let mut c = fig42();
+        let z = c.refine_insert(NodeId(3), &[NodeId(1), NodeId(2)]).unwrap();
+        // Ordinary leaf insertion under the refined node's parent.
+        let n = c.add_node_with_parents(&[NodeId(1)]).unwrap();
+        assert!(!c.reaches(n, z));
+        // Deletion recomputation keeps refinement reachability intact.
+        c.remove_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(c.reaches(NodeId(2), z), "arc (2,z) still exists");
+        assert!(c.reaches(z, NodeId(3)));
+        c.verify().unwrap();
+    }
+}

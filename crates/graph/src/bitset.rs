@@ -1,0 +1,267 @@
+//! A fixed-capacity bitset.
+//!
+//! The paper's Alg1 keeps, for every node, the set of all its predecessors
+//! and repeatedly unions and sizes those sets. A flat `u64`-word bitset makes
+//! those operations cache-friendly and branch-free; this module implements
+//! one from scratch (the workspace deliberately avoids pulling in a bitset
+//! crate).
+
+use std::fmt;
+
+/// A set of `usize` values in `0..capacity`, stored one bit per value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+        }
+    }
+
+    /// Capacity this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `bit`. Returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.capacity, "bit {bit} out of capacity {}", self.capacity);
+        let (w, mask) = (bit / WORD_BITS, 1u64 << (bit % WORD_BITS));
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        newly
+    }
+
+    /// Removes `bit`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.capacity);
+        let (w, mask) = (bit / WORD_BITS, 1u64 << (bit % WORD_BITS));
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        if bit >= self.capacity {
+            return false;
+        }
+        self.words[bit / WORD_BITS] & (1u64 << (bit % WORD_BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self -= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_ix: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to the largest value + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+/// Iterator over set bits, ascending.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_ix: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_ix += 1;
+            if self.word_ix >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_ix];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_ix * WORD_BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports not-new");
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10_000));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(200);
+        for v in [5usize, 199, 64, 65, 0] {
+            s.insert(v);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for v in [1usize, 2, 3, 70] {
+            a.insert(v);
+        }
+        for v in [2usize, 3, 4, 71] {
+            b.insert(v);
+        }
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70, 71]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 70]);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(64);
+        a.insert(3);
+        b.insert(3);
+        b.insert(9);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        a.clear();
+        assert!(!a.intersects(&b));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn from_iter_sizes_to_max() {
+        let s: BitSet = [3usize, 10, 7].into_iter().collect();
+        assert_eq!(s.capacity(), 11);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_iterates_nothing() {
+        let s = BitSet::new(0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(20);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,89 @@
+//! Graphviz (DOT) export, with optional per-node labels.
+//!
+//! Handy for visually inspecting the small paper figures (Fig 3.1, 3.2, 4.1)
+//! and for debugging tree covers: `tc-core` renders tree arcs solid and
+//! non-tree arcs dashed through [`to_dot_with`].
+
+use std::fmt::Write as _;
+
+use crate::{DiGraph, NodeId};
+
+/// Styling decisions for one rendered edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeStyle {
+    /// Solid edge (default).
+    Solid,
+    /// Dashed edge (used for non-tree arcs).
+    Dashed,
+}
+
+/// Renders the graph in DOT format with default styling and numeric labels.
+pub fn to_dot(g: &DiGraph) -> String {
+    to_dot_with(g, |n| n.to_string(), |_, _| EdgeStyle::Solid)
+}
+
+/// Renders the graph in DOT format with custom node labels and edge styles.
+pub fn to_dot_with(
+    g: &DiGraph,
+    mut label: impl FnMut(NodeId) -> String,
+    mut style: impl FnMut(NodeId, NodeId) -> EdgeStyle,
+) -> String {
+    let mut out = String::new();
+    out.push_str("digraph g {\n");
+    for n in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", n.0, escape(&label(n)));
+    }
+    for (s, d) in g.edges() {
+        match style(s, d) {
+            EdgeStyle::Solid => {
+                let _ = writeln!(out, "  {} -> {};", s.0, d.0);
+            }
+            EdgeStyle::Dashed => {
+                let _ = writeln!(out, "  {} -> {} [style=dashed];", s.0, d.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2)]);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+        assert!(dot.contains("[label=\"2\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn custom_labels_and_styles() {
+        let g = DiGraph::from_edges([(0, 1), (0, 2)]);
+        let dot = to_dot_with(
+            &g,
+            |n| format!("node-{n}"),
+            |_, d| if d == NodeId(2) { EdgeStyle::Dashed } else { EdgeStyle::Solid },
+        );
+        assert!(dot.contains("[label=\"node-1\"]"));
+        assert!(dot.contains("0 -> 2 [style=dashed];"));
+        assert!(dot.contains("0 -> 1;"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g = DiGraph::new();
+        g.add_node();
+        let dot = to_dot_with(&g, |_| "a\"b\\c".to_string(), |_, _| EdgeStyle::Solid);
+        assert!(dot.contains("label=\"a\\\"b\\\\c\""));
+    }
+}

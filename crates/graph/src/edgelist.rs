@@ -1,0 +1,132 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: one `src dst` pair per line, `#`-prefixed comment lines and blank
+//! lines ignored. This is the least-common-denominator interchange format
+//! for reachability datasets, so graphs can be moved in and out of the
+//! workspace tools.
+
+use std::fmt;
+
+use crate::{DiGraph, NodeId};
+
+/// Error from parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error occurred.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge list line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an edge list from text.
+pub fn parse(text: &str) -> Result<DiGraph, ParseError> {
+    let mut edges = Vec::new();
+    for (ix, line) in text.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let src = parse_field(parts.next(), line_no, "missing source")?;
+        let dst = parse_field(parts.next(), line_no, "missing destination")?;
+        if let Some(extra) = parts.next() {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("unexpected trailing token {extra:?}"),
+            });
+        }
+        edges.push((src, dst));
+    }
+    Ok(DiGraph::from_edges(edges))
+}
+
+fn parse_field(field: Option<&str>, line: usize, missing: &str) -> Result<u32, ParseError> {
+    let field = field.ok_or_else(|| ParseError {
+        line,
+        message: missing.to_string(),
+    })?;
+    field.parse::<u32>().map_err(|e| ParseError {
+        line,
+        message: format!("invalid node id {field:?}: {e}"),
+    })
+}
+
+/// Serializes a graph to edge-list text, preceded by a comment header with
+/// node and edge counts.
+pub fn write(g: &DiGraph) -> String {
+    let mut out = format!("# nodes={} edges={}\n", g.node_count(), g.edge_count());
+    for (s, d) in g.edges() {
+        out.push_str(&format!("{s} {d}\n"));
+    }
+    out
+}
+
+/// Convenience: does the serialized form of `g` parse back to the same edge
+/// set? Isolated trailing nodes (with ids above the largest endpoint) are
+/// not representable in this format, so this returns `false` for them.
+pub fn roundtrips(g: &DiGraph) -> bool {
+    match parse(&write(g)) {
+        Ok(parsed) => {
+            let mut a: Vec<(NodeId, NodeId)> = g.edges().collect();
+            let mut b: Vec<(NodeId, NodeId)> = parsed.edges().collect();
+            a.sort();
+            b.sort();
+            a == b && parsed.node_count() <= g.node_count()
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let g = parse("0 1\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse("# header\n\n0 1\n   \n# tail\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse("0 1\nbogus 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn missing_destination() {
+        let err = parse("7\n").unwrap_err();
+        assert_eq!(err.message, "missing destination");
+    }
+
+    #[test]
+    fn trailing_token_rejected() {
+        let err = parse("0 1 2\n").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (0, 2)]);
+        assert!(roundtrips(&g));
+        let text = write(&g);
+        assert!(text.starts_with("# nodes=3 edges=3"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Structural graph metrics.
+//!
+//! The paper characterizes workloads by "the average degree of a node and
+//! the number of nodes" (§3.3); these metrics extend that with the shape
+//! properties that drive compression quality — depth, width and density —
+//! for experiment reporting and the CLI's `info` command.
+
+use crate::{scc, topo, DiGraph};
+
+/// A summary of a graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of arcs.
+    pub arcs: usize,
+    /// Average out-degree (the §3.3 workload parameter).
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Nodes with no incoming arcs.
+    pub roots: usize,
+    /// Nodes with no outgoing arcs.
+    pub leaves: usize,
+    /// Whether the graph is acyclic.
+    pub is_dag: bool,
+    /// Number of strongly-connected components.
+    pub scc_count: usize,
+    /// Length (in arcs) of the longest path in the condensation — the
+    /// "depth" of the hierarchy. For a DAG this is the longest path of the
+    /// graph itself.
+    pub longest_path: usize,
+}
+
+impl GraphMetrics {
+    /// Computes all metrics in O(V + E) plus one SCC pass.
+    pub fn compute(g: &DiGraph) -> Self {
+        let condensation = scc::condense(g);
+        let dag = &condensation.dag;
+        let order = topo::topo_sort(dag).expect("condensation is acyclic");
+        // Longest-path DP over the condensation in topological order.
+        let mut depth = vec![0usize; dag.node_count()];
+        let mut longest = 0usize;
+        for &v in &order {
+            for &s in dag.successors(v) {
+                let candidate = depth[v.index()] + 1;
+                if candidate > depth[s.index()] {
+                    depth[s.index()] = candidate;
+                    longest = longest.max(candidate);
+                }
+            }
+        }
+
+        GraphMetrics {
+            nodes: g.node_count(),
+            arcs: g.edge_count(),
+            avg_out_degree: g.average_out_degree(),
+            max_out_degree: g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0),
+            max_in_degree: g.nodes().map(|v| g.in_degree(v)).max().unwrap_or(0),
+            roots: g.roots().count(),
+            leaves: g.leaves().count(),
+            is_dag: condensation.dag.node_count() == g.node_count(),
+            scc_count: condensation.dag.node_count(),
+            longest_path: longest,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes            {}", self.nodes)?;
+        writeln!(f, "arcs             {}", self.arcs)?;
+        writeln!(f, "avg out-degree   {:.2}", self.avg_out_degree)?;
+        writeln!(f, "max out-degree   {}", self.max_out_degree)?;
+        writeln!(f, "max in-degree    {}", self.max_in_degree)?;
+        writeln!(f, "roots / leaves   {} / {}", self.roots, self.leaves)?;
+        writeln!(f, "acyclic          {}", self.is_dag)?;
+        writeln!(f, "SCCs             {}", self.scc_count)?;
+        write!(f, "longest path     {}", self.longest_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::DiGraph;
+
+    #[test]
+    fn chain_metrics() {
+        let m = GraphMetrics::compute(&generators::chain(5));
+        assert_eq!(m.nodes, 5);
+        assert_eq!(m.arcs, 4);
+        assert_eq!(m.roots, 1);
+        assert_eq!(m.leaves, 1);
+        assert!(m.is_dag);
+        assert_eq!(m.longest_path, 4);
+        assert_eq!(m.scc_count, 5);
+    }
+
+    #[test]
+    fn tree_metrics() {
+        let m = GraphMetrics::compute(&generators::balanced_tree(3, 2));
+        assert_eq!(m.nodes, 13);
+        assert_eq!(m.max_out_degree, 3);
+        assert_eq!(m.max_in_degree, 1);
+        assert_eq!(m.leaves, 9);
+        assert_eq!(m.longest_path, 2);
+    }
+
+    #[test]
+    fn cyclic_metrics_use_condensation() {
+        let g = DiGraph::from_edges([(0, 1), (1, 0), (1, 2), (2, 3)]);
+        let m = GraphMetrics::compute(&g);
+        assert!(!m.is_dag);
+        assert_eq!(m.scc_count, 3);
+        assert_eq!(m.longest_path, 2, "SCC{{0,1}} -> 2 -> 3");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let m = GraphMetrics::compute(&DiGraph::new());
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.longest_path, 0);
+        let mut g = DiGraph::new();
+        g.add_node();
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.roots, 1);
+        assert_eq!(m.leaves, 1);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = GraphMetrics::compute(&generators::chain(3)).to_string();
+        for needle in ["nodes", "arcs", "acyclic", "longest path"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+}

@@ -1,0 +1,79 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// A dense node identifier.
+///
+/// Nodes are numbered `0..n` in creation order, which lets every layer above
+/// use plain `Vec`s indexed by node instead of hash maps. The type is a
+/// newtype over `u32`, so graphs are limited to ~4.29 billion nodes — far
+/// beyond anything the in-memory algorithms here can hold anyway.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        assert!(ix <= u32::MAX as usize, "node index {ix} overflows u32");
+        NodeId(ix as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(7)), "7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(0) < NodeId(u32::MAX));
+    }
+}

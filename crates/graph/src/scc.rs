@@ -1,0 +1,222 @@
+//! Strongly-connected components and condensation.
+//!
+//! The paper handles cyclic relations "by collapsing strongly connected
+//! components into one node" (§3). This module provides Tarjan's algorithm
+//! (iterative, so deep graphs cannot overflow the call stack) and the
+//! condensation construction used by `tc-core::cyclic`.
+
+use crate::{DiGraph, NodeId};
+
+/// The strongly-connected components of a graph.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` is the index of the component containing `v`.
+    /// Component indices are in *reverse topological order of the
+    /// condensation* (Tarjan emits sinks first).
+    pub component: Vec<usize>,
+    /// The members of each component.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component index of `node`.
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.component[node.index()]
+    }
+
+    /// Whether two nodes are in the same component (mutually reachable).
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.component_of(a) == self.component_of(b)
+    }
+}
+
+/// Computes strongly-connected components with an iterative Tarjan.
+pub fn tarjan_scc(g: &DiGraph) -> SccResult {
+    const UNVISITED: usize = usize::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component = vec![UNVISITED; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frames: (node, next-successor-position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for start in g.nodes() {
+        if index[start.index()] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start.index()] = next_index;
+        lowlink[start.index()] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start.index()] = true;
+
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            let succ = g.successors(v);
+            if *next < succ.len() {
+                let w = succ[*next];
+                *next += 1;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    // v is the root of an SCC: pop the stack down to v.
+                    let comp_ix = members.len();
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        on_stack[w.index()] = false;
+                        component[w.index()] = comp_ix;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    SccResult { component, members }
+}
+
+/// The condensation of a graph: one node per SCC, one arc per pair of
+/// adjacent components.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// The acyclic condensed graph. Node `i` corresponds to component `i` of
+    /// [`Condensation::scc`].
+    pub dag: DiGraph,
+    /// The SCC decomposition the condensation was built from.
+    pub scc: SccResult,
+}
+
+impl Condensation {
+    /// The condensed node holding an original node.
+    pub fn node_of(&self, original: NodeId) -> NodeId {
+        NodeId::from_index(self.scc.component_of(original))
+    }
+
+    /// The original nodes inside a condensed node.
+    pub fn members_of(&self, condensed: NodeId) -> &[NodeId] {
+        &self.scc.members[condensed.index()]
+    }
+}
+
+/// Builds the condensation of `g`.
+pub fn condense(g: &DiGraph) -> Condensation {
+    let scc = tarjan_scc(g);
+    let mut dag = DiGraph::with_nodes(scc.count());
+    for (src, dst) in g.edges() {
+        let (cs, cd) = (scc.component_of(src), scc.component_of(dst));
+        if cs != cd {
+            // `add_edge` suppresses duplicates, which is what we want here.
+            dag.add_edge(NodeId::from_index(cs), NodeId::from_index(cd));
+        }
+    }
+    Condensation { dag, scc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_acyclic;
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (0, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 3);
+        for n in g.nodes() {
+            assert_eq!(scc.members[scc.component_of(n)], vec![n]);
+        }
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert!(scc.same_component(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn mixed_graph_components() {
+        // 0 <-> 1 form a component, 2 <-> 3 another, 4 alone; 1 -> 2 -> 4.
+        let g = DiGraph::from_edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (2, 4)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 3);
+        assert!(scc.same_component(NodeId(0), NodeId(1)));
+        assert!(scc.same_component(NodeId(2), NodeId(3)));
+        assert!(!scc.same_component(NodeId(1), NodeId(2)));
+        assert!(!scc.same_component(NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_preserves_edges() {
+        let g = DiGraph::from_edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (2, 4)]);
+        let cond = condense(&g);
+        assert!(is_acyclic(&cond.dag));
+        assert_eq!(cond.dag.node_count(), 3);
+        // Component of 0/1 must point at component of 2/3, which points at 4's.
+        let c01 = cond.node_of(NodeId(0));
+        let c23 = cond.node_of(NodeId(2));
+        let c4 = cond.node_of(NodeId(4));
+        assert!(cond.dag.has_edge(c01, c23));
+        assert!(cond.dag.has_edge(c23, c4));
+        assert_eq!(cond.dag.edge_count(), 2);
+        assert_eq!(cond.members_of(c4), &[NodeId(4)]);
+    }
+
+    #[test]
+    fn component_order_is_reverse_topological() {
+        // Tarjan emits sink components first: with 0 -> 1, component(1) < component(0).
+        let g = DiGraph::from_edges([(0, 1)]);
+        let scc = tarjan_scc(&g);
+        assert!(scc.component_of(NodeId(1)) < scc.component_of(NodeId(0)));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-node chain; a recursive Tarjan would blow the stack.
+        let n = 100_000u32;
+        let g = DiGraph::from_edges((0..n - 1).map(|i| (i, i + 1)));
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), n as usize);
+    }
+
+    #[test]
+    fn big_cycle_collapses() {
+        let n = 10_000u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let g = DiGraph::from_edges(edges);
+        let cond = condense(&g);
+        assert_eq!(cond.dag.node_count(), 1);
+        assert_eq!(cond.dag.edge_count(), 0);
+        assert_eq!(cond.members_of(NodeId(0)).len(), n as usize);
+    }
+}

@@ -1,0 +1,268 @@
+//! Topological sorting and cycle detection.
+//!
+//! The compression scheme of the paper processes nodes "in the reverse
+//! topological order" (§3.2) and Alg1 runs "in topological order"; this
+//! module provides both orders plus cycle detection with an explicit cycle
+//! witness for error reporting.
+
+use std::fmt;
+
+use crate::{DiGraph, NodeId};
+
+/// Error carrying one directed cycle found in a graph that was expected to be
+/// acyclic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Nodes along the cycle, in order; the last node has an arc back to the
+    /// first.
+    pub cycle: Vec<NodeId>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle: ")?;
+        for (i, n) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, " -> {}", self.cycle[0])
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Computes a topological order using Kahn's algorithm.
+///
+/// Returns the nodes in an order where every arc goes from an earlier to a
+/// later position. On a cyclic graph, returns a [`CycleError`] with a cycle
+/// witness.
+pub fn topo_sort(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId::from_index(i))).collect();
+    let mut queue: Vec<NodeId> = g.roots().collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(node) = queue.pop() {
+        order.push(node);
+        for &succ in g.successors(node) {
+            in_deg[succ.index()] -= 1;
+            if in_deg[succ.index()] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(CycleError {
+            cycle: find_cycle(g).expect("Kahn found fewer nodes, a cycle must exist"),
+        })
+    }
+}
+
+/// Returns `true` iff the graph has no directed cycle.
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topo_sort(g).is_ok()
+}
+
+/// Returns the position of each node in a topological order: `rank[v]` is the
+/// index of `v` in `topo_sort(g)`.
+pub fn topo_rank(g: &DiGraph) -> Result<Vec<usize>, CycleError> {
+    let order = topo_sort(g)?;
+    let mut rank = vec![0usize; g.node_count()];
+    for (ix, node) in order.iter().enumerate() {
+        rank[node.index()] = ix;
+    }
+    Ok(rank)
+}
+
+/// Finds one directed cycle, if any, via iterative DFS with a three-color
+/// scheme.
+pub fn find_cycle(g: &DiGraph) -> Option<Vec<NodeId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = g.node_count();
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+
+    for start in g.nodes() {
+        if color[start.index()] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-successor-index) frames.
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        color[start.index()] = Color::Gray;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succ = g.successors(node);
+            if *next < succ.len() {
+                let child = succ[*next];
+                *next += 1;
+                match color[child.index()] {
+                    Color::White => {
+                        parent[child.index()] = Some(node);
+                        color[child.index()] = Color::Gray;
+                        stack.push((child, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge node -> child: unwind the parent
+                        // chain from `node` up to `child`.
+                        let mut cycle = vec![node];
+                        let mut cur = node;
+                        while cur != child {
+                            cur = parent[cur.index()].expect("gray node must have a parent");
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// A DFS-based topological order (reverse postorder). Provided in addition to
+/// Kahn's algorithm because tests cross-check the two and some callers want
+/// the DFS tie-breaking.
+pub fn topo_sort_dfs(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
+    if let Some(cycle) = find_cycle(g) {
+        return Err(CycleError { cycle });
+    }
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    for start in g.nodes() {
+        if visited[start.index()] {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        visited[start.index()] = true;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succ = g.successors(node);
+            if *next < succ.len() {
+                let child = succ[*next];
+                *next += 1;
+                if !visited[child.index()] {
+                    visited[child.index()] = true;
+                    stack.push((child, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+    }
+    postorder.reverse();
+    Ok(postorder)
+}
+
+/// Validates that `order` is a topological order of `g`.
+pub fn is_topo_order(g: &DiGraph, order: &[NodeId]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.node_count()];
+    for (ix, node) in order.iter().enumerate() {
+        if pos[node.index()] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[node.index()] = ix;
+    }
+    g.edges().all(|(s, d)| pos[s.index()] < pos[d.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn kahn_produces_valid_order() {
+        let g = diamond();
+        let order = topo_sort(&g).unwrap();
+        assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn dfs_produces_valid_order() {
+        let g = diamond();
+        let order = topo_sort_dfs(&g).unwrap();
+        assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn cycle_detected_with_witness() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let err = topo_sort(&g).unwrap_err();
+        let c = &err.cycle;
+        assert!(c.len() >= 2);
+        // Every consecutive pair (and the wrap-around) must be a real arc.
+        for w in c.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "cycle edge {:?}->{:?} missing", w[0], w[1]);
+        }
+        assert!(g.has_edge(*c.last().unwrap(), c[0]));
+        assert!(!is_acyclic(&g));
+        let msg = err.to_string();
+        assert!(msg.contains("cycle"));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        assert!(find_cycle(&diamond()).is_none());
+        assert!(is_acyclic(&diamond()));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = DiGraph::new();
+        assert_eq!(topo_sort(&g).unwrap(), vec![]);
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        assert_eq!(topo_sort(&g).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn rank_matches_order() {
+        let g = diamond();
+        let order = topo_sort(&g).unwrap();
+        let rank = topo_rank(&g).unwrap();
+        for (ix, node) in order.iter().enumerate() {
+            assert_eq!(rank[node.index()], ix);
+        }
+    }
+
+    #[test]
+    fn is_topo_order_rejects_bad_orders() {
+        let g = diamond();
+        assert!(!is_topo_order(&g, &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)]));
+        assert!(!is_topo_order(&g, &[NodeId(0), NodeId(1), NodeId(2)])); // wrong length
+        assert!(!is_topo_order(&g, &[NodeId(0), NodeId(0), NodeId(1), NodeId(2)])); // duplicate
+    }
+
+    #[test]
+    fn disconnected_components_sorted() {
+        let g = DiGraph::from_edges([(0, 1), (2, 3)]);
+        let order = topo_sort(&g).unwrap();
+        assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        let g = DiGraph::from_edges([(0, 1), (1, 0)]);
+        let err = topo_sort(&g).unwrap_err();
+        assert_eq!(err.cycle.len(), 2);
+    }
+}

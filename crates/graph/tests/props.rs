@@ -1,0 +1,116 @@
+//! Property tests for the graph substrate.
+
+use proptest::prelude::*;
+use tc_graph::{generators, scc, topo, traverse, DiGraph, NodeId};
+
+/// An arbitrary directed graph (cycles allowed) as an edge list.
+fn arb_digraph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = DiGraph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
+            let mut g = DiGraph::with_nodes(n as usize);
+            for (a, b) in edges {
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// In/out adjacency stay mutually consistent under arbitrary edge sets.
+    #[test]
+    fn adjacency_consistency(g in arb_digraph(12, 40)) {
+        prop_assert!(g.check_consistency());
+        let total_out: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let total_in: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(total_out, g.edge_count());
+        prop_assert_eq!(total_in, g.edge_count());
+    }
+
+    /// Reversing twice is the identity (as edge sets).
+    #[test]
+    fn double_reverse_is_identity(g in arb_digraph(12, 40)) {
+        let rr = g.reversed().reversed();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = rr.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Condensation: same-SCC nodes are mutually reachable; the condensed
+    /// graph is acyclic; reachability factors through it.
+    #[test]
+    fn condensation_preserves_reachability(g in arb_digraph(10, 30)) {
+        let cond = scc::condense(&g);
+        prop_assert!(topo::is_acyclic(&cond.dag));
+        for u in g.nodes() {
+            let reach = traverse::reachable_set(&g, u);
+            for v in g.nodes() {
+                let same = cond.node_of(u) == cond.node_of(v);
+                if same {
+                    prop_assert!(reach.contains(v.index()));
+                }
+                let via_cond = traverse::reaches(&cond.dag, cond.node_of(u), cond.node_of(v));
+                prop_assert_eq!(via_cond, reach.contains(v.index()),
+                    "({:?},{:?})", u, v);
+            }
+        }
+    }
+
+    /// A graph is acyclic iff `find_cycle` returns nothing, and any returned
+    /// cycle is a genuine arc cycle.
+    #[test]
+    fn cycle_witness_is_genuine(g in arb_digraph(10, 30)) {
+        match topo::find_cycle(&g) {
+            None => prop_assert!(topo::is_acyclic(&g)),
+            Some(cycle) => {
+                prop_assert!(cycle.len() >= 2);
+                for w in cycle.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+                prop_assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+            }
+        }
+    }
+
+    /// DFS and BFS visit exactly the reachable set, each node once.
+    #[test]
+    fn traversals_cover_reachable_set(g in arb_digraph(12, 40), start in 0u32..12) {
+        prop_assume!((start as usize) < g.node_count());
+        let start = NodeId(start);
+        let expect = traverse::reachable_set(&g, start);
+        for order in [
+            traverse::Dfs::new(&g, start).collect::<Vec<_>>(),
+            traverse::Bfs::new(&g, start).collect::<Vec<_>>(),
+        ] {
+            prop_assert_eq!(order.len(), expect.len());
+            let mut sorted: Vec<_> = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), order.len(), "duplicate visit");
+            prop_assert!(order.iter().all(|v| expect.contains(v.index())));
+        }
+    }
+
+    /// Edge-list serialization round-trips any graph without isolated
+    /// trailing nodes.
+    #[test]
+    fn edgelist_roundtrip(g in arb_digraph(12, 40)) {
+        prop_assume!(g.edge_count() > 0);
+        prop_assert!(tc_graph::edgelist::roundtrips(&g));
+    }
+
+    /// The random-DAG generator honors its contract for any parameters.
+    #[test]
+    fn random_dag_contract(nodes in 1usize..200, degree in 0.0f64..6.0, seed in 0u64..50) {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes, avg_out_degree: degree, seed,
+        });
+        prop_assert_eq!(g.node_count(), nodes);
+        prop_assert!(topo::is_acyclic(&g));
+        prop_assert!(g.check_consistency());
+    }
+}

@@ -1,0 +1,214 @@
+//! The closed interval type.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over postorder numbers.
+///
+/// Invariant: `lo <= hi`. A single number `n` is represented as `[n, n]` —
+/// the paper's leaf label ("the index associated with a leaf node is the same
+/// as the postorder number of the node").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[n, n]`.
+    #[inline]
+    pub fn point(n: u64) -> Self {
+        Interval { lo: n, hi: n }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(self) -> u64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(self) -> u64 {
+        self.hi
+    }
+
+    /// Number of integers covered (saturating at `u64::MAX`).
+    #[inline]
+    pub fn width(self) -> u64 {
+        (self.hi - self.lo).saturating_add(1)
+    }
+
+    /// Whether `n` lies inside the interval. This is the paper's reachability
+    /// test: "answer reachability queries with only one range comparison".
+    #[inline]
+    pub fn contains(self, n: u64) -> bool {
+        self.lo <= n && n <= self.hi
+    }
+
+    /// The paper's subsumption relation: `self` subsumes `other` iff
+    /// `self.lo <= other.lo && other.hi <= self.hi` (§3.2: "if the two
+    /// intervals `[i1,i2]` and `[j1,j2]` are such that i1 <= j1 and i2 >= j2,
+    /// then discard `[j1,j2]`"). Subsumption is reflexive.
+    #[inline]
+    pub fn subsumes(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals share at least one number.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The paper's adjacency relation (§3.2 "Improvements"): `other` starts
+    /// exactly one past `self`'s end, i.e. `other.lo == self.hi + 1`.
+    #[inline]
+    pub fn adjacent_before(self, other: Interval) -> bool {
+        self.hi != u64::MAX && other.lo == self.hi + 1
+    }
+
+    /// Whether the two intervals can be merged into one contiguous interval
+    /// (they overlap or are adjacent in either order).
+    #[inline]
+    pub fn mergeable(self, other: Interval) -> bool {
+        self.overlaps(other) || self.adjacent_before(other) || other.adjacent_before(self)
+    }
+
+    /// Merges two [`Interval::mergeable`] intervals into their union.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the union would not be contiguous.
+    #[inline]
+    pub fn merge(self, other: Interval) -> Interval {
+        debug_assert!(self.mergeable(other), "merging disjoint intervals {self} and {other}");
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The intersection, if non-empty.
+    #[inline]
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let iv = Interval::new(3, 9);
+        assert_eq!(iv.lo(), 3);
+        assert_eq!(iv.hi(), 9);
+        assert_eq!(iv.width(), 7);
+        assert_eq!(Interval::point(5), Interval::new(5, 5));
+        assert_eq!(Interval::point(5).width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(9, 3);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let iv = Interval::new(3, 9);
+        assert!(iv.contains(3));
+        assert!(iv.contains(9));
+        assert!(iv.contains(6));
+        assert!(!iv.contains(2));
+        assert!(!iv.contains(10));
+    }
+
+    #[test]
+    fn subsumption_matches_paper_definition() {
+        let big = Interval::new(1, 10);
+        let small = Interval::new(3, 7);
+        assert!(big.subsumes(small));
+        assert!(!small.subsumes(big));
+        assert!(big.subsumes(big), "subsumption is reflexive");
+        // Shared endpoint still subsumes.
+        assert!(big.subsumes(Interval::new(1, 10)));
+        assert!(big.subsumes(Interval::new(1, 5)));
+        // Overlapping but not nested: neither subsumes.
+        let left = Interval::new(1, 5);
+        let right = Interval::new(4, 8);
+        assert!(!left.subsumes(right));
+        assert!(!right.subsumes(left));
+    }
+
+    #[test]
+    fn overlap_and_adjacency() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(6, 9);
+        let c = Interval::new(5, 7);
+        assert!(!a.overlaps(b));
+        assert!(a.overlaps(c));
+        assert!(a.adjacent_before(b));
+        assert!(!b.adjacent_before(a));
+        assert!(a.mergeable(b));
+        assert!(b.mergeable(a));
+        assert!(a.mergeable(c));
+        assert!(!a.mergeable(Interval::new(7, 9)));
+    }
+
+    #[test]
+    fn adjacency_at_u64_max_does_not_overflow() {
+        let top = Interval::new(5, u64::MAX);
+        assert!(!top.adjacent_before(Interval::point(0)));
+        assert!(top.mergeable(Interval::new(0, 4))); // other.adjacent_before(top)
+    }
+
+    #[test]
+    fn merge_takes_union() {
+        let a = Interval::new(1, 5);
+        let b = Interval::new(6, 9);
+        assert_eq!(a.merge(b), Interval::new(1, 9));
+        assert_eq!(b.merge(a), Interval::new(1, 9));
+        let c = Interval::new(3, 12);
+        assert_eq!(a.merge(c), Interval::new(1, 12));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(1, 5);
+        assert_eq!(a.intersection(Interval::new(4, 9)), Some(Interval::new(4, 5)));
+        assert_eq!(a.intersection(Interval::new(6, 9)), None);
+        assert_eq!(a.intersection(a), Some(a));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Interval::new(11, 20).to_string(), "[11,20]");
+    }
+}

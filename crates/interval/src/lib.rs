@@ -1,0 +1,30 @@
+//! Interval primitives for the compressed transitive closure.
+//!
+//! The paper's "range compression" (§3) stores, at each node, a *set of
+//! closed numeric intervals* over postorder numbers instead of an explicit
+//! successor list. This crate provides the three pieces that scheme is built
+//! from:
+//!
+//! * [`Interval`] — a closed interval `[lo, hi]` over `u64` postorder
+//!   numbers, with the paper's *subsumption*, *adjacency*, and *overlap*
+//!   relations.
+//! * [`IntervalSet`] — a sorted set of intervals that discards subsumed
+//!   intervals on insertion (§3.2: "if one interval is subsumed by another,
+//!   discard the subsumed interval") and can optionally merge adjacent or
+//!   overlapping intervals (§3.2 "Improvements").
+//! * [`NumberLine`] — the sorted list *L* of postorder numbers currently in
+//!   use (§4), supporting the gap queries the incremental update algorithms
+//!   need: predecessor/successor lookup, largest-gap search, midpoint
+//!   allocation, and renumbering plans for when gaps run out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod interval;
+mod numberline;
+mod set;
+
+pub use interval::Interval;
+pub use numberline::{NumberLine, RenumberPlan};
+pub use set::IntervalSet;

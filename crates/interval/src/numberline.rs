@@ -1,0 +1,344 @@
+//! The sorted list *L* of postorder numbers in use (§4).
+//!
+//! The paper's incremental update algorithms "assume that all the postorder
+//! numbers currently in use are maintained in a sorted list L" and exploit
+//! the *gaps* deliberately left between numbers ("the initial gap could be
+//! determined by dividing the range of integers that can be accommodated in
+//! one word by the number of nodes"). [`NumberLine`] is that list: it maps
+//! each in-use number to the node that owns it, answers
+//! predecessor/successor queries, and produces [`RenumberPlan`]s for the
+//! "what if empty numbers run out" case.
+//!
+//! Freed numbers (from subtree relocation on tree-arc deletion) are kept as
+//! *tombstones*: they still occupy their position on the line — stale tree
+//! intervals elsewhere may still cover them, so reusing them for unrelated
+//! nodes would create false positives — but they no longer decode to a node.
+
+use std::collections::BTreeMap;
+
+/// The owner of an in-use number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// A live node, identified by its dense index.
+    Node(u32),
+    /// A freed number that must not be reused until a full renumbering.
+    Tombstone,
+}
+
+/// The sorted postorder-number list *L*.
+#[derive(Debug, Clone, Default)]
+pub struct NumberLine {
+    slots: BTreeMap<u64, Slot>,
+    live: usize,
+}
+
+impl NumberLine {
+    /// Creates an empty number line.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-tombstone) entries.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total entries including tombstones.
+    pub fn total_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Assigns `num` to the node with dense index `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` is already in use (live or tombstoned): numbers are
+    /// unique by construction.
+    pub fn assign(&mut self, num: u64, node: u32) {
+        let prev = self.slots.insert(num, Slot::Node(node));
+        assert!(prev.is_none(), "postorder number {num} already in use");
+        self.live += 1;
+    }
+
+    /// Tombstones `num`: the number stays occupied but decodes to nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` is not live.
+    pub fn tombstone(&mut self, num: u64) {
+        match self.slots.insert(num, Slot::Tombstone) {
+            Some(Slot::Node(_)) => self.live -= 1,
+            other => panic!("tombstoning {num} which was {other:?}"),
+        }
+    }
+
+    /// The node owning `num`, if `num` is live.
+    pub fn node_at(&self, num: u64) -> Option<u32> {
+        match self.slots.get(&num) {
+            Some(Slot::Node(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether `num` is occupied (live or tombstone).
+    pub fn is_used(&self, num: u64) -> bool {
+        self.slots.contains_key(&num)
+    }
+
+    /// Greatest occupied number strictly less than `num`.
+    pub fn prev_used(&self, num: u64) -> Option<u64> {
+        self.slots.range(..num).next_back().map(|(k, _)| *k)
+    }
+
+    /// Smallest occupied number strictly greater than `num`.
+    pub fn next_used(&self, num: u64) -> Option<u64> {
+        self.slots
+            .range((std::ops::Bound::Excluded(num), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(k, _)| *k)
+    }
+
+    /// Greatest occupied number, if any.
+    pub fn max_used(&self) -> Option<u64> {
+        self.slots.keys().next_back().copied()
+    }
+
+    /// Live nodes whose numbers fall in `[lo, hi]`, in ascending number
+    /// order. This is how interval labels decode back into successor lists.
+    pub fn live_in_range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.slots.range(lo..=hi).filter_map(|(num, slot)| match slot {
+            Slot::Node(n) => Some((*num, *n)),
+            Slot::Tombstone => None,
+        })
+    }
+
+    /// Count of *occupied* numbers in `[lo, hi]` (including tombstones).
+    pub fn used_in_range(&self, lo: u64, hi: u64) -> usize {
+        self.slots.range(lo..=hi).count()
+    }
+
+    /// Picks the insertion number for a new child whose parent owns the open
+    /// region `(region_lo, region_hi)` (both endpoints occupied or virtual).
+    ///
+    /// Returns the midpoint if at least one free integer exists strictly
+    /// between the region's greatest occupied number and `region_hi`;
+    /// otherwise `None`, signalling that a renumbering is needed.
+    ///
+    /// The caller guarantees the open region contains no occupied numbers
+    /// (that is the tree-cover ownership invariant); this is debug-checked.
+    pub fn midpoint_in(&self, region_lo: u64, region_hi: u64) -> Option<u64> {
+        debug_assert!(region_lo < region_hi);
+        debug_assert_eq!(
+            self.slots
+                .range((
+                    std::ops::Bound::Excluded(region_lo),
+                    std::ops::Bound::Excluded(region_hi)
+                ))
+                .count(),
+            0,
+            "owned region ({region_lo}, {region_hi}) contains occupied numbers"
+        );
+        if region_hi - region_lo < 2 {
+            return None; // no free integer strictly inside
+        }
+        Some(region_lo + (region_hi - region_lo) / 2)
+    }
+
+    /// Builds a plan that respaces every occupied number (tombstones are
+    /// dropped) to multiples of `gap`, preserving order. Numbers start at
+    /// `gap` so space remains below the first node.
+    pub fn renumber_plan(&self, gap: u64) -> RenumberPlan {
+        assert!(gap >= 1);
+        let mapping: BTreeMap<u64, u64> = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Node(_)))
+            .enumerate()
+            .map(|(ix, (old, _))| (*old, (ix as u64 + 1) * gap))
+            .collect();
+        RenumberPlan { mapping }
+    }
+
+    /// Applies a renumber plan, producing a fresh line with tombstones
+    /// dropped.
+    pub fn apply_plan(&self, plan: &RenumberPlan) -> NumberLine {
+        let mut out = NumberLine::new();
+        for (old, slot) in &self.slots {
+            if let Slot::Node(n) = slot {
+                out.assign(plan.map_used(*old).expect("plan must cover all live numbers"), *n);
+            }
+        }
+        out
+    }
+}
+
+/// A monotone remapping of occupied postorder numbers, produced when the
+/// gaps run out (§4.1 "What if empty numbers run out").
+///
+/// The plan maps *occupied* numbers only; interval endpoints are remapped
+/// with [`RenumberPlan::map_used`] for `hi` endpoints (always occupied) and
+/// [`RenumberPlan::map_low`] for `lo` endpoints (which sit one above an
+/// occupied number, per the labeling convention).
+#[derive(Debug, Clone)]
+pub struct RenumberPlan {
+    mapping: BTreeMap<u64, u64>,
+}
+
+impl RenumberPlan {
+    /// Builds a plan from explicit `(old, new)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pairs are not strictly monotone (order must be
+    /// preserved, or interval semantics break).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mapping: BTreeMap<u64, u64> = pairs.into_iter().collect();
+        let mut prev: Option<u64> = None;
+        for &new in mapping.values() {
+            if let Some(p) = prev {
+                assert!(p < new, "renumber plan is not monotone");
+            }
+            prev = Some(new);
+        }
+        RenumberPlan { mapping }
+    }
+
+    /// New number for occupied number `old`.
+    pub fn map_used(&self, old: u64) -> Option<u64> {
+        self.mapping.get(&old).copied()
+    }
+
+    /// Remaps an interval `lo` endpoint: `lo - 1` is occupied by convention,
+    /// so the new `lo` is `map(lo - 1) + 1`. A `lo` of 0 (below every
+    /// number) maps to 0.
+    pub fn map_low(&self, lo: u64) -> Option<u64> {
+        if lo == 0 {
+            return Some(0);
+        }
+        self.map_used(lo - 1).map(|n| n + 1)
+    }
+
+    /// Number of remapped entries.
+    pub fn len(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mapping.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_with(nums: &[(u64, u32)]) -> NumberLine {
+        let mut l = NumberLine::new();
+        for &(num, node) in nums {
+            l.assign(num, node);
+        }
+        l
+    }
+
+    #[test]
+    fn assign_and_lookup() {
+        let l = line_with(&[(10, 0), (20, 1), (30, 2)]);
+        assert_eq!(l.node_at(20), Some(1));
+        assert_eq!(l.node_at(15), None);
+        assert!(l.is_used(10));
+        assert_eq!(l.live_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn double_assign_panics() {
+        let mut l = line_with(&[(10, 0)]);
+        l.assign(10, 1);
+    }
+
+    #[test]
+    fn prev_next_max() {
+        let l = line_with(&[(10, 0), (20, 1), (30, 2)]);
+        assert_eq!(l.prev_used(25), Some(20));
+        assert_eq!(l.prev_used(20), Some(10));
+        assert_eq!(l.prev_used(10), None);
+        assert_eq!(l.next_used(10), Some(20));
+        assert_eq!(l.next_used(30), None);
+        assert_eq!(l.max_used(), Some(30));
+    }
+
+    #[test]
+    fn tombstones_occupy_but_do_not_decode() {
+        let mut l = line_with(&[(10, 0), (20, 1)]);
+        l.tombstone(10);
+        assert!(l.is_used(10));
+        assert_eq!(l.node_at(10), None);
+        assert_eq!(l.live_count(), 1);
+        assert_eq!(l.total_count(), 2);
+        assert_eq!(l.prev_used(20), Some(10), "tombstones still block gaps");
+        let live: Vec<_> = l.live_in_range(0, 100).collect();
+        assert_eq!(live, vec![(20, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tombstoning")]
+    fn tombstone_of_free_number_panics() {
+        let mut l = NumberLine::new();
+        l.tombstone(5);
+    }
+
+    #[test]
+    fn live_in_range_is_ordered_and_bounded() {
+        let l = line_with(&[(10, 0), (20, 1), (30, 2), (40, 3)]);
+        let got: Vec<_> = l.live_in_range(15, 35).collect();
+        assert_eq!(got, vec![(20, 1), (30, 2)]);
+        assert_eq!(l.used_in_range(10, 40), 4);
+        assert_eq!(l.used_in_range(11, 19), 0);
+    }
+
+    #[test]
+    fn midpoint_allocation_matches_paper_example() {
+        // Fig 4.1: region (30, 40) -> number 35; region (40, 50) -> 45.
+        let l = line_with(&[(10, 0), (20, 1), (30, 2), (40, 3), (50, 4)]);
+        assert_eq!(l.midpoint_in(30, 40), Some(35));
+        assert_eq!(l.midpoint_in(40, 50), Some(45));
+    }
+
+    #[test]
+    fn midpoint_exhaustion_returns_none() {
+        let l = line_with(&[(10, 0), (11, 1)]);
+        assert_eq!(l.midpoint_in(10, 11), None);
+        assert_eq!(l.midpoint_in(9, 10), None, "width-1 region has no interior");
+    }
+
+    #[test]
+    fn renumber_plan_respaces() {
+        let mut l = line_with(&[(3, 0), (4, 1), (5, 2)]);
+        l.tombstone(4);
+        let plan = l.renumber_plan(100);
+        assert_eq!(plan.map_used(3), Some(100));
+        assert_eq!(plan.map_used(5), Some(200));
+        assert_eq!(plan.map_used(4), None, "tombstones dropped");
+        let fresh = l.apply_plan(&plan);
+        assert_eq!(fresh.node_at(100), Some(0));
+        assert_eq!(fresh.node_at(200), Some(2));
+        assert_eq!(fresh.total_count(), 2, "tombstones gone after renumber");
+    }
+
+    #[test]
+    fn plan_low_mapping() {
+        let l = line_with(&[(10, 0), (20, 1)]);
+        let plan = l.renumber_plan(7);
+        // 10 -> 7, 20 -> 14. A low of 11 (= 10+1) maps to 8.
+        assert_eq!(plan.map_low(11), Some(8));
+        assert_eq!(plan.map_low(0), Some(0));
+        assert_eq!(plan.map_low(5), None, "low above a free number is unmappable");
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn non_monotone_plan_rejected() {
+        let _ = RenumberPlan::from_pairs([(1, 10), (2, 5)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for interval sets and the number line.
+
+use proptest::prelude::*;
+use tc_interval::{Interval, IntervalSet, NumberLine};
+
+proptest! {
+    /// An interval set behaves exactly like the union of its inputs under
+    /// any insertion order (set semantics despite subsumption pruning).
+    #[test]
+    fn insertion_order_is_irrelevant(
+        mut ivs in proptest::collection::vec((0u64..100, 0u64..30), 1..25),
+        rotate in 0usize..25,
+    ) {
+        let a: IntervalSet = ivs.iter().map(|&(lo, w)| Interval::new(lo, lo + w)).collect();
+        let r = rotate % ivs.len();
+        ivs.rotate_left(r);
+        let b: IntervalSet = ivs.iter().map(|&(lo, w)| Interval::new(lo, lo + w)).collect();
+        for p in 0..140 {
+            prop_assert_eq!(a.contains_point(p), b.contains_point(p), "point {}", p);
+        }
+    }
+
+    /// `subsumes` agrees with full containment of the interval's points.
+    #[test]
+    fn set_subsumes_matches_pointwise(
+        ivs in proptest::collection::vec((0u64..60, 0u64..20), 0..15),
+        probe in (0u64..80, 0u64..20),
+    ) {
+        let set: IntervalSet = ivs.iter().map(|&(lo, w)| Interval::new(lo, lo + w)).collect();
+        let probe = Interval::new(probe.0, probe.0 + probe.1);
+        if set.subsumes(probe) {
+            // Subsumption is single-member containment, stronger than
+            // point coverage; verify the implied coverage.
+            for p in probe.lo()..=probe.hi() {
+                prop_assert!(set.contains_point(p));
+            }
+        }
+    }
+
+    /// The number line's prev/next/max agree with a sorted model.
+    #[test]
+    fn number_line_matches_model(
+        nums in proptest::collection::btree_set(0u64..1000, 1..40),
+        probes in proptest::collection::vec(0u64..1100, 10),
+    ) {
+        let mut line = NumberLine::new();
+        for (ix, &n) in nums.iter().enumerate() {
+            line.assign(n, ix as u32);
+        }
+        let model: Vec<u64> = nums.iter().copied().collect();
+        prop_assert_eq!(line.max_used(), model.last().copied());
+        for &p in &probes {
+            let prev = model.iter().rev().find(|&&m| m < p).copied();
+            let next = model.iter().find(|&&m| m > p).copied();
+            prop_assert_eq!(line.prev_used(p), prev, "prev of {}", p);
+            prop_assert_eq!(line.next_used(p), next, "next of {}", p);
+        }
+        prop_assert_eq!(line.live_count(), model.len());
+    }
+
+    /// Tombstoning keeps positions occupied but removes them from decoding;
+    /// a renumber plan then drops them while preserving relative order.
+    #[test]
+    fn tombstone_then_renumber(
+        nums in proptest::collection::btree_set(0u64..500, 2..30),
+        kill_ix in 0usize..30,
+        gap in 1u64..50,
+    ) {
+        let mut line = NumberLine::new();
+        for (ix, &n) in nums.iter().enumerate() {
+            line.assign(n, ix as u32);
+        }
+        let model: Vec<u64> = nums.iter().copied().collect();
+        let victim = model[kill_ix % model.len()];
+        line.tombstone(victim);
+        prop_assert!(line.is_used(victim));
+        prop_assert_eq!(line.node_at(victim), None);
+        prop_assert_eq!(line.live_count(), model.len() - 1);
+
+        let plan = line.renumber_plan(gap);
+        prop_assert_eq!(plan.map_used(victim), None, "tombstones leave the plan");
+        let fresh = line.apply_plan(&plan);
+        prop_assert_eq!(fresh.live_count(), model.len() - 1);
+        prop_assert_eq!(fresh.total_count(), model.len() - 1);
+        // Order preservation: survivors map to ascending new numbers.
+        let mut last_new = 0u64;
+        for &old in model.iter().filter(|&&m| m != victim) {
+            let new = plan.map_used(old).unwrap();
+            prop_assert!(new > last_new);
+            last_new = new;
+        }
+    }
+
+    /// Midpoint allocation always lands strictly inside an empty region.
+    #[test]
+    fn midpoint_is_interior(lo in 0u64..1000, width in 0u64..100) {
+        let line = NumberLine::new();
+        let hi = lo + width;
+        prop_assume!(lo < hi);
+        match line.midpoint_in(lo, hi) {
+            Some(mid) => {
+                prop_assert!(lo < mid && mid < hi);
+            }
+            None => prop_assert!(hi - lo < 2),
+        }
+    }
+}

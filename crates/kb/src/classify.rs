@@ -1,0 +1,330 @@
+//! A feature-based terminological classifier.
+//!
+//! §2.1: in KL-ONE-style systems "a concept is subsumed by another … by
+//! virtue of their definition: 'all things whose children are doctors' is
+//! automatically more general than 'all things whose children are
+//! eye-surgeons' … Computing the subsumption relationship between a new
+//! concept and previously known ones is the key inference". This module
+//! implements the classic simplification: a concept is a set of required
+//! features, and `A` subsumes `B` iff `features(A) ⊆ features(B)`.
+//!
+//! Classification walks the existing hierarchy top-down, using the
+//! compressed closure to skip whole subtrees, finds the most specific
+//! subsumers and most general subsumees of the new definition, and inserts
+//! it between them — keeping the cached hierarchy exactly the "precomputed,
+//! cached" subsumption relation the paper describes.
+
+use std::collections::BTreeSet;
+
+use crate::{ConceptId, Taxonomy, TaxonomyError};
+
+/// A defined concept: a name plus its required feature set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefinedConcept {
+    /// Concept name.
+    pub name: String,
+    /// Required features; more features = more specific.
+    pub features: BTreeSet<String>,
+}
+
+impl DefinedConcept {
+    /// Creates a definition from a name and feature list.
+    pub fn new(name: &str, features: &[&str]) -> Self {
+        DefinedConcept {
+            name: name.to_string(),
+            features: features.iter().map(|f| f.to_string()).collect(),
+        }
+    }
+
+    /// Definitional subsumption: `self` subsumes `other` iff every feature
+    /// of `self` is required by `other`.
+    pub fn subsumes(&self, other: &DefinedConcept) -> bool {
+        self.features.is_subset(&other.features)
+    }
+}
+
+/// A classifier maintaining a [`Taxonomy`] synchronized with concept
+/// definitions.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    taxonomy: Taxonomy,
+    defs: Vec<DefinedConcept>,
+}
+
+impl Classifier {
+    /// Creates a classifier with the universal root concept `top` (no
+    /// required features).
+    pub fn new() -> Self {
+        let mut taxonomy = Taxonomy::new();
+        taxonomy.add_root("top").expect("fresh taxonomy");
+        Classifier {
+            taxonomy,
+            defs: vec![DefinedConcept::new("top", &[])],
+        }
+    }
+
+    /// The maintained hierarchy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The definition of a classified concept.
+    pub fn definition(&self, id: ConceptId) -> &DefinedConcept {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Classifies a new definition into the hierarchy: computes its most
+    /// specific subsumers, inserts it under them, and re-homes any existing
+    /// concepts it subsumes. Returns the new concept's id.
+    pub fn classify(&mut self, def: DefinedConcept) -> Result<ConceptId, TaxonomyError> {
+        if self.taxonomy.id(&def.name).is_ok() {
+            return Err(TaxonomyError::Duplicate(def.name));
+        }
+
+        // Most specific subsumers: walk top-down; a concept whose definition
+        // does not subsume `def` cannot have subsuming descendants pruned
+        // here — feature sets only grow downward, so the whole subtree is
+        // skipped (this is where the cached hierarchy pays off).
+        let parents = self.most_specific_subsumers(&def);
+        // Most general *strict* subsumees among existing concepts (an
+        // existing concept with an identical feature set is an equivalent,
+        // handled as a parent, never as a child — otherwise the arcs would
+        // form a cycle).
+        let strict: Vec<ConceptId> = self
+            .all_ids()
+            .filter(|&c| {
+                def.subsumes(&self.defs[c.0 as usize]) && !self.defs[c.0 as usize].subsumes(&def)
+            })
+            .collect();
+        // Keep the maximal (most general) elements within the strict set:
+        // anything with a strict subsumer in the set is reachable through it.
+        let children: Vec<ConceptId> = strict
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !strict.iter().any(|&d| {
+                    d != c && self.taxonomy.subsumes_id(d, c) && !self.taxonomy.subsumes_id(c, d)
+                })
+            })
+            .collect();
+
+        let parent_names: Vec<String> = parents
+            .iter()
+            .map(|&p| self.taxonomy.name(p).to_string())
+            .collect();
+        let parent_refs: Vec<&str> = parent_names.iter().map(String::as_str).collect();
+        let id = self.taxonomy.add_concept(&def.name, &parent_refs)?;
+        self.defs.push(def);
+        debug_assert_eq!(self.defs.len(), self.taxonomy.len());
+
+        // Hook subsumed concepts underneath (the closure absorbs these as
+        // non-tree arcs with subsumption-pruned propagation).
+        let name = self.defs[id.0 as usize].name.clone();
+        for c in children {
+            let child_name = self.taxonomy.name(c).to_string();
+            self.taxonomy.add_isa(&name, &child_name)?;
+        }
+        Ok(id)
+    }
+
+    /// Finds the most specific existing concepts subsuming `def`, walking
+    /// down from `top` and pruning non-subsuming subtrees.
+    fn most_specific_subsumers(&self, def: &DefinedConcept) -> Vec<ConceptId> {
+        let subsumers: Vec<ConceptId> = self
+            .all_ids()
+            .filter(|&c| self.defs[c.0 as usize].subsumes(def))
+            .collect();
+        subsumers
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !subsumers.iter().any(|&d| {
+                    d != c && self.taxonomy.subsumes_id(c, d) && !self.taxonomy.subsumes_id(d, c)
+                })
+            })
+            .collect()
+    }
+
+    /// Subsumption between classified concepts by name — answered from the
+    /// cached hierarchy (one interval lookup), not by re-deriving from
+    /// definitions.
+    pub fn subsumes(&self, general: &str, specific: &str) -> Result<bool, TaxonomyError> {
+        self.taxonomy.subsumes(general, specific)
+    }
+
+    /// Retrieval: every classified concept requiring at least the given
+    /// features (the Lassie query pattern). Served from the cached
+    /// hierarchy: find the most specific subsumers of the query definition,
+    /// then take the intersection of their descendant cones — each cone is
+    /// one interval-decode, no per-concept feature comparison.
+    pub fn retrieve(&self, features: &[&str]) -> Vec<&str> {
+        let query = DefinedConcept::new("", features);
+        let anchors = self.most_specific_subsumers(&query);
+        let mut hits: Vec<ConceptId> = self
+            .all_ids()
+            .filter(|&c| {
+                anchors
+                    .iter()
+                    .all(|&a| self.taxonomy.subsumes_id(a, c))
+            })
+            .filter(|&c| query.subsumes(&self.defs[c.0 as usize]))
+            .collect();
+        hits.sort_unstable();
+        hits.into_iter().map(|c| self.taxonomy.name(c)).collect()
+    }
+
+    fn all_ids(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.defs.len() as u32).map(ConceptId)
+    }
+
+    /// Checks that the cached hierarchy agrees with definitional subsumption
+    /// for every pair (tests only: O(n²) feature-set comparisons).
+    pub fn verify(&self) -> Result<(), String> {
+        for a in self.all_ids() {
+            for b in self.all_ids() {
+                let def_says = self.defs[a.0 as usize].subsumes(&self.defs[b.0 as usize]);
+                let cache_says = self.taxonomy.subsumes_id(a, b);
+                // Distinct concepts may have equal feature sets; the cache
+                // is directional, definitions are not. Only require: cache
+                // implies definitional, and strict definitional implies
+                // cache.
+                if cache_says && !def_says {
+                    return Err(format!(
+                        "cache claims {} subsumes {} but definitions disagree",
+                        self.taxonomy.name(a),
+                        self.taxonomy.name(b)
+                    ));
+                }
+                let strict = def_says
+                    && !self.defs[b.0 as usize].subsumes(&self.defs[a.0 as usize]);
+                if strict && !cache_says {
+                    return Err(format!(
+                        "definitions say {} subsumes {} but cache disagrees",
+                        self.taxonomy.name(a),
+                        self.taxonomy.name(b)
+                    ));
+                }
+            }
+        }
+        self.taxonomy.verify()
+    }
+}
+
+impl Default for Classifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_orders_by_features() {
+        let mut c = Classifier::new();
+        c.classify(DefinedConcept::new("person", &["human"])).unwrap();
+        c.classify(DefinedConcept::new("doctor", &["human", "heals"])).unwrap();
+        c.classify(DefinedConcept::new("surgeon", &["human", "heals", "operates"]))
+            .unwrap();
+        assert!(c.subsumes("person", "surgeon").unwrap());
+        assert!(c.subsumes("doctor", "surgeon").unwrap());
+        assert!(!c.subsumes("surgeon", "doctor").unwrap());
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn late_insertion_rewires_existing_concepts() {
+        let mut c = Classifier::new();
+        c.classify(DefinedConcept::new("person", &["human"])).unwrap();
+        c.classify(DefinedConcept::new("surgeon", &["human", "heals", "operates"]))
+            .unwrap();
+        // doctor arrives AFTER surgeon; it must slot between person and
+        // surgeon — the paper's "computing the subsumption relationship
+        // between a new concept and previously known ones".
+        c.classify(DefinedConcept::new("doctor", &["human", "heals"])).unwrap();
+        assert!(c.subsumes("doctor", "surgeon").unwrap());
+        assert!(c.subsumes("person", "doctor").unwrap());
+        c.verify().unwrap();
+        // The taxonomy's parents reflect the most specific subsumer.
+        assert_eq!(c.taxonomy().parents("surgeon").unwrap().len(), 2); // person + doctor arcs
+    }
+
+    #[test]
+    fn multiple_inheritance_from_incomparable_subsumers() {
+        let mut c = Classifier::new();
+        c.classify(DefinedConcept::new("parent", &["has-child"])).unwrap();
+        c.classify(DefinedConcept::new("doctor", &["heals"])).unwrap();
+        c.classify(DefinedConcept::new("doctor-parent", &["has-child", "heals"]))
+            .unwrap();
+        let mut parents = c.taxonomy().parents("doctor-parent").unwrap();
+        parents.sort_unstable();
+        assert_eq!(parents, vec!["doctor", "parent"]);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Classifier::new();
+        c.classify(DefinedConcept::new("thing", &["x"])).unwrap();
+        assert!(matches!(
+            c.classify(DefinedConcept::new("thing", &["y"])),
+            Err(TaxonomyError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn eye_surgeon_example_from_the_paper() {
+        // "all things whose children are doctors" is more general than "all
+        // things whose children are eye-surgeons".
+        let mut c = Classifier::new();
+        c.classify(DefinedConcept::new("children-are-doctors", &["children:doctor"]))
+            .unwrap();
+        c.classify(DefinedConcept::new(
+            "children-are-eye-surgeons",
+            &["children:doctor", "children:surgeon", "children:eye-specialist"],
+        ))
+        .unwrap();
+        assert!(c
+            .subsumes("children-are-doctors", "children-are-eye-surgeons")
+            .unwrap());
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn retrieve_finds_exact_and_more_specific_matches() {
+        let mut c = Classifier::new();
+        c.classify(DefinedConcept::new("sorter", &["sorts"])).unwrap();
+        c.classify(DefinedConcept::new("stable-sorter", &["sorts", "stable"])).unwrap();
+        c.classify(DefinedConcept::new("fancy-sorter", &["sorts", "stable", "parallel"]))
+            .unwrap();
+        c.classify(DefinedConcept::new("logger", &["logs"])).unwrap();
+        assert_eq!(c.retrieve(&["sorts", "stable"]), vec!["stable-sorter", "fancy-sorter"]);
+        assert_eq!(c.retrieve(&["sorts"]), vec!["sorter", "stable-sorter", "fancy-sorter"]);
+        assert_eq!(c.retrieve(&["sorts", "logs"]), Vec::<&str>::new());
+        // No features: everything (including top).
+        assert_eq!(c.retrieve(&[]).len(), 5);
+    }
+
+    #[test]
+    fn random_definitions_classify_consistently() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let features = ["a", "b", "c", "d", "e", "f"];
+        let mut c = Classifier::new();
+        let mut used = std::collections::HashSet::new();
+        for i in 0..40 {
+            let set: Vec<&str> = features
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(0.4))
+                .collect();
+            if !used.insert(set.clone()) {
+                continue; // duplicate feature sets allowed but keep test simple
+            }
+            c.classify(DefinedConcept::new(&format!("c{i}"), &set)).unwrap();
+        }
+        c.verify().unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Declared disjointness axioms.
+//!
+//! §6 lists "disjointness" among the properties the compression techniques
+//! serve. [`lattice::disjoint`](crate::lattice::disjoint) computes *observed*
+//! disjointness (no common subsumee); CLASSIC-style systems additionally let
+//! the knowledge engineer *declare* that two concepts can never overlap —
+//! an axiom every later update must respect. [`DisjointnessAxioms`] stores
+//! such declarations and checks them against the taxonomy with closure
+//! lookups: concepts `a ⟂ b` are violated exactly when some concept is
+//! subsumed by both.
+
+use crate::{ConceptId, Taxonomy, TaxonomyError};
+
+/// A set of pairwise disjointness declarations over taxonomy concepts.
+#[derive(Debug, Clone, Default)]
+pub struct DisjointnessAxioms {
+    /// Declared pairs, stored with the smaller id first.
+    pairs: Vec<(ConceptId, ConceptId)>,
+}
+
+/// A violated axiom: a witness concept subsumed by both declared-disjoint
+/// concepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjointnessViolation {
+    /// The declared-disjoint pair.
+    pub pair: (ConceptId, ConceptId),
+    /// A concept below both.
+    pub witness: ConceptId,
+}
+
+impl DisjointnessAxioms {
+    /// Creates an empty axiom set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `a ⟂ b`. Fails immediately if the taxonomy already violates
+    /// it (the violation is returned inside the error string for
+    /// diagnosis); a valid declaration is recorded for future checks.
+    pub fn declare(
+        &mut self,
+        t: &Taxonomy,
+        a: &str,
+        b: &str,
+    ) -> Result<(), TaxonomyError> {
+        let (ia, ib) = (t.id(a)?, t.id(b)?);
+        let pair = ordered(ia, ib);
+        if let Some(witness) = common_subsumee(t, pair) {
+            return Err(TaxonomyError::DisjointnessViolated {
+                a: a.to_string(),
+                b: b.to_string(),
+                witness: t.name(witness).to_string(),
+            });
+        }
+        if !self.pairs.contains(&pair) {
+            self.pairs.push(pair);
+        }
+        Ok(())
+    }
+
+    /// Number of declared axioms.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no axioms are declared.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether two concepts are declared (directly) disjoint, or inherit
+    /// disjointness from declared-disjoint subsumers — eye-surgeons and
+    /// desks are disjoint because doctors and furniture are.
+    pub fn are_disjoint(&self, t: &Taxonomy, a: &str, b: &str) -> Result<bool, TaxonomyError> {
+        let (ia, ib) = (t.id(a)?, t.id(b)?);
+        Ok(self.pairs.iter().any(|&(x, y)| {
+            (t.subsumes_id(x, ia) && t.subsumes_id(y, ib))
+                || (t.subsumes_id(x, ib) && t.subsumes_id(y, ia))
+        }))
+    }
+
+    /// Checks every axiom against the current taxonomy, returning all
+    /// violations (empty = consistent). Run after updates that add IS-A
+    /// arcs or classify new concepts.
+    pub fn check(&self, t: &Taxonomy) -> Vec<DisjointnessViolation> {
+        self.pairs
+            .iter()
+            .filter_map(|&pair| {
+                common_subsumee(t, pair).map(|witness| DisjointnessViolation { pair, witness })
+            })
+            .collect()
+    }
+}
+
+fn ordered(a: ConceptId, b: ConceptId) -> (ConceptId, ConceptId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Any concept subsumed by both members of `pair` (two closure lookups per
+/// candidate).
+fn common_subsumee(t: &Taxonomy, pair: (ConceptId, ConceptId)) -> Option<ConceptId> {
+    (0..t.len() as u32)
+        .map(ConceptId)
+        .find(|&c| t.subsumes_id(pair.0, c) && t.subsumes_id(pair.1, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.add_root("thing").unwrap();
+        t.add_concept("animal", &["thing"]).unwrap();
+        t.add_concept("furniture", &["thing"]).unwrap();
+        t.add_concept("dog", &["animal"]).unwrap();
+        t.add_concept("chair", &["furniture"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn declare_and_inherit() {
+        let t = sample();
+        let mut ax = DisjointnessAxioms::new();
+        ax.declare(&t, "animal", "furniture").unwrap();
+        assert!(ax.are_disjoint(&t, "animal", "furniture").unwrap());
+        // Inherited: dog ⟂ chair because their subsumers are disjoint.
+        assert!(ax.are_disjoint(&t, "dog", "chair").unwrap());
+        assert!(!ax.are_disjoint(&t, "dog", "animal").unwrap());
+        assert!(ax.check(&t).is_empty());
+        assert_eq!(ax.len(), 1);
+    }
+
+    #[test]
+    fn declaration_rejected_when_already_violated() {
+        let mut t = sample();
+        t.add_concept("chimera", &["animal", "furniture"]).unwrap();
+        let mut ax = DisjointnessAxioms::new();
+        let err = ax.declare(&t, "animal", "furniture").unwrap_err();
+        assert!(matches!(err, TaxonomyError::DisjointnessViolated { ref witness, .. }
+            if witness == "chimera"));
+        assert!(ax.is_empty());
+    }
+
+    #[test]
+    fn later_update_detected_by_check() {
+        let mut t = sample();
+        let mut ax = DisjointnessAxioms::new();
+        ax.declare(&t, "animal", "furniture").unwrap();
+        // A multiply-inheriting concept sneaks in afterwards.
+        t.add_concept("robot-dog-table", &["dog", "chair"]).unwrap();
+        let violations = ax.check(&t);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(t.name(violations[0].witness), "robot-dog-table");
+    }
+
+    #[test]
+    fn self_disjointness_is_immediately_violated() {
+        let t = sample();
+        let mut ax = DisjointnessAxioms::new();
+        // a ⟂ a is witnessed by a itself.
+        assert!(ax.declare(&t, "dog", "dog").is_err());
+        // And a ⟂ subsumer is witnessed by the subsumee.
+        assert!(ax.declare(&t, "dog", "animal").is_err());
+    }
+
+    #[test]
+    fn unknown_concepts_error() {
+        let t = sample();
+        let mut ax = DisjointnessAxioms::new();
+        assert!(ax.declare(&t, "dog", "ghost").is_err());
+        assert!(ax.are_disjoint(&t, "ghost", "dog").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Lattice operations over the subsumption order.
+//!
+//! §5 relates the compressed closure to "a technique … to compute the
+//! greatest lower bound (and least upper bound) in a lattice efficiently
+//! \[5\]", and §6 plans to "use these compression techniques for the
+//! computation of subsumption, disjointness, least common ancestors, and
+//! other properties". IS-A hierarchies are generally not lattices, so the
+//! bounds here are *sets*: the most specific common subsumers (LUB) and the
+//! most general common subsumees (GLB).
+
+use crate::{ConceptId, Taxonomy, TaxonomyError};
+
+/// The most specific common subsumers of `a` and `b` (their "least common
+/// ancestors"). Singleton for tree hierarchies; possibly several under
+/// multiple inheritance.
+pub fn least_common_subsumers(
+    t: &Taxonomy,
+    a: &str,
+    b: &str,
+) -> Result<Vec<ConceptId>, TaxonomyError> {
+    let (a, b) = (t.id(a)?, t.id(b)?);
+    let common: Vec<ConceptId> = all_ids(t)
+        .filter(|&c| t.subsumes_id(c, a) && t.subsumes_id(c, b))
+        .collect();
+    Ok(minimal_most_specific(t, common))
+}
+
+/// The most general common subsumees of `a` and `b` (their "greatest lower
+/// bounds" in the subsumption order).
+pub fn greatest_common_subsumees(
+    t: &Taxonomy,
+    a: &str,
+    b: &str,
+) -> Result<Vec<ConceptId>, TaxonomyError> {
+    let (a, b) = (t.id(a)?, t.id(b)?);
+    let common: Vec<ConceptId> = all_ids(t)
+        .filter(|&c| t.subsumes_id(a, c) && t.subsumes_id(b, c))
+        .collect();
+    Ok(maximal_most_general(t, common))
+}
+
+/// Whether `a` and `b` are disjoint: no concept is subsumed by both.
+pub fn disjoint(t: &Taxonomy, a: &str, b: &str) -> Result<bool, TaxonomyError> {
+    Ok(greatest_common_subsumees(t, a, b)?.is_empty())
+}
+
+fn all_ids(t: &Taxonomy) -> impl Iterator<Item = ConceptId> + '_ {
+    (0..t.len() as u32).map(ConceptId)
+}
+
+/// Keeps elements with no *other* member below them (most specific).
+fn minimal_most_specific(t: &Taxonomy, set: Vec<ConceptId>) -> Vec<ConceptId> {
+    set.iter()
+        .copied()
+        .filter(|&c| {
+            !set.iter()
+                .any(|&d| d != c && t.subsumes_id(c, d))
+        })
+        .collect()
+}
+
+/// Keeps elements with no *other* member above them (most general).
+fn maximal_most_general(t: &Taxonomy, set: Vec<ConceptId>) -> Vec<ConceptId> {
+    set.iter()
+        .copied()
+        .filter(|&c| {
+            !set.iter()
+                .any(|&d| d != c && t.subsumes_id(d, c))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(t: &Taxonomy, ids: Vec<ConceptId>) -> Vec<String> {
+        let mut out: Vec<String> = ids.into_iter().map(|id| t.name(id).to_string()).collect();
+        out.sort();
+        out
+    }
+
+    fn sample() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.add_root("thing").unwrap();
+        t.add_concept("device", &["thing"]).unwrap();
+        t.add_concept("printer", &["device"]).unwrap();
+        t.add_concept("scanner", &["device"]).unwrap();
+        t.add_concept("copier", &["printer", "scanner"]).unwrap();
+        t.add_concept("fax", &["printer", "scanner"]).unwrap();
+        t.add_concept("furniture", &["thing"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn lub_under_single_inheritance() {
+        let t = sample();
+        let lub = least_common_subsumers(&t, "printer", "scanner").unwrap();
+        assert_eq!(names(&t, lub), vec!["device"]);
+    }
+
+    #[test]
+    fn lub_is_reflexive_on_related_concepts() {
+        let t = sample();
+        // printer subsumes copier, so the most specific common subsumer of
+        // the pair is printer itself.
+        let lub = least_common_subsumers(&t, "printer", "copier").unwrap();
+        assert_eq!(names(&t, lub), vec!["printer"]);
+    }
+
+    #[test]
+    fn glb_finds_most_general_common_descendants() {
+        let t = sample();
+        let glb = greatest_common_subsumees(&t, "printer", "scanner").unwrap();
+        assert_eq!(names(&t, glb), vec!["copier", "fax"]);
+    }
+
+    #[test]
+    fn disjointness() {
+        let t = sample();
+        assert!(disjoint(&t, "furniture", "printer").unwrap());
+        assert!(!disjoint(&t, "printer", "scanner").unwrap());
+        assert!(!disjoint(&t, "device", "device").unwrap());
+    }
+
+    #[test]
+    fn multiple_lubs_under_multiple_inheritance() {
+        let t = sample();
+        // copier and fax share BOTH printer and scanner as most specific
+        // common subsumers (neither subsumes the other).
+        let lub = least_common_subsumers(&t, "copier", "fax").unwrap();
+        assert_eq!(names(&t, lub), vec!["printer", "scanner"]);
+    }
+
+    #[test]
+    fn unknown_concept_errors() {
+        let t = sample();
+        assert!(least_common_subsumers(&t, "printer", "ghost").is_err());
+        assert!(disjoint(&t, "ghost", "printer").is_err());
+    }
+}

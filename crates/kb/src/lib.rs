@@ -1,0 +1,40 @@
+//! Knowledge-representation layer: IS-A hierarchies served by the
+//! compressed closure.
+//!
+//! The paper's second motivating application (§2.1): "systems based on
+//! [semantic networks and frames] allow concepts to be organized into
+//! subclass hierarchies (often known as 'IS-A hierarchies'), with
+//! 'inheritance' being a key component of their reasoning algorithms …
+//! Questions about the transitive closure of the IS-A relationship, given
+//! their importance and frequency, must be answered by a technique more
+//! efficient than simple pointer chasing." §6 adds that CLASSIC "has
+//! separated the maintenance of subclass relationships into an abstract
+//! data type" — this crate is that abstract data type:
+//!
+//! * [`Taxonomy`] — named concepts with multiple parents; `subsumes` is one
+//!   interval lookup; concept insertion is the paper's constant-work leaf
+//!   addition; `refine` is the §4.1 constant-time hierarchy refinement.
+//! * [`lattice`] — least upper bounds, greatest lower bounds, and
+//!   disjointness over the subsumption order (the operations of \[5\] the
+//!   paper's §5 relates to).
+//! * [`Inheritance`] — property inheritance along IS-A paths with
+//!   most-specific-wins override and multiple-inheritance conflict
+//!   detection.
+//! * [`Classifier`] — a feature-vector terminological classifier in the
+//!   KL-ONE tradition: subsumption is feature containment, and new concepts
+//!   are slotted under their most specific subsumers automatically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod classify;
+mod disjoint;
+mod inherit;
+pub mod lattice;
+mod taxonomy;
+
+pub use classify::{Classifier, DefinedConcept};
+pub use disjoint::{DisjointnessAxioms, DisjointnessViolation};
+pub use inherit::{Inheritance, PropertyLookup};
+pub use taxonomy::{ConceptId, Taxonomy, TaxonomyError};

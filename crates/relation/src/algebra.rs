@@ -1,0 +1,161 @@
+//! Relational operators over binary relations.
+//!
+//! The building blocks of the α-extended relational algebra the paper plans
+//! to host the compressed closure in ("we are planning to incorporate these
+//! techniques in prototype systems based on α-extended relational algebra",
+//! §6): selection, union, composition (the join underlying transitive
+//! closure iteration), and inversion.
+
+use crate::{BinaryRelation, Symbol};
+
+/// Selection: the sub-relation whose tuples satisfy `pred`.
+pub fn select(
+    r: &BinaryRelation,
+    mut pred: impl FnMut(Symbol, Symbol) -> bool,
+) -> BinaryRelation {
+    r.iter().filter(|&(s, d)| pred(s, d)).collect()
+}
+
+/// Union of two relations.
+pub fn union(a: &BinaryRelation, b: &BinaryRelation) -> BinaryRelation {
+    a.iter().chain(b.iter()).collect()
+}
+
+/// Composition `a ∘ b`: `(x, z)` such that `(x, y) ∈ a` and `(y, z) ∈ b`.
+/// `R ∘ R` is one step of the naive transitive-closure iteration — the
+/// expensive operation materialization avoids at query time.
+pub fn compose(a: &BinaryRelation, b: &BinaryRelation) -> BinaryRelation {
+    let mut out = BinaryRelation::new();
+    for (x, y) in a.iter() {
+        for z in b.with_source(y) {
+            out.insert(x, z);
+        }
+    }
+    out
+}
+
+/// Inverse: `(y, x)` for every `(x, y)`.
+pub fn inverse(r: &BinaryRelation) -> BinaryRelation {
+    r.iter().map(|(s, d)| (d, s)).collect()
+}
+
+/// The α-join of §6's "α-extended relational algebra": joins a relation
+/// through the *transitive closure* of the view's base relation —
+/// `(x, z)` such that `x →* y` in the materialized closure and
+/// `(y, z) ∈ s`. With the closure materialized this is a per-tuple decode
+/// instead of a recursive fixpoint.
+pub fn alpha_join(view: &crate::TcView, s: &BinaryRelation) -> BinaryRelation {
+    let mut out = BinaryRelation::new();
+    for (y, z) in s.iter() {
+        // Everyone reaching y (including y itself) pairs with z.
+        for x in view.ancestor_syms_inclusive(y) {
+            out.insert(x, z);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> Symbol {
+        Symbol(v)
+    }
+
+    fn rel(pairs: &[(u32, u32)]) -> BinaryRelation {
+        pairs.iter().map(|&(a, b)| (s(a), s(b))).collect()
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel(&[(0, 1), (1, 2), (2, 3)]);
+        let picked = select(&r, |src, _| src.0 >= 1);
+        assert_eq!(picked, rel(&[(1, 2), (2, 3)]));
+    }
+
+    #[test]
+    fn union_merges_and_dedupes() {
+        let a = rel(&[(0, 1), (1, 2)]);
+        let b = rel(&[(1, 2), (2, 3)]);
+        assert_eq!(union(&a, &b), rel(&[(0, 1), (1, 2), (2, 3)]));
+    }
+
+    #[test]
+    fn compose_is_one_closure_step() {
+        let r = rel(&[(0, 1), (1, 2), (2, 3)]);
+        let rr = compose(&r, &r);
+        assert_eq!(rr, rel(&[(0, 2), (1, 3)]));
+        // Iterating compose-and-union converges to the closure.
+        let mut closure = r.clone();
+        loop {
+            let next = union(&closure, &compose(&closure, &r));
+            if next == closure {
+                break;
+            }
+            closure = next;
+        }
+        assert_eq!(closure, rel(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]));
+    }
+
+    #[test]
+    fn alpha_join_joins_through_the_closure() {
+        use crate::TcView;
+        // Managers: a -> b -> c (a manages b manages c); `assigned`:
+        // c works on project p, b on q.
+        let mut view = TcView::new();
+        view.insert("a", "b").unwrap();
+        view.insert("b", "c").unwrap();
+        let sym = |n: &str| view.symbols().lookup(n).unwrap();
+        let assigned: BinaryRelation =
+            [(sym("c"), Symbol(100)), (sym("b"), Symbol(200))].into_iter().collect();
+        let joined = alpha_join(&view, &assigned);
+        // Everyone above (and including) c is answerable for p=100.
+        assert!(joined.contains(sym("a"), Symbol(100)));
+        assert!(joined.contains(sym("b"), Symbol(100)));
+        assert!(joined.contains(sym("c"), Symbol(100)));
+        // Only a and b for q=200.
+        assert!(joined.contains(sym("a"), Symbol(200)));
+        assert!(joined.contains(sym("b"), Symbol(200)));
+        assert!(!joined.contains(sym("c"), Symbol(200)));
+        assert_eq!(joined.len(), 5);
+    }
+
+    #[test]
+    fn alpha_join_matches_naive_fixpoint_composition() {
+        use crate::TcView;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let names: Vec<String> = (0..8).map(|i| format!("v{i}")).collect();
+        let mut view = TcView::new();
+        for _ in 0..12 {
+            let a = &names[rng.random_range(0..names.len())];
+            let b = &names[rng.random_range(0..names.len())];
+            let _ = view.insert(a, b);
+        }
+        // s: random second relation over the same symbols.
+        let n = view.symbols().len() as u32;
+        let s: BinaryRelation = (0..10)
+            .map(|_| (Symbol(rng.random_range(0..n)), Symbol(rng.random_range(0..n))))
+            .collect();
+        // Naive: reflexive closure of base, composed with s.
+        let mut closure = view.base().clone();
+        loop {
+            let next = union(&closure, &compose(&closure, view.base()));
+            if next == closure { break; }
+            closure = next;
+        }
+        for i in 0..n {
+            closure.insert(Symbol(i), Symbol(i)); // α is reflexive
+        }
+        let expect = compose(&closure, &s);
+        assert_eq!(alpha_join(&view, &s), expect);
+    }
+
+    #[test]
+    fn inverse_swaps() {
+        let r = rel(&[(0, 1), (2, 1)]);
+        assert_eq!(inverse(&r), rel(&[(1, 0), (1, 2)]));
+    }
+}

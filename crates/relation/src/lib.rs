@@ -1,0 +1,32 @@
+//! Relational layer: binary relations and the materialized closure view.
+//!
+//! The paper's database motivation (§1–2): a binary relation — `part_of`,
+//! `reports_to`, `prerequisite` — is stored as tuples; queries need its
+//! transitive closure; "frequently accessed views are computed once and
+//! stored so that future queries can be answered directly, by look up" (view
+//! materialization), and "updates (at least additions) to the base relation
+//! are not infrequent, so the incremental cost ... should be less than
+//! recomputing the transitive closure".
+//!
+//! * [`SymbolTable`] — string interning so relations work over names while
+//!   the machinery works over dense [`tc_graph::NodeId`]s.
+//! * [`BinaryRelation`] — a set of `(source, destination)` tuples with
+//!   relational operators (select, union, compose, inverse).
+//! * [`TcView`] — the α-operator view: a [`tc_core::CompressedClosure`]
+//!   kept incrementally consistent with the base relation under tuple
+//!   inserts and deletes, answering `reaches`, `descendants-of`, and
+//!   `ancestors-of` by lookup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod algebra;
+mod relation;
+mod symbol;
+mod view;
+
+pub use algebra::{alpha_join, compose, inverse, select, union};
+pub use relation::BinaryRelation;
+pub use symbol::{Symbol, SymbolTable};
+pub use view::{TcView, ViewError};

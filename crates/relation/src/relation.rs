@@ -1,0 +1,104 @@
+//! Binary relations as tuple sets.
+
+use std::collections::BTreeSet;
+
+use crate::Symbol;
+
+/// A binary relation: a set of `(source, destination)` tuples over interned
+/// symbols. "A binary relation, including a 'source' field and 'destination'
+/// field defined over the same domain, corresponds to a graph" (§3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BinaryRelation {
+    tuples: BTreeSet<(Symbol, Symbol)>,
+}
+
+impl BinaryRelation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a tuple; returns `true` if newly inserted.
+    pub fn insert(&mut self, src: Symbol, dst: Symbol) -> bool {
+        self.tuples.insert((src, dst))
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, src: Symbol, dst: Symbol) -> bool {
+        self.tuples.remove(&(src, dst))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, src: Symbol, dst: Symbol) -> bool {
+        self.tuples.contains(&(src, dst))
+    }
+
+    /// Number of tuples (the relation's cardinality — the paper's storage
+    /// unit for the base relation).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Symbol)> + '_ {
+        self.tuples.iter().copied()
+    }
+
+    /// Tuples whose source is `src`.
+    pub fn with_source(&self, src: Symbol) -> impl Iterator<Item = Symbol> + '_ {
+        self.tuples
+            .range((src, Symbol(0))..=(src, Symbol(u32::MAX)))
+            .map(|&(_, d)| d)
+    }
+}
+
+impl FromIterator<(Symbol, Symbol)> for BinaryRelation {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Symbol)>>(iter: I) -> Self {
+        BinaryRelation {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> Symbol {
+        Symbol(v)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = BinaryRelation::new();
+        assert!(r.insert(s(0), s(1)));
+        assert!(!r.insert(s(0), s(1)), "duplicate suppressed");
+        assert!(r.contains(s(0), s(1)));
+        assert!(r.remove(s(0), s(1)));
+        assert!(!r.remove(s(0), s(1)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn with_source_ranges() {
+        let r: BinaryRelation = [(s(1), s(2)), (s(1), s(5)), (s(2), s(3)), (s(0), s(1))]
+            .into_iter()
+            .collect();
+        let dests: Vec<Symbol> = r.with_source(s(1)).collect();
+        assert_eq!(dests, vec![s(2), s(5)]);
+        assert_eq!(r.with_source(s(9)).count(), 0);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let r: BinaryRelation = [(s(2), s(0)), (s(0), s(1))].into_iter().collect();
+        let tuples: Vec<_> = r.iter().collect();
+        assert_eq!(tuples, vec![(s(0), s(1)), (s(2), s(0))]);
+    }
+}

@@ -1,0 +1,116 @@
+//! String interning for relation domains.
+
+use std::collections::HashMap;
+
+/// An interned domain value: a dense index into a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A two-way mapping between domain strings and dense [`Symbol`]s.
+///
+/// Symbols are handed out in first-seen order, so they double as
+/// [`tc_graph::NodeId`]s in the graph built from a relation.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a symbol from a different table.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(symbol, name)` pairs in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(ix, name)| (Symbol(ix as u32), name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("engine");
+        let b = t.intern("engine");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dense_in_first_seen_order() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("a"), Symbol(0));
+        assert_eq!(t.intern("b"), Symbol(1));
+        assert_eq!(t.intern("a"), Symbol(0));
+        assert_eq!(t.intern("c"), Symbol(2));
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("piston");
+        assert_eq!(t.lookup("piston"), Some(s));
+        assert_eq!(t.lookup("absent"), None);
+        assert_eq!(t.name(s), "piston");
+    }
+
+    #[test]
+    fn iteration() {
+        let mut t = SymbolTable::new();
+        t.intern("x");
+        t.intern("y");
+        let pairs: Vec<(Symbol, &str)> = t.iter().collect();
+        assert_eq!(pairs, vec![(Symbol(0), "x"), (Symbol(1), "y")]);
+        assert!(!t.is_empty());
+    }
+}

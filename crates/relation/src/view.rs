@@ -1,0 +1,357 @@
+//! The materialized transitive-closure view.
+
+use std::fmt;
+
+use tc_core::{ClosureConfig, CompressedClosure, UpdateError};
+use tc_graph::{DiGraph, NodeId};
+
+use crate::{BinaryRelation, Symbol, SymbolTable};
+
+/// Errors from view operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// A named value has never been seen by the view.
+    UnknownValue(String),
+    /// The tuple would make the relation cyclic, which the acyclic view
+    /// rejects (wrap with SCC condensation for cyclic relations).
+    WouldCreateCycle(String, String),
+    /// The tuple to delete is not in the base relation.
+    NoSuchTuple(String, String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::UnknownValue(name) => write!(f, "unknown value {name:?}"),
+            ViewError::WouldCreateCycle(s, d) => {
+                write!(f, "tuple ({s:?}, {d:?}) would create a cycle")
+            }
+            ViewError::NoSuchTuple(s, d) => write!(f, "no tuple ({s:?}, {d:?})"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// A materialized, incrementally-maintained transitive-closure view over a
+/// named binary relation — the α-operator as a lookup structure.
+///
+/// ```
+/// use tc_relation::TcView;
+///
+/// let mut parts = TcView::new();
+/// parts.insert("wing", "flap").unwrap();
+/// parts.insert("flap", "actuator").unwrap();
+/// assert!(parts.reaches("wing", "actuator").unwrap());
+/// assert_eq!(parts.descendants("wing").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcView {
+    symbols: SymbolTable,
+    base: BinaryRelation,
+    closure: CompressedClosure,
+}
+
+impl Default for TcView {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcView {
+    /// Creates an empty view with the default closure configuration.
+    pub fn new() -> Self {
+        Self::with_config(ClosureConfig::default())
+    }
+
+    /// Creates an empty view with an explicit closure configuration.
+    pub fn with_config(config: ClosureConfig) -> Self {
+        TcView {
+            symbols: SymbolTable::new(),
+            base: BinaryRelation::new(),
+            closure: config
+                .build(&DiGraph::new())
+                .expect("empty graph is acyclic"),
+        }
+    }
+
+    /// Interns a value, materializing a node for it. Idempotent.
+    pub fn add_value(&mut self, name: &str) -> Symbol {
+        let sym = self.symbols.intern(name);
+        // Symbols are dense in first-seen order, matching node ids.
+        if sym.index() >= self.closure.node_count() {
+            let node = self
+                .closure
+                .add_node_with_parents(&[])
+                .expect("root insertion cannot fail");
+            debug_assert_eq!(node.index(), sym.index());
+        }
+        sym
+    }
+
+    /// Inserts the tuple `(src, dst)`, updating the materialized closure
+    /// incrementally. Unknown values are interned on the fly. Returns
+    /// `true` if the tuple was new.
+    ///
+    /// When `dst` has never been seen, it is created directly as a tree
+    /// child of `src` — the paper's constant-work "addition of a tree arc"
+    /// path, which keeps incrementally-grown hierarchies compressing like
+    /// batch-built ones. Arcs between existing values take the non-tree
+    /// path with subsumption-pruned propagation.
+    pub fn insert(&mut self, src: &str, dst: &str) -> Result<bool, ViewError> {
+        let s = self.add_value(src);
+        if src != dst && self.symbols.lookup(dst).is_none() {
+            let d = self.symbols.intern(dst);
+            let dnode = self
+                .closure
+                .add_node_with_parents(&[node(s)])
+                .expect("fresh leaf insertion cannot fail");
+            debug_assert_eq!(dnode.index(), d.index());
+            return Ok(self.base.insert(s, d));
+        }
+        let d = self.add_value(dst);
+        if s == d || self.base.contains(s, d) {
+            return Ok(self.base.insert(s, d));
+        }
+        match self.closure.add_edge(node(s), node(d)) {
+            Ok(_) => Ok(self.base.insert(s, d)),
+            Err(UpdateError::WouldCreateCycle { .. }) => Err(ViewError::WouldCreateCycle(
+                src.to_string(),
+                dst.to_string(),
+            )),
+            Err(other) => unreachable!("unexpected closure error: {other}"),
+        }
+    }
+
+    /// Deletes the tuple `(src, dst)`, updating the closure.
+    pub fn remove(&mut self, src: &str, dst: &str) -> Result<(), ViewError> {
+        let s = self
+            .symbols
+            .lookup(src)
+            .ok_or_else(|| ViewError::UnknownValue(src.to_string()))?;
+        let d = self
+            .symbols
+            .lookup(dst)
+            .ok_or_else(|| ViewError::UnknownValue(dst.to_string()))?;
+        if !self.base.remove(s, d) {
+            return Err(ViewError::NoSuchTuple(src.to_string(), dst.to_string()));
+        }
+        self.closure
+            .remove_edge(node(s), node(d))
+            .expect("base and closure are in sync");
+        Ok(())
+    }
+
+    /// Transitive reachability by lookup: is `(src, dst)` in the closure of
+    /// the base relation? Reflexive.
+    pub fn reaches(&self, src: &str, dst: &str) -> Result<bool, ViewError> {
+        let s = self.sym(src)?;
+        let d = self.sym(dst)?;
+        Ok(self.closure.reaches(node(s), node(d)))
+    }
+
+    /// All values transitively reachable from `src` (excluding itself),
+    /// decoded from the compressed closure.
+    pub fn descendants(&self, src: &str) -> Result<Vec<&str>, ViewError> {
+        let s = self.sym(src)?;
+        Ok(self
+            .closure
+            .successors(node(s))
+            .into_iter()
+            .filter(|&v| v.index() != s.index())
+            .map(|v| self.symbols.name(Symbol(v.0)))
+            .collect())
+    }
+
+    /// All values that transitively reach `dst` (excluding itself).
+    pub fn ancestors(&self, dst: &str) -> Result<Vec<&str>, ViewError> {
+        let d = self.sym(dst)?;
+        Ok(self
+            .closure
+            .predecessors(node(d))
+            .into_iter()
+            .filter(|&v| v.index() != d.index())
+            .map(|v| self.symbols.name(Symbol(v.0)))
+            .collect())
+    }
+
+    /// The base relation.
+    pub fn base(&self) -> &BinaryRelation {
+        &self.base
+    }
+
+    /// The materialized closure.
+    pub fn closure(&self) -> &CompressedClosure {
+        &self.closure
+    }
+
+    /// The symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Rebuilds the closure from scratch with a fresh optimal tree cover
+    /// (after heavy update churn).
+    pub fn rebuild(&mut self) {
+        self.closure.rebuild();
+    }
+
+    /// Exhaustively checks view/closure consistency (tests only: O(n·m)).
+    pub fn verify(&self) -> Result<(), String> {
+        self.closure.verify()
+    }
+
+    fn sym(&self, name: &str) -> Result<Symbol, ViewError> {
+        self.symbols
+            .lookup(name)
+            .ok_or_else(|| ViewError::UnknownValue(name.to_string()))
+    }
+
+    /// Symbols that reach `of` through the closure, including `of` itself
+    /// (the α-join's inner loop). Returns nothing for a symbol the view has
+    /// never seen.
+    pub(crate) fn ancestor_syms_inclusive(&self, of: Symbol) -> Vec<Symbol> {
+        if of.index() >= self.closure.node_count() {
+            return Vec::new();
+        }
+        self.closure
+            .predecessors(node(of))
+            .into_iter()
+            .map(|v| Symbol(v.0))
+            .collect()
+    }
+}
+
+fn node(sym: Symbol) -> NodeId {
+    NodeId(sym.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts_view() -> TcView {
+        let mut v = TcView::new();
+        for (a, b) in [
+            ("plane", "wing"),
+            ("plane", "fuselage"),
+            ("wing", "flap"),
+            ("flap", "actuator"),
+            ("fuselage", "door"),
+        ] {
+            v.insert(a, b).unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn closure_queries_by_name() {
+        let v = parts_view();
+        assert!(v.reaches("plane", "actuator").unwrap());
+        assert!(v.reaches("wing", "flap").unwrap());
+        assert!(!v.reaches("wing", "door").unwrap());
+        assert!(v.reaches("door", "door").unwrap(), "reflexive");
+        v.verify().unwrap();
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let v = parts_view();
+        let mut desc = v.descendants("wing").unwrap();
+        desc.sort_unstable();
+        assert_eq!(desc, vec!["actuator", "flap"]);
+        let mut anc = v.ancestors("actuator").unwrap();
+        anc.sort_unstable();
+        assert_eq!(anc, vec!["flap", "plane", "wing"]);
+    }
+
+    #[test]
+    fn unknown_values_error() {
+        let v = parts_view();
+        assert_eq!(
+            v.reaches("plane", "warp-drive"),
+            Err(ViewError::UnknownValue("warp-drive".to_string()))
+        );
+        assert!(v.descendants("warp-drive").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_self_tuples() {
+        let mut v = parts_view();
+        assert!(!v.insert("plane", "wing").unwrap(), "duplicate");
+        // Self tuple is stored in the base but is a no-op for reachability.
+        assert!(v.insert("wing", "wing").unwrap());
+        assert!(v.reaches("wing", "wing").unwrap());
+        v.verify().unwrap();
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut v = parts_view();
+        assert_eq!(
+            v.insert("actuator", "plane"),
+            Err(ViewError::WouldCreateCycle(
+                "actuator".to_string(),
+                "plane".to_string()
+            ))
+        );
+        // The failed insert must not corrupt the view.
+        v.verify().unwrap();
+        assert!(!v.base().contains(
+            v.symbols().lookup("actuator").unwrap(),
+            v.symbols().lookup("plane").unwrap()
+        ));
+    }
+
+    #[test]
+    fn deletion_updates_view() {
+        let mut v = parts_view();
+        v.remove("wing", "flap").unwrap();
+        assert!(!v.reaches("plane", "actuator").unwrap());
+        assert!(v.reaches("flap", "actuator").unwrap());
+        assert_eq!(
+            v.remove("wing", "flap"),
+            Err(ViewError::NoSuchTuple("wing".to_string(), "flap".to_string()))
+        );
+        v.verify().unwrap();
+    }
+
+    #[test]
+    fn reinsertion_after_delete() {
+        let mut v = parts_view();
+        v.remove("wing", "flap").unwrap();
+        v.insert("wing", "flap").unwrap();
+        assert!(v.reaches("plane", "actuator").unwrap());
+        v.verify().unwrap();
+    }
+
+    #[test]
+    fn rebuild_preserves_queries() {
+        let mut v = parts_view();
+        v.rebuild();
+        assert!(v.reaches("plane", "door").unwrap());
+        v.verify().unwrap();
+    }
+
+    #[test]
+    fn random_churn_stays_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let names: Vec<String> = (0..15).map(|i| format!("v{i}")).collect();
+        let mut v = TcView::with_config(ClosureConfig::new().gap(64));
+        for step in 0..200 {
+            let a = &names[rng.random_range(0..names.len())];
+            let b = &names[rng.random_range(0..names.len())];
+            if rng.random_bool(0.7) {
+                let _ = v.insert(a, b); // cycles rejected, that's fine
+            } else if v.symbols.lookup(a).is_some() && v.symbols.lookup(b).is_some() {
+                let _ = v.remove(a, b);
+            }
+            if step % 50 == 49 {
+                v.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        v.verify().unwrap();
+    }
+}

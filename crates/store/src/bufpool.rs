@@ -1,0 +1,163 @@
+//! An LRU buffer pool over the [`Pager`].
+
+use std::collections::HashMap;
+
+use crate::{PageId, Pager};
+
+/// Hit/miss statistics of a buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetches served from the pool.
+    pub hits: u64,
+    /// Fetches that had to go to the pager (disk reads).
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]` (`NaN` with no fetches).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A fixed-capacity LRU cache of page images.
+///
+/// Read-only (the stores in this crate are build-once/query-many, like the
+/// paper's materialized closure), so eviction never writes back.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page -> (image, last-use tick)
+    frames: HashMap<PageId, (Box<[u8]>, u64)>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Fetches a page through the pool, touching the pager only on a miss.
+    pub fn fetch<'a>(&'a mut self, pager: &Pager, id: PageId) -> &'a [u8] {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+            let entry = self.frames.get_mut(&id).expect("checked above");
+            entry.1 = tick;
+            return &entry.0;
+        }
+        self.stats.misses += 1;
+        if self.frames.len() >= self.capacity {
+            let victim = *self
+                .frames
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(id, _)| id)
+                .expect("pool is non-empty when full");
+            self.frames.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        let image: Box<[u8]> = pager.read(id).into();
+        &self
+            .frames
+            .entry(id)
+            .or_insert((image, tick))
+            .0
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Clears cached pages and statistics (for cold-cache measurements).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.stats = PoolStats::default();
+        self.tick = 0;
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_with(n: usize) -> Pager {
+        let mut pager = Pager::with_page_size(64);
+        for i in 0..n {
+            let id = pager.alloc();
+            let mut img = vec![0u8; 64];
+            img[0] = i as u8;
+            pager.write(id, &img);
+        }
+        pager.reset_counters();
+        pager
+    }
+
+    #[test]
+    fn hits_avoid_disk() {
+        let pager = disk_with(2);
+        let mut pool = BufferPool::new(2);
+        assert_eq!(pool.fetch(&pager, PageId(0))[0], 0);
+        assert_eq!(pool.fetch(&pager, PageId(0))[0], 0);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(pager.reads(), 1, "second fetch never touched the pager");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pager = disk_with(3);
+        let mut pool = BufferPool::new(2);
+        pool.fetch(&pager, PageId(0));
+        pool.fetch(&pager, PageId(1));
+        pool.fetch(&pager, PageId(0)); // 1 is now LRU
+        pool.fetch(&pager, PageId(2)); // evicts 1
+        assert_eq!(pool.stats().evictions, 1);
+        // 0 must still be resident.
+        let before = pager.reads();
+        pool.fetch(&pager, PageId(0));
+        assert_eq!(pager.reads(), before, "page 0 survived eviction");
+        // 1 must not be.
+        pool.fetch(&pager, PageId(1));
+        assert_eq!(pager.reads(), before + 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let pager = disk_with(1);
+        let mut pool = BufferPool::new(4);
+        pool.fetch(&pager, PageId(0));
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.fetch(&pager, PageId(0));
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let pager = disk_with(1);
+        let mut pool = BufferPool::new(1);
+        pool.fetch(&pager, PageId(0));
+        pool.fetch(&pager, PageId(0));
+        pool.fetch(&pager, PageId(0));
+        assert!((pool.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

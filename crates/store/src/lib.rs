@@ -1,0 +1,39 @@
+//! Paged secondary-storage simulation.
+//!
+//! The paper motivates compression with I/O: "in the case of large
+//! relations, the information will reside on secondary storage, and hence we
+//! need to minimize I/O traffic" (§2.2). This crate makes that claim
+//! measurable: a [`Pager`] simulates a page-granular disk with read/write
+//! counters, a [`BufferPool`] adds LRU caching with hit/miss statistics, and
+//! three page-resident stores answer reachability queries while every page
+//! touch is counted:
+//!
+//! * [`LabelStore`] — the compressed closure's interval records; a
+//!   reachability query typically costs **one** page read.
+//! * [`TcListStore`] — the full materialized closure as successor lists;
+//!   a membership query scans a list that may span many pages.
+//! * [`AdjStore`] — the base relation's adjacency lists; answering by
+//!   pointer chasing reads one record per visited node.
+//! * [`IndexedLabelStore`] — the fully cold variant: a page-resident
+//!   [`BTreeDirectory`] replaces the in-memory record directory, so a
+//!   query's *entire* access path (directory descent + record pages) is
+//!   counted I/O.
+//!
+//! The `io_costs` experiment binary in `tc-bench` drives all three over the
+//! same query mix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod blob;
+mod btree;
+mod bufpool;
+mod pager;
+mod stores;
+
+pub use blob::BlobStore;
+pub use btree::{BTreeDirectory, IndexedLabelStore};
+pub use bufpool::{BufferPool, PoolStats};
+pub use pager::{PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use stores::{AdjStore, LabelStore, TcListStore};

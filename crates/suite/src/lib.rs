@@ -1,0 +1,13 @@
+//! Host package for the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). The library itself re-exports the
+//! public crates so examples and tests have one import root.
+
+#![forbid(unsafe_code)]
+
+pub use tc_baselines as baselines;
+pub use tc_core as core;
+pub use tc_graph as graph;
+pub use tc_interval as interval;
+pub use tc_kb as kb;
+pub use tc_relation as relation;
+pub use tc_store as store;

@@ -1,0 +1,78 @@
+//! An IS-A hierarchy with subsumption, inheritance, lattice operations, and
+//! the paper's constant-time hierarchy refinement (§2.1, §4.1, §6).
+//!
+//! Run with: `cargo run -p tc-suite --example isa_hierarchy`
+
+use tc_kb::{lattice, Inheritance, PropertyLookup, Taxonomy};
+
+fn main() {
+    let mut kb = Taxonomy::new();
+
+    // A product taxonomy in the CLASSIC style.
+    kb.add_root("thing").unwrap();
+    kb.add_concept("device", &["thing"]).unwrap();
+    kb.add_concept("furniture", &["thing"]).unwrap();
+    kb.add_concept("printer", &["device"]).unwrap();
+    kb.add_concept("scanner", &["device"]).unwrap();
+    kb.add_concept("laser-printer", &["printer"]).unwrap();
+    kb.add_concept("inkjet-printer", &["printer"]).unwrap();
+    kb.add_concept("copier", &["printer", "scanner"]).unwrap();
+    kb.add_concept("desk", &["furniture"]).unwrap();
+
+    // Subsumption is one interval lookup.
+    println!("device subsumes copier?   {}", kb.subsumes("device", "copier").unwrap());
+    println!("scanner subsumes copier?  {}", kb.subsumes("scanner", "copier").unwrap());
+    println!("printer subsumes desk?    {}", kb.subsumes("printer", "desk").unwrap());
+
+    // Lattice operations (§6: "subsumption, disjointness, least common
+    // ancestors").
+    let lub = lattice::least_common_subsumers(&kb, "laser-printer", "scanner").unwrap();
+    println!(
+        "\nLCA(laser-printer, scanner) = {:?}",
+        lub.iter().map(|&c| kb.name(c)).collect::<Vec<_>>()
+    );
+    println!(
+        "printer and scanner disjoint? {}",
+        lattice::disjoint(&kb, "printer", "scanner").unwrap()
+    );
+    println!(
+        "printer and furniture disjoint? {}",
+        lattice::disjoint(&kb, "printer", "furniture").unwrap()
+    );
+
+    // Property inheritance with most-specific-wins overriding.
+    let mut props = Inheritance::new();
+    props.set(&kb, "device", "powered", "mains").unwrap();
+    props.set(&kb, "printer", "consumable", "toner-or-ink").unwrap();
+    props.set(&kb, "inkjet-printer", "consumable", "ink").unwrap();
+    for concept in ["laser-printer", "inkjet-printer", "copier"] {
+        match props.effective(&kb, concept, "consumable").unwrap() {
+            PropertyLookup::Value { value, provider } => println!(
+                "{concept}: consumable = {value} (from {})",
+                kb.name(provider)
+            ),
+            other => println!("{concept}: consumable = {other:?}"),
+        }
+    }
+
+    // §4.1 hierarchy refinement: interpose "imaging-device" between copier
+    // and its parents — constant-time, no interval updates anywhere.
+    let before = kb.closure().total_intervals();
+    kb.refine("imaging-device", "copier").unwrap();
+    let after = kb.closure().total_intervals();
+    println!(
+        "\nrefined copier under new 'imaging-device' (intervals {before} -> {after}: \
+         only the new node's own label was added, no existing label changed)"
+    );
+    println!(
+        "printer subsumes imaging-device? {}",
+        kb.subsumes("printer", "imaging-device").unwrap()
+    );
+    println!(
+        "imaging-device subsumes copier?  {}",
+        kb.subsumes("imaging-device", "copier").unwrap()
+    );
+
+    // The underlying closure is inspectable.
+    println!("\nclosure stats: {}", kb.closure().stats());
+}

@@ -1,0 +1,84 @@
+//! Parts explosion: the classic database use case for transitive closure
+//! (§1–2 of the paper — "an airplane, for example, may have close to 100,000
+//! different kinds of parts").
+//!
+//! A `part_of` relation is kept in a [`tc_relation::TcView`]: the compressed
+//! closure is the materialized view, updated incrementally as the bill of
+//! materials evolves, and "where-used" / "explodes-to" queries are lookups.
+//!
+//! Run with: `cargo run -p tc-suite --example parts_explosion`
+
+use tc_relation::TcView;
+
+fn main() {
+    let mut bom = TcView::new();
+
+    // Build an aircraft bill of materials (parent contains child).
+    for (assembly, part) in [
+        ("aircraft", "airframe"),
+        ("aircraft", "propulsion"),
+        ("aircraft", "avionics"),
+        ("airframe", "wing"),
+        ("airframe", "fuselage"),
+        ("wing", "flap"),
+        ("wing", "aileron"),
+        ("flap", "actuator"),
+        ("aileron", "actuator"), // shared subcomponent
+        ("propulsion", "engine"),
+        ("engine", "turbine"),
+        ("engine", "fuel-pump"),
+        ("turbine", "blade"),
+        ("avionics", "flight-computer"),
+        ("flight-computer", "cpu-board"),
+        ("actuator", "servo"),
+        ("servo", "motor-coil"),
+    ] {
+        bom.insert(assembly, part).expect("BOM stays acyclic");
+    }
+
+    // Explodes-to: everything transitively contained in a wing.
+    let mut wing_parts = bom.descendants("wing").expect("known part");
+    wing_parts.sort_unstable();
+    println!("wing explodes to: {wing_parts:?}");
+
+    // Where-used: every assembly containing an actuator.
+    let mut used_in = bom.ancestors("actuator").expect("known part");
+    used_in.sort_unstable();
+    println!("actuator used in: {used_in:?}");
+
+    // Membership by lookup, not traversal.
+    println!(
+        "does the aircraft contain a motor-coil? {}",
+        bom.reaches("aircraft", "motor-coil").unwrap()
+    );
+    println!(
+        "does the avionics bay contain a servo? {}",
+        bom.reaches("avionics", "servo").unwrap()
+    );
+
+    // An engineering change: flaps switch to electric actuation.
+    bom.remove("flap", "actuator").expect("tuple exists");
+    bom.insert("flap", "electric-actuator").unwrap();
+    bom.insert("electric-actuator", "motor-coil").unwrap();
+    println!("\nafter the engineering change:");
+    println!(
+        "  flap still uses (hydraulic) servo? {}",
+        bom.reaches("flap", "servo").unwrap()
+    );
+    println!(
+        "  flap uses motor-coil? {}",
+        bom.reaches("flap", "motor-coil").unwrap()
+    );
+    println!(
+        "  aileron still uses servo? {}",
+        bom.reaches("aileron", "servo").unwrap()
+    );
+
+    // Cycles (a part containing itself transitively) are rejected.
+    let err = bom.insert("motor-coil", "aircraft").unwrap_err();
+    println!("\nattempting to nest the aircraft inside a coil: {err}");
+
+    // Storage accounting for the materialized view.
+    let stats = bom.closure().stats();
+    println!("\nmaterialized view storage: {stats}");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a compressed transitive closure, query it, inspect the
+//! interval labels, and see the storage accounting.
+//!
+//! Run with: `cargo run -p tc-suite --example quickstart`
+
+use tc_core::{ClosureConfig, CompressedClosure};
+use tc_graph::{DiGraph, NodeId};
+
+fn main() {
+    // A small reports-to DAG:
+    //
+    //        0 (ceo)
+    //       /        \
+    //   1 (vp-eng)   2 (vp-sales)
+    //    |     \      /
+    //  3 (dev) 4 (devops)      <- devops reports to both VPs
+    //    |
+    //  5 (intern)
+    let g = DiGraph::from_edges([(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 5)]);
+    let names = ["ceo", "vp-eng", "vp-sales", "dev", "devops", "intern"];
+
+    // Build with contiguous postorder numbers (the paper's §3 setting).
+    let closure = ClosureConfig::new().gap(1).build(&g).expect("acyclic");
+
+    println!("Interval labels (postorder number + interval set per node):");
+    for v in g.nodes() {
+        println!(
+            "  {:<9} post={:<2} intervals={}",
+            names[v.index()],
+            closure.post_number(v),
+            closure.intervals(v)
+        );
+    }
+
+    // Reachability is a single interval lookup.
+    println!("\nQueries:");
+    for (src, dst) in [(0, 5), (2, 4), (2, 3), (4, 4)] {
+        println!(
+            "  {} ->* {} : {}",
+            names[src],
+            names[dst],
+            closure.reaches(NodeId(src as u32), NodeId(dst as u32))
+        );
+    }
+
+    // Decode a successor list back out of the intervals.
+    let under_vp_eng: Vec<&str> = closure
+        .successors(NodeId(1))
+        .into_iter()
+        .map(|v| names[v.index()])
+        .collect();
+    println!("\nEveryone under vp-eng (reflexive): {under_vp_eng:?}");
+
+    // Storage accounting in the paper's units.
+    let stats = closure.stats();
+    println!("\nStorage: {stats}");
+
+    // The closure is updatable in place (§4 of the paper).
+    let mut closure = CompressedClosure::build(&g).expect("acyclic");
+    let newcomer = closure
+        .add_node_with_parents(&[NodeId(4)])
+        .expect("valid parent");
+    println!(
+        "\nAdded a report under devops; ceo ->* newcomer = {}",
+        closure.reaches(NodeId(0), newcomer)
+    );
+
+    // Graphviz output with tree arcs solid / non-tree arcs dashed:
+    println!("\nDOT rendering:\n{}", closure.to_dot());
+}

@@ -1,0 +1,168 @@
+//! End-to-end knowledge-base scenario: grow a large IS-A hierarchy the way
+//! §2.1 describes (a parts/concepts space managed as a database), exercise
+//! subsumption, classification, inheritance and lattice operations together,
+//! and check the closure-backed answers against definition-level ground
+//! truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_kb::{lattice, Classifier, DefinedConcept, Inheritance, PropertyLookup, Taxonomy};
+
+#[test]
+fn large_taxonomy_grows_and_answers_consistently() {
+    let mut t = Taxonomy::new();
+    t.add_root("thing").unwrap();
+
+    // 3 levels of 8 children each, with every 5th concept multiply
+    // inheriting from its left neighbor: 1 + 8 + 64 + 512 concepts.
+    let mut layer: Vec<String> = vec!["thing".to_string()];
+    let mut counter = 0usize;
+    for _ in 0..3 {
+        let mut next: Vec<String> = Vec::new();
+        for parent in &layer {
+            for _ in 0..8 {
+                let name = format!("c{counter}");
+                counter += 1;
+                let mut parents: Vec<&str> = vec![parent.as_str()];
+                let prev = next.last().cloned();
+                if counter % 5 == 0 {
+                    if let Some(prev) = prev.as_deref() {
+                        parents.push(prev);
+                    }
+                }
+                t.add_concept(&name, &parents).unwrap();
+                next.push(name);
+            }
+        }
+        layer = next;
+    }
+    assert_eq!(t.len(), 1 + 8 + 64 + 512);
+
+    // The root subsumes everything.
+    assert_eq!(t.descendants("thing").unwrap().len(), t.len() - 1);
+    // Spot-check antisymmetry on a deep pair.
+    assert!(t.subsumes("c0", "c72").unwrap() != t.subsumes("c72", "c0").unwrap()
+        || !t.subsumes("c0", "c72").unwrap());
+    t.verify().unwrap();
+
+    // Storage sanity: the hierarchy compresses to O(n) intervals (§2.1's
+    // whole point — IS-A hierarchies are benign, nearly tree-like).
+    let stats = t.closure().stats();
+    assert!(
+        stats.total_intervals() < 2 * t.len(),
+        "near-tree hierarchy should stay near one interval per concept: {stats}"
+    );
+}
+
+#[test]
+fn classifier_and_taxonomy_stay_synchronized_under_random_growth() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let features = ["a", "b", "c", "d", "e", "f", "g"];
+    let mut classifier = Classifier::new();
+    let mut defs: Vec<DefinedConcept> = Vec::new();
+    for i in 0..60 {
+        let set: Vec<&str> = features
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(0.35))
+            .collect();
+        let def = DefinedConcept::new(&format!("k{i}"), &set);
+        defs.push(def.clone());
+        classifier.classify(def).unwrap();
+    }
+    classifier.verify().unwrap();
+
+    // Cached subsumption must equal definitional subsumption (up to
+    // equivalence direction) for every pair.
+    for a in &defs {
+        for b in &defs {
+            if a.subsumes(b) && !b.subsumes(a) {
+                assert!(
+                    classifier.subsumes(&a.name, &b.name).unwrap(),
+                    "{} should subsume {}",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refinement_and_inheritance_interact_correctly() {
+    let mut t = Taxonomy::new();
+    t.add_root("vehicle").unwrap();
+    t.add_concept("car", &["vehicle"]).unwrap();
+    t.add_concept("sports-car", &["car"]).unwrap();
+
+    let mut props = Inheritance::new();
+    props.set(&t, "vehicle", "wheels", "unknown").unwrap();
+    props.set(&t, "car", "wheels", "4").unwrap();
+
+    // Refine: interpose "motor-vehicle" between vehicle and car.
+    t.refine("motor-vehicle", "car").unwrap();
+    props.set(&t, "motor-vehicle", "engine", "yes").unwrap();
+
+    // sports-car inherits through the refined chain.
+    assert!(matches!(
+        props.effective(&t, "sports-car", "wheels").unwrap(),
+        PropertyLookup::Value { value, .. } if value == "4"
+    ));
+    assert!(matches!(
+        props.effective(&t, "sports-car", "engine").unwrap(),
+        PropertyLookup::Value { value, .. } if value == "yes"
+    ));
+    // But the refinement node itself does not see car's local value.
+    assert!(matches!(
+        props.effective(&t, "motor-vehicle", "wheels").unwrap(),
+        PropertyLookup::Value { value, .. } if value == "unknown"
+    ));
+    t.verify().unwrap();
+}
+
+#[test]
+fn lattice_operations_on_a_refined_hierarchy() {
+    let mut t = Taxonomy::new();
+    t.add_root("top").unwrap();
+    t.add_concept("metal", &["top"]).unwrap();
+    t.add_concept("conductor", &["top"]).unwrap();
+    t.add_concept("copper", &["metal", "conductor"]).unwrap();
+    t.add_concept("silver", &["metal", "conductor"]).unwrap();
+    t.add_concept("wood", &["top"]).unwrap();
+
+    let glb = lattice::greatest_common_subsumees(&t, "metal", "conductor").unwrap();
+    let mut names: Vec<&str> = glb.iter().map(|&c| t.name(c)).collect();
+    names.sort_unstable();
+    assert_eq!(names, vec!["copper", "silver"]);
+    assert!(lattice::disjoint(&t, "wood", "metal").unwrap());
+
+    // Refinement interposes "noble-metal" *above* copper (between copper
+    // and its parents), so it takes copper's place as a most general common
+    // subsumee of metal and conductor.
+    t.refine("noble-metal", "copper").unwrap();
+    let glb2 = lattice::greatest_common_subsumees(&t, "metal", "conductor").unwrap();
+    let mut names2: Vec<&str> = glb2.iter().map(|&c| t.name(c)).collect();
+    names2.sort_unstable();
+    assert_eq!(names2, vec!["noble-metal", "silver"]);
+    assert!(t.subsumes("metal", "noble-metal").unwrap());
+    assert!(t.subsumes("noble-metal", "copper").unwrap());
+    t.verify().unwrap();
+}
+
+#[test]
+fn deletion_semantics_nodes_are_ignored_not_restructured() {
+    // §4.2: "Deletion has special properties in AI concept hierarchies —
+    // nodes are 'deleted' to be ignored, but the subset relationships
+    // between remaining nodes is unchanged, and no update is required to
+    // the compressed closure." We model this by simply not querying the
+    // ignored concept: everything else is untouched.
+    let mut t = Taxonomy::new();
+    t.add_root("a").unwrap();
+    t.add_concept("b", &["a"]).unwrap();
+    t.add_concept("c", &["b"]).unwrap();
+    let intervals_before = t.closure().total_intervals();
+    // Ignore "b": relationships among the rest are unchanged, and the
+    // closure was not touched at all.
+    assert!(t.subsumes("a", "c").unwrap());
+    assert_eq!(t.closure().total_intervals(), intervals_before);
+}

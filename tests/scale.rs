@@ -1,0 +1,84 @@
+//! Scale smoke tests: the knowledge-base sizes §2.1 talks about ("an
+//! airplane … may have close to 100,000 different kinds of parts") must
+//! build and answer quickly. These run in debug CI, so they are sized to a
+//! few seconds; crank the constants under `--release` for the full effect.
+
+use tc_core::{ClosureConfig, CompressedClosure};
+use tc_graph::{generators, traverse, NodeId};
+
+#[test]
+fn twenty_thousand_node_hierarchy_builds_and_answers() {
+    // A 6-level taxonomy-shaped DAG with multiple inheritance.
+    let g = generators::layered_dag(6, 3500, 2, 41);
+    assert_eq!(g.node_count(), 21_000);
+    let c = CompressedClosure::build(&g).unwrap();
+
+    // Spot-check against DFS on a sample of pairs.
+    for u in (0..21_000).step_by(997) {
+        let truth = traverse::reachable_set(&g, NodeId(u as u32));
+        for v in (0..21_000).step_by(1501) {
+            assert_eq!(
+                c.reaches(NodeId(u as u32), NodeId(v as u32)),
+                truth.contains(v),
+                "({u},{v})"
+            );
+        }
+    }
+
+    // Near-tree hierarchies stay near one interval per node even with two
+    // parents each (subsumption eats the duplicates).
+    let stats = c.stats();
+    assert!(
+        stats.total_intervals() < 12 * g.node_count(),
+        "interval blow-up: {stats}"
+    );
+}
+
+#[test]
+fn incremental_growth_to_ten_thousand_nodes() {
+    // Grow from a seed graph purely through the §4 update path.
+    let seed_graph = generators::random_dag(generators::RandomDagConfig {
+        nodes: 100,
+        avg_out_degree: 2.0,
+        seed: 3,
+    });
+    let mut c = ClosureConfig::new().build(&seed_graph).unwrap();
+    let mut rng_state = 12345u64;
+    let mut next = || {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng_state >> 33) as u32
+    };
+    while c.node_count() < 10_000 {
+        let parent = NodeId(next() % c.node_count() as u32);
+        c.add_node_with_parents(&[parent]).unwrap();
+    }
+    // Sampled spot checks against the graph.
+    for _ in 0..50 {
+        let u = NodeId(next() % 10_000);
+        let v = NodeId(next() % 10_000);
+        assert_eq!(
+            c.reaches(u, v),
+            traverse::reaches(c.graph(), u, v),
+            "({u:?},{v:?})"
+        );
+    }
+}
+
+#[test]
+fn serialization_scales() {
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 5_000,
+        avg_out_degree: 2.0,
+        seed: 5,
+    });
+    let c = CompressedClosure::build(&g).unwrap();
+    let bytes = c.to_bytes();
+    let back = CompressedClosure::from_bytes(&bytes).unwrap();
+    assert_eq!(back.to_bytes(), bytes);
+    // The serialized closure is far smaller than the materialized relation
+    // pairs it answers for.
+    let stats = c.stats();
+    assert!(bytes.len() < stats.closure_size * 8);
+}

@@ -1,0 +1,132 @@
+//! Disk-layout integration: the paged stores must agree with the in-memory
+//! closure on realistic workloads, and the I/O accounting must show the
+//! orderings the paper's §2.2 motivation predicts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_core::{ClosureConfig, CompressedClosure};
+use tc_graph::{generators, NodeId};
+use tc_store::{AdjStore, BufferPool, LabelStore, TcListStore};
+
+#[test]
+fn stores_agree_with_closure_across_page_sizes() {
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 120,
+        avg_out_degree: 2.5,
+        seed: 17,
+    });
+    let closure = CompressedClosure::build(&g).unwrap();
+    for page in [64usize, 256, 4096] {
+        let labels = LabelStore::build(&closure, page);
+        let tclists = TcListStore::build(&g, page);
+        let adj = AdjStore::build(&g, page);
+        let mut p1 = BufferPool::new(4);
+        let mut p2 = BufferPool::new(4);
+        let mut p3 = BufferPool::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let u = NodeId(rng.random_range(0..120));
+            let v = NodeId(rng.random_range(0..120));
+            let expect = closure.reaches(u, v);
+            assert_eq!(labels.reaches(u, v, &mut p1), expect, "labels page={page}");
+            assert_eq!(tclists.reaches(u, v, &mut p2), expect, "tclists page={page}");
+            assert_eq!(adj.reaches(u, v, &mut p3), expect, "adj page={page}");
+        }
+    }
+}
+
+#[test]
+fn io_ordering_matches_motivation() {
+    // §2.2: the compressed layout should minimize I/O traffic relative to
+    // both the fat materialization and pointer chasing, on a dense graph
+    // where the differences are stark.
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 600,
+        avg_out_degree: 4.0,
+        seed: 23,
+    });
+    let closure = ClosureConfig::new().gap(1).build(&g).unwrap();
+    let labels = LabelStore::build(&closure, 512);
+    let tclists = TcListStore::build(&g, 512);
+    let adj = AdjStore::build(&g, 512);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mix: Vec<(NodeId, NodeId)> = (0..800)
+        .map(|_| {
+            (
+                NodeId(rng.random_range(0..600)),
+                NodeId(rng.random_range(0..600)),
+            )
+        })
+        .collect();
+
+    let run = |f: &mut dyn FnMut(NodeId, NodeId)| {
+        for &(u, v) in &mix {
+            f(u, v);
+        }
+    };
+
+    let mut pool = BufferPool::new(8);
+    labels.blob().pager().reset_counters();
+    run(&mut |u, v| {
+        labels.reaches(u, v, &mut pool);
+    });
+    let label_reads = labels.blob().pager().reads();
+
+    let mut pool = BufferPool::new(8);
+    tclists.blob().pager().reset_counters();
+    run(&mut |u, v| {
+        tclists.reaches(u, v, &mut pool);
+    });
+    let list_reads = tclists.blob().pager().reads();
+
+    let mut pool = BufferPool::new(8);
+    adj.blob().pager().reset_counters();
+    run(&mut |u, v| {
+        adj.reaches(u, v, &mut pool);
+    });
+    let chase_reads = adj.blob().pager().reads();
+
+    assert!(
+        label_reads < list_reads,
+        "compressed labels ({label_reads}) should out-perform closure lists ({list_reads})"
+    );
+    assert!(
+        label_reads < chase_reads,
+        "compressed labels ({label_reads}) should out-perform pointer chasing ({chase_reads})"
+    );
+
+    // Footprint ordering too: labels < closure lists.
+    assert!(labels.blob().page_count() < tclists.blob().page_count());
+}
+
+#[test]
+fn buffer_pool_capacity_trades_hits_for_reads() {
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 300,
+        avg_out_degree: 3.0,
+        seed: 4,
+    });
+    let closure = ClosureConfig::new().gap(1).build(&g).unwrap();
+    let labels = LabelStore::build(&closure, 256);
+
+    let mut reads_by_capacity = Vec::new();
+    for capacity in [1usize, 8, 1024] {
+        let mut pool = BufferPool::new(capacity);
+        labels.blob().pager().reset_counters();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let u = NodeId(rng.random_range(0..300));
+            let v = NodeId(rng.random_range(0..300));
+            labels.reaches(u, v, &mut pool);
+        }
+        reads_by_capacity.push(labels.blob().pager().reads());
+    }
+    assert!(
+        reads_by_capacity[0] >= reads_by_capacity[1],
+        "bigger pool, fewer disk reads: {reads_by_capacity:?}"
+    );
+    assert!(reads_by_capacity[1] >= reads_by_capacity[2]);
+    // With the pool bigger than the store, every page is read exactly once.
+    assert!(reads_by_capacity[2] <= labels.blob().page_count() as u64);
+}

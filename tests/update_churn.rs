@@ -1,0 +1,159 @@
+//! Long randomized update-churn sequences: the closure must match a
+//! freshly-built ground truth after arbitrary interleavings of every §4
+//! operation, across configurations (tight gaps force relabels, reserves
+//! enable refinement, merging changes the storage layout).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use tc_core::{ClosureConfig, CompressedClosure, UpdateError};
+use tc_graph::{generators, NodeId};
+
+fn churn(config: ClosureConfig, seed: u64, steps: usize, verify_every: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 12,
+        avg_out_degree: 1.5,
+        seed,
+    });
+    let mut c = config.build(&g).unwrap();
+
+    for step in 0..steps {
+        let n = c.node_count() as u32;
+        match rng.random_range(0..6) {
+            // Leaf/root addition.
+            0 => {
+                let k = rng.random_range(0..=2usize);
+                let parents: Vec<NodeId> =
+                    (0..k).map(|_| NodeId(rng.random_range(0..n))).collect();
+                c.add_node_with_parents(&parents).unwrap();
+            }
+            // Non-tree arc addition (cycle-safe).
+            1 => {
+                let a = NodeId(rng.random_range(0..n));
+                let b = NodeId(rng.random_range(0..n));
+                if a != b && !c.reaches(b, a) {
+                    c.add_edge(a, b).unwrap();
+                }
+            }
+            // Arc deletion.
+            2 => {
+                let edges: Vec<(NodeId, NodeId)> = c.graph().edges().collect();
+                if let Some(&(s, d)) = edges.choose(&mut rng) {
+                    c.remove_edge(s, d).unwrap();
+                }
+            }
+            // Refinement (requires reserve; tolerate exhaustion).
+            3 => {
+                let child = NodeId(rng.random_range(0..n));
+                let preds: Vec<NodeId> = c.graph().predecessors(child).to_vec();
+                match c.refine_insert(child, &preds) {
+                    Ok(_) | Err(UpdateError::ReserveExhausted(_)) => {}
+                    Err(e) => panic!("unexpected refine error: {e}"),
+                }
+            }
+            // Node removal.
+            4 => {
+                if n > 4 {
+                    let victim = NodeId(rng.random_range(0..n));
+                    c.remove_node(victim).unwrap();
+                }
+            }
+            // Maintenance.
+            _ => {
+                if rng.random_bool(0.5) {
+                    c.relabel();
+                } else {
+                    c.rebuild();
+                }
+            }
+        }
+        if step % verify_every == verify_every - 1 {
+            c.verify()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+        }
+    }
+    c.verify().unwrap_or_else(|e| panic!("seed {seed} final: {e}"));
+}
+
+#[test]
+fn churn_with_default_config() {
+    for seed in 0..4 {
+        churn(ClosureConfig::new(), seed, 150, 25);
+    }
+}
+
+#[test]
+fn churn_with_tight_gaps_forces_relabels() {
+    // gap 2 exhausts instantly, exercising the "empty numbers run out" path
+    // on nearly every insertion.
+    for seed in 10..13 {
+        churn(ClosureConfig::new().gap(2), seed, 100, 20);
+    }
+}
+
+#[test]
+fn churn_with_reserve() {
+    for seed in 20..23 {
+        churn(ClosureConfig::new().gap(64).reserve(4), seed, 120, 20);
+    }
+}
+
+#[test]
+fn churn_with_merging() {
+    for seed in 30..33 {
+        churn(ClosureConfig::new().gap(32).merge_adjacent(true), seed, 120, 20);
+    }
+}
+
+#[test]
+fn optimality_recovered_by_rebuild_after_churn() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 60,
+        avg_out_degree: 2.0,
+        seed: 7,
+    });
+    let mut c = ClosureConfig::new().build(&g).unwrap();
+    // Pile on non-optimally-placed nodes and arcs.
+    for _ in 0..60 {
+        let n = c.node_count() as u32;
+        let a = NodeId(rng.random_range(0..n));
+        let b = NodeId(rng.random_range(0..n));
+        if a != b && !c.reaches(b, a) {
+            c.add_edge(a, b).unwrap();
+        }
+        c.add_node_with_parents(&[NodeId(rng.random_range(0..n))]).unwrap();
+    }
+    let churned = c.total_intervals();
+    let fresh = CompressedClosure::build(c.graph()).unwrap().total_intervals();
+    assert!(fresh <= churned, "rebuild can only improve: {fresh} vs {churned}");
+    c.rebuild();
+    assert_eq!(c.total_intervals(), fresh);
+    c.verify().unwrap();
+}
+
+#[test]
+fn updates_preserve_paper_figure_numbers_between_relabels() {
+    // A relabel must not change observable reachability, only numbers.
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes: 30,
+        avg_out_degree: 2.0,
+        seed: 3,
+    });
+    let mut c = ClosureConfig::new().gap(16).build(&g).unwrap();
+    let snapshot: Vec<Vec<NodeId>> = g
+        .nodes()
+        .map(|v| {
+            let mut s = c.successors(v);
+            s.sort_unstable();
+            s
+        })
+        .collect();
+    c.relabel();
+    for v in g.nodes() {
+        let mut s = c.successors(v);
+        s.sort_unstable();
+        assert_eq!(s, snapshot[v.index()]);
+    }
+}
