@@ -16,6 +16,10 @@
 //! `<graph>` is an edge-list file (`src dst` per line, `#` comments, `-`
 //! for stdin) or a previously compressed `.itc` closure — the tool detects
 //! which by content.
+//!
+//! A global `--threads N` flag (any position) runs closure construction and
+//! the scan-style queries level-parallel on `N` worker threads (`0` = one
+//! per CPU); the result is identical to the serial build.
 
 #![forbid(unsafe_code)]
 
@@ -23,7 +27,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use tc_baselines::{FullClosure, ReachMatrix, ReachabilityIndex};
-use tc_core::CompressedClosure;
+use tc_core::{ClosureConfig, CompressedClosure};
 use tc_graph::{edgelist, generators, NodeId};
 
 fn main() -> ExitCode {
@@ -50,22 +54,43 @@ const USAGE: &str = "usage:
   interval-tc compress <graph> <out.itc>
   interval-tc gen <nodes> <degree> [seed]
 
+global flags: --threads N   build/query on N worker threads (0 = one per CPU)
 <graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure";
 
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, threads) = extract_threads(args)?;
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
-        "info" => info(arg(args, 1)?),
-        "stats" => stats(arg(args, 1)?),
-        "query" => query(arg(args, 1)?, arg(args, 2)?, arg(args, 3)?),
-        "successors" => neighbors(arg(args, 1)?, arg(args, 2)?, true),
-        "predecessors" => neighbors(arg(args, 1)?, arg(args, 2)?, false),
-        "path" => path(arg(args, 1)?, arg(args, 2)?, arg(args, 3)?),
-        "dot" => dot(arg(args, 1)?),
-        "compress" => compress(arg(args, 1)?, arg(args, 2)?),
-        "gen" => gen(args),
+        "info" => info(arg(&args, 1)?),
+        "stats" => stats(arg(&args, 1)?, threads),
+        "query" => query(arg(&args, 1)?, arg(&args, 2)?, arg(&args, 3)?, threads),
+        "successors" => neighbors(arg(&args, 1)?, arg(&args, 2)?, true, threads),
+        "predecessors" => neighbors(arg(&args, 1)?, arg(&args, 2)?, false, threads),
+        "path" => path(arg(&args, 1)?, arg(&args, 2)?, arg(&args, 3)?, threads),
+        "dot" => dot(arg(&args, 1)?, threads),
+        "compress" => compress(arg(&args, 1)?, arg(&args, 2)?, threads),
+        "gen" => gen(&args),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Strips a global `--threads N` flag from anywhere in the argument list.
+/// Absent, the tool stays serial (`threads = 1`).
+fn extract_threads(args: &[String]) -> Result<(Vec<String>, usize), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it.next().ok_or("--threads requires a value")?;
+            threads = v
+                .parse()
+                .map_err(|_| format!("invalid thread count {v:?}"))?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, threads))
 }
 
 fn arg(args: &[String], ix: usize) -> Result<&str, String> {
@@ -86,15 +111,21 @@ fn read_input(path: &str) -> Result<Vec<u8>, String> {
     }
 }
 
-/// Loads either a serialized closure or an edge list (building the closure).
-fn load(path: &str) -> Result<CompressedClosure, String> {
+/// Loads either a serialized closure or an edge list (building the closure),
+/// with all construction and subsequent scans on `threads` workers.
+fn load(path: &str, threads: usize) -> Result<CompressedClosure, String> {
     let data = read_input(path)?;
     if data.starts_with(b"ITC1") {
-        return CompressedClosure::from_bytes(&data).map_err(|e| e.to_string());
+        let mut closure = CompressedClosure::from_bytes(&data).map_err(|e| e.to_string())?;
+        closure.set_threads(threads);
+        return Ok(closure);
     }
     let text = String::from_utf8(data).map_err(|_| "input is neither a closure nor UTF-8 text")?;
     let graph = edgelist::parse(&text).map_err(|e| e.to_string())?;
-    CompressedClosure::build(&graph).map_err(|e| e.to_string())
+    ClosureConfig::new()
+        .threads(threads)
+        .build(&graph)
+        .map_err(|e| e.to_string())
 }
 
 fn parse_node(c: &CompressedClosure, s: &str) -> Result<NodeId, String> {
@@ -124,8 +155,8 @@ fn info(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(path: &str) -> Result<(), String> {
-    let closure = load(path)?;
+fn stats(path: &str, threads: usize) -> Result<(), String> {
+    let closure = load(path, threads)?;
     let s = closure.stats();
     println!("nodes                 {}", s.nodes);
     println!("relation arcs         {}", s.graph_arcs);
@@ -149,8 +180,8 @@ fn stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn query(path: &str, src: &str, dst: &str) -> Result<(), String> {
-    let closure = load(path)?;
+fn query(path: &str, src: &str, dst: &str, threads: usize) -> Result<(), String> {
+    let closure = load(path, threads)?;
     let s = parse_node(&closure, src)?;
     let d = parse_node(&closure, dst)?;
     let reachable = closure.reaches(s, d);
@@ -161,8 +192,8 @@ fn query(path: &str, src: &str, dst: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn neighbors(path: &str, node: &str, forward: bool) -> Result<(), String> {
-    let closure = load(path)?;
+fn neighbors(path: &str, node: &str, forward: bool, threads: usize) -> Result<(), String> {
+    let closure = load(path, threads)?;
     let n = parse_node(&closure, node)?;
     let mut set = if forward {
         closure.successors(n)
@@ -176,8 +207,8 @@ fn neighbors(path: &str, node: &str, forward: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn path(input: &str, src: &str, dst: &str) -> Result<(), String> {
-    let closure = load(input)?;
+fn path(input: &str, src: &str, dst: &str, threads: usize) -> Result<(), String> {
+    let closure = load(input, threads)?;
     let s = parse_node(&closure, src)?;
     let d = parse_node(&closure, dst)?;
     match closure.find_path(s, d) {
@@ -190,14 +221,14 @@ fn path(input: &str, src: &str, dst: &str) -> Result<(), String> {
     }
 }
 
-fn dot(path: &str) -> Result<(), String> {
-    let closure = load(path)?;
+fn dot(path: &str, threads: usize) -> Result<(), String> {
+    let closure = load(path, threads)?;
     print!("{}", closure.to_dot());
     Ok(())
 }
 
-fn compress(path: &str, out: &str) -> Result<(), String> {
-    let closure = load(path)?;
+fn compress(path: &str, out: &str, threads: usize) -> Result<(), String> {
+    let closure = load(path, threads)?;
     let bytes = closure.to_bytes();
     std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
     let s = closure.stats();

@@ -5,7 +5,8 @@ use tc_interval::IntervalSet;
 
 use crate::builder::ClosureConfig;
 use crate::labeling::Labeling;
-use crate::propagate::propagate_all;
+use crate::parallel;
+use crate::propagate::propagate_dispatch;
 use crate::stats::ClosureStats;
 use crate::treecover::TreeCover;
 
@@ -65,6 +66,14 @@ impl CompressedClosure {
         &self.config
     }
 
+    /// Changes the worker-thread count used by subsequent parallel
+    /// operations (batch queries, predecessor scans, stats, relabeling,
+    /// rebuilds) — see [`ClosureConfig::threads`]. The knob is runtime-only:
+    /// it is not serialized, so decoded closures start at `1`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()
@@ -92,14 +101,45 @@ impl CompressedClosure {
         self.lab.decode_count(&self.lab.sets[node.index()])
     }
 
+    /// Answers a batch of reachability queries in one call, fanning the
+    /// pairs across the configured worker threads ([`ClosureConfig::threads`]).
+    /// Result `i` is `reaches(pairs[i].0, pairs[i].1)`.
+    ///
+    /// Each query is an independent read of immutable label state, so the
+    /// batch parallelizes embarrassingly; with `threads <= 1` (or a small
+    /// batch) the pairs are answered inline with no thread overhead.
+    pub fn reaches_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
+        let threads = parallel::effective_threads(self.config.threads);
+        parallel::map_chunks(pairs, threads, |chunk| {
+            chunk.iter().map(|&(src, dst)| self.reaches(src, dst)).collect()
+        })
+    }
+
     /// All nodes that reach `node` (including itself), by scanning every
-    /// interval set. O(n log k); build a closure of the reversed relation if
-    /// predecessor queries dominate.
+    /// interval set. O(n log k), split across the configured worker threads;
+    /// build a closure of the reversed relation if predecessor queries
+    /// dominate.
     pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
         let target = self.lab.post[node.index()];
-        self.graph
-            .nodes()
-            .filter(|u| self.lab.sets[u.index()].contains_point(target))
+        let threads = parallel::effective_threads(self.config.threads);
+        if threads <= 1 {
+            return self
+                .graph
+                .nodes()
+                .filter(|u| self.lab.sets[u.index()].contains_point(target))
+                .collect();
+        }
+        let nodes: Vec<NodeId> = self.graph.nodes().collect();
+        let hits = parallel::map_chunks(&nodes, threads, |chunk| {
+            chunk
+                .iter()
+                .map(|u| self.lab.sets[u.index()].contains_point(target))
+                .collect()
+        });
+        nodes
+            .into_iter()
+            .zip(hits)
+            .filter_map(|(u, hit)| hit.then_some(u))
             .collect()
     }
 
@@ -154,15 +194,24 @@ impl CompressedClosure {
     }
 
     /// Storage statistics in the paper's §3.3 units. Computes the full
-    /// closure size by decoding every node's interval set (O(closure size)).
+    /// closure size by decoding every node's interval set (O(closure size)),
+    /// with the per-node decodes split across the configured worker threads.
     pub fn stats(&self) -> ClosureStats {
         let n = self.node_count();
-        let total = self.total_intervals();
-        let closure_size: usize = self
-            .graph
-            .nodes()
-            .map(|v| self.successor_count(v) - 1) // drop the reflexive pair
-            .sum();
+        let threads = parallel::effective_threads(self.config.threads);
+        let nodes: Vec<NodeId> = self.graph.nodes().collect();
+        let per_node = parallel::map_chunks(&nodes, threads, |chunk| {
+            chunk
+                .iter()
+                .map(|&v| {
+                    let set = &self.lab.sets[v.index()];
+                    (set.count(), self.lab.decode_count(set) - 1) // drop the reflexive pair
+                })
+                .collect()
+        });
+        let (total, closure_size) = per_node
+            .into_iter()
+            .fold((0usize, 0usize), |(ti, cs), (t, c)| (ti + t, cs + c));
         ClosureStats {
             nodes: n,
             graph_arcs: self.graph.edge_count(),
@@ -224,9 +273,8 @@ impl CompressedClosure {
     /// empty numbers run out"); also useful to reclaim space after many
     /// deletions.
     pub fn relabel(&mut self) {
-        let order = topo::topo_sort(&self.graph).expect("closure graph must stay acyclic");
         self.lab = Labeling::assign(&self.cover, self.config.gap, self.config.reserve);
-        propagate_all(&self.graph, &order, &mut self.lab);
+        propagate_dispatch(&self.graph, &mut self.lab, self.config.threads);
         self.apply_merge_policy();
     }
 

@@ -214,6 +214,9 @@ impl CompressedClosure {
             gap,
             reserve,
             merge_adjacent,
+            // A runtime knob, not a closure property: deliberately not
+            // serialized, so decoded closures start out serial.
+            threads: 1,
         };
 
         // Relation.

@@ -63,6 +63,7 @@
 mod builder;
 mod closure;
 mod labeling;
+mod parallel;
 mod propagate;
 mod stats;
 

@@ -6,10 +6,12 @@
 //! an interval ... if one interval is subsumed by another, discard the
 //! subsumed interval."
 
+use tc_graph::topo::Levels;
 use tc_graph::{DiGraph, NodeId};
 use tc_interval::Interval;
 
 use crate::labeling::Labeling;
+use crate::parallel;
 
 /// Runs the full propagation sweep over `g`, assuming `lab.sets` currently
 /// holds exactly the tree intervals (as after [`Labeling::assign`] or
@@ -31,6 +33,59 @@ pub(crate) fn propagate_all(g: &DiGraph, topo_order: &[NodeId], lab: &mut Labeli
                 lab.sets[p.index()].insert(iv);
             }
         }
+    }
+}
+
+/// Level-parallel variant of [`propagate_all`]: sweeps the topological
+/// levels of `g` from the sinks upward, fanning each level's nodes across
+/// `threads` scoped workers.
+///
+/// Nodes on the same level are mutually unreachable (every arc strictly
+/// descends levels), so a node's sweep only *reads* sets finalized in
+/// earlier levels and *writes* its own — which the workers do by returning
+/// an owned replacement set that the calling thread installs after the
+/// join. Each node runs the exact insert sequence of the serial sweep, so
+/// the resulting `Labeling` is bit-identical to `propagate_all`'s.
+pub(crate) fn propagate_all_levels(g: &DiGraph, levels: &Levels, lab: &mut Labeling, threads: usize) {
+    let mut sweep = levels.iter_up();
+    // Level 0 holds the sinks: no successors, nothing to inherit.
+    sweep.next();
+    for level in sweep {
+        let read_lab: &Labeling = lab;
+        let new_sets = parallel::map_chunks(level, threads, |chunk| {
+            let mut scratch: Vec<Interval> = Vec::new();
+            chunk
+                .iter()
+                .map(|&p| {
+                    let mut set = read_lab.sets[p.index()].clone();
+                    for &q in g.successors(p) {
+                        inherit_into_scratch(read_lab, q, &mut scratch);
+                        for &iv in &scratch {
+                            set.insert(iv);
+                        }
+                    }
+                    set
+                })
+                .collect()
+        });
+        for (&p, set) in level.iter().zip(new_sets) {
+            lab.sets[p.index()] = set;
+        }
+    }
+}
+
+/// Runs the full propagation sweep, choosing between the serial and the
+/// level-parallel implementation from the (unresolved) `threads` knob of a
+/// [`crate::ClosureConfig`]. Used by relabeling and delete-repair paths,
+/// which recompute everything from a graph known to be acyclic.
+pub(crate) fn propagate_dispatch(g: &DiGraph, lab: &mut Labeling, threads_knob: usize) {
+    let threads = parallel::effective_threads(threads_knob);
+    if threads > 1 {
+        let levels = tc_graph::topo::levels(g).expect("closure graph must stay acyclic");
+        propagate_all_levels(g, &levels, lab, threads);
+    } else {
+        let order = tc_graph::topo::topo_sort(g).expect("closure graph must stay acyclic");
+        propagate_all(g, &order, lab);
     }
 }
 

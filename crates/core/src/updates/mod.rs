@@ -128,10 +128,8 @@ impl crate::CompressedClosure {
     /// sweep over the current graph, keeping numbers, tree intervals and
     /// consumed reserve tails as they are. Used by arc deletion (§4.2).
     pub(crate) fn recompute_non_tree(&mut self) {
-        let order = tc_graph::topo::topo_sort(&self.graph)
-            .expect("closure graph must stay acyclic");
         self.lab.reset_sets();
-        crate::propagate::propagate_all(&self.graph, &order, &mut self.lab);
+        crate::propagate::propagate_dispatch(&self.graph, &mut self.lab, self.config.threads);
         self.apply_merge_policy();
     }
 }

@@ -166,6 +166,85 @@ pub fn topo_sort_dfs(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
     Ok(postorder)
 }
 
+/// A topological *level decomposition* of a DAG.
+///
+/// The level of a node is the length of the longest directed path from it to
+/// a sink: sinks sit at level 0, and for every arc `(p, q)` the source lies
+/// at a strictly higher level than the target (`level(p) >= level(q) + 1`).
+/// Consequently no two nodes on the same level are connected by an arc —
+/// they are mutually independent, which is what makes levels the unit of
+/// parallelism for the closure-construction sweeps: a level's nodes can be
+/// processed concurrently once all lower (for reverse-topological
+/// propagation) or higher (for Alg1's forward sweep) levels are complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    /// `level[v]` = topological level of node `v`.
+    level: Vec<usize>,
+    /// `buckets[l]` = nodes at level `l`, ascending by id.
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl Levels {
+    /// The level of `node`.
+    #[inline]
+    pub fn level_of(&self, node: NodeId) -> usize {
+        self.level[node.index()]
+    }
+
+    /// Number of distinct levels (0 for the empty graph). The longest path
+    /// in the graph has `height() - 1` arcs.
+    pub fn height(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of nodes across all levels.
+    pub fn node_count(&self) -> usize {
+        self.level.len()
+    }
+
+    /// The nodes at level `l`, in ascending id order.
+    #[inline]
+    pub fn nodes_at(&self, l: usize) -> &[NodeId] {
+        &self.buckets[l]
+    }
+
+    /// Iterates levels from the sinks up to the sources (level 0 first) —
+    /// the order of the reverse-topological propagation sweep.
+    pub fn iter_up(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.buckets.iter().map(Vec::as_slice)
+    }
+
+    /// Iterates levels from the sources down to the sinks (highest level
+    /// first) — the order of Alg1's forward sweep.
+    pub fn iter_down(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.buckets.iter().rev().map(Vec::as_slice)
+    }
+}
+
+/// Computes the topological level decomposition of `g` in one reverse pass
+/// over a topological order: `level(v) = 1 + max(level of successors)`, with
+/// sinks at level 0. Fails with a [`CycleError`] on cyclic input.
+pub fn levels(g: &DiGraph) -> Result<Levels, CycleError> {
+    let order = topo_sort(g)?;
+    let mut level = vec![0usize; g.node_count()];
+    for &v in order.iter().rev() {
+        let best = g
+            .successors(v)
+            .iter()
+            .map(|s| level[s.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[v.index()] = best;
+    }
+    let height = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut buckets = vec![Vec::new(); height];
+    // Bucket by ascending node id so the per-level order is deterministic.
+    for (ix, &l) in level.iter().enumerate() {
+        buckets[l].push(NodeId::from_index(ix));
+    }
+    Ok(Levels { level, buckets })
+}
+
 /// Validates that `order` is a topological order of `g`.
 pub fn is_topo_order(g: &DiGraph, order: &[NodeId]) -> bool {
     if order.len() != g.node_count() {
@@ -264,5 +343,113 @@ mod tests {
         let g = DiGraph::from_edges([(0, 1), (1, 0)]);
         let err = topo_sort(&g).unwrap_err();
         assert_eq!(err.cycle.len(), 2);
+    }
+
+    /// Reference for `levels`: longest path to a sink by exhaustive DFS.
+    fn longest_to_sink(g: &DiGraph, v: NodeId) -> usize {
+        g.successors(v)
+            .iter()
+            .map(|&s| 1 + longest_to_sink(g, s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn levels_of_known_shapes() {
+        // Diamond: 3 is the only sink (level 0), 1 and 2 sit at 1, 0 at 2.
+        let lv = levels(&diamond()).unwrap();
+        assert_eq!(lv.height(), 3);
+        assert_eq!(lv.level_of(NodeId(3)), 0);
+        assert_eq!(lv.level_of(NodeId(1)), 1);
+        assert_eq!(lv.level_of(NodeId(2)), 1);
+        assert_eq!(lv.level_of(NodeId(0)), 2);
+        assert_eq!(lv.nodes_at(1), &[NodeId(1), NodeId(2)]);
+
+        // A chain has one node per level; an edgeless graph a single level.
+        let chain = DiGraph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        let lv = levels(&chain).unwrap();
+        assert_eq!(lv.height(), 4);
+        assert!(lv.iter_up().all(|bucket| bucket.len() == 1));
+
+        let mut loose = DiGraph::new();
+        loose.add_node();
+        loose.add_node();
+        let lv = levels(&loose).unwrap();
+        assert_eq!(lv.height(), 1);
+        assert_eq!(lv.nodes_at(0).len(), 2);
+
+        assert_eq!(levels(&DiGraph::new()).unwrap().height(), 0);
+    }
+
+    #[test]
+    fn levels_partition_the_node_set() {
+        let g = crate::generators::random_dag(crate::generators::RandomDagConfig {
+            nodes: 200,
+            avg_out_degree: 3.0,
+            seed: 17,
+        });
+        let lv = levels(&g).unwrap();
+        assert_eq!(lv.node_count(), g.node_count());
+        let mut seen = vec![0usize; g.node_count()];
+        for (l, bucket) in lv.iter_up().enumerate() {
+            for &v in bucket {
+                seen[v.index()] += 1;
+                assert_eq!(lv.level_of(v), l, "bucket/level_of disagree at {v:?}");
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "levels must partition the nodes");
+        let total: usize = lv.iter_up().map(<[NodeId]>::len).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn every_arc_descends_strictly() {
+        let g = crate::generators::random_dag(crate::generators::RandomDagConfig {
+            nodes: 300,
+            avg_out_degree: 2.5,
+            seed: 23,
+        });
+        let lv = levels(&g).unwrap();
+        for (p, q) in g.edges() {
+            assert!(
+                lv.level_of(p) > lv.level_of(q),
+                "arc ({p:?},{q:?}) does not descend: {} -> {}",
+                lv.level_of(p),
+                lv.level_of(q)
+            );
+        }
+    }
+
+    #[test]
+    fn levels_agree_with_topo_sort_on_exhaustive_small_dags() {
+        // Over every 4- and 5-node DAG mask: the level of a node is the
+        // longest path to a sink, and sorting by descending level is itself
+        // a valid topological order (levels refine topo_sort's contract).
+        for n in [4usize, 5] {
+            for mask in crate::generators::enumerate_dag_masks(n) {
+                let g = crate::generators::dag_from_mask(n, mask);
+                let lv = levels(&g).unwrap();
+                for v in g.nodes() {
+                    assert_eq!(
+                        lv.level_of(v),
+                        longest_to_sink(&g, v),
+                        "n={n} mask={mask:#b} node {v:?}"
+                    );
+                }
+                let by_level: Vec<NodeId> =
+                    lv.iter_down().flat_map(|b| b.iter().copied()).collect();
+                assert!(
+                    is_topo_order(&g, &by_level),
+                    "n={n} mask={mask:#b}: descending levels are not a topo order"
+                );
+                assert!(topo_sort(&g).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn levels_reject_cycles() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 0)]);
+        assert!(levels(&g).is_err());
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the level-parallel scaling experiment (DESIGN.md, "Parallel
+# construction") and leaves the table in results/parallel_scale.csv.
+#
+# Usage: scripts/bench_parallel.sh [parallel_scale flags...]
+#   e.g. scripts/bench_parallel.sh --nodes 100000 --threads 1,2,4,8,16
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin parallel_scale
+exec target/release/parallel_scale "$@"
