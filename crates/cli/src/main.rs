@@ -11,6 +11,7 @@
 //! interval-tc dot <graph>                   Graphviz with interval labels
 //! interval-tc compress <graph> <out.itc>    persist the closure
 //! interval-tc gen <nodes> <degree> [seed]   emit a random §3.3 edge list
+//! interval-tc fuzz [flags]                  differential update-churn fuzzing
 //! ```
 //!
 //! `<graph>` is an edge-list file (`src dst` per line, `#` comments, `-`
@@ -53,9 +54,18 @@ const USAGE: &str = "usage:
   interval-tc dot <graph>
   interval-tc compress <graph> <out.itc>
   interval-tc gen <nodes> <degree> [seed]
+  interval-tc fuzz [--ops N] [--seed S] [--seeds K] [--gap G] [--reserve R]
+                   [--merge] [--shrink] [--out FILE] [--replay FILE]
 
 global flags: --threads N   build/query on N worker threads (0 = one per CPU)
-<graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure";
+<graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure
+
+fuzz: random update sequences against the closure, each applied op followed
+by a structural audit and periodically cross-checked against a brute-force
+DFS oracle and the chain-decomposition baseline. --seeds K runs K
+consecutive seeds starting at --seed. On failure --shrink minimizes the
+sequence and prints (or --out writes) a replayable trace; --replay runs a
+previously saved trace instead of generating.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (args, threads) = extract_threads(args)?;
@@ -70,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "dot" => dot(arg(&args, 1)?, threads),
         "compress" => compress(arg(&args, 1)?, arg(&args, 2)?, threads),
         "gen" => gen(&args),
+        "fuzz" => fuzz(&args, threads),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -239,6 +250,92 @@ fn compress(path: &str, out: &str, threads: usize) -> Result<(), String> {
         s.closure_size,
         bytes.len()
     );
+    Ok(())
+}
+
+fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
+    let mut ops = 256usize;
+    let mut seed = 0u64;
+    let mut seeds = 1u64;
+    let mut config = tc_fuzz::FuzzConfig { threads, ..tc_fuzz::FuzzConfig::default() };
+    let mut want_shrink = false;
+    let mut out: Option<String> = None;
+    let mut replay: Option<String> = None;
+
+    let mut it = args.iter().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--ops" => ops = value("--ops")?.parse().map_err(|_| "invalid --ops")?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
+            "--seeds" => seeds = value("--seeds")?.parse().map_err(|_| "invalid --seeds")?,
+            "--gap" => config.gap = value("--gap")?.parse().map_err(|_| "invalid --gap")?,
+            "--reserve" => {
+                config.reserve = value("--reserve")?.parse().map_err(|_| "invalid --reserve")?
+            }
+            "--merge" => config.merge = true,
+            "--shrink" => want_shrink = true,
+            "--out" => out = Some(value("--out")?.clone()),
+            "--replay" => replay = Some(value("--replay")?.clone()),
+            other => return Err(format!("unknown fuzz flag {other:?}")),
+        }
+    }
+    let opts = tc_fuzz::CheckOptions::default();
+
+    if let Some(path) = replay {
+        let text = String::from_utf8(read_input(&path)?)
+            .map_err(|_| format!("{path} is not UTF-8"))?;
+        let trace = tc_fuzz::OpTrace::parse(&text)?;
+        return match tc_fuzz::run_trace_catching(&trace, &opts) {
+            Ok(r) => {
+                println!(
+                    "replay {path}: ok — {} applied, {} skipped, {} oracle checks, \
+                     {} nodes / {} arcs at end",
+                    r.applied, r.skipped, r.oracle_checks, r.final_nodes, r.final_edges
+                );
+                Ok(())
+            }
+            Err(v) => Err(format!("replay {path}: {v}")),
+        };
+    }
+
+    for s in seed..seed.saturating_add(seeds) {
+        let gcfg = tc_fuzz::GenConfig { ops, seed: s, config };
+        let trace = tc_fuzz::generate(&gcfg);
+        match tc_fuzz::run_trace_catching(&trace, &opts) {
+            Ok(r) => println!(
+                "seed {s}: ok — {} applied, {} skipped, {} oracle checks, \
+                 {} nodes / {} arcs at end",
+                r.applied, r.skipped, r.oracle_checks, r.final_nodes, r.final_edges
+            ),
+            Err(v) => {
+                eprintln!("seed {s}: FAILED — {v}");
+                if want_shrink {
+                    // Candidate replays of a crashing trace panic on
+                    // purpose; keep stderr readable while minimizing.
+                    let prev = std::panic::take_hook();
+                    std::panic::set_hook(Box::new(|_| {}));
+                    let shrunk = tc_fuzz::shrink(&trace, &opts);
+                    std::panic::set_hook(prev);
+                    let text = shrunk.trace.to_text();
+                    eprintln!(
+                        "shrunk to {} ops in {} replays; reproducer:",
+                        shrunk.trace.ops.len(),
+                        shrunk.attempts
+                    );
+                    print!("{text}");
+                    if let Some(path) = &out {
+                        std::fs::write(path, &text)
+                            .map_err(|e| format!("writing {path}: {e}"))?;
+                        eprintln!("reproducer written to {path}");
+                    }
+                }
+                return Err(format!("fuzzing failed at seed {s}"));
+            }
+        }
+    }
     Ok(())
 }
 

@@ -205,7 +205,9 @@ impl CompressedClosure {
                 .iter()
                 .map(|&v| {
                     let set = &self.lab.sets[v.index()];
-                    (set.count(), self.lab.decode_count(set) - 1) // drop the reflexive pair
+                    // Drop the reflexive pair; saturate so a (pathological)
+                    // empty label set cannot underflow the sum.
+                    (set.count(), self.lab.decode_count(set).saturating_sub(1))
                 })
                 .collect()
         });
@@ -222,7 +224,8 @@ impl CompressedClosure {
     }
 
     /// Exhaustively checks the closure against per-node DFS ground truth.
-    /// O(n·m) — for tests and debugging only.
+    /// O(n·m) — for tests and debugging only. For a check cheap enough to
+    /// run after every update, see [`CompressedClosure::audit`].
     pub fn verify(&self) -> Result<(), String> {
         for u in self.graph.nodes() {
             let truth = tc_graph::traverse::reachable_set(&self.graph, u);

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod audit;
 mod builder;
 mod closure;
 mod labeling;

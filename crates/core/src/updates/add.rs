@@ -20,10 +20,21 @@ impl CompressedClosure {
     ///
     /// If the parent's gap is exhausted, the closure relabels itself
     /// (keeping the tree cover) and retries — §4.1 "What if empty numbers
-    /// run out".
+    /// run out". A configured gap too tight for any fresh midpoint (e.g.
+    /// `gap(1)`, the paper's contiguous §3 numbering) is escalated during
+    /// the relabel so insertion always succeeds.
     pub fn add_node_with_parents(&mut self, parents: &[NodeId]) -> Result<NodeId, UpdateError> {
-        let mut parents = parents.to_vec();
-        parents.dedup();
+        // Exact, order-preserving dedup (`Vec::dedup` only strips *adjacent*
+        // duplicates, so `[a, b, a]` would leak `a` into the non-tree-arc
+        // loop below). Parent lists are short; the quadratic scan wins over
+        // hashing here.
+        let mut deduped: Vec<NodeId> = Vec::with_capacity(parents.len());
+        for &p in parents {
+            if !deduped.contains(&p) {
+                deduped.push(p);
+            }
+        }
+        let parents = deduped;
         for &p in &parents {
             self.check_node(p)?;
         }
@@ -90,13 +101,7 @@ impl CompressedClosure {
 
     /// Inserts a new forest root above every existing number.
     fn insert_root(&mut self) -> Result<NodeId, UpdateError> {
-        let boundary = match self.lab.line.max_used() {
-            None => 0,
-            Some(raw) => match self.lab.line.node_at(raw) {
-                Some(n) => self.lab.advertised_hi[n as usize],
-                None => raw, // tombstone: no reserve tail
-            },
-        };
+        let boundary = self.boundary_above_max();
         let num = boundary + self.config.gap;
         let low = boundary + 1;
         Ok(self.push_labeled_node(None, num, low, self.config.reserve))
@@ -108,15 +113,25 @@ impl CompressedClosure {
         let (mut start, mut hi) = self.insertion_region(parent);
         let num = match self.lab.line.midpoint_in(start, hi) {
             Some(num) => num,
-            None => {
-                // Gap exhausted: relabel with fresh gaps and retry.
+            None => loop {
+                // Gap exhausted: relabel with fresh gaps and retry (§4.1
+                // "What if empty numbers run out"). A configured gap can be
+                // too tight to admit a midpoint even when fresh — a region of
+                // width `gap - reserve` needs at least one free interior
+                // integer — so escalate it until the retry succeeds.
                 self.relabel();
                 (start, hi) = self.insertion_region(parent);
-                self.lab
-                    .line
-                    .midpoint_in(start, hi)
-                    .expect("fresh gap must admit a midpoint")
-            }
+                match self.lab.line.midpoint_in(start, hi) {
+                    Some(num) => break num,
+                    None => {
+                        self.config.gap = self
+                            .config
+                            .gap
+                            .saturating_mul(2)
+                            .max(2 * (self.config.reserve + 1));
+                    }
+                }
+            },
         };
         let tail = self.config.reserve.min(hi.saturating_sub(num + 1));
         let node = self.push_labeled_node(Some(parent), num, start + 1, tail);
@@ -254,6 +269,31 @@ mod tests {
             .add_node_with_parents(&[NodeId(1), NodeId(1), NodeId(1)])
             .unwrap();
         assert_eq!(c.graph().predecessors(n), &[NodeId(1)]);
+        c.verify().unwrap();
+        // Non-adjacent duplicates too: `[a, b, a]` must not leak `a` into
+        // the non-tree-arc loop (Vec::dedup would).
+        let m = c
+            .add_node_with_parents(&[NodeId(1), NodeId(2), NodeId(1)])
+            .unwrap();
+        let mut preds = c.graph().predecessors(m).to_vec();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![NodeId(1), NodeId(2)]);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn gap_one_churn_escalates_instead_of_panicking() {
+        // With gap(1) (the paper's contiguous §3 numbering) every owned
+        // region has width 1 even after a fresh relabel; insertion must
+        // escalate the gap rather than hit the old "fresh gap must admit a
+        // midpoint" panic.
+        let mut c = ClosureConfig::new().gap(1).build(&DiGraph::new()).unwrap();
+        let root = c.add_node_with_parents(&[]).unwrap();
+        let mut last = root;
+        for _ in 0..12 {
+            last = c.add_node_with_parents(&[last]).unwrap();
+            assert!(c.reaches(root, last));
+        }
         c.verify().unwrap();
     }
 

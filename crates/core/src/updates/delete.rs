@@ -33,6 +33,23 @@ impl CompressedClosure {
         if is_tree {
             self.cover.detach(dst);
             self.relocate_subtree(dst);
+        } else if self.lab.low[dst.index()] == self.lab.post[dst.index()] {
+            // Point-labeled destination: a §4.1 refinement node (or a
+            // zero-width leaf) sitting inside another node's reserve tail.
+            // Predecessor coverage of such a node is *implicit* — ancestor
+            // tree intervals span its number — and that implicitness was
+            // justified by the arcs present at refinement time. The arc
+            // just removed may have carried some of that justification,
+            // and spans cannot be shrunk per node; move the node out of
+            // every span instead, so the recompute below derives its
+            // coverage purely from the surviving arcs.
+            self.lab.line.tombstone(self.lab.post[dst.index()]);
+            let boundary = self.boundary_above_max();
+            let num = boundary + self.config.gap;
+            self.lab.post[dst.index()] = num;
+            self.lab.low[dst.index()] = boundary + 1;
+            self.lab.advertised_hi[dst.index()] = num;
+            self.lab.line.assign(num, dst.0);
         }
         self.recompute_non_tree();
         Ok(())
@@ -94,14 +111,47 @@ impl CompressedClosure {
     /// Renumbers the (already detached) subtree rooted at `root` with fresh
     /// numbers above the current maximum, preserving its internal postorder
     /// structure. Old numbers become tombstones.
+    ///
+    /// The subtree's *numeric span* can hold live numbers beyond the cover
+    /// members: a refinement node (§4.1) takes its number from the refined
+    /// node's reserve tail, while its cover parent — the refined node's
+    /// first predecessor — may sit outside the subtree entirely. The
+    /// postorder walk below never reaches such a node, yet its number lies
+    /// inside the spans the subtree's ex-ancestors still cover, so leaving
+    /// it behind would turn those stale tree intervals into false
+    /// positives (tombstones are harmless there; live numbers are not).
+    /// Every live straggler in the span is therefore relocated as well, to
+    /// a fresh point label; the caller's non-tree recompute rebuilds its
+    /// interval set and its predecessors' coverage from the surviving arcs.
     pub(crate) fn relocate_subtree(&mut self, root: NodeId) {
         debug_assert!(self.cover.parent(root).is_none(), "relocate requires a detached root");
         let gap = self.config.gap;
         let reserve = self.config.reserve;
 
+        // Span vacated by the subtree: its tree interval plus the root's
+        // own reserve tail (members' tails end below the root's postorder
+        // number; every tail is at most `reserve` long).
+        let span_lo = self.lab.low[root.index()];
+        let span_hi = self.lab.post[root.index()] + reserve;
+        let members = self.cover.subtree(root);
+        let mut member = vec![false; self.graph.node_count()];
+        for &v in &members {
+            member[v.index()] = true;
+        }
+        let stragglers: Vec<NodeId> = self
+            .lab
+            .line
+            .live_in_range(span_lo, span_hi)
+            .filter(|&(_, node)| !member[node as usize])
+            .map(|(_, node)| NodeId(node))
+            .collect();
+
         // Tombstone every old number first so fresh numbers cannot collide.
-        for &v in &self.cover.subtree(root) {
+        for &v in &members {
             self.lab.line.tombstone(self.lab.post[v.index()]);
+        }
+        for &z in &stragglers {
+            self.lab.line.tombstone(self.lab.post[z.index()]);
         }
 
         let mut last = self.boundary_above_max();
@@ -122,6 +172,17 @@ impl CompressedClosure {
                 last = num + reserve;
                 stack.pop();
             }
+        }
+
+        // Stragglers get quarantine-style point labels above everything
+        // (no tail: refinement nodes never carry one until a relabel).
+        for z in stragglers {
+            let boundary = self.boundary_above_max();
+            let num = boundary + gap;
+            self.lab.post[z.index()] = num;
+            self.lab.low[z.index()] = boundary + 1;
+            self.lab.advertised_hi[z.index()] = num;
+            self.lab.line.assign(num, z.0);
         }
     }
 }
@@ -294,6 +355,8 @@ mod tests {
                     }
                 }
             }
+            // Cheap structural audit every step; full verify periodically.
+            c.audit().unwrap_or_else(|e| panic!("step {step}: audit: {e}"));
             if step % 20 == 19 {
                 c.verify().unwrap_or_else(|e| panic!("step {step}: {e}"));
             }

@@ -1,0 +1,168 @@
+//! Random op-sequence generation.
+//!
+//! The generator drives a real [`EngineState`] while it emits ops, so the
+//! trace it returns is grounded in the exact states a replay will visit —
+//! node ids in later ops always refer to nodes that exist (modulo the few
+//! deliberately-invalid ops it mixes in), and refinement ops land on nodes
+//! whose reserve tails are genuinely live. No checks run during generation
+//! (that is the replay's job); a panic inside an op is swallowed and the
+//! trace is returned truncated at the panicking op, so the caller's checked
+//! replay rediscovers and attributes the crash.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::EngineState;
+use crate::ops::{FuzzConfig, Op, OpTrace};
+
+/// Knobs for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of ops to emit.
+    pub ops: usize,
+    /// RNG seed; same seed + same config = same trace.
+    pub seed: u64,
+    /// The closure configuration the trace runs under.
+    pub config: FuzzConfig,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            ops: 256,
+            seed: 0,
+            config: FuzzConfig::default(),
+        }
+    }
+}
+
+/// Emits one random op given the current relation state. Kind weights skew
+/// toward growth (a shrinking relation fuzzes nothing) with a steady diet
+/// of deletions, relabels and rebuilds to exercise tombstone churn.
+fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig) -> Op {
+    let n = state.mirror.node_count() as u32;
+    if n == 0 {
+        return Op::AddNode { parents: vec![] };
+    }
+    let any = |rng: &mut StdRng| rng.random_range(0..n);
+    match rng.random_range(0..100u32) {
+        // Node additions: roots, single-parent leaves, multi-parent joins —
+        // occasionally with duplicate parents to exercise the dedup path.
+        0..=34 => {
+            let count = match rng.random_range(0..10u32) {
+                0 => 0,
+                1..=6 => 1,
+                7 | 8 => 2,
+                _ => 3,
+            };
+            let mut parents: Vec<u32> = (0..count).map(|_| any(rng)).collect();
+            if !parents.is_empty() && rng.random_bool(0.1) {
+                parents.push(parents[0]);
+            }
+            Op::AddNode { parents }
+        }
+        // Non-tree arcs; the engine skips self-loops, duplicates and cycles.
+        35..=59 => Op::AddEdge { src: any(rng), dst: any(rng) },
+        // Deletions target real arcs when any exist (random endpoints almost
+        // never hit one of the O(n) arcs in a sparse relation).
+        60..=74 => {
+            let edges: Vec<(u32, u32)> =
+                state.mirror.edges().map(|(s, d)| (s.0, d.0)).collect();
+            match edges.choose(rng) {
+                Some(&(src, dst)) => Op::RemoveEdge { src, dst },
+                None => Op::AddEdge { src: any(rng), dst: any(rng) },
+            }
+        }
+        75..=81 => Op::RemoveNode { node: any(rng) },
+        // Refinement: pointless without a reserve, so re-roll into an arc.
+        82..=91 => {
+            if config.reserve > 0 {
+                Op::Refine { child: any(rng) }
+            } else {
+                Op::AddEdge { src: any(rng), dst: any(rng) }
+            }
+        }
+        92..=94 => Op::Relabel,
+        95 | 96 => Op::Rebuild,
+        // Thread-count flips cover the serial and parallel code paths of
+        // batch queries, relabels and rebuilds within a single trace.
+        _ => Op::SetThreads { threads: *[0usize, 1, 2, 4].choose(rng).expect("non-empty") },
+    }
+}
+
+/// Generates `cfg.ops` random ops by simulating them against a live engine.
+/// If an op panics mid-generation the trace is returned truncated at that
+/// op (replaying it reproduces the panic); if the configuration itself is
+/// invalid the trace is returned with no ops.
+pub fn generate(cfg: &GenConfig) -> OpTrace {
+    let mut trace = OpTrace { config: cfg.config, ops: Vec::with_capacity(cfg.ops) };
+    let Ok(mut state) = EngineState::new(&cfg.config) else {
+        return trace;
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.ops {
+        let op = next_op(&mut rng, &state, &cfg.config);
+        trace.ops.push(op.clone());
+        let outcome = catch_unwind(AssertUnwindSafe(|| state.apply(&op)));
+        match outcome {
+            Ok(Ok(_)) => {}
+            // An unexpected update error or a panic: stop here; the trace
+            // ends at the offending op and the checked replay will classify
+            // the failure.
+            Ok(Err(_)) | Err(_) => break,
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_trace, CheckOptions};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { ops: 120, seed: 42, ..GenConfig::default() };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = GenConfig { seed: 43, ..cfg };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn generated_traces_mostly_apply() {
+        let cfg = GenConfig {
+            ops: 200,
+            seed: 7,
+            config: FuzzConfig { gap: 64, reserve: 4, merge: true, threads: 2 },
+        };
+        let trace = generate(&cfg);
+        assert_eq!(trace.ops.len(), 200);
+        let report = run_trace(&trace, &CheckOptions::default()).unwrap();
+        // The generator grounds ops in real state, so the skip rate stays
+        // low (duplicate arcs, cycle attempts, exhausted reserves).
+        assert!(report.applied > 140, "only {} of 200 ops applied", report.applied);
+        assert!(report.final_nodes > 20);
+    }
+
+    #[test]
+    fn generated_traces_replay_from_text() {
+        let cfg = GenConfig { ops: 80, seed: 11, ..GenConfig::default() };
+        let trace = generate(&cfg);
+        let reparsed = OpTrace::parse(&trace.to_text()).unwrap();
+        assert_eq!(reparsed, trace);
+        run_trace(&reparsed, &CheckOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn invalid_config_yields_empty_trace() {
+        let cfg = GenConfig {
+            ops: 10,
+            seed: 0,
+            config: FuzzConfig { gap: 1, reserve: 3, ..FuzzConfig::default() },
+        };
+        assert!(generate(&cfg).ops.is_empty());
+    }
+}

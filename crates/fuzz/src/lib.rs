@@ -1,0 +1,45 @@
+//! # tc-fuzz — differential update-churn fuzzing for the compressed closure
+//!
+//! The §4 update paths of [`tc_core::CompressedClosure`] (gap insertion,
+//! subtree relocation, tombstones, relabeling, reserve tails) interact in
+//! ways no hand-written test matrix covers. This crate hammers them with
+//! random op sequences and checks three independent sources of truth after
+//! every step:
+//!
+//! * **Structural audit** — [`tc_core::CompressedClosure::audit`], an
+//!   O(n + intervals) invariant sweep run after *every* applied op;
+//! * **DFS oracle** — decoded successor sets and batched point queries
+//!   compared against [`tc_graph::traverse::closure_rows`] over a
+//!   trivially-maintained mirror graph;
+//! * **Chain baseline** — the same point queries against an independently
+//!   implemented chain-decomposition index ([`tc_baselines::ChainIndex`]),
+//!   guarding against a bug shared by closure and DFS mirror bookkeeping.
+//!
+//! Failing sequences are minimized by [`shrink::shrink`] into a
+//! line-oriented, replayable trace format ([`ops::OpTrace`]) suitable for
+//! checking in as a regression test (see `tests/fuzz_regressions.rs` at the
+//! workspace root) or replaying via `interval-tc fuzz --replay`.
+//!
+//! ```
+//! use tc_fuzz::{generate, run_trace, CheckOptions, GenConfig};
+//!
+//! let trace = generate(&GenConfig { ops: 64, seed: 1, ..GenConfig::default() });
+//! let report = run_trace(&trace, &CheckOptions::default()).expect("no violations");
+//! assert!(report.applied > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod gen;
+pub mod ops;
+pub mod shrink;
+
+pub use engine::{
+    run_trace, run_trace_catching, CheckOptions, EngineState, RunReport, Violation, ViolationKind,
+};
+pub use gen::{generate, GenConfig};
+pub use ops::{FuzzConfig, Op, OpTrace};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,304 @@
+//! The fuzzer's op vocabulary and its serialized, replayable trace format.
+//!
+//! A trace is a [`FuzzConfig`] (the closure configuration the sequence runs
+//! under) plus a list of [`Op`]s applied to an *initially empty* closure.
+//! Ops reference nodes by the dense id the closure assigns them, so a trace
+//! is fully deterministic: replaying it reproduces the exact same closure
+//! states, including any failure. Ops whose operands are invalid at replay
+//! time (unknown node, cycle, missing edge) are *skipped* by the engine
+//! under fixed, documented rules — this keeps shrinking sound: deleting an
+//! op from a failing trace never makes the remainder unreplayable.
+//!
+//! The text format is line-oriented so reproducers diff and review well:
+//!
+//! ```text
+//! # tc-fuzz trace v1
+//! gap 64
+//! reserve 4
+//! merge 0
+//! threads 1
+//! add-node
+//! add-node 0
+//! add-edge 1 0
+//! remove-edge 1 0
+//! refine 0
+//! remove-node 1
+//! relabel
+//! rebuild
+//! set-threads 2
+//! ```
+
+use std::fmt;
+
+use tc_core::ClosureConfig;
+
+/// One update operation against the closure under test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `CompressedClosure::add_node_with_parents` — the listed parents may
+    /// contain duplicates or out-of-range ids on purpose (exercising the
+    /// dedup and validation paths); out-of-range ids are dropped at replay.
+    AddNode {
+        /// Parent ids for the new node (first valid one becomes the tree
+        /// parent).
+        parents: Vec<u32>,
+    },
+    /// `CompressedClosure::add_edge` (skipped when the arc exists, is a
+    /// self-loop, or would create a cycle).
+    AddEdge {
+        /// Arc source.
+        src: u32,
+        /// Arc destination.
+        dst: u32,
+    },
+    /// `CompressedClosure::remove_edge` (skipped when the arc is absent).
+    RemoveEdge {
+        /// Arc source.
+        src: u32,
+        /// Arc destination.
+        dst: u32,
+    },
+    /// `CompressedClosure::remove_node` (skipped for out-of-range ids).
+    RemoveNode {
+        /// The node to remove.
+        node: u32,
+    },
+    /// `CompressedClosure::refine_insert` with the node's current immediate
+    /// predecessors (skipped when the reserve tail is exhausted).
+    Refine {
+        /// The node being refined.
+        child: u32,
+    },
+    /// `CompressedClosure::relabel`.
+    Relabel,
+    /// `CompressedClosure::rebuild`.
+    Rebuild,
+    /// `CompressedClosure::set_threads`.
+    SetThreads {
+        /// Worker-thread count (0 = one per CPU).
+        threads: usize,
+    },
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::AddNode { parents } => {
+                write!(f, "add-node")?;
+                for p in parents {
+                    write!(f, " {p}")?;
+                }
+                Ok(())
+            }
+            Op::AddEdge { src, dst } => write!(f, "add-edge {src} {dst}"),
+            Op::RemoveEdge { src, dst } => write!(f, "remove-edge {src} {dst}"),
+            Op::RemoveNode { node } => write!(f, "remove-node {node}"),
+            Op::Refine { child } => write!(f, "refine {child}"),
+            Op::Relabel => write!(f, "relabel"),
+            Op::Rebuild => write!(f, "rebuild"),
+            Op::SetThreads { threads } => write!(f, "set-threads {threads}"),
+        }
+    }
+}
+
+/// The closure configuration a trace runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Postorder-number spacing ([`ClosureConfig::gap`]).
+    pub gap: u64,
+    /// Refinement reserve ([`ClosureConfig::reserve`]).
+    pub reserve: u64,
+    /// Adjacent-interval merging ([`ClosureConfig::merge_adjacent`]).
+    pub merge: bool,
+    /// Initial worker-thread count ([`ClosureConfig::threads`]); traces can
+    /// change it mid-run with [`Op::SetThreads`].
+    pub threads: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            gap: 64,
+            reserve: 0,
+            merge: false,
+            threads: 1,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The equivalent [`ClosureConfig`], or an error message when the
+    /// gap/reserve combination is invalid (`gap` must exceed `2 * reserve`).
+    pub fn closure_config(&self) -> Result<ClosureConfig, String> {
+        if self.gap == 0 || self.gap <= 2 * self.reserve {
+            return Err(format!(
+                "invalid fuzz config: gap {} must be positive and exceed 2 * reserve {}",
+                self.gap, self.reserve
+            ));
+        }
+        Ok(ClosureConfig::new()
+            .gap(self.gap)
+            .reserve(self.reserve)
+            .merge_adjacent(self.merge)
+            .threads(self.threads))
+    }
+}
+
+/// A full replayable trace: configuration plus op sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTrace {
+    /// The closure configuration the ops run under.
+    pub config: FuzzConfig,
+    /// The op sequence, applied to an initially empty closure.
+    pub ops: Vec<Op>,
+}
+
+impl OpTrace {
+    /// Serializes the trace in the line-oriented reproducer format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# tc-fuzz trace v1\n");
+        out.push_str(&format!("gap {}\n", self.config.gap));
+        out.push_str(&format!("reserve {}\n", self.config.reserve));
+        out.push_str(&format!("merge {}\n", u8::from(self.config.merge)));
+        out.push_str(&format!("threads {}\n", self.config.threads));
+        for op in &self.ops {
+            out.push_str(&op.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace serialized by [`OpTrace::to_text`]. Header lines
+    /// (`gap`/`reserve`/`merge`/`threads <value>`) may appear in any order
+    /// before the first op and default when absent; blank lines and `#`
+    /// comments are ignored.
+    pub fn parse(text: &str) -> Result<OpTrace, String> {
+        let mut config = FuzzConfig::default();
+        let mut ops = Vec::new();
+        let mut in_header = true;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tok = line.split_whitespace();
+            let head = tok.next().expect("non-empty line has a token");
+            let rest: Vec<&str> = tok.collect();
+            let fail = |msg: &str| Err(format!("line {}: {msg}: {raw:?}", lineno + 1));
+            let one = |rest: &[&str]| -> Result<u64, String> {
+                match rest {
+                    [v] => v.parse().map_err(|_| format!("line {}: bad number {v:?}", lineno + 1)),
+                    _ => Err(format!("line {}: expected one operand: {raw:?}", lineno + 1)),
+                }
+            };
+            let two = |rest: &[&str]| -> Result<(u32, u32), String> {
+                match rest {
+                    [a, b] => Ok((
+                        a.parse().map_err(|_| format!("line {}: bad id {a:?}", lineno + 1))?,
+                        b.parse().map_err(|_| format!("line {}: bad id {b:?}", lineno + 1))?,
+                    )),
+                    _ => Err(format!("line {}: expected two operands: {raw:?}", lineno + 1)),
+                }
+            };
+            match head {
+                "gap" | "reserve" | "merge" | "threads" if in_header => {
+                    let v = one(&rest)?;
+                    match head {
+                        "gap" => config.gap = v,
+                        "reserve" => config.reserve = v,
+                        "merge" => config.merge = v != 0,
+                        _ => config.threads = v as usize,
+                    }
+                }
+                "add-node" => {
+                    in_header = false;
+                    let parents = rest
+                        .iter()
+                        .map(|p| p.parse().map_err(|_| format!("line {}: bad id {p:?}", lineno + 1)))
+                        .collect::<Result<Vec<u32>, String>>()?;
+                    ops.push(Op::AddNode { parents });
+                }
+                "add-edge" => {
+                    in_header = false;
+                    let (src, dst) = two(&rest)?;
+                    ops.push(Op::AddEdge { src, dst });
+                }
+                "remove-edge" => {
+                    in_header = false;
+                    let (src, dst) = two(&rest)?;
+                    ops.push(Op::RemoveEdge { src, dst });
+                }
+                "remove-node" => {
+                    in_header = false;
+                    ops.push(Op::RemoveNode { node: one(&rest)? as u32 });
+                }
+                "refine" => {
+                    in_header = false;
+                    ops.push(Op::Refine { child: one(&rest)? as u32 });
+                }
+                "relabel" => {
+                    in_header = false;
+                    ops.push(Op::Relabel);
+                }
+                "rebuild" => {
+                    in_header = false;
+                    ops.push(Op::Rebuild);
+                }
+                "set-threads" => {
+                    in_header = false;
+                    ops.push(Op::SetThreads { threads: one(&rest)? as usize });
+                }
+                _ => return fail("unknown directive"),
+            }
+        }
+        Ok(OpTrace { config, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let trace = OpTrace {
+            config: FuzzConfig { gap: 8, reserve: 2, merge: true, threads: 2 },
+            ops: vec![
+                Op::AddNode { parents: vec![] },
+                Op::AddNode { parents: vec![0, 0, 1] },
+                Op::AddEdge { src: 1, dst: 0 },
+                Op::RemoveEdge { src: 1, dst: 0 },
+                Op::Refine { child: 0 },
+                Op::RemoveNode { node: 1 },
+                Op::Relabel,
+                Op::Rebuild,
+                Op::SetThreads { threads: 0 },
+            ],
+        };
+        let text = trace.to_text();
+        assert_eq!(OpTrace::parse(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn defaults_and_comments() {
+        let t = OpTrace::parse("# hi\n\nadd-node\nrelabel\n").unwrap();
+        assert_eq!(t.config, FuzzConfig::default());
+        assert_eq!(t.ops.len(), 2);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(OpTrace::parse("frobnicate 1").is_err());
+        assert!(OpTrace::parse("add-edge 1").is_err());
+        assert!(OpTrace::parse("remove-node x").is_err());
+        // Header keys after the first op are no longer header fields.
+        assert!(OpTrace::parse("add-node\ngap 4").is_err());
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let t = OpTrace::parse("gap 4\nreserve 2\nadd-node\n").unwrap();
+        assert!(t.config.closure_config().is_err());
+        assert!(FuzzConfig::default().closure_config().is_ok());
+    }
+}

@@ -48,6 +48,26 @@ impl NumberLine {
         self.slots.len()
     }
 
+    /// Number of tombstoned entries — always `total_count() - live_count()`,
+    /// exposed so structural audits can state the accounting identity
+    /// explicitly.
+    pub fn tombstone_count(&self) -> usize {
+        self.slots.len() - self.live
+    }
+
+    /// Validates the line's internal invariants by one full scan: the cached
+    /// live count must equal the number of `Node` slots actually stored (the
+    /// tombstone accounting `total_count - live_count` follows). O(total
+    /// entries); used by the closure-level structural audit in `tc-core`.
+    pub fn check_invariants(&self) -> bool {
+        let scanned_live = self
+            .slots
+            .values()
+            .filter(|slot| matches!(slot, Slot::Node(_)))
+            .count();
+        scanned_live == self.live && self.live <= self.slots.len()
+    }
+
     /// Assigns `num` to the node with dense index `node`.
     ///
     /// # Panics
@@ -279,6 +299,22 @@ mod tests {
         assert_eq!(l.prev_used(20), Some(10), "tombstones still block gaps");
         let live: Vec<_> = l.live_in_range(0, 100).collect();
         assert_eq!(live, vec![(20, 1)]);
+    }
+
+    #[test]
+    fn tombstone_accounting_identity() {
+        let mut l = line_with(&[(10, 0), (20, 1), (30, 2)]);
+        assert_eq!(l.tombstone_count(), 0);
+        assert!(l.check_invariants());
+        l.tombstone(20);
+        l.tombstone(30);
+        assert_eq!(l.tombstone_count(), 2);
+        assert_eq!(l.total_count() - l.live_count(), l.tombstone_count());
+        assert!(l.check_invariants());
+        // Renumbering drops tombstones and restores a clean line.
+        let fresh = l.apply_plan(&l.renumber_plan(10));
+        assert_eq!(fresh.tombstone_count(), 0);
+        assert!(fresh.check_invariants());
     }
 
     #[test]

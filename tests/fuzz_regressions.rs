@@ -1,0 +1,216 @@
+//! Replays of shrunk fuzzer reproducers, checked in as regression tests.
+//!
+//! Each trace below is a minimal op sequence (in the `tc-fuzz` reproducer
+//! format) for a §4 update-path bug this suite once caught. Replaying runs
+//! the full battery — structural audit after every applied op, DFS-oracle
+//! and chain-baseline differentials — so a regression shows up as a typed
+//! [`tc_fuzz::Violation`], not a mystery panic.
+//!
+//! To minimize a new failure into this format:
+//! `interval-tc fuzz --ops 2000 --seed <S> --shrink --out repro.trace`.
+
+use tc_fuzz::{run_trace_catching, shrink, CheckOptions, OpTrace};
+
+fn replay(name: &str, text: &str) {
+    let trace = OpTrace::parse(text).unwrap_or_else(|e| panic!("{name}: bad trace: {e}"));
+    let report = run_trace_catching(&trace, &CheckOptions::default())
+        .unwrap_or_else(|v| panic!("{name}: regression: {v}"));
+    assert!(
+        report.applied > 0,
+        "{name}: reproducer applied nothing — trace no longer exercises the path"
+    );
+}
+
+/// `gap(1)` (the paper's contiguous §3 numbering) leaves no room between a
+/// root's interval low and its postorder number. Adding a child then found
+/// no midpoint, relabeled (with the same exhausted gap), and panicked at
+/// the `debug_assert!(start < hi)` in `insertion_region` — an infinite
+/// relabel loop in release builds. Two ops reproduce it; the fix escalates
+/// the gap during the retry loop.
+#[test]
+fn gap_one_child_insertion() {
+    replay(
+        "gap_one_child_insertion",
+        "# tc-fuzz trace v1\n\
+         gap 1\n\
+         add-node\n\
+         add-node 0\n",
+    );
+}
+
+/// Same exhaustion, driven deeper: chained children under `gap 1` force an
+/// escalation on nearly every insertion, and interleaved relabels must keep
+/// replenished reserve tails consistent with the escalated gap.
+#[test]
+fn gap_one_chained_churn() {
+    replay(
+        "gap_one_chained_churn",
+        "# tc-fuzz trace v1\n\
+         gap 1\n\
+         add-node\n\
+         add-node 0\n\
+         add-node 1\n\
+         relabel\n\
+         add-node 2\n\
+         add-node 3\n\
+         add-node 0 4\n",
+    );
+}
+
+/// `add_node_with_parents` deduplicated its parent list with `Vec::dedup`,
+/// which only strips *adjacent* duplicates: `[0, 1, 0]` leaked the repeated
+/// parent into the non-tree-arc loop. The replay checks the decoded closure
+/// and the base relation stay exact under non-adjacent duplicates.
+#[test]
+fn nonadjacent_duplicate_parents() {
+    replay(
+        "nonadjacent_duplicate_parents",
+        "# tc-fuzz trace v1\n\
+         add-node\n\
+         add-node\n\
+         add-node 0 1 0\n\
+         add-node 2 0 2 1 2\n",
+    );
+}
+
+/// Tombstone bookkeeping under tree-arc deletion: removing a tree arc
+/// relocates the subtree and tombstones its old numbers; the audit's
+/// `total − live == tombstones` identity and the reserve-tail freedom check
+/// must hold through relocation, relabel (which drains tombstones) and a
+/// final rebuild.
+#[test]
+fn tombstone_churn_through_relocation() {
+    replay(
+        "tombstone_churn_through_relocation",
+        "# tc-fuzz trace v1\n\
+         gap 8\n\
+         reserve 2\n\
+         add-node\n\
+         add-node 0\n\
+         add-node 1\n\
+         add-node 2\n\
+         remove-edge 1 2\n\
+         remove-node 1\n\
+         refine 3\n\
+         relabel\n\
+         remove-edge 2 3\n\
+         rebuild\n",
+    );
+}
+
+/// The reserve-tail fast path (`refine`) across thread-count changes: the
+/// serial and parallel relabel/rebuild sweeps must produce labelings the
+/// audit and the oracle both accept, including refinements placed *between*
+/// the switches.
+#[test]
+fn refine_across_thread_switches() {
+    replay(
+        "refine_across_thread_switches",
+        "# tc-fuzz trace v1\n\
+         gap 32\n\
+         reserve 3\n\
+         add-node\n\
+         add-node 0\n\
+         refine 1\n\
+         set-threads 2\n\
+         refine 1\n\
+         relabel\n\
+         refine 1\n\
+         set-threads 1\n\
+         rebuild\n\
+         refine 1\n",
+    );
+}
+
+/// Refinement-node straggler under subtree relocation. `refine 3` placed a
+/// new node's number in node 3's reserve tail — numerically *inside* the
+/// tree intervals of 3's cover ancestors, but with a cover parent chosen
+/// from 3's sorted predecessor set (node 0, outside that chain). Removing
+/// node 2 relocated the subtree rooted at 3, tombstoning only the cover
+/// subtree's numbers: the refinement node stayed live inside the severed
+/// ancestors' stale spans, so `successors` of ex-ancestors reported it
+/// spuriously. The fix sweeps the relocated span for live non-member
+/// numbers and moves those stragglers to fresh point labels.
+#[test]
+fn refinement_straggler_in_relocated_span() {
+    replay(
+        "refinement_straggler_in_relocated_span",
+        "# tc-fuzz trace v1\n\
+         gap 8\n\
+         reserve 2\n\
+         add-node\n\
+         add-node\n\
+         add-node 1\n\
+         add-node 2 0\n\
+         refine 3\n\
+         remove-node 2\n",
+    );
+}
+
+/// Same shape, severed by a tree-arc removal instead of a node removal:
+/// `remove-edge 1 2` detaches and relocates 2's subtree while the
+/// refinement node's number still sits in the vacated span.
+#[test]
+fn refinement_straggler_after_tree_arc_removal() {
+    replay(
+        "refinement_straggler_after_tree_arc_removal",
+        "# tc-fuzz trace v1\n\
+         gap 8\n\
+         reserve 2\n\
+         add-node\n\
+         add-node\n\
+         add-node 1\n\
+         add-node 2 0\n\
+         refine 3\n\
+         remove-edge 1 2\n",
+    );
+}
+
+/// Removing a *non-tree* arc into a refinement node. Node 3 refines node 2
+/// (predecessors 0 and 1, sorted: cover parent 0, tree parent of 2 is 1);
+/// its number comes from 2's reserve tail, inside node 1's tree interval.
+/// Coverage of a refinement node by span inclusion is justified only by
+/// the parent arcs present at refinement time — deleting `1 -> 3` cannot
+/// shrink 1's tree interval, so the closure kept reporting `1 -> 3` after
+/// the arc (and every path) was gone. The fix relocates a point-labeled
+/// destination out of every span before the non-tree recompute, making its
+/// coverage purely arc-derived.
+#[test]
+fn nontree_arc_removal_into_refinement_node() {
+    replay(
+        "nontree_arc_removal_into_refinement_node",
+        "# tc-fuzz trace v1\n\
+         gap 8\n\
+         reserve 2\n\
+         add-node\n\
+         add-node\n\
+         add-node 1 0\n\
+         refine 2\n\
+         remove-edge 1 3\n",
+    );
+}
+
+/// End-to-end sanity of the shrinking pipeline itself: a trace that fails
+/// before the first op (invalid gap/reserve pairing) must shrink to the
+/// empty op list, and the shrunk trace must serialize, reparse and fail
+/// identically — the loop a future reproducer will travel before landing
+/// in this file.
+#[test]
+fn shrinker_roundtrips_failing_traces() {
+    let failing = OpTrace::parse(
+        "# tc-fuzz trace v1\n\
+         gap 4\n\
+         reserve 2\n\
+         add-node\n\
+         add-node 0\n\
+         relabel\n",
+    )
+    .unwrap();
+    let opts = CheckOptions::default();
+    let shrunk = shrink(&failing, &opts);
+    let violation = shrunk.violation.expect("invalid config must fail");
+    assert!(shrunk.trace.ops.is_empty(), "kept {:?}", shrunk.trace.ops);
+    let reparsed = OpTrace::parse(&shrunk.trace.to_text()).unwrap();
+    let again = run_trace_catching(&reparsed, &opts).unwrap_err();
+    assert_eq!(again.kind, violation.kind);
+}

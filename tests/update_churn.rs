@@ -68,6 +68,10 @@ fn churn(config: ClosureConfig, seed: u64, steps: usize, verify_every: usize) {
                 }
             }
         }
+        // The structural audit is O(n + intervals), cheap enough to run
+        // after *every* step; the full ground-truth verify stays periodic.
+        c.audit()
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: audit: {e}"));
         if step % verify_every == verify_every - 1 {
             c.verify()
                 .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
