@@ -11,6 +11,7 @@
 //! interval-tc dot <graph>                   Graphviz with interval labels
 //! interval-tc compress <graph> <out.itc>    persist the closure
 //! interval-tc gen <nodes> <degree> [seed]   emit a random §3.3 edge list
+//! interval-tc bench <graph> [--queries N]   time point/batch/predecessor queries
 //! interval-tc fuzz [flags]                  differential update-churn fuzzing
 //! ```
 //!
@@ -20,7 +21,10 @@
 //!
 //! A global `--threads N` flag (any position) runs closure construction and
 //! the scan-style queries level-parallel on `N` worker threads (`0` = one
-//! per CPU); the result is identical to the serial build.
+//! per CPU); the result is identical to the serial build. A global
+//! `--frozen` flag freezes a read-optimized query plane after loading, so
+//! every query answers from the immutable snapshot (see DESIGN.md, "Frozen
+//! query plane").
 
 #![forbid(unsafe_code)]
 
@@ -54,54 +58,74 @@ const USAGE: &str = "usage:
   interval-tc dot <graph>
   interval-tc compress <graph> <out.itc>
   interval-tc gen <nodes> <degree> [seed]
+  interval-tc bench <graph> [--queries N]
   interval-tc fuzz [--ops N] [--seed S] [--seeds K] [--gap G] [--reserve R]
-                   [--merge] [--shrink] [--out FILE] [--replay FILE]
+                   [--merge] [--freeze] [--shrink] [--out FILE] [--replay FILE]
 
 global flags: --threads N   build/query on N worker threads (0 = one per CPU)
+              --frozen      freeze the query plane after loading; all queries
+                            answer from the immutable snapshot
 <graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure
+
+bench: builds (or loads) the closure, then times single-probe reaches, batch
+reaches, successors and predecessors over a deterministic query mix; combine
+with --frozen / --threads to compare query paths.
 
 fuzz: random update sequences against the closure, each applied op followed
 by a structural audit and periodically cross-checked against a brute-force
 DFS oracle and the chain-decomposition baseline. --seeds K runs K
 consecutive seeds starting at --seed. On failure --shrink minimizes the
 sequence and prints (or --out writes) a replayable trace; --replay runs a
-previously saved trace instead of generating.";
+previously saved trace instead of generating. --freeze mixes freeze/thaw ops
+into the stream so audits and oracles also run against frozen query planes.";
+
+/// Global flags stripped from anywhere in the argument list.
+#[derive(Clone, Copy)]
+struct Globals {
+    /// Worker threads for builds and scan-style queries (1 = serial).
+    threads: usize,
+    /// Freeze a query plane right after loading.
+    frozen: bool,
+}
 
 fn run(args: &[String]) -> Result<(), String> {
-    let (args, threads) = extract_threads(args)?;
+    let (args, globals) = extract_globals(args)?;
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "info" => info(arg(&args, 1)?),
-        "stats" => stats(arg(&args, 1)?, threads),
-        "query" => query(arg(&args, 1)?, arg(&args, 2)?, arg(&args, 3)?, threads),
-        "successors" => neighbors(arg(&args, 1)?, arg(&args, 2)?, true, threads),
-        "predecessors" => neighbors(arg(&args, 1)?, arg(&args, 2)?, false, threads),
-        "path" => path(arg(&args, 1)?, arg(&args, 2)?, arg(&args, 3)?, threads),
-        "dot" => dot(arg(&args, 1)?, threads),
-        "compress" => compress(arg(&args, 1)?, arg(&args, 2)?, threads),
+        "stats" => stats(arg(&args, 1)?, globals),
+        "query" => query(arg(&args, 1)?, arg(&args, 2)?, arg(&args, 3)?, globals),
+        "successors" => neighbors(arg(&args, 1)?, arg(&args, 2)?, true, globals),
+        "predecessors" => neighbors(arg(&args, 1)?, arg(&args, 2)?, false, globals),
+        "path" => path(arg(&args, 1)?, arg(&args, 2)?, arg(&args, 3)?, globals),
+        "dot" => dot(arg(&args, 1)?, globals),
+        "compress" => compress(arg(&args, 1)?, arg(&args, 2)?, globals),
         "gen" => gen(&args),
-        "fuzz" => fuzz(&args, threads),
+        "bench" => bench(&args, globals),
+        "fuzz" => fuzz(&args, globals.threads),
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
-/// Strips a global `--threads N` flag from anywhere in the argument list.
-/// Absent, the tool stays serial (`threads = 1`).
-fn extract_threads(args: &[String]) -> Result<(Vec<String>, usize), String> {
+/// Strips the global flags (`--threads N`, `--frozen`) from anywhere in the
+/// argument list. Absent, the tool stays serial and unfrozen.
+fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut threads = 1usize;
+    let mut globals = Globals { threads: 1, frozen: false };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
             let v = it.next().ok_or("--threads requires a value")?;
-            threads = v
+            globals.threads = v
                 .parse()
                 .map_err(|_| format!("invalid thread count {v:?}"))?;
+        } else if a == "--frozen" {
+            globals.frozen = true;
         } else {
             rest.push(a.clone());
         }
     }
-    Ok((rest, threads))
+    Ok((rest, globals))
 }
 
 fn arg(args: &[String], ix: usize) -> Result<&str, String> {
@@ -123,20 +147,27 @@ fn read_input(path: &str) -> Result<Vec<u8>, String> {
 }
 
 /// Loads either a serialized closure or an edge list (building the closure),
-/// with all construction and subsequent scans on `threads` workers.
-fn load(path: &str, threads: usize) -> Result<CompressedClosure, String> {
+/// with all construction and subsequent scans on `globals.threads` workers;
+/// `--frozen` snapshots a query plane before any query runs.
+fn load(path: &str, globals: Globals) -> Result<CompressedClosure, String> {
     let data = read_input(path)?;
-    if data.starts_with(b"ITC1") {
+    let mut closure = if data.starts_with(b"ITC1") {
         let mut closure = CompressedClosure::from_bytes(&data).map_err(|e| e.to_string())?;
-        closure.set_threads(threads);
-        return Ok(closure);
+        closure.set_threads(globals.threads);
+        closure
+    } else {
+        let text =
+            String::from_utf8(data).map_err(|_| "input is neither a closure nor UTF-8 text")?;
+        let graph = edgelist::parse(&text).map_err(|e| e.to_string())?;
+        ClosureConfig::new()
+            .threads(globals.threads)
+            .build(&graph)
+            .map_err(|e| e.to_string())?
+    };
+    if globals.frozen {
+        closure.freeze();
     }
-    let text = String::from_utf8(data).map_err(|_| "input is neither a closure nor UTF-8 text")?;
-    let graph = edgelist::parse(&text).map_err(|e| e.to_string())?;
-    ClosureConfig::new()
-        .threads(threads)
-        .build(&graph)
-        .map_err(|e| e.to_string())
+    Ok(closure)
 }
 
 fn parse_node(c: &CompressedClosure, s: &str) -> Result<NodeId, String> {
@@ -166,8 +197,8 @@ fn info(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(path: &str, threads: usize) -> Result<(), String> {
-    let closure = load(path, threads)?;
+fn stats(path: &str, globals: Globals) -> Result<(), String> {
+    let closure = load(path, globals)?;
     let s = closure.stats();
     println!("nodes                 {}", s.nodes);
     println!("relation arcs         {}", s.graph_arcs);
@@ -191,8 +222,8 @@ fn stats(path: &str, threads: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn query(path: &str, src: &str, dst: &str, threads: usize) -> Result<(), String> {
-    let closure = load(path, threads)?;
+fn query(path: &str, src: &str, dst: &str, globals: Globals) -> Result<(), String> {
+    let closure = load(path, globals)?;
     let s = parse_node(&closure, src)?;
     let d = parse_node(&closure, dst)?;
     let reachable = closure.reaches(s, d);
@@ -203,8 +234,8 @@ fn query(path: &str, src: &str, dst: &str, threads: usize) -> Result<(), String>
     Ok(())
 }
 
-fn neighbors(path: &str, node: &str, forward: bool, threads: usize) -> Result<(), String> {
-    let closure = load(path, threads)?;
+fn neighbors(path: &str, node: &str, forward: bool, globals: Globals) -> Result<(), String> {
+    let closure = load(path, globals)?;
     let n = parse_node(&closure, node)?;
     let mut set = if forward {
         closure.successors(n)
@@ -218,8 +249,8 @@ fn neighbors(path: &str, node: &str, forward: bool, threads: usize) -> Result<()
     Ok(())
 }
 
-fn path(input: &str, src: &str, dst: &str, threads: usize) -> Result<(), String> {
-    let closure = load(input, threads)?;
+fn path(input: &str, src: &str, dst: &str, globals: Globals) -> Result<(), String> {
+    let closure = load(input, globals)?;
     let s = parse_node(&closure, src)?;
     let d = parse_node(&closure, dst)?;
     match closure.find_path(s, d) {
@@ -232,14 +263,14 @@ fn path(input: &str, src: &str, dst: &str, threads: usize) -> Result<(), String>
     }
 }
 
-fn dot(path: &str, threads: usize) -> Result<(), String> {
-    let closure = load(path, threads)?;
+fn dot(path: &str, globals: Globals) -> Result<(), String> {
+    let closure = load(path, globals)?;
     print!("{}", closure.to_dot());
     Ok(())
 }
 
-fn compress(path: &str, out: &str, threads: usize) -> Result<(), String> {
-    let closure = load(path, threads)?;
+fn compress(path: &str, out: &str, globals: Globals) -> Result<(), String> {
+    let closure = load(path, globals)?;
     let bytes = closure.to_bytes();
     std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
     let s = closure.stats();
@@ -253,11 +284,103 @@ fn compress(path: &str, out: &str, threads: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Times the query surface over a deterministic mix: single `reaches`
+/// probes, one `reaches_batch` sweep, and `successors`/`predecessors`
+/// decodes for a sample of nodes. The same multiplicative-hash pair
+/// sequence the fuzz oracle uses keeps runs comparable across
+/// `--frozen`/`--threads` settings.
+fn bench(args: &[String], globals: Globals) -> Result<(), String> {
+    let path = arg(args, 1)?;
+    let mut queries = 1_000_000usize;
+    let mut it = args.iter().skip(2);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--queries" => {
+                let v = it.next().ok_or("--queries requires a value")?;
+                queries = v.parse().map_err(|_| "invalid --queries")?;
+            }
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    let build_start = std::time::Instant::now();
+    let closure = load(path, globals)?;
+    let build = build_start.elapsed();
+    let n = closure.node_count();
+    if n == 0 {
+        return Err("empty graph: nothing to bench".into());
+    }
+    println!(
+        "loaded {} nodes / {} arcs in {:.3}s (threads {}, {})",
+        n,
+        closure.graph().edge_count(),
+        build.as_secs_f64(),
+        globals.threads,
+        if closure.is_frozen() { "frozen" } else { "mutable" },
+    );
+
+    let pairs: Vec<(NodeId, NodeId)> = (0..queries as u64)
+        .map(|k| {
+            let s = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+            let d = (k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32) as usize % n;
+            (NodeId(s as u32), NodeId(d as u32))
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let mut hits = 0usize;
+    for &(s, d) in &pairs {
+        hits += usize::from(closure.reaches(s, d));
+    }
+    let single = start.elapsed();
+    println!(
+        "reaches       {queries} probes in {:.3}s  ({:.1} ns/probe, {hits} reachable)",
+        single.as_secs_f64(),
+        single.as_nanos() as f64 / queries as f64
+    );
+
+    let start = std::time::Instant::now();
+    let answers = closure.reaches_batch(&pairs);
+    let batch = start.elapsed();
+    let batch_hits = answers.iter().filter(|&&b| b).count();
+    if batch_hits != hits {
+        return Err(format!("batch disagrees with single probes: {batch_hits} vs {hits}"));
+    }
+    println!(
+        "reaches_batch {queries} probes in {:.3}s  ({:.1} ns/probe)",
+        batch.as_secs_f64(),
+        batch.as_nanos() as f64 / queries as f64
+    );
+
+    let sample: Vec<NodeId> = (0..(queries / 100).clamp(1, n) as u64)
+        .map(|k| NodeId(((k.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 32) as usize % n) as u32))
+        .collect();
+    let start = std::time::Instant::now();
+    let succ_total: usize = sample.iter().map(|&v| closure.successor_count(v)).sum();
+    let succ = start.elapsed();
+    println!(
+        "successors    {} decodes in {:.3}s  ({:.1} us/decode, {succ_total} reachable total)",
+        sample.len(),
+        succ.as_secs_f64(),
+        succ.as_micros() as f64 / sample.len() as f64
+    );
+    let start = std::time::Instant::now();
+    let pred_total: usize = sample.iter().map(|&v| closure.predecessors(v).len()).sum();
+    let pred = start.elapsed();
+    println!(
+        "predecessors  {} queries in {:.3}s  ({:.1} us/query, {pred_total} reaching total)",
+        sample.len(),
+        pred.as_secs_f64(),
+        pred.as_micros() as f64 / sample.len() as f64
+    );
+    Ok(())
+}
+
 fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
     let mut ops = 256usize;
     let mut seed = 0u64;
     let mut seeds = 1u64;
     let mut config = tc_fuzz::FuzzConfig { threads, ..tc_fuzz::FuzzConfig::default() };
+    let mut freeze = false;
     let mut want_shrink = false;
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
@@ -276,6 +399,7 @@ fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
                 config.reserve = value("--reserve")?.parse().map_err(|_| "invalid --reserve")?
             }
             "--merge" => config.merge = true,
+            "--freeze" => freeze = true,
             "--shrink" => want_shrink = true,
             "--out" => out = Some(value("--out")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
@@ -302,7 +426,7 @@ fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
     }
 
     for s in seed..seed.saturating_add(seeds) {
-        let gcfg = tc_fuzz::GenConfig { ops, seed: s, config };
+        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, config };
         let trace = tc_fuzz::generate(&gcfg);
         match tc_fuzz::run_trace_catching(&trace, &opts) {
             Ok(r) => println!(

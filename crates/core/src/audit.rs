@@ -32,6 +32,11 @@
 //!    consistent (every child entry points back, no node is listed twice),
 //!    parent chains are acyclic, and **every tree arc is an arc of the
 //!    base relation** (cover-vs-graph consistency).
+//! 8. **Plane coherence** — when a frozen [`crate::QueryPlane`] is present,
+//!    its snapshot (postorder numbers, interval totals, number-line length)
+//!    still mirrors the mutable labeling. Updates must invalidate the plane
+//!    before mutating, so a divergence here means a stale snapshot survived
+//!    an update path.
 
 use tc_graph::NodeId;
 use tc_interval::Interval;
@@ -190,6 +195,11 @@ impl CompressedClosure {
             }
         }
 
+        // 8. A frozen plane must still mirror the labeling it snapshot.
+        if let Some(plane) = &self.plane {
+            plane.check_consistency(&self.lab).map_err(|e| format!("query plane: {e}"))?;
+        }
+
         Ok(())
     }
 }
@@ -284,6 +294,20 @@ mod tests {
         // Tombstone a live number behind the labeling's back.
         c.lab.line.tombstone(c.lab.post[3]);
         assert!(c.audit().is_err());
+    }
+
+    #[test]
+    fn stale_plane_is_caught() {
+        let mut c = base();
+        c.freeze();
+        c.audit().unwrap();
+        // Grow a label behind the frozen plane's back (every real update
+        // path invalidates the plane before mutating; this simulates one
+        // that forgot). The new interval is structurally valid, so only the
+        // plane-coherence check can object.
+        let hi = c.lab.advertised_hi.iter().copied().max().unwrap_or(0);
+        c.lab.sets[0].insert(tc_interval::Interval::point(hi + 100));
+        assert!(c.audit().unwrap_err().contains("query plane"));
     }
 
     #[test]

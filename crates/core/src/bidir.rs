@@ -72,6 +72,25 @@ impl BiClosure {
         self.reverse.successor_count(node)
     }
 
+    /// Freezes a read-optimized [`crate::QueryPlane`] on *both* directions
+    /// (see [`CompressedClosure::freeze`]). Any subsequent update thaws both
+    /// planes again.
+    pub fn freeze(&mut self) {
+        self.forward.freeze();
+        self.reverse.freeze();
+    }
+
+    /// Drops both planes, returning to the mutable query paths.
+    pub fn thaw(&mut self) {
+        self.forward.thaw();
+        self.reverse.thaw();
+    }
+
+    /// Whether both directions currently hold a frozen plane.
+    pub fn is_frozen(&self) -> bool {
+        self.forward.is_frozen() && self.reverse.is_frozen()
+    }
+
     /// The forward closure.
     pub fn forward(&self) -> &CompressedClosure {
         &self.forward
@@ -201,6 +220,29 @@ mod tests {
         bi.remove_edge(NodeId(1), NodeId(3)).unwrap();
         assert!(bi.reaches(NodeId(0), NodeId(3)), "path through 2 survives");
         assert!(!bi.predecessors(NodeId(3)).contains(&NodeId(1)));
+        bi.verify().unwrap();
+    }
+
+    #[test]
+    fn frozen_biclosure_answers_identically_and_thaws_on_update() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 40,
+            avg_out_degree: 2.0,
+            seed: 11,
+        });
+        let mut bi = BiClosure::build(&g).unwrap();
+        let want_succ: Vec<_> = g.nodes().map(|v| bi.successors(v)).collect();
+        let want_pred: Vec<_> = g.nodes().map(|v| bi.predecessors(v)).collect();
+        bi.freeze();
+        assert!(bi.is_frozen());
+        for v in g.nodes() {
+            assert_eq!(bi.successors(v), want_succ[v.index()]);
+            assert_eq!(bi.predecessors(v), want_pred[v.index()]);
+        }
+        bi.verify().unwrap();
+        // Any update must drop both planes.
+        bi.add_node_with_parents(&[NodeId(0)]).unwrap();
+        assert!(!bi.is_frozen());
         bi.verify().unwrap();
     }
 

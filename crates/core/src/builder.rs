@@ -31,6 +31,7 @@ pub struct ClosureConfig {
     pub(crate) reserve: u64,
     pub(crate) merge_adjacent: bool,
     pub(crate) threads: usize,
+    pub(crate) auto_freeze: bool,
 }
 
 impl Default for ClosureConfig {
@@ -45,6 +46,7 @@ impl Default for ClosureConfig {
             reserve: 0,
             merge_adjacent: false,
             threads: 1,
+            auto_freeze: false,
         }
     }
 }
@@ -99,6 +101,16 @@ impl ClosureConfig {
     /// construction".
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Freezes a [`crate::QueryPlane`] as soon as construction finishes, so
+    /// the closure starts out answering queries from the read-optimized
+    /// snapshot. [`CompressedClosure::rebuild`] inherits this, re-freezing
+    /// after every rebuild; incremental updates still invalidate the plane
+    /// (see DESIGN.md, "Frozen query plane") and do *not* re-freeze.
+    pub fn auto_freeze(mut self, enable: bool) -> Self {
+        self.auto_freeze = enable;
         self
     }
 
@@ -162,6 +174,10 @@ impl ClosureConfig {
                 set.merge_adjacent();
             }
         }
-        CompressedClosure::from_parts(g.clone(), cover, lab, self)
+        let mut closure = CompressedClosure::from_parts(g.clone(), cover, lab, self);
+        if self.auto_freeze {
+            closure.freeze();
+        }
+        closure
     }
 }

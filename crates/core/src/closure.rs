@@ -6,6 +6,7 @@ use tc_interval::IntervalSet;
 use crate::builder::ClosureConfig;
 use crate::labeling::Labeling;
 use crate::parallel;
+use crate::plane::QueryPlane;
 use crate::propagate::propagate_dispatch;
 use crate::stats::ClosureStats;
 use crate::treecover::TreeCover;
@@ -28,6 +29,10 @@ pub struct CompressedClosure {
     pub(crate) cover: TreeCover,
     pub(crate) lab: Labeling,
     pub(crate) config: ClosureConfig,
+    /// Read-optimized snapshot of the labels ([`QueryPlane`]); present only
+    /// between a [`CompressedClosure::freeze`] and the next update. Never
+    /// serialized.
+    pub(crate) plane: Option<QueryPlane>,
 }
 
 impl CompressedClosure {
@@ -48,7 +53,40 @@ impl CompressedClosure {
             cover,
             lab,
             config,
+            plane: None,
         }
+    }
+
+    /// Freezes the current labels into a read-optimized [`QueryPlane`]:
+    /// `reaches`, `reaches_batch`, `successors`, `successor_count`, and
+    /// `predecessors` answer from contiguous, allocation-free index arrays
+    /// until the next update invalidates the snapshot. Freezing is O(n +
+    /// total intervals) and idempotent; answers are identical either way.
+    pub fn freeze(&mut self) {
+        self.plane = Some(QueryPlane::freeze(&self.lab));
+    }
+
+    /// Drops the frozen [`QueryPlane`] (if any), returning queries to the
+    /// mutable labels.
+    pub fn thaw(&mut self) {
+        self.plane = None;
+    }
+
+    /// Whether a frozen [`QueryPlane`] is currently serving queries.
+    pub fn is_frozen(&self) -> bool {
+        self.plane.is_some()
+    }
+
+    /// The frozen [`QueryPlane`], when one is active.
+    pub fn plane(&self) -> Option<&QueryPlane> {
+        self.plane.as_ref()
+    }
+
+    /// Invalidates the frozen plane; every update path calls this at its
+    /// first point of mutation, so a stale snapshot can never serve a
+    /// query.
+    pub(crate) fn invalidate_plane(&mut self) {
+        self.plane = None;
     }
 
     /// The base relation this closure materializes.
@@ -83,22 +121,49 @@ impl CompressedClosure {
     /// that every node can reach itself").
     ///
     /// One binary search over `src`'s interval set — "a lookup instead of a
-    /// graph traversal".
+    /// graph traversal". When a [`QueryPlane`] is frozen the probe runs
+    /// branchless over its CSR arrays instead of the per-node sets.
     #[inline]
     pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
-        self.lab.sets[src.index()].contains_point(self.lab.post[dst.index()])
+        match &self.plane {
+            Some(plane) => plane.reaches(src, dst),
+            None => self.lab.sets[src.index()].contains_point(self.lab.post[dst.index()]),
+        }
+    }
+
+    /// Whether `u`'s mutable label covers number `t`, with a fast path for
+    /// the dominant single-interval (tree-only) labels: one inline range
+    /// comparison rules the node out — or in — without the binary-search
+    /// machinery, and multi-interval sets are skipped when `t` falls below
+    /// their span.
+    #[inline]
+    fn label_contains(&self, u: NodeId, t: u64) -> bool {
+        let set = &self.lab.sets[u.index()];
+        match set.as_slice() {
+            [] => false,
+            [only] => only.contains(t),
+            items => {
+                items[0].lo() <= t && t <= items[items.len() - 1].hi() && set.contains_point(t)
+            }
+        }
     }
 
     /// All nodes reachable from `node` (including itself), decoded from the
     /// interval set in ascending postorder-number order.
     pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
-        self.lab.decode(&self.lab.sets[node.index()])
+        match &self.plane {
+            Some(plane) => plane.successors(node),
+            None => self.lab.decode(&self.lab.sets[node.index()]),
+        }
     }
 
     /// Number of nodes reachable from `node` (including itself), without
     /// materializing the list.
     pub fn successor_count(&self, node: NodeId) -> usize {
-        self.lab.decode_count(&self.lab.sets[node.index()])
+        match &self.plane {
+            Some(plane) => plane.successor_count(node),
+            None => self.lab.decode_count(&self.lab.sets[node.index()]),
+        }
     }
 
     /// Answers a batch of reachability queries in one call, fanning the
@@ -106,35 +171,57 @@ impl CompressedClosure {
     /// Result `i` is `reaches(pairs[i].0, pairs[i].1)`.
     ///
     /// Each query is an independent read of immutable label state, so the
-    /// batch parallelizes embarrassingly; with `threads <= 1` (or a small
-    /// batch) the pairs are answered inline with no thread overhead.
+    /// batch parallelizes embarrassingly; the output is allocated once up
+    /// front and every worker writes its chunk in place. With `threads <= 1`
+    /// (or a small batch) the pairs are answered inline with no thread
+    /// overhead.
     pub fn reaches_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
         let threads = parallel::effective_threads(self.config.threads);
-        parallel::map_chunks(pairs, threads, |chunk| {
-            chunk.iter().map(|&(src, dst)| self.reaches(src, dst)).collect()
-        })
+        let mut out = vec![false; pairs.len()];
+        match &self.plane {
+            Some(plane) => parallel::map_chunks_into(pairs, &mut out, threads, |chunk, slots| {
+                for (slot, &(src, dst)) in slots.iter_mut().zip(chunk) {
+                    *slot = plane.reaches(src, dst);
+                }
+            }),
+            None => parallel::map_chunks_into(pairs, &mut out, threads, |chunk, slots| {
+                for (slot, &(src, dst)) in slots.iter_mut().zip(chunk) {
+                    *slot =
+                        self.lab.sets[src.index()].contains_point(self.lab.post[dst.index()]);
+                }
+            }),
+        }
+        out
     }
 
-    /// All nodes that reach `node` (including itself), by scanning every
-    /// interval set. O(n log k), split across the configured worker threads;
-    /// build a closure of the reversed relation if predecessor queries
-    /// dominate.
+    /// All nodes that reach `node` (including itself), ascending by node
+    /// id.
+    ///
+    /// Frozen, this is one O(k log m) stabbing query over the
+    /// [`QueryPlane`]'s inverted index. Mutable, it scans every interval
+    /// set — O(n log k), softened by a single-interval fast path and split
+    /// across the configured worker threads; build a closure of the
+    /// reversed relation ([`crate::bidir::BiClosure`]) if mutable
+    /// predecessor queries dominate.
     pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        if let Some(plane) = &self.plane {
+            return plane.predecessors(node);
+        }
         let target = self.lab.post[node.index()];
         let threads = parallel::effective_threads(self.config.threads);
         if threads <= 1 {
             return self
                 .graph
                 .nodes()
-                .filter(|u| self.lab.sets[u.index()].contains_point(target))
+                .filter(|&u| self.label_contains(u, target))
                 .collect();
         }
         let nodes: Vec<NodeId> = self.graph.nodes().collect();
-        let hits = parallel::map_chunks(&nodes, threads, |chunk| {
-            chunk
-                .iter()
-                .map(|u| self.lab.sets[u.index()].contains_point(target))
-                .collect()
+        let mut hits = vec![false; nodes.len()];
+        parallel::map_chunks_into(&nodes, &mut hits, threads, |chunk, slots| {
+            for (slot, &u) in slots.iter_mut().zip(chunk) {
+                *slot = self.label_contains(u, target);
+            }
         });
         nodes
             .into_iter()
@@ -276,6 +363,10 @@ impl CompressedClosure {
     /// empty numbers run out"); also useful to reclaim space after many
     /// deletions.
     pub fn relabel(&mut self) {
+        // Also called mid-insertion on gap exhaustion, so it must only
+        // invalidate — never freeze — or the caller would keep mutating
+        // under a live snapshot.
+        self.invalidate_plane();
         self.lab = Labeling::assign(&self.cover, self.config.gap, self.config.reserve);
         propagate_dispatch(&self.graph, &mut self.lab, self.config.threads);
         self.apply_merge_policy();
@@ -537,5 +628,31 @@ mod tests {
         assert!(c.reaches(a, a));
         assert_eq!(c.successors(a), vec![a]);
         assert_eq!(c.stats().closure_size, 0);
+    }
+
+    #[test]
+    fn wide_and_narrow_plane_layouts_agree() {
+        // Small graphs freeze into the narrow (u16-rank) layout; force the
+        // wide layout on the same labeling and demand identical answers.
+        let nodes = 300;
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes,
+            avg_out_degree: 2.5,
+            seed: 7,
+        });
+        let mut c = CompressedClosure::build(&g).unwrap();
+        c.freeze();
+        let narrow = c.plane().expect("frozen").clone();
+        let wide = crate::plane::QueryPlane::freeze_wide(&c.lab);
+        wide.check_consistency(&c.lab).unwrap();
+        assert_eq!(wide.total_intervals(), narrow.total_intervals());
+        for v in (0..nodes).map(NodeId::from_index) {
+            assert_eq!(wide.successors(v), narrow.successors(v), "successors({v:?})");
+            assert_eq!(wide.predecessors(v), narrow.predecessors(v), "predecessors({v:?})");
+            assert_eq!(wide.successor_count(v), narrow.successor_count(v));
+            for w in [0, 1, 57, 123, nodes - 1].map(NodeId::from_index) {
+                assert_eq!(wide.reaches(v, w), narrow.reaches(v, w), "reaches({v:?}, {w:?})");
+            }
+        }
     }
 }

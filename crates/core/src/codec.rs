@@ -214,9 +214,10 @@ impl CompressedClosure {
             gap,
             reserve,
             merge_adjacent,
-            // A runtime knob, not a closure property: deliberately not
-            // serialized, so decoded closures start out serial.
+            // Runtime knobs, not closure properties: deliberately not
+            // serialized, so decoded closures start out serial and thawed.
             threads: 1,
+            auto_freeze: false,
         };
 
         // Relation.

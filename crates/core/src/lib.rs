@@ -65,6 +65,7 @@ mod builder;
 mod closure;
 mod labeling;
 mod parallel;
+mod plane;
 mod propagate;
 mod stats;
 
@@ -79,6 +80,7 @@ pub mod updates;
 
 pub use builder::ClosureConfig;
 pub use closure::CompressedClosure;
+pub use plane::QueryPlane;
 pub use stats::ClosureStats;
 pub use treecover::{CoverStrategy, TreeCover};
 pub use updates::UpdateError;

@@ -58,6 +58,40 @@ where
     out
 }
 
+/// Fills a pre-sized output slice from `items` split into at most `threads`
+/// contiguous chunks: worker `i` receives the `i`-th input chunk and the
+/// matching `&mut` output chunk and writes results in place. Unlike
+/// [`map_chunks`] there is no per-chunk `Vec` allocation and no
+/// re-concatenation — the caller allocates once and the workers never touch
+/// overlapping memory (disjoint `chunks_mut`), keeping the fan-out free of
+/// `unsafe`.
+///
+/// # Panics
+///
+/// Panics if `items` and `out` differ in length.
+pub(crate) fn map_chunks_into<T, U, F>(items: &[T], out: &mut [U], threads: usize, fill: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T], &mut [U]) + Sync,
+{
+    assert_eq!(items.len(), out.len(), "output must be pre-sized to the input");
+    let workers = threads
+        .min(items.len() / MIN_ITEMS_PER_WORKER)
+        .clamp(1, items.len().max(1));
+    if workers == 1 {
+        fill(items, out);
+        return;
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &fill;
+        for (chunk, slots) in items.chunks(chunk_size).zip(out.chunks_mut(chunk_size)) {
+            scope.spawn(move || f(chunk, slots));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

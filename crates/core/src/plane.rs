@@ -1,0 +1,312 @@
+//! The frozen query plane: an immutable, read-optimized snapshot of a
+//! closure's labels (DESIGN.md, "Frozen query plane").
+//!
+//! The mutable closure keeps one heap-allocated `Vec<Interval>` per node so
+//! the §4 updates can grow any label independently; every `reaches` probe
+//! pays two dependent pointer dereferences (outer `Vec<IntervalSet>` header,
+//! then the set's buffer) plus a binary search over 16-byte `(lo, hi)`
+//! pairs in the sparse `u64` postorder-number space, and `predecessors` has
+//! no choice but to ask all n sets in turn. [`QueryPlane`] trades the
+//! mutability away. [`crate::CompressedClosure::freeze`] *rank compresses*
+//! the label state — every interval endpoint is replaced by its index in
+//! the sorted array of live postorder numbers — and lays it out as:
+//!
+//! * a CSR [`FlatIntervalIndex`]: each node's rank intervals packed one per
+//!   `u64` (`lo` in the high half, `hi` in the low half), so a point probe
+//!   is a single binary search whose final load already holds both
+//!   endpoints. Rank compression also merges intervals separated only by
+//!   dead numbers (gap slack, tombstones, refinement tails), shrinking the
+//!   rows well below the mutable interval count;
+//! * the rank of each node's own postorder number (the probe key);
+//! * a [`StabbingIndex`] inverting the closure: all rank intervals sorted
+//!   globally by `lo` with owner ids, answering `predecessors` as an
+//!   O(k log m) stabbing query instead of an O(n log k) scan;
+//! * the live node at each rank, making `successors` a direct slice copy
+//!   per interval — no number-line search at all.
+//!
+//! The plane is a *snapshot*: any §4 update invalidates it (the closure
+//! drops it and answers from the mutable labels again) until the caller —
+//! or [`crate::ClosureConfig::auto_freeze`] — freezes anew.
+
+use tc_graph::NodeId;
+use tc_interval::{
+    upper_bound, FlatBuilder, FlatIntervalIndex, NarrowBuilder, NarrowIntervalIndex, StabbingIndex,
+};
+
+use crate::labeling::Labeling;
+
+/// The per-node rank-interval rows in whichever key width the snapshot
+/// fits: `u16` ranks (single-cache-line headers, half-size slices) whenever
+/// the live number line has at most `u16::MAX` entries, `u32` otherwise.
+/// Every probe takes the same branch, so the dispatch is free in practice.
+#[derive(Debug, Clone)]
+enum RankRows {
+    Wide(FlatIntervalIndex),
+    Narrow(NarrowIntervalIndex),
+}
+
+/// Accepts `u32` rank intervals row by row; lets the freeze mapping loop be
+/// written once for both builder widths.
+trait RowSink {
+    fn add(&mut self, lo: u32, hi: u32);
+    fn seal(&mut self);
+}
+
+impl RowSink for FlatBuilder {
+    #[inline]
+    fn add(&mut self, lo: u32, hi: u32) {
+        self.push(lo, hi);
+    }
+    fn seal(&mut self) {
+        self.finish_row();
+    }
+}
+
+impl RowSink for NarrowBuilder {
+    #[inline]
+    fn add(&mut self, lo: u32, hi: u32) {
+        // The freeze gate guarantees every rank fits: live count <= u16::MAX.
+        self.push(lo as u16, hi as u16);
+    }
+    fn seal(&mut self) {
+        self.finish_row();
+    }
+}
+
+impl RankRows {
+    fn rows(&self) -> usize {
+        match self {
+            RankRows::Wide(ix) => ix.rows(),
+            RankRows::Narrow(ix) => ix.rows(),
+        }
+    }
+
+    fn total_intervals(&self) -> usize {
+        match self {
+            RankRows::Wide(ix) => ix.total_intervals(),
+            RankRows::Narrow(ix) => ix.total_intervals(),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, row: usize, t: u32) -> bool {
+        match self {
+            RankRows::Wide(ix) => ix.contains_point(row, t),
+            RankRows::Narrow(ix) => ix.contains_point(row, t as u16),
+        }
+    }
+
+    /// Calls `f` with each of `row`'s `(lo, hi)` rank intervals, ascending.
+    fn for_each_interval(&self, row: usize, mut f: impl FnMut(u32, u32)) {
+        match self {
+            RankRows::Wide(ix) => ix.row_intervals(row).for_each(|(lo, hi)| f(lo, hi)),
+            RankRows::Narrow(ix) => {
+                ix.row_intervals(row).for_each(|(lo, hi)| f(lo as u32, hi as u32));
+            }
+        }
+    }
+}
+
+/// An immutable, cache-friendly snapshot of a closure's query state. Built
+/// by [`crate::CompressedClosure::freeze`]; answers `reaches`,
+/// `successors`, `successor_count`, and `predecessors` without touching the
+/// mutable label structures.
+#[derive(Debug, Clone)]
+pub struct QueryPlane {
+    /// Per-node rank-interval sets in flat boundary-array layout.
+    index: RankRows,
+    /// Rank of each node's own postorder number in the live number line —
+    /// the probe key for `reaches(_, dst)` and `predecessors(dst)`.
+    rank: Vec<u32>,
+    /// Inverted index: every rank interval with its owning node.
+    inverted: StabbingIndex,
+    /// Live node at each rank (the number line with the numbers compressed
+    /// away): decoding a rank interval is a slice copy.
+    line_nodes: Vec<u32>,
+    /// The labeling's interval count at freeze time, *before* rank merging;
+    /// the consistency audit compares it against the live labeling to catch
+    /// updates that forgot to invalidate the plane.
+    source_intervals: usize,
+}
+
+impl QueryPlane {
+    /// Snapshots the given labeling, rank-compressing every interval.
+    pub(crate) fn freeze(lab: &Labeling) -> QueryPlane {
+        Self::freeze_impl(lab, false)
+    }
+
+    /// As [`QueryPlane::freeze`], but forcing the wide (`u32`) row layout
+    /// even when the snapshot would fit the narrow one — lets tests compare
+    /// both layouts on the small graphs they can afford.
+    #[cfg(test)]
+    pub(crate) fn freeze_wide(lab: &Labeling) -> QueryPlane {
+        Self::freeze_impl(lab, true)
+    }
+
+    fn freeze_impl(lab: &Labeling, force_wide: bool) -> QueryPlane {
+        let n = lab.post.len();
+        // The live number line, split into its two halves: the sorted
+        // numbers (only needed during freezing, to map endpoints to ranks)
+        // and the node at each rank (kept for successor decoding).
+        let live = lab.line.live_count();
+        let mut line_nums = Vec::with_capacity(live);
+        let mut line_nodes = Vec::with_capacity(live);
+        for (num, node) in lab.line.live_in_range(0, u64::MAX) {
+            line_nums.push(num);
+            line_nodes.push(node);
+        }
+        // Every node's own number is live, so the rank array is total.
+        let mut rank = vec![0u32; n];
+        for (r, &node) in line_nodes.iter().enumerate() {
+            rank[node as usize] = r as u32;
+        }
+
+        let source_intervals: usize = lab.sets.iter().map(|s| s.count()).sum();
+        // Maps every label interval onto rank space and feeds the sink.
+        // First rank at or above lo / last rank at or below hi; an interval
+        // covering only dead numbers maps to nothing and is dropped —
+        // every query key is a live number.
+        let feed = |sink: &mut dyn RowSink| {
+            for set in lab.sets.iter() {
+                for iv in set.iter() {
+                    let rlo = line_nums.partition_point(|&x| x < iv.lo());
+                    let rhi = upper_bound(&line_nums, iv.hi());
+                    if rlo >= rhi {
+                        continue;
+                    }
+                    sink.add(rlo as u32, (rhi - 1) as u32);
+                }
+                sink.seal();
+            }
+        };
+        let index = if live <= u16::MAX as usize && !force_wide {
+            let mut builder = NarrowBuilder::with_capacity(n, source_intervals);
+            feed(&mut builder);
+            RankRows::Narrow(builder.finish())
+        } else {
+            let mut builder = FlatBuilder::with_capacity(n, source_intervals);
+            feed(&mut builder);
+            RankRows::Wide(builder.finish())
+        };
+        // Invert the *merged* rows, not the raw sets: fewer intervals, and
+        // per-owner disjointness makes stab results duplicate-free.
+        let mut inverted_items: Vec<(u32, u32, u32)> = Vec::with_capacity(source_intervals);
+        for owner in 0..n {
+            index.for_each_interval(owner, |rlo, rhi| {
+                inverted_items.push((rlo, rhi, owner as u32));
+            });
+        }
+        let inverted = StabbingIndex::build(inverted_items);
+
+        QueryPlane { index, rank, inverted, line_nodes, source_intervals }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Total rank intervals in the snapshot. At most the mutable closure's
+    /// [`crate::CompressedClosure::total_intervals`] at freeze time —
+    /// usually well below it, since rank compression merges intervals
+    /// separated only by dead numbers.
+    #[inline]
+    pub fn total_intervals(&self) -> usize {
+        self.index.total_intervals()
+    }
+
+    /// Whether `src` reaches `dst` (reflexive): one fenced parity probe of
+    /// `src`'s boundary-array row for `dst`'s rank.
+    #[inline]
+    pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        self.index.contains(src.index(), self.rank[dst.index()])
+    }
+
+    /// All nodes reachable from `node` (including itself), ascending by
+    /// postorder number — identical to the mutable decode. Rank intervals
+    /// are disjoint and sorted, so each one is a straight slice copy.
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.successor_count(node));
+        self.index.for_each_interval(node.index(), |rlo, rhi| {
+            let nodes = &self.line_nodes[rlo as usize..=rhi as usize];
+            out.extend(nodes.iter().map(|&n| NodeId(n)));
+        });
+        out
+    }
+
+    /// Count of nodes reachable from `node` (including itself), without
+    /// materializing the list: a sum of interval widths.
+    pub fn successor_count(&self, node: NodeId) -> usize {
+        let mut count = 0usize;
+        self.index.for_each_interval(node.index(), |rlo, rhi| {
+            count += (rhi - rlo) as usize + 1;
+        });
+        count
+    }
+
+    /// All nodes that reach `node` (including itself), ascending by node
+    /// id — identical order to the mutable scan. One stabbing query for
+    /// `node`'s rank over the inverted index: O(k log m) for k
+    /// predecessors among m total intervals.
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut owners = Vec::new();
+        self.inverted.stab(self.rank[node.index()], &mut owners);
+        // A row's merged intervals are disjoint, so each owner appears at
+        // most once — sorting alone restores id order.
+        owners.sort_unstable();
+        owners.into_iter().map(NodeId).collect()
+    }
+
+    /// Cross-checks the snapshot against the labeling it should mirror —
+    /// shape, source interval count, and the full rank bijection. O(n +
+    /// intervals); run by [`crate::CompressedClosure::audit`] whenever a
+    /// plane is frozen, so the fuzzer catches a stale or torn snapshot
+    /// immediately.
+    pub(crate) fn check_consistency(&self, lab: &Labeling) -> Result<(), String> {
+        if self.rank.len() != lab.post.len() || self.index.rows() != lab.post.len() {
+            return Err(format!(
+                "plane shape mismatch: {} ranks / {} rows for {} nodes",
+                self.rank.len(),
+                self.index.rows(),
+                lab.post.len()
+            ));
+        }
+        let total: usize = lab.sets.iter().map(|s| s.count()).sum();
+        if self.source_intervals != total {
+            return Err(format!(
+                "plane frozen from {} intervals but labeling now holds {total}",
+                self.source_intervals
+            ));
+        }
+        if self.index.total_intervals() > total || self.inverted.len() != self.index.total_intervals()
+        {
+            return Err(format!(
+                "plane interval counts inconsistent: CSR {} (merged from {total}), inverted {}",
+                self.index.total_intervals(),
+                self.inverted.len()
+            ));
+        }
+        if self.line_nodes.len() != lab.line.live_count() {
+            return Err(format!(
+                "plane line length {} != {} live numbers",
+                self.line_nodes.len(),
+                lab.line.live_count()
+            ));
+        }
+        for (r, (num, node)) in lab.line.live_in_range(0, u64::MAX).enumerate() {
+            if self.line_nodes[r] != node {
+                return Err(format!("plane rank {r} holds node {}, line says {node}", {
+                    self.line_nodes[r]
+                }));
+            }
+            if lab.post[node as usize] == num && self.rank[node as usize] != r as u32 {
+                return Err(format!(
+                    "node {node} has rank {} in the plane but its number {num} sits at rank {r}",
+                    self.rank[node as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -38,6 +38,7 @@ impl CompressedClosure {
         for &p in &parents {
             self.check_node(p)?;
         }
+        self.invalidate_plane();
 
         let node = match parents.first() {
             None => self.insert_root()?,
@@ -68,6 +69,7 @@ impl CompressedClosure {
         if self.reaches(dst, src) {
             return Err(UpdateError::WouldCreateCycle { src, dst });
         }
+        self.invalidate_plane();
         self.graph.add_edge(src, dst);
         self.propagate_from(dst, src);
         Ok(true)

@@ -28,6 +28,7 @@ impl CompressedClosure {
         if !self.graph.has_edge(src, dst) {
             return Err(UpdateError::NoSuchEdge(src, dst));
         }
+        self.invalidate_plane();
         let is_tree = self.cover.is_tree_arc(src, dst);
         self.graph.remove_edge(src, dst);
         if is_tree {
@@ -65,6 +66,7 @@ impl CompressedClosure {
     /// reachability that does not pass through `node`.
     pub fn remove_node(&mut self, node: NodeId) -> Result<(), UpdateError> {
         self.check_node(node)?;
+        self.invalidate_plane();
         // Drop incident arcs from the base relation.
         let out: Vec<NodeId> = self.graph.successors(node).to_vec();
         let inn: Vec<NodeId> = self.graph.predecessors(node).to_vec();

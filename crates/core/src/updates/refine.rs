@@ -71,6 +71,7 @@ impl CompressedClosure {
         if num == self.lab.post[child.index()] {
             return Err(UpdateError::ReserveExhausted(child));
         }
+        self.invalidate_plane();
         self.lab.advertised_hi[child.index()] = num - 1;
 
         // Materialize z. Its own label is the single point [num, num]; it

@@ -30,6 +30,12 @@
 //! | `remove-node` | node out of range |
 //! | `refine` | node out of range, or the closure reports `ReserveExhausted` |
 //! | `relabel` / `rebuild` / `set-threads` | never |
+//! | `freeze` / `thaw` | never |
+//!
+//! `freeze`/`thaw` never mutate the relation, but they count as *applied* so
+//! the per-step audit (which cross-checks a frozen plane against the mutable
+//! labeling) and subsequent oracle passes run against the flipped query
+//! path — the whole point of fuzzing them.
 //!
 //! `refine` is the one rule that consults the closure rather than the
 //! mirror: reserve-tail headroom is label state with no mirror analogue.
@@ -249,6 +255,14 @@ impl EngineState {
             }
             Op::SetThreads { threads } => {
                 self.closure.set_threads(*threads);
+                Ok(true)
+            }
+            Op::Freeze => {
+                self.closure.freeze();
+                Ok(true)
+            }
+            Op::Thaw => {
+                self.closure.thaw();
                 Ok(true)
             }
         }

@@ -25,6 +25,11 @@ pub struct GenConfig {
     pub ops: usize,
     /// RNG seed; same seed + same config = same trace.
     pub seed: u64,
+    /// Mix `freeze`/`thaw` ops into the stream, so updates and oracle
+    /// passes run against frozen query planes as well as mutable labels.
+    /// Off by default to keep pre-existing seeds producing identical
+    /// traces.
+    pub freeze: bool,
     /// The closure configuration the trace runs under.
     pub config: FuzzConfig,
 }
@@ -34,6 +39,7 @@ impl Default for GenConfig {
         GenConfig {
             ops: 256,
             seed: 0,
+            freeze: false,
             config: FuzzConfig::default(),
         }
     }
@@ -42,10 +48,15 @@ impl Default for GenConfig {
 /// Emits one random op given the current relation state. Kind weights skew
 /// toward growth (a shrinking relation fuzzes nothing) with a steady diet
 /// of deletions, relabels and rebuilds to exercise tombstone churn.
-fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig) -> Op {
+fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig, freeze: bool) -> Op {
     let n = state.mirror.node_count() as u32;
     if n == 0 {
         return Op::AddNode { parents: vec![] };
+    }
+    // Guarded before any RNG draw so that with the knob off, existing seeds
+    // keep producing byte-identical traces.
+    if freeze && rng.random_range(0..8u32) == 0 {
+        return if rng.random_bool(0.7) { Op::Freeze } else { Op::Thaw };
     }
     let any = |rng: &mut StdRng| rng.random_range(0..n);
     match rng.random_range(0..100u32) {
@@ -104,7 +115,7 @@ pub fn generate(cfg: &GenConfig) -> OpTrace {
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.ops {
-        let op = next_op(&mut rng, &state, &cfg.config);
+        let op = next_op(&mut rng, &state, &cfg.config, cfg.freeze);
         trace.ops.push(op.clone());
         let outcome = catch_unwind(AssertUnwindSafe(|| state.apply(&op)));
         match outcome {
@@ -137,6 +148,7 @@ mod tests {
             ops: 200,
             seed: 7,
             config: FuzzConfig { gap: 64, reserve: 4, merge: true, threads: 2 },
+            ..GenConfig::default()
         };
         let trace = generate(&cfg);
         assert_eq!(trace.ops.len(), 200);
@@ -157,11 +169,31 @@ mod tests {
     }
 
     #[test]
+    fn freeze_knob_mixes_in_freeze_ops_and_replays_clean() {
+        let cfg = GenConfig {
+            ops: 200,
+            seed: 3,
+            freeze: true,
+            config: FuzzConfig { gap: 64, reserve: 4, ..FuzzConfig::default() },
+        };
+        let trace = generate(&cfg);
+        let freezes = trace.ops.iter().filter(|op| matches!(op, Op::Freeze)).count();
+        let thaws = trace.ops.iter().filter(|op| matches!(op, Op::Thaw)).count();
+        assert!(freezes > 0, "no freeze ops in 200");
+        assert!(thaws > 0, "no thaw ops in 200");
+        run_trace(&trace, &CheckOptions::default()).unwrap();
+        // The knob only adds ops; it never changes what off-knob seeds emit.
+        let plain = generate(&GenConfig { freeze: false, ..cfg });
+        assert!(plain.ops.iter().all(|op| !matches!(op, Op::Freeze | Op::Thaw)));
+    }
+
+    #[test]
     fn invalid_config_yields_empty_trace() {
         let cfg = GenConfig {
             ops: 10,
             seed: 0,
             config: FuzzConfig { gap: 1, reserve: 3, ..FuzzConfig::default() },
+            ..GenConfig::default()
         };
         assert!(generate(&cfg).ops.is_empty());
     }

@@ -25,6 +25,8 @@
 //! remove-node 1
 //! relabel
 //! rebuild
+//! freeze
+//! thaw
 //! set-threads 2
 //! ```
 
@@ -73,6 +75,13 @@ pub enum Op {
     Relabel,
     /// `CompressedClosure::rebuild`.
     Rebuild,
+    /// `CompressedClosure::freeze` — snapshots a read-optimized query plane;
+    /// subsequent queries (and the per-step audit) run against it until the
+    /// next update invalidates it. Never skipped.
+    Freeze,
+    /// `CompressedClosure::thaw` — drops the plane (a no-op when none is
+    /// frozen). Never skipped.
+    Thaw,
     /// `CompressedClosure::set_threads`.
     SetThreads {
         /// Worker-thread count (0 = one per CPU).
@@ -96,6 +105,8 @@ impl fmt::Display for Op {
             Op::Refine { child } => write!(f, "refine {child}"),
             Op::Relabel => write!(f, "relabel"),
             Op::Rebuild => write!(f, "rebuild"),
+            Op::Freeze => write!(f, "freeze"),
+            Op::Thaw => write!(f, "thaw"),
             Op::SetThreads { threads } => write!(f, "set-threads {threads}"),
         }
     }
@@ -244,6 +255,14 @@ impl OpTrace {
                     in_header = false;
                     ops.push(Op::Rebuild);
                 }
+                "freeze" => {
+                    in_header = false;
+                    ops.push(Op::Freeze);
+                }
+                "thaw" => {
+                    in_header = false;
+                    ops.push(Op::Thaw);
+                }
                 "set-threads" => {
                     in_header = false;
                     ops.push(Op::SetThreads { threads: one(&rest)? as usize });
@@ -272,6 +291,8 @@ mod tests {
                 Op::RemoveNode { node: 1 },
                 Op::Relabel,
                 Op::Rebuild,
+                Op::Freeze,
+                Op::Thaw,
                 Op::SetThreads { threads: 0 },
             ],
         };

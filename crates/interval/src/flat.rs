@@ -1,0 +1,615 @@
+//! Flat, read-only interval layouts for the frozen query plane.
+//!
+//! [`IntervalSet`] is the right structure for a closure under churn — each
+//! node owns a small, independently growable `Vec<Interval>` — but the read
+//! path pays for that flexibility: every `contains_point` probe chases the
+//! outer `Vec<IntervalSet>` header and then the set's own heap buffer (two
+//! dependent dereferences) and binary-searches 16-byte `(lo, hi)` pairs over
+//! the sparse `u64` postorder-number space. The structures here trade all
+//! mutability away for layout, and assume the caller has first *rank
+//! compressed* its intervals: endpoints are indices into the sorted array of
+//! live postorder numbers, which both narrows every element and lets
+//! adjacent intervals merge whenever only dead numbers separate them.
+//!
+//! * [`FlatIntervalIndex`] / [`NarrowIntervalIndex`] — every node's
+//!   intervals as an ascending *boundary array* (a disjoint, non-adjacent
+//!   interval sequence is exactly its sorted endpoints `lo_0, hi_0+1, lo_1,
+//!   hi_1+1, ...`, and `t` is covered iff an odd number of boundaries are
+//!   `<= t`), fronted by a fixed-size row header holding the first interval,
+//!   the row's upper bound, and the *fence* keys. A point probe loads the
+//!   header, picks one slice of the boundary array with a branchless fence
+//!   scan, and counts that slice linearly — two dependent cache accesses
+//!   instead of a pointer-chasing binary search. The two variants share one
+//!   implementation: `u32` ranks with a 128-byte header (one aligned
+//!   two-line sector), and `u16` ranks with a 64-byte single-line header and
+//!   half-size slices for snapshots whose live number line fits in `u16` —
+//!   the common case, and measurably faster because each probe touches half
+//!   the bytes.
+//! * [`StabbingIndex`] — *all* intervals of *all* nodes in one array sorted
+//!   by lower endpoint, with owner ids and a max-`hi` segment tree on top,
+//!   answering "which owners' intervals contain `t`?" (a stabbing query) in
+//!   O(k log m) instead of scanning every owner's set.
+//!
+//! Both are snapshots: they hold no reference to the data they were built
+//! from and never mutate.
+//!
+//! [`IntervalSet`]: crate::IntervalSet
+
+/// Upper bound over a sorted `u64` slice: the number of elements `<= t`
+/// (equivalently, the index of the first element `> t`). Used by the freeze
+/// path to map raw interval endpoints onto live-number ranks.
+#[inline]
+pub fn upper_bound(s: &[u64], t: u64) -> usize {
+    s.partition_point(|&x| x <= t)
+}
+
+/// Intervals per slice granule. Slices hold a multiple of 8 whole
+/// intervals = a multiple of 16 boundaries = a multiple of one 64-byte
+/// cache line for `u32` keys (half a line for `u16`), so with rows starting
+/// aligned every slice scan stays within whole aligned lines. Whole
+/// intervals per slice also means every preceding slice contributes an
+/// *even* number of boundaries, letting the probe take its containment
+/// parity from the probed slice alone.
+const SLICE_GRANULE: usize = 8;
+
+/// Stamps one boundary-array row index for a given rank key width. The key
+/// type, fence count, and header alignment vary; the layout and probe logic
+/// are identical.
+macro_rules! flat_rows {
+    (
+        $Key:ty, $fences:expr, $align:literal, $Index:ident, $Builder:ident,
+        $indexdoc:literal, $builderdoc:literal
+    ) => {
+        /// Fence keys inlined per row; they split the row's boundary array
+        /// into at most `FENCES + 1` slices, so a probe scans one short
+        /// slice after a single header load. Chosen so the header exactly
+        /// fills its aligned footprint.
+        const FENCES: usize = $fences;
+
+        /// Slice width (in intervals) used for a row of `m` intervals: the
+        /// smallest granule multiple that fits `m` into `FENCES + 1` slices.
+        #[inline]
+        fn slice_width(m: usize) -> usize {
+            (m.div_ceil(FENCES + 1)).next_multiple_of(super::SLICE_GRANULE)
+        }
+
+        /// One row's fixed-size header: the first interval inline (fast
+        /// path and empty-row sentinel), the row's upper bound, the extent
+        /// of its boundary array in the shared spill, and the fence keys.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(C, align($align))]
+        struct RowHead {
+            /// First interval's endpoints; an empty row stores the
+            /// impossible `[1, 0]`, which no probe can land in.
+            lo0: $Key,
+            hi0: $Key,
+            /// Start of the row's boundary slices in `spill`; always a
+            /// multiple of 16 keys, so slices stay cache-aligned.
+            spill_start: u32,
+            /// The row's interval count (first interval included); the
+            /// boundary count is `2 * intervals`, padded to whole slices.
+            intervals: $Key,
+            /// One past the row's last covered rank (the final real
+            /// boundary): probes at or above it miss without touching the
+            /// boundary array. Zero for an empty row, which also makes the
+            /// slice path unreachable.
+            top: $Key,
+            /// `fences[i]` is the first boundary (the `lo`) of slice
+            /// `i + 1`, or the key maximum past the last slice (rank probes
+            /// never reach it: the builder requires ranks strictly below
+            /// the key maximum).
+            fences: [$Key; FENCES],
+        }
+
+        // The header must exactly fill its aligned footprint: no hidden
+        // padding, and header reads never straddle an extra cache line.
+        const _: () = assert!(std::mem::size_of::<RowHead>() == $align);
+
+        const EMPTY_ROW: RowHead = RowHead {
+            lo0: 1,
+            hi0: 0,
+            spill_start: 0,
+            intervals: 0,
+            top: 0,
+            fences: [<$Key>::MAX; FENCES],
+        };
+
+        #[doc = $indexdoc]
+        ///
+        /// A fixed-size row header per node and one shared spill array
+        /// holding every row's interval boundaries. Within a row intervals
+        /// are disjoint, non-adjacent, and sorted — the builder merges on
+        /// the way in — so boundaries ascend strictly and a rank is covered
+        /// by at most one interval per row.
+        #[derive(Debug, Clone, Default, PartialEq, Eq)]
+        pub struct $Index {
+            heads: Vec<RowHead>,
+            spill: Vec<$Key>,
+        }
+
+        #[doc = $builderdoc]
+        ///
+        /// Push each row's intervals in ascending `lo` order, then seal the
+        /// row. Overlapping or adjacent intervals (`lo <= previous hi + 1`)
+        /// are merged as they arrive.
+        #[derive(Debug, Clone, Default)]
+        pub struct $Builder {
+            heads: Vec<RowHead>,
+            spill: Vec<$Key>,
+            /// Merged intervals of the row currently being built.
+            current: Vec<($Key, $Key)>,
+        }
+
+        impl $Builder {
+            /// An empty builder with capacity hints for the final index.
+            pub fn with_capacity(rows: usize, intervals: usize) -> Self {
+                $Builder {
+                    heads: Vec::with_capacity(rows),
+                    spill: Vec::with_capacity(2 * intervals),
+                    current: Vec::new(),
+                }
+            }
+
+            /// Appends `[lo, hi]` to the row currently being built. Within
+            /// a row, calls must arrive with nondecreasing `lo`; an
+            /// interval that overlaps or touches the previous one is merged
+            /// into it. `hi` must lie strictly below the key maximum (the
+            /// fence sentinel).
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`, `hi` is the key maximum, or `lo`
+            /// regresses within the row (debug only).
+            #[inline]
+            pub fn push(&mut self, lo: $Key, hi: $Key) {
+                debug_assert!(lo <= hi, "rank interval [{lo}, {hi}]");
+                debug_assert!(hi < <$Key>::MAX, "rank {hi} collides with the fence sentinel");
+                if let Some(&mut (plo, ref mut phi)) = self.current.last_mut() {
+                    debug_assert!(
+                        plo <= lo,
+                        "rank intervals regress: [{plo}, {phi}] then [{lo}, {hi}]"
+                    );
+                    if lo <= phi.saturating_add(1) {
+                        *phi = (*phi).max(hi);
+                        return;
+                    }
+                }
+                self.current.push((lo, hi));
+            }
+
+            /// Seals the current row; subsequent pushes start the next one.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the boundary count overflows the `u32` extents —
+            /// beyond 2 billion boundaries a flat snapshot is the wrong
+            /// tool anyway.
+            pub fn finish_row(&mut self) {
+                let Some(&(lo0, hi0)) = self.current.first() else {
+                    self.heads.push(EMPTY_ROW);
+                    return;
+                };
+                let m = self.current.len();
+                let spill_start: u32 =
+                    self.spill.len().try_into().expect("boundary count exceeds u32 extents");
+                debug_assert_eq!(spill_start % 16, 0, "rows start slice-aligned");
+                // Intervals are disjoint and non-adjacent (hi + 1 < next
+                // lo), so the boundary sequence lo_0, hi_0+1, lo_1, hi_1+1,
+                // ... ascends strictly. `hi + 1` cannot overflow: push()
+                // requires hi below the key maximum.
+                for &(lo, hi) in &self.current {
+                    self.spill.push(lo);
+                    self.spill.push(hi + 1);
+                }
+                // Pad the tail slice with key-maximum boundaries (no probe
+                // counts them) out to whole slices, keeping every row
+                // slice-aligned.
+                let top = self.current.last().expect("non-empty row").1 + 1;
+                let width = slice_width(m);
+                let slices = m.div_ceil(width);
+                self.spill.resize(spill_start as usize + slices * 2 * width, <$Key>::MAX);
+                let row = &self.spill[spill_start as usize..];
+                let mut fences = [<$Key>::MAX; FENCES];
+                for (i, fence) in fences.iter_mut().enumerate().take(slices - 1) {
+                    *fence = row[(i + 1) * 2 * width];
+                }
+                self.heads.push(RowHead {
+                    lo0,
+                    hi0,
+                    spill_start,
+                    intervals: m as $Key,
+                    top,
+                    fences,
+                });
+                self.current.clear();
+            }
+
+            /// Finalizes the index.
+            pub fn finish(self) -> $Index {
+                debug_assert!(self.current.is_empty(), "unfinished row at finish()");
+                $Index { heads: self.heads, spill: self.spill }
+            }
+        }
+
+        impl $Index {
+            /// Number of rows (nodes).
+            #[inline]
+            pub fn rows(&self) -> usize {
+                self.heads.len()
+            }
+
+            /// Total intervals stored across all rows (after merging).
+            #[inline]
+            pub fn total_intervals(&self) -> usize {
+                self.heads.iter().map(|h| h.intervals as usize).sum()
+            }
+
+            /// Whether some interval of `row` contains rank `t` — the
+            /// frozen reachability probe. The inline first interval and the
+            /// row's upper bound settle most probes from the header alone;
+            /// otherwise the fence keys (already loaded with the header)
+            /// pick the one slice of the boundary array that can hold `t`'s
+            /// predecessor, and a branchless linear count of its aligned
+            /// cache line(s) decides by parity: `t` is inside an interval
+            /// iff an odd number of the row's boundaries are `<= t`. Slices
+            /// hold whole intervals, so every earlier slice contributes an
+            /// even count and only the probed slice's parity matters; later
+            /// slices hold only boundaries (or padding) above `t`.
+            #[inline]
+            pub fn contains_point(&self, row: usize, t: $Key) -> bool {
+                let head = &self.heads[row];
+                if t <= head.hi0 {
+                    return t >= head.lo0;
+                }
+                if t >= head.top {
+                    return false;
+                }
+                let m = head.intervals as usize;
+                let mut g = 0usize;
+                for &fence in &head.fences {
+                    g += usize::from(fence <= t);
+                }
+                let width = 2 * slice_width(m);
+                let start = head.spill_start as usize + g * width;
+                let mut count = 0usize;
+                for &b in &self.spill[start..start + width] {
+                    count += usize::from(b <= t);
+                }
+                count % 2 == 1
+            }
+
+            /// Iterates row `row`'s intervals as `(lo, hi)` rank pairs in
+            /// ascending order. Only the final slice carries padding, so
+            /// the row's first `2 * intervals` entries are exactly its real
+            /// boundaries.
+            pub fn row_intervals(&self, row: usize) -> impl Iterator<Item = ($Key, $Key)> + '_ {
+                let head = &self.heads[row];
+                let start = head.spill_start as usize;
+                let real = &self.spill[start..start + 2 * head.intervals as usize];
+                real.chunks_exact(2).map(|pair| (pair[0], pair[1] - 1))
+            }
+        }
+    };
+}
+
+mod wide {
+    flat_rows!(
+        u32,
+        27,
+        128,
+        FlatIntervalIndex,
+        FlatBuilder,
+        "A flat snapshot of per-node rank-interval sets over `u32` ranks: \
+         128-byte headers (one aligned sector of two cache lines, fetched \
+         together by adjacent-line prefetch) and 64-byte-aligned boundary \
+         slices.",
+        "Incremental builder for [`FlatIntervalIndex`]."
+    );
+}
+pub use wide::{FlatBuilder, FlatIntervalIndex};
+
+mod narrow {
+    flat_rows!(
+        u16,
+        26,
+        64,
+        NarrowIntervalIndex,
+        NarrowBuilder,
+        "A flat snapshot of per-node rank-interval sets over `u16` ranks, \
+         for closures whose live number line has at most `u16::MAX` entries \
+         (so every rank is strictly below the fence sentinel): 64-byte \
+         single-cache-line headers and 32-byte-aligned boundary slices — \
+         half the probe footprint of [`FlatIntervalIndex`].",
+        "Incremental builder for [`NarrowIntervalIndex`]."
+    );
+}
+pub use narrow::{NarrowBuilder, NarrowIntervalIndex};
+
+/// An inverted interval index: every `(interval, owner)` pair of a closure,
+/// sorted globally by lower endpoint, under a max-`hi` segment tree.
+///
+/// `stab(t)` reports every owner with an interval containing `t`. Intervals
+/// with `lo <= t` form a prefix of the sorted array; the segment tree prunes
+/// the prefix's subtrees whose maximum `hi` falls short of `t`, so only
+/// subtrees containing at least one hit are descended: O(k log m) for k
+/// hits among m intervals, versus the O(n log k) full scan of asking every
+/// node's set individually.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StabbingIndex {
+    /// Lower endpoints, ascending.
+    los: Vec<u32>,
+    /// Upper endpoint of the interval at the same position.
+    his: Vec<u32>,
+    /// Owner id of the interval at the same position.
+    owners: Vec<u32>,
+    /// Segment tree over `his` (padded to `leaves` = next power of two):
+    /// `tree[i]` = max `hi` in node `i`'s range, root at 1. Empty when
+    /// `m == 0`.
+    tree: Vec<u32>,
+    /// Padded leaf count (power of two, `>= los.len()`).
+    leaves: usize,
+}
+
+impl StabbingIndex {
+    /// Builds the index from `(lo, hi, owner)` triples (any order).
+    pub fn build(intervals: impl IntoIterator<Item = (u32, u32, u32)>) -> Self {
+        let mut items: Vec<(u32, u32, u32)> = intervals.into_iter().collect();
+        items.sort_unstable();
+        let m = items.len();
+        let mut los = Vec::with_capacity(m);
+        let mut his = Vec::with_capacity(m);
+        let mut owners = Vec::with_capacity(m);
+        for (lo, hi, owner) in items {
+            debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+            los.push(lo);
+            his.push(hi);
+            owners.push(owner);
+        }
+        if m == 0 {
+            return StabbingIndex::default();
+        }
+        let leaves = m.next_power_of_two();
+        // tree[leaves + i] = his[i] + 1; padding leaves stay at 0 ( = "max hi
+        // is minus infinity") so rank 0 stabs cannot reach them; real leaves
+        // are shifted by one to keep the sentinel distinct from hi == 0.
+        let mut tree = vec![0u32; 2 * leaves];
+        for (i, &hi) in his.iter().enumerate() {
+            tree[leaves + i] = hi + 1;
+        }
+        for i in (1..leaves).rev() {
+            tree[i] = tree[2 * i].max(tree[2 * i + 1]);
+        }
+        StabbingIndex { los, his, owners, tree, leaves }
+    }
+
+    /// Number of intervals indexed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.los.len()
+    }
+
+    /// Whether the index holds no intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.los.is_empty()
+    }
+
+    /// Appends to `out` the owner of every interval containing rank `t`. An
+    /// owner appears once per containing interval (owners with overlapping
+    /// intervals can repeat); order is by interval position, i.e. ascending
+    /// `lo`. O(k log m).
+    pub fn stab(&self, t: u32, out: &mut Vec<u32>) {
+        // Candidates are exactly the prefix with lo <= t; among those,
+        // report positions whose hi >= t.
+        let pos = self.los.partition_point(|&lo| lo <= t);
+        if pos == 0 {
+            return;
+        }
+        self.collect(1, 0, self.leaves, pos, t, out);
+    }
+
+    /// Descends segment-tree node `node` covering positions `[lo, hi)`,
+    /// reporting leaves `< pos` whose `hi >= t`. Subtrees entirely at or
+    /// past `pos`, or whose max `hi` misses `t` (tree entries are `hi + 1`,
+    /// padding is 0), are pruned — each visited subtree contains at least
+    /// one reported leaf (or straddles the `pos` boundary), which bounds
+    /// the walk at O(k log m).
+    fn collect(&self, node: usize, lo: usize, hi: usize, pos: usize, t: u32, out: &mut Vec<u32>) {
+        if lo >= pos || self.tree[node] <= t {
+            return;
+        }
+        if hi - lo == 1 {
+            out.push(self.owners[lo]);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.collect(2 * node, lo, mid, pos, t, out);
+        self.collect(2 * node + 1, mid, hi, pos, t, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_matches_partition_point() {
+        // Deterministic pseudo-random sorted arrays; compare against a
+        // counting reference on every probe.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in 0..40usize {
+            let mut s: Vec<u64> = (0..len).map(|_| next() % 64).collect();
+            s.sort_unstable();
+            for t in 0..66u64 {
+                assert_eq!(
+                    upper_bound(&s, t),
+                    s.iter().filter(|&&x| x <= t).count(),
+                    "len {len}, t {t}, s {s:?}"
+                );
+            }
+        }
+    }
+
+    /// Stamps the shared row-index tests for one key width; the two
+    /// variants must behave identically up to the key type.
+    macro_rules! flat_rows_tests {
+        ($mod:ident, $Key:ty, $Index:ident, $Builder:ident) => {
+            mod $mod {
+                use super::super::*;
+
+                fn build_rows(rows: &[&[($Key, $Key)]]) -> $Index {
+                    let mut b = $Builder::with_capacity(rows.len(), 0);
+                    for row in rows {
+                        for &(lo, hi) in *row {
+                            b.push(lo, hi);
+                        }
+                        b.finish_row();
+                    }
+                    b.finish()
+                }
+
+                #[test]
+                fn flat_index_mirrors_rows() {
+                    let rows: &[&[($Key, $Key)]] =
+                        &[&[(1, 3), (7, 9)], &[], &[(2, 2)], &[(1, 5), (4, 9), (20, 30)]];
+                    let idx = build_rows(rows);
+                    assert_eq!(idx.rows(), 4);
+                    // Row 3's overlapping [1,5] + [4,9] merged into [1,9].
+                    assert_eq!(idx.total_intervals(), 5);
+                    assert_eq!(idx.row_intervals(3).collect::<Vec<_>>(), vec![(1, 9), (20, 30)]);
+                    for (row, intervals) in rows.iter().enumerate() {
+                        for t in 0..35 as $Key {
+                            let want = intervals.iter().any(|&(lo, hi)| lo <= t && t <= hi);
+                            assert_eq!(idx.contains_point(row, t), want, "row {row}, t {t}");
+                        }
+                    }
+                }
+
+                #[test]
+                fn adjacent_intervals_merge() {
+                    let idx = build_rows(&[&[(0, 2), (3, 4), (6, 8)]]);
+                    assert_eq!(idx.row_intervals(0).collect::<Vec<_>>(), vec![(0, 4), (6, 8)]);
+                    assert!(idx.contains_point(0, 3));
+                    assert!(!idx.contains_point(0, 5));
+                }
+
+                #[test]
+                fn contains_matches_naive_on_dense_random_rows() {
+                    // Rows big enough to spread across many fence slices,
+                    // including sizes around the slice-count boundary.
+                    let mut state = 0x0123_4567_89ab_cdefu64;
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state >> 32) as $Key
+                    };
+                    for m in [1usize, 2, 14, 15, 28, 29, 30, 57, 58, 59, 177, 307, 538] {
+                        let mut b = $Builder::with_capacity(1, m);
+                        let mut intervals: Vec<($Key, $Key)> = Vec::new();
+                        let mut lo = next() % 3;
+                        for _ in 0..m {
+                            let hi = lo + next() % 9;
+                            b.push(lo, hi);
+                            intervals.push((lo, hi));
+                            // Keep at least one dead rank between intervals
+                            // so nothing merges and the row keeps exactly m
+                            // intervals.
+                            lo = hi + 2 + next() % 7;
+                        }
+                        b.finish_row();
+                        let idx = b.finish();
+                        assert_eq!(idx.total_intervals(), m, "merge changed m={m}");
+                        let top = intervals.last().unwrap().1 + 3;
+                        for t in 0..top.min(6000) {
+                            let want = intervals.iter().any(|&(lo, hi)| lo <= t && t <= hi);
+                            assert_eq!(idx.contains_point(0, t), want, "m {m}, t {t}");
+                        }
+                        // And a spray of probes across the whole range.
+                        for _ in 0..4000 {
+                            let t = next() % (top + 10);
+                            let want = intervals.iter().any(|&(lo, hi)| lo <= t && t <= hi);
+                            assert_eq!(idx.contains_point(0, t), want, "m {m}, t {t}");
+                        }
+                    }
+                }
+
+                #[test]
+                fn empty_index() {
+                    let idx = build_rows(&[]);
+                    assert_eq!(idx.rows(), 0);
+                    assert_eq!(idx.total_intervals(), 0);
+                }
+            }
+        };
+    }
+
+    flat_rows_tests!(wide_rows, u32, FlatIntervalIndex, FlatBuilder);
+    flat_rows_tests!(narrow_rows, u16, NarrowIntervalIndex, NarrowBuilder);
+
+    #[test]
+    fn empty_stabbing_index() {
+        let stab = StabbingIndex::build(std::iter::empty());
+        assert!(stab.is_empty());
+        let mut out = Vec::new();
+        stab.stab(5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stab_matches_naive_scan() {
+        // Pseudo-random interval soup across a handful of owners; rank 0 is
+        // included to exercise the `hi + 1` sentinel shift.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for m in [1usize, 2, 3, 7, 8, 9, 63, 64, 100] {
+            let items: Vec<(u32, u32, u32)> = (0..m)
+                .map(|ix| {
+                    let lo = next() % 128;
+                    let hi = lo + next() % 32;
+                    (lo, hi, ix as u32 % 17)
+                })
+                .collect();
+            let idx = StabbingIndex::build(items.iter().copied());
+            assert_eq!(idx.len(), m);
+            for t in 0..170u32 {
+                let mut got = Vec::new();
+                idx.stab(t, &mut got);
+                got.sort_unstable();
+                let mut want: Vec<u32> = items
+                    .iter()
+                    .filter(|&&(lo, hi, _)| lo <= t && t <= hi)
+                    .map(|&(_, _, o)| o)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "m {m}, t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn stab_covers_rank_zero() {
+        let idx = StabbingIndex::build([(0, 0, 1), (0, 3, 2), (1, 2, 3)]);
+        let mut out = Vec::new();
+        idx.stab(0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn stab_reports_in_lo_order() {
+        let idx = StabbingIndex::build([(1, 10, 5), (2, 9, 3), (3, 8, 1), (11, 12, 9)]);
+        let mut out = Vec::new();
+        idx.stab(8, &mut out);
+        assert_eq!(out, vec![5, 3, 1]);
+    }
+}

@@ -16,15 +16,26 @@
 //!   use (§4), supporting the gap queries the incremental update algorithms
 //!   need: predecessor/successor lookup, largest-gap search, midpoint
 //!   allocation, and renumbering plans for when gaps run out.
+//! * [`FlatIntervalIndex`] / [`NarrowIntervalIndex`] / [`StabbingIndex`] —
+//!   immutable, contiguous snapshots of many *rank-compressed* interval
+//!   sets for the read-optimized *frozen query plane*: boundary-array row
+//!   layouts (in `u32` and half-width `u16` rank flavors) whose point probe
+//!   is a fenced parity count over two dependent cache accesses, and a
+//!   globally sorted inverted index answering "which sets contain `t`?"
+//!   stabbing queries in O(k log m).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod flat;
 mod interval;
 mod numberline;
 mod set;
 
+pub use flat::{
+    upper_bound, FlatBuilder, FlatIntervalIndex, NarrowBuilder, NarrowIntervalIndex, StabbingIndex,
+};
 pub use interval::Interval;
 pub use numberline::{NumberLine, RenumberPlan};
 pub use set::IntervalSet;

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the frozen-query-plane experiment (DESIGN.md, "Frozen query plane")
+# and leaves the table in results/query_plane.csv.
+#
+# Usage: scripts/bench_query.sh [query_plane flags...]
+#   e.g. scripts/bench_query.sh --nodes 50000 --reps 5 --probes 1000000
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin query_plane
+exec target/release/query_plane "$@"

@@ -322,6 +322,34 @@ proptest! {
         }
     }
 
+    /// A frozen query plane answers every query identically to the mutable
+    /// closure it was snapshotted from, across the gap/merge configuration
+    /// space (dead numbers and merged intervals exercise rank compression).
+    #[test]
+    fn frozen_plane_matches_mutable(g in arb_dag(10), gap in 1u64..64, merge in any::<bool>()) {
+        let mut c = ClosureConfig::new().gap(gap).merge_adjacent(merge).build(&g).unwrap();
+        let mutable: Vec<_> = g
+            .nodes()
+            .map(|v| (c.successors(v), c.predecessors(v), c.successor_count(v)))
+            .collect();
+        c.freeze();
+        prop_assert!(c.is_frozen());
+        c.verify().unwrap();
+        for v in g.nodes() {
+            let (succ, pred, count) = &mutable[v.index()];
+            prop_assert_eq!(&c.successors(v), succ, "successors({:?})", v);
+            prop_assert_eq!(&c.predecessors(v), pred, "predecessors({:?})", v);
+            prop_assert_eq!(c.successor_count(v), *count, "successor_count({:?})", v);
+            for w in g.nodes() {
+                prop_assert_eq!(
+                    c.reaches(v, w),
+                    succ.contains(&w),
+                    "frozen reaches({:?},{:?})", v, w
+                );
+            }
+        }
+    }
+
     /// `find_path` returns a genuine arc-by-arc witness exactly when
     /// reachability holds.
     #[test]

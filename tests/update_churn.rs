@@ -111,6 +111,84 @@ fn churn_with_merging() {
 }
 
 #[test]
+fn churn_interleaved_with_freezing() {
+    // Freeze/thaw interleaved with every §4 update: each mutation must
+    // invalidate the plane, frozen answers must match the mutable ones
+    // that follow, and verify() must pass while frozen.
+    for seed in 40..43 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 12,
+            avg_out_degree: 1.5,
+            seed,
+        });
+        let mut c = ClosureConfig::new().gap(16).reserve(2).build(&g).unwrap();
+        for step in 0..120 {
+            let n = c.node_count() as u32;
+            c.freeze();
+            assert!(c.is_frozen(), "seed {seed} step {step}: freeze did not stick");
+            // Snapshot frozen answers for a sample before mutating.
+            let probe = NodeId(rng.random_range(0..n));
+            let frozen_succ = c.successors(probe);
+            let frozen_pred = c.predecessors(probe);
+            if step % 20 == 0 {
+                c.verify().unwrap_or_else(|e| panic!("seed {seed} step {step} frozen: {e}"));
+                assert!(c.is_frozen(), "verify must not thaw");
+            }
+            let mutated = match rng.random_range(0..4) {
+                0 => {
+                    let parent = NodeId(rng.random_range(0..n));
+                    c.add_node_with_parents(&[parent]).unwrap();
+                    true
+                }
+                1 => {
+                    let a = NodeId(rng.random_range(0..n));
+                    let b = NodeId(rng.random_range(0..n));
+                    // An already-present arc is a no-op (`Ok(false)`) and
+                    // legitimately leaves the plane frozen.
+                    if a != b && !c.reaches(b, a) {
+                        c.add_edge(a, b).unwrap()
+                    } else {
+                        false
+                    }
+                }
+                2 => {
+                    let edges: Vec<(NodeId, NodeId)> = c.graph().edges().collect();
+                    match edges.choose(&mut rng) {
+                        Some(&(s, d)) => {
+                            c.remove_edge(s, d).unwrap();
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                _ => {
+                    if n > 4 {
+                        c.remove_node(NodeId(rng.random_range(0..n))).unwrap();
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if mutated {
+                assert!(!c.is_frozen(), "seed {seed} step {step}: update left plane frozen");
+            } else {
+                // Queries alone must not thaw the plane, and the snapshot
+                // must still agree with the (unchanged) mutable answers.
+                assert!(c.is_frozen());
+                c.thaw();
+                assert_eq!(c.successors(probe), frozen_succ, "seed {seed} step {step}");
+                assert_eq!(c.predecessors(probe), frozen_pred, "seed {seed} step {step}");
+            }
+            c.audit().unwrap_or_else(|e| panic!("seed {seed} step {step}: audit: {e}"));
+        }
+        c.freeze();
+        c.verify().unwrap_or_else(|e| panic!("seed {seed} final frozen verify: {e}"));
+    }
+}
+
+#[test]
 fn optimality_recovered_by_rebuild_after_churn() {
     let mut rng = StdRng::seed_from_u64(7);
     let g = generators::random_dag(generators::RandomDagConfig {
