@@ -12,6 +12,7 @@
 //! interval-tc compress <graph> <out.itc>    persist the closure
 //! interval-tc gen <nodes> <degree> [seed]   emit a random §3.3 edge list
 //! interval-tc bench <graph> [--queries N]   time point/batch/predecessor queries
+//! interval-tc serve <graph> [flags]         concurrent snapshot-serving benchmark
 //! interval-tc fuzz [flags]                  differential update-churn fuzzing
 //! ```
 //!
@@ -59,8 +60,10 @@ const USAGE: &str = "usage:
   interval-tc compress <graph> <out.itc>
   interval-tc gen <nodes> <degree> [seed]
   interval-tc bench <graph> [--queries N]
+  interval-tc serve <graph> [--readers N] [--duration-ms D] [--churn]
   interval-tc fuzz [--ops N] [--seed S] [--seeds K] [--gap G] [--reserve R]
-                   [--merge] [--freeze] [--shrink] [--out FILE] [--replay FILE]
+                   [--merge] [--freeze] [--serve] [--shrink] [--out FILE]
+                   [--replay FILE]
 
 global flags: --threads N   build/query on N worker threads (0 = one per CPU)
               --frozen      freeze the query plane after loading; all queries
@@ -71,21 +74,38 @@ bench: builds (or loads) the closure, then times single-probe reaches, batch
 reaches, successors and predecessors over a deterministic query mix; combine
 with --frozen / --threads to compare query paths.
 
+serve: spins up the concurrent serving layer (lock-free snapshot readers,
+one background writer), spot-checks reader answers against the closure,
+then measures reader throughput for --duration-ms (default 1000) on
+--readers threads (default 2); --churn keeps the writer busy with update
+batches meanwhile and reports publish counts and staleness.
+
 fuzz: random update sequences against the closure, each applied op followed
 by a structural audit and periodically cross-checked against a brute-force
 DFS oracle and the chain-decomposition baseline. --seeds K runs K
 consecutive seeds starting at --seed. On failure --shrink minimizes the
 sequence and prints (or --out writes) a replayable trace; --replay runs a
 previously saved trace instead of generating. --freeze mixes freeze/thaw ops
-into the stream so audits and oracles also run against frozen query planes.";
+into the stream so audits and oracles also run against frozen query planes;
+--serve mixes service-publish/service-query ops that pin serving-layer
+snapshots mid-churn and later check them against the publish-time relation.";
 
 /// Global flags stripped from anywhere in the argument list.
 #[derive(Clone, Copy)]
 struct Globals {
-    /// Worker threads for builds and scan-style queries (1 = serial).
-    threads: usize,
+    /// Worker threads for builds and scan-style queries; `None` (flag
+    /// absent) means serial for fresh builds but leaves the thread count a
+    /// deserialized closure carries in its config footer untouched.
+    threads: Option<usize>,
     /// Freeze a query plane right after loading.
     frozen: bool,
+}
+
+impl Globals {
+    /// The thread count for code paths that need a concrete number.
+    fn threads_or_serial(&self) -> usize {
+        self.threads.unwrap_or(1)
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -102,7 +122,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "compress" => compress(arg(&args, 1)?, arg(&args, 2)?, globals),
         "gen" => gen(&args),
         "bench" => bench(&args, globals),
-        "fuzz" => fuzz(&args, globals.threads),
+        "serve" => serve(&args, globals),
+        "fuzz" => fuzz(&args, globals.threads_or_serial()),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -111,14 +132,15 @@ fn run(args: &[String]) -> Result<(), String> {
 /// argument list. Absent, the tool stays serial and unfrozen.
 fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut globals = Globals { threads: 1, frozen: false };
+    let mut globals = Globals { threads: None, frozen: false };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
             let v = it.next().ok_or("--threads requires a value")?;
-            globals.threads = v
-                .parse()
-                .map_err(|_| format!("invalid thread count {v:?}"))?;
+            globals.threads = Some(
+                v.parse()
+                    .map_err(|_| format!("invalid thread count {v:?}"))?,
+            );
         } else if a == "--frozen" {
             globals.frozen = true;
         } else {
@@ -153,14 +175,18 @@ fn load(path: &str, globals: Globals) -> Result<CompressedClosure, String> {
     let data = read_input(path)?;
     let mut closure = if data.starts_with(b"ITC1") {
         let mut closure = CompressedClosure::from_bytes(&data).map_err(|e| e.to_string())?;
-        closure.set_threads(globals.threads);
+        // An explicit --threads overrides the stream's config footer; absent,
+        // the closure keeps the thread count it was saved with.
+        if let Some(threads) = globals.threads {
+            closure.set_threads(threads);
+        }
         closure
     } else {
         let text =
             String::from_utf8(data).map_err(|_| "input is neither a closure nor UTF-8 text")?;
         let graph = edgelist::parse(&text).map_err(|e| e.to_string())?;
         ClosureConfig::new()
-            .threads(globals.threads)
+            .threads(globals.threads_or_serial())
             .build(&graph)
             .map_err(|e| e.to_string())?
     };
@@ -314,7 +340,7 @@ fn bench(args: &[String], globals: Globals) -> Result<(), String> {
         n,
         closure.graph().edge_count(),
         build.as_secs_f64(),
-        globals.threads,
+        closure.threads(),
         if closure.is_frozen() { "frozen" } else { "mutable" },
     );
 
@@ -375,12 +401,137 @@ fn bench(args: &[String], globals: Globals) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the concurrent serving layer: spot-checks reader answers against
+/// the closure, then measures snapshot-reader throughput (optionally under
+/// writer churn) and reports publish counts and staleness.
+fn serve(args: &[String], globals: Globals) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+    use tc_core::{ClosureService, ServiceConfig, ServiceOp};
+
+    let path = arg(args, 1)?;
+    let mut readers = 2usize;
+    let mut duration_ms = 1000u64;
+    let mut churn = false;
+    let mut it = args.iter().skip(2);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--readers" => {
+                let v = it.next().ok_or("--readers requires a value")?;
+                readers = v.parse().map_err(|_| "invalid --readers")?;
+                if readers == 0 {
+                    return Err("--readers must be at least 1".into());
+                }
+            }
+            "--duration-ms" => {
+                let v = it.next().ok_or("--duration-ms requires a value")?;
+                duration_ms = v.parse().map_err(|_| "invalid --duration-ms")?;
+            }
+            "--churn" => churn = true,
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+
+    let closure = load(path, globals)?;
+    let n = closure.node_count();
+    if n == 0 {
+        return Err("empty graph: nothing to serve".into());
+    }
+    let pairs: Vec<(NodeId, NodeId)> = (0..(4 * n).min(4096) as u64)
+        .map(|k| {
+            let s = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+            let d = (k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32) as usize % n;
+            (NodeId(s as u32), NodeId(d as u32))
+        })
+        .collect();
+    let want = closure.reaches_batch(&pairs);
+
+    let service = ClosureService::start(closure, ServiceConfig::new());
+    let mut reader = service.reader();
+    if reader.reaches_batch(&pairs) != want {
+        return Err("service snapshot answers diverge from the closure".into());
+    }
+    println!(
+        "serving {n} nodes: {} probe pairs verified against the closure",
+        pairs.len()
+    );
+
+    let stop = AtomicBool::new(false);
+    let per_reader = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let mut r = service.reader();
+                let (stop, pairs) = (&stop, &pairs);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut probes = 0u64;
+                    let mut max_stale = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        r.refresh().reaches_batch_into(pairs, &mut out);
+                        probes += pairs.len() as u64;
+                        max_stale = max_stale.max(r.staleness());
+                    }
+                    (probes, max_stale)
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_millis(duration_ms);
+        let mut k = 0u64;
+        while Instant::now() < deadline {
+            if churn {
+                let batch: Vec<ServiceOp> = (0..64)
+                    .map(|i| {
+                        let node = NodeId(((k + i) % n as u64) as u32);
+                        if (k + i) % 2 == 0 {
+                            ServiceOp::AddNode { parents: vec![node] }
+                        } else {
+                            // May skip (cycle/duplicate) — that is part of
+                            // the churn the service must absorb.
+                            ServiceOp::AddEdge { src: node, dst: NodeId(((k + i + 7) % n as u64) as u32) }
+                        }
+                    })
+                    .collect();
+                k += 64;
+                service.submit_batch(batch);
+                service.flush();
+            } else {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect::<Vec<(u64, u64)>>()
+    });
+
+    let total: u64 = per_reader.iter().map(|&(p, _)| p).sum();
+    let max_stale = per_reader.iter().map(|&(_, s)| s).max().unwrap_or(0);
+    let secs = duration_ms as f64 / 1000.0;
+    println!(
+        "readers {readers}: {total} probes in {secs:.2}s  ({:.0} probes/s, {:.0} per reader)",
+        total as f64 / secs,
+        total as f64 / secs / readers as f64
+    );
+    let (stats, _backend) = service.shutdown();
+    println!(
+        "writer: {} ops submitted, {} applied, {} skipped, {} snapshots published, \
+         max observed staleness {max_stale} ops",
+        stats.submitted, stats.applied, stats.skipped, stats.publishes
+    );
+    if let Some(v) = stats.audit_violation {
+        return Err(format!("structural audit failed during serving: {v}"));
+    }
+    Ok(())
+}
+
 fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
     let mut ops = 256usize;
     let mut seed = 0u64;
     let mut seeds = 1u64;
     let mut config = tc_fuzz::FuzzConfig { threads, ..tc_fuzz::FuzzConfig::default() };
     let mut freeze = false;
+    let mut serve = false;
     let mut want_shrink = false;
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
@@ -400,6 +551,7 @@ fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
             }
             "--merge" => config.merge = true,
             "--freeze" => freeze = true,
+            "--serve" => serve = true,
             "--shrink" => want_shrink = true,
             "--out" => out = Some(value("--out")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
@@ -426,7 +578,7 @@ fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
     }
 
     for s in seed..seed.saturating_add(seeds) {
-        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, config };
+        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, serve, config };
         let trace = tc_fuzz::generate(&gcfg);
         match tc_fuzz::run_trace_catching(&trace, &opts) {
             Ok(r) => println!(

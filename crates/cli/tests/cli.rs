@@ -152,6 +152,45 @@ fn dot_renders() {
 }
 
 #[test]
+fn serve_command_verifies_and_reports_throughput() {
+    let dir = tmpdir("serve");
+    let edges = dir.join("g.txt");
+    let out = bin().args(["gen", "60", "2.0", "9"]).output().unwrap();
+    assert!(out.status.success());
+    std::fs::write(&edges, &out.stdout).unwrap();
+
+    let out = bin()
+        .args([
+            "serve",
+            edges.to_str().unwrap(),
+            "--readers",
+            "2",
+            "--duration-ms",
+            "150",
+            "--churn",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("verified against the closure"), "{text}");
+    assert!(text.contains("probes/s"), "{text}");
+    assert!(text.contains("snapshots published"), "{text}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn fuzz_serve_flag_runs_clean() {
+    let out = bin()
+        .args(["fuzz", "--ops", "80", "--seed", "2", "--serve", "--reserve", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok"));
+}
+
+#[test]
 fn errors_are_reported() {
     // Unknown command.
     let out = bin().args(["frobnicate"]).output().unwrap();

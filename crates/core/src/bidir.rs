@@ -145,6 +145,63 @@ impl BiClosure {
         Ok(())
     }
 
+    /// Removes `node` with all incident arcs from both directions (mirrors
+    /// [`CompressedClosure::remove_node`]).
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), UpdateError> {
+        self.forward.remove_node(node)?;
+        self.reverse
+            .remove_node(node)
+            .expect("closures must stay in sync");
+        Ok(())
+    }
+
+    /// Interposes a refinement node between `child` and its immediate
+    /// predecessors (mirrors [`CompressedClosure::refine_insert`]).
+    ///
+    /// Forward, this is the paper's constant-time reserve-tail insertion.
+    /// The reverse closure has no reserve tail to consume for `z` — there
+    /// `z` is an ordinary new node with parent `child` (the reversed
+    /// `z -> child` arc) plus reversed non-tree arcs `z -> p`, none of
+    /// which can cycle: `p` precedes `child` in the forward order.
+    pub fn refine_insert(&mut self, child: NodeId, parents: &[NodeId]) -> Result<NodeId, UpdateError> {
+        let z = self.forward.refine_insert(child, parents)?;
+        let rev_z = self
+            .reverse
+            .add_node_with_parents(&[child])
+            .expect("forward accepted the refinement, reverse must too");
+        debug_assert_eq!(z, rev_z);
+        let mut want = parents.to_vec();
+        want.sort_unstable();
+        want.dedup();
+        for p in want {
+            self.reverse
+                .add_edge(z, p)
+                .expect("reversed refinement arc cannot cycle");
+        }
+        Ok(z)
+    }
+
+    /// Re-labels both directions (fresh gaps and reserves, tombstones
+    /// dropped); reachability is unchanged.
+    pub fn relabel(&mut self) {
+        self.forward.relabel();
+        self.reverse.relabel();
+    }
+
+    /// Rebuilds both directions from scratch with freshly optimized tree
+    /// covers.
+    pub fn rebuild(&mut self) {
+        self.forward.rebuild();
+        self.reverse.rebuild();
+    }
+
+    /// Sets the worker-thread count on both directions (see
+    /// [`CompressedClosure::set_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.forward.set_threads(threads);
+        self.reverse.set_threads(threads);
+    }
+
     /// Combined storage statistics: forward plus reverse labels.
     pub fn total_intervals(&self) -> usize {
         self.forward.total_intervals() + self.reverse.total_intervals()
@@ -243,6 +300,34 @@ mod tests {
         // Any update must drop both planes.
         bi.add_node_with_parents(&[NodeId(0)]).unwrap();
         assert!(!bi.is_frozen());
+        bi.verify().unwrap();
+    }
+
+    #[test]
+    fn refine_remove_and_relabel_stay_consistent() {
+        let mut bi =
+            BiClosure::build_with(&diamond(), ClosureConfig::new().gap(16).reserve(3)).unwrap();
+        // Refine node 3 under its exact predecessors {1, 2}.
+        let z = bi.refine_insert(NodeId(3), &[NodeId(1), NodeId(2)]).unwrap();
+        assert!(bi.reaches(NodeId(0), z));
+        assert!(bi.predecessors(z).contains(&NodeId(2)));
+        assert!(bi.reaches(z, NodeId(4)), "z -> 3 -> 4");
+        bi.verify().unwrap();
+        // Refinement with mismatched parents is rejected atomically.
+        assert!(matches!(
+            bi.refine_insert(NodeId(4), &[NodeId(0)]),
+            Err(UpdateError::RefineParentsMismatch { .. })
+        ));
+        bi.verify().unwrap();
+        // Remove a node; both directions must forget it.
+        bi.remove_node(NodeId(1)).unwrap();
+        assert!(!bi.predecessors(NodeId(4)).contains(&NodeId(1)));
+        assert!(bi.reaches(NodeId(0), NodeId(4)), "path through 2 survives");
+        bi.verify().unwrap();
+        // Relabel and rebuild preserve semantics.
+        bi.relabel();
+        bi.verify().unwrap();
+        bi.rebuild();
         bi.verify().unwrap();
     }
 

@@ -106,10 +106,15 @@ impl CompressedClosure {
 
     /// Changes the worker-thread count used by subsequent parallel
     /// operations (batch queries, predecessor scans, stats, relabeling,
-    /// rebuilds) — see [`ClosureConfig::threads`]. The knob is runtime-only:
-    /// it is not serialized, so decoded closures start at `1`.
+    /// rebuilds) — see [`ClosureConfig::threads`].
     pub fn set_threads(&mut self, threads: usize) {
         self.config.threads = threads;
+    }
+
+    /// The current worker-thread count (see [`ClosureConfig::threads`]);
+    /// restored from the stream's config footer when deserializing.
+    pub fn threads(&self) -> usize {
+        self.config.threads
     }
 
     /// Number of nodes.
@@ -127,7 +132,7 @@ impl CompressedClosure {
     pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
         match &self.plane {
             Some(plane) => plane.reaches(src, dst),
-            None => self.lab.sets[src.index()].contains_point(self.lab.post[dst.index()]),
+            None => self.label_contains(src, self.lab.post[dst.index()]),
         }
     }
 
@@ -184,12 +189,17 @@ impl CompressedClosure {
                     *slot = plane.reaches(src, dst);
                 }
             }),
-            None => parallel::map_chunks_into(pairs, &mut out, threads, |chunk, slots| {
-                for (slot, &(src, dst)) in slots.iter_mut().zip(chunk) {
-                    *slot =
-                        self.lab.sets[src.index()].contains_point(self.lab.post[dst.index()]);
-                }
-            }),
+            None => {
+                // Hoist the post-number array out of the per-pair loop; each
+                // probe then goes through the same single-interval fast path
+                // as the scalar `reaches`.
+                let post = self.lab.post.as_slice();
+                parallel::map_chunks_into(pairs, &mut out, threads, |chunk, slots| {
+                    for (slot, &(src, dst)) in slots.iter_mut().zip(chunk) {
+                        *slot = self.label_contains(src, post[dst.index()]);
+                    }
+                });
+            }
         }
         out
     }

@@ -19,6 +19,11 @@ use crate::treecover::{CoverStrategy, TreeCover};
 use crate::{ClosureConfig, CompressedClosure};
 
 const MAGIC: &[u8; 4] = b"ITC1";
+/// Tag of the optional runtime-config footer appended after the number
+/// line. Streams written before the footer existed simply end there;
+/// decoding treats an absent footer as the old defaults (serial, thawed),
+/// which keeps every previously written stream valid.
+const CONFIG_FOOTER: &[u8; 4] = b"CFG1";
 const NO_PARENT: u32 = u32::MAX;
 const TOMBSTONE: u32 = u32::MAX;
 
@@ -175,6 +180,13 @@ impl CompressedClosure {
             w.u32(owner);
         }
 
+        // Runtime-config footer: the knobs that are not closure *state* but
+        // should survive a save/load cycle all the same (a service restored
+        // from disk wants its thread count and freeze policy back).
+        w.buf.extend_from_slice(CONFIG_FOOTER);
+        w.u64(self.config.threads as u64);
+        w.u8(self.config.auto_freeze as u8);
+
         let checksum = fnv1a(&w.buf);
         w.u64(checksum);
         w.buf
@@ -209,13 +221,14 @@ impl CompressedClosure {
         if gap == 0 || gap <= 2 * reserve {
             return Err(DecodeError::Corrupt("invalid gap/reserve"));
         }
-        let config = ClosureConfig {
+        let mut config = ClosureConfig {
             strategy,
             gap,
             reserve,
             merge_adjacent,
-            // Runtime knobs, not closure properties: deliberately not
-            // serialized, so decoded closures start out serial and thawed.
+            // Runtime knobs; restored from the config footer at the end of
+            // the stream when present, defaulting to serial and thawed for
+            // streams written before the footer existed.
             threads: 1,
             auto_freeze: false,
         };
@@ -330,11 +343,19 @@ impl CompressedClosure {
         if live != n {
             return Err(DecodeError::Corrupt("number line is missing live nodes"));
         }
+        // Optional runtime-config footer (absent in old streams).
         if !r.done() {
-            return Err(DecodeError::Corrupt("trailing bytes"));
+            if r.take(4)? != CONFIG_FOOTER {
+                return Err(DecodeError::Corrupt("trailing bytes"));
+            }
+            config.threads = r.u64()? as usize;
+            config.auto_freeze = r.u8()? != 0;
+            if !r.done() {
+                return Err(DecodeError::Corrupt("trailing bytes"));
+            }
         }
 
-        Ok(CompressedClosure::from_parts(
+        let mut closure = CompressedClosure::from_parts(
             graph,
             cover,
             Labeling {
@@ -346,7 +367,13 @@ impl CompressedClosure {
                 reserve: lab_reserve,
             },
             config,
-        ))
+        );
+        // An auto-freezing closure is never observed thawed; restore that
+        // property immediately, exactly as `ClosureConfig::build` does.
+        if closure.config().auto_freeze {
+            closure.freeze();
+        }
+        Ok(closure)
     }
 }
 
@@ -440,6 +467,44 @@ mod tests {
                 back.verify()
                     .unwrap_or_else(|e| panic!("silent corruption at byte {pos}: {e}"));
             }
+        }
+    }
+
+    #[test]
+    fn config_footer_roundtrips_runtime_knobs() {
+        let g = generators::random_dag(generators::RandomDagConfig {
+            nodes: 30,
+            avg_out_degree: 2.0,
+            seed: 9,
+        });
+        let c = ClosureConfig::new().threads(3).auto_freeze(true).build(&g).unwrap();
+        assert!(c.is_frozen());
+        let back = CompressedClosure::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back.config().threads, 3);
+        assert!(back.config().auto_freeze);
+        assert!(back.is_frozen(), "auto-freeze restores the frozen plane on decode");
+        back.verify().unwrap();
+        assert_eq!(back.to_bytes(), c.to_bytes(), "footer re-serialization is stable");
+    }
+
+    #[test]
+    fn streams_without_config_footer_still_decode() {
+        // Reconstruct the pre-footer format: strip the 13-byte footer and
+        // the checksum, then re-checksum the shortened payload.
+        let c = sample();
+        let bytes = c.to_bytes();
+        let payload = &bytes[..bytes.len() - 8 - 13];
+        assert_eq!(&bytes[payload.len()..payload.len() + 4], CONFIG_FOOTER);
+        let mut old = payload.to_vec();
+        let sum = fnv1a(&old);
+        old.extend_from_slice(&sum.to_le_bytes());
+        let back = CompressedClosure::from_bytes(&old).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.config().threads, 1, "old streams default to serial");
+        assert!(!back.config().auto_freeze);
+        assert!(!back.is_frozen());
+        for v in c.graph().nodes() {
+            assert_eq!(c.intervals(v), back.intervals(v));
         }
     }
 

@@ -131,18 +131,28 @@ impl Labeling {
     }
 
     /// Counts live nodes covered by a set (without materializing them).
+    ///
+    /// The dominant single-interval (tree-only) labels skip the overlap
+    /// bookkeeping entirely: one number-line range count, no per-interval
+    /// clamp state.
     pub fn decode_count(&self, set: &IntervalSet) -> usize {
-        let mut count = 0;
-        let mut next_free = 0u64;
-        for iv in set.iter() {
-            let lo = iv.lo().max(next_free);
-            if lo > iv.hi() {
-                continue;
+        match set.as_slice() {
+            [] => 0,
+            [only] => self.line.live_in_range(only.lo(), only.hi()).count(),
+            items => {
+                let mut count = 0;
+                let mut next_free = 0u64;
+                for iv in items {
+                    let lo = iv.lo().max(next_free);
+                    if lo > iv.hi() {
+                        continue;
+                    }
+                    count += self.line.live_in_range(lo, iv.hi()).count();
+                    next_free = iv.hi().saturating_add(1);
+                }
+                count
             }
-            count += self.line.live_in_range(lo, iv.hi()).count();
-            next_free = iv.hi().saturating_add(1);
         }
-        count
     }
 
     /// Resets every interval set to just the node's tree interval (the state

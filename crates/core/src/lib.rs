@@ -74,6 +74,7 @@ pub mod bruteforce;
 pub mod codec;
 pub mod cyclic;
 pub mod pooled;
+pub mod serve;
 pub mod small_dag;
 pub mod treecover;
 pub mod updates;
@@ -81,6 +82,7 @@ pub mod updates;
 pub use builder::ClosureConfig;
 pub use closure::CompressedClosure;
 pub use plane::QueryPlane;
+pub use serve::{ClosureService, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot};
 pub use stats::ClosureStats;
 pub use treecover::{CoverStrategy, TreeCover};
 pub use updates::UpdateError;

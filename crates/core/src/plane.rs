@@ -129,10 +129,42 @@ pub struct QueryPlane {
     source_intervals: usize,
 }
 
+/// Reusable freeze-time buffers, plus (optionally) a retired snapshot whose
+/// heap allocations the next freeze absorbs. A caller that refreezes
+/// repeatedly — the serving layer republishing after every write batch —
+/// keeps one scratch alive so each snapshot is built into already-sized
+/// arrays instead of growing fresh ones.
+#[derive(Debug, Default)]
+pub(crate) struct FreezeScratch {
+    /// Sorted live postorder numbers; needed only while mapping interval
+    /// endpoints to ranks, never kept in the finished plane.
+    line_nums: Vec<u64>,
+    /// Staging for the inverted index's `(lo, hi, owner)` triples.
+    inverted_items: Vec<(u32, u32, u32)>,
+    /// A retired snapshot whose rank array, line array, row index, and
+    /// stabbing index are recycled (when the key widths line up).
+    retired: Option<QueryPlane>,
+}
+
+impl FreezeScratch {
+    /// Hands a retired snapshot's buffers to the next freeze. Only useful
+    /// when the caller uniquely owns the plane — a snapshot still shared
+    /// with readers must simply be dropped.
+    pub(crate) fn retire(&mut self, plane: QueryPlane) {
+        self.retired = Some(plane);
+    }
+}
+
 impl QueryPlane {
     /// Snapshots the given labeling, rank-compressing every interval.
     pub(crate) fn freeze(lab: &Labeling) -> QueryPlane {
-        Self::freeze_impl(lab, false)
+        Self::freeze_impl(lab, false, &mut FreezeScratch::default())
+    }
+
+    /// As [`QueryPlane::freeze`], but building into (and reclaiming) the
+    /// caller's [`FreezeScratch`] so repeated freezes reuse allocations.
+    pub(crate) fn freeze_with(lab: &Labeling, scratch: &mut FreezeScratch) -> QueryPlane {
+        Self::freeze_impl(lab, false, scratch)
     }
 
     /// As [`QueryPlane::freeze`], but forcing the wide (`u32`) row layout
@@ -140,23 +172,33 @@ impl QueryPlane {
     /// both layouts on the small graphs they can afford.
     #[cfg(test)]
     pub(crate) fn freeze_wide(lab: &Labeling) -> QueryPlane {
-        Self::freeze_impl(lab, true)
+        Self::freeze_impl(lab, true, &mut FreezeScratch::default())
     }
 
-    fn freeze_impl(lab: &Labeling, force_wide: bool) -> QueryPlane {
+    fn freeze_impl(lab: &Labeling, force_wide: bool, scratch: &mut FreezeScratch) -> QueryPlane {
         let n = lab.post.len();
+        let FreezeScratch { line_nums, inverted_items, retired } = scratch;
+        let (mut rank, mut line_nodes, retired_rows, retired_stab) = match retired.take() {
+            Some(QueryPlane { index, rank, inverted, line_nodes, .. }) => {
+                (rank, line_nodes, Some(index), Some(inverted))
+            }
+            None => (Vec::new(), Vec::new(), None, None),
+        };
         // The live number line, split into its two halves: the sorted
         // numbers (only needed during freezing, to map endpoints to ranks)
         // and the node at each rank (kept for successor decoding).
         let live = lab.line.live_count();
-        let mut line_nums = Vec::with_capacity(live);
-        let mut line_nodes = Vec::with_capacity(live);
+        line_nums.clear();
+        line_nums.reserve(live);
+        line_nodes.clear();
+        line_nodes.reserve(live);
         for (num, node) in lab.line.live_in_range(0, u64::MAX) {
             line_nums.push(num);
             line_nodes.push(node);
         }
         // Every node's own number is live, so the rank array is total.
-        let mut rank = vec![0u32; n];
+        rank.clear();
+        rank.resize(n, 0u32);
         for (r, &node) in line_nodes.iter().enumerate() {
             rank[node as usize] = r as u32;
         }
@@ -170,7 +212,7 @@ impl QueryPlane {
             for set in lab.sets.iter() {
                 for iv in set.iter() {
                     let rlo = line_nums.partition_point(|&x| x < iv.lo());
-                    let rhi = upper_bound(&line_nums, iv.hi());
+                    let rhi = upper_bound(line_nums, iv.hi());
                     if rlo >= rhi {
                         continue;
                     }
@@ -180,23 +222,30 @@ impl QueryPlane {
             }
         };
         let index = if live <= u16::MAX as usize && !force_wide {
-            let mut builder = NarrowBuilder::with_capacity(n, source_intervals);
+            let mut builder = match retired_rows {
+                Some(RankRows::Narrow(ix)) => NarrowBuilder::recycle(ix),
+                _ => NarrowBuilder::with_capacity(n, source_intervals),
+            };
             feed(&mut builder);
             RankRows::Narrow(builder.finish())
         } else {
-            let mut builder = FlatBuilder::with_capacity(n, source_intervals);
+            let mut builder = match retired_rows {
+                Some(RankRows::Wide(ix)) => FlatBuilder::recycle(ix),
+                _ => FlatBuilder::with_capacity(n, source_intervals),
+            };
             feed(&mut builder);
             RankRows::Wide(builder.finish())
         };
         // Invert the *merged* rows, not the raw sets: fewer intervals, and
         // per-owner disjointness makes stab results duplicate-free.
-        let mut inverted_items: Vec<(u32, u32, u32)> = Vec::with_capacity(source_intervals);
+        inverted_items.clear();
+        inverted_items.reserve(source_intervals);
         for owner in 0..n {
             index.for_each_interval(owner, |rlo, rhi| {
                 inverted_items.push((rlo, rhi, owner as u32));
             });
         }
-        let inverted = StabbingIndex::build(inverted_items);
+        let inverted = retired_stab.unwrap_or_default().rebuild(inverted_items);
 
         QueryPlane { index, rank, inverted, line_nodes, source_intervals }
     }

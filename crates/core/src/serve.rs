@@ -1,0 +1,924 @@
+//! Concurrent serving: lock-free snapshot reads over a batched writer.
+//!
+//! The paper's premise is that a compressed closure is *served*, not
+//! recomputed — "compression is a one-time activity, and once the
+//! compressed closure has been obtained, it can be repeatedly used" (§3.2)
+//! — and §4's incremental updates exist so the structure stays online while
+//! the relation churns. [`ClosureService`] supplies the concurrency story
+//! those two halves need (DESIGN.md, "Concurrent serving"):
+//!
+//! * **Readers** hold a [`ServiceReader`], whose probes answer from an
+//!   immutable [`ServiceSnapshot`] (a frozen [`QueryPlane`] per direction)
+//!   behind an `Arc`. The fast path is one atomic epoch load: while the
+//!   epoch matches the reader's cached snapshot, a probe touches no lock
+//!   and allocates nothing. Only when the writer has published something
+//!   newer does the reader take the swap-cell mutex once to clone the new
+//!   `Arc`.
+//! * **The writer** is a single background thread owning the mutable
+//!   closure. Submitted [`ServiceOp`]s queue up and are coalesced into
+//!   batches (at most [`ServiceConfig::batch_max`] per round); each batch
+//!   is applied with the §4 update routines, optionally structurally
+//!   audited, frozen into a fresh snapshot, and *published* by swapping the
+//!   shared `Arc` and bumping the epoch. Freeze-time buffers and — when no
+//!   reader still pins the retired snapshot — the retired plane's arrays
+//!   are recycled round over round.
+//!
+//! The result is *bounded staleness*: a reader is never blocked by the
+//! writer and never observes a torn or thawed closure, but may answer from
+//! a snapshot up to one publish behind the applied state (plus whatever is
+//! still queued). [`ServiceReader::staleness`] reports exactly how far
+//! behind (in submitted ops) the pinned snapshot is. Because ops are
+//! consumed strictly in submission order and snapshots are cut only at
+//! batch boundaries, every answer a reader can ever observe corresponds to
+//! some *prefix* of the submitted op sequence — the invariant the
+//! snapshot-consistency stress test checks against a DFS oracle.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tc_graph::NodeId;
+
+use crate::bidir::BiClosure;
+use crate::plane::{FreezeScratch, QueryPlane};
+use crate::updates::UpdateError;
+use crate::CompressedClosure;
+
+/// One mutation submitted to the service's write queue — the §4 update
+/// vocabulary, minus the arguments the writer derives itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// Add a node with incoming arcs from `parents` (empty = new root).
+    AddNode {
+        /// Immediate predecessors of the new node.
+        parents: Vec<NodeId>,
+    },
+    /// Add the arc `src -> dst`.
+    AddEdge {
+        /// Arc source.
+        src: NodeId,
+        /// Arc destination.
+        dst: NodeId,
+    },
+    /// Remove the arc `src -> dst`.
+    RemoveEdge {
+        /// Arc source.
+        src: NodeId,
+        /// Arc destination.
+        dst: NodeId,
+    },
+    /// Remove `node` and all incident arcs.
+    RemoveNode {
+        /// The node to remove.
+        node: NodeId,
+    },
+    /// Interpose a refinement node between `child` and its current
+    /// immediate predecessors (§4.1). The writer reads the predecessor
+    /// list at apply time, so the op stays valid however the queue ahead
+    /// of it reshapes the graph.
+    Refine {
+        /// The node being refined.
+        child: NodeId,
+    },
+    /// Re-label: fresh gaps and reserves, tombstones dropped.
+    Relabel,
+    /// Rebuild from scratch with a freshly optimized tree cover.
+    Rebuild,
+}
+
+/// Tuning knobs for [`ClosureService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Most ops coalesced into one apply-freeze-publish round. Larger
+    /// batches amortize the freeze over more ops at the cost of staleness.
+    pub batch_max: usize,
+    /// Run the O(n + intervals) structural audit on the mutable closure
+    /// after every batch, before publishing. Defaults to on in debug
+    /// builds; the first violation is recorded in [`ServiceStats`] (the
+    /// tainted state is still published — the audit is a tripwire, not a
+    /// rollback).
+    pub audit: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { batch_max: 1024, audit: cfg!(debug_assertions) }
+    }
+}
+
+impl ServiceConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-round op coalescing limit (clamped to at least 1).
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Enables or disables the per-batch structural audit.
+    pub fn audit(mut self, enable: bool) -> Self {
+        self.audit = enable;
+        self
+    }
+}
+
+/// Counters describing a service's progress, all measured in ops except
+/// `publishes`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Ops accepted by [`ClosureService::submit`] so far.
+    pub submitted: u64,
+    /// Ops consumed from the queue (applied or skipped) and covered by a
+    /// published snapshot.
+    pub consumed: u64,
+    /// Consumed ops that mutated the closure.
+    pub applied: u64,
+    /// Consumed ops rejected by the update routines (unknown node, cycle,
+    /// exhausted reserve, ...) and skipped without effect.
+    pub skipped: u64,
+    /// Snapshots published, the initial one included.
+    pub publishes: u64,
+    /// First structural-audit failure observed, if any (see
+    /// [`ServiceConfig::audit`]).
+    pub audit_violation: Option<String>,
+}
+
+impl ServiceStats {
+    /// Ops submitted but not yet covered by a published snapshot.
+    pub fn staleness(&self) -> u64 {
+        self.submitted.saturating_sub(self.consumed)
+    }
+}
+
+/// The mutable closure a service writes to: one direction, or a
+/// [`BiClosure`] pair when predecessor queries should decode from the
+/// reverse labels instead of stabbing the forward index.
+#[derive(Debug)]
+pub enum ServiceBackend {
+    /// A single forward closure.
+    Single(Box<CompressedClosure>),
+    /// A forward/reverse pair.
+    Bidirectional(Box<BiClosure>),
+}
+
+impl ServiceBackend {
+    fn apply(&mut self, op: &ServiceOp) -> Result<(), UpdateError> {
+        match self {
+            ServiceBackend::Single(c) => match op {
+                ServiceOp::AddNode { parents } => c.add_node_with_parents(parents).map(|_| ()),
+                ServiceOp::AddEdge { src, dst } => c.add_edge(*src, *dst).map(|_| ()),
+                ServiceOp::RemoveEdge { src, dst } => c.remove_edge(*src, *dst),
+                ServiceOp::RemoveNode { node } => c.remove_node(*node),
+                ServiceOp::Refine { child } => {
+                    if child.index() >= c.node_count() {
+                        return Err(UpdateError::UnknownNode(*child));
+                    }
+                    let parents = c.graph().predecessors(*child).to_vec();
+                    c.refine_insert(*child, &parents).map(|_| ())
+                }
+                ServiceOp::Relabel => {
+                    c.relabel();
+                    Ok(())
+                }
+                ServiceOp::Rebuild => {
+                    c.rebuild();
+                    Ok(())
+                }
+            },
+            ServiceBackend::Bidirectional(bi) => match op {
+                ServiceOp::AddNode { parents } => bi.add_node_with_parents(parents).map(|_| ()),
+                ServiceOp::AddEdge { src, dst } => bi.add_edge(*src, *dst).map(|_| ()),
+                ServiceOp::RemoveEdge { src, dst } => bi.remove_edge(*src, *dst),
+                ServiceOp::RemoveNode { node } => bi.remove_node(*node),
+                ServiceOp::Refine { child } => {
+                    if child.index() >= bi.node_count() {
+                        return Err(UpdateError::UnknownNode(*child));
+                    }
+                    let parents = bi.forward().graph().predecessors(*child).to_vec();
+                    bi.refine_insert(*child, &parents).map(|_| ())
+                }
+                ServiceOp::Relabel => {
+                    bi.relabel();
+                    Ok(())
+                }
+                ServiceOp::Rebuild => {
+                    bi.rebuild();
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        match self {
+            ServiceBackend::Single(c) => c.audit(),
+            ServiceBackend::Bidirectional(bi) => {
+                bi.forward().audit()?;
+                bi.reverse().audit()
+            }
+        }
+    }
+
+    fn freeze_snapshot(
+        &self,
+        consumed: u64,
+        version: u64,
+        forward_scratch: &mut FreezeScratch,
+        reverse_scratch: &mut FreezeScratch,
+    ) -> ServiceSnapshot {
+        match self {
+            ServiceBackend::Single(c) => ServiceSnapshot {
+                forward: QueryPlane::freeze_with(&c.lab, forward_scratch),
+                reverse: None,
+                nodes: c.node_count(),
+                applied_seq: consumed,
+                version,
+            },
+            ServiceBackend::Bidirectional(bi) => ServiceSnapshot {
+                forward: QueryPlane::freeze_with(&bi.forward().lab, forward_scratch),
+                reverse: Some(QueryPlane::freeze_with(&bi.reverse().lab, reverse_scratch)),
+                nodes: bi.node_count(),
+                applied_seq: consumed,
+                version,
+            },
+        }
+    }
+
+    /// The single-direction closure, if that is what the service ran on.
+    pub fn into_single(self) -> Option<CompressedClosure> {
+        match self {
+            ServiceBackend::Single(c) => Some(*c),
+            ServiceBackend::Bidirectional(_) => None,
+        }
+    }
+
+    /// The bidirectional closure, if that is what the service ran on.
+    pub fn into_bidirectional(self) -> Option<BiClosure> {
+        match self {
+            ServiceBackend::Single(_) => None,
+            ServiceBackend::Bidirectional(bi) => Some(*bi),
+        }
+    }
+}
+
+/// One published, immutable view of the closure: a frozen [`QueryPlane`]
+/// (plus a reverse plane for bidirectional backends) stamped with the
+/// prefix of submitted ops it reflects.
+///
+/// Nodes created after the snapshot was cut simply do not exist in it:
+/// probes involving them report unreachable / empty rather than panicking,
+/// which is the honest answer under bounded staleness.
+#[derive(Debug)]
+pub struct ServiceSnapshot {
+    forward: QueryPlane,
+    reverse: Option<QueryPlane>,
+    nodes: usize,
+    applied_seq: u64,
+    version: u64,
+}
+
+impl ServiceSnapshot {
+    /// Snapshots a standalone closure outside any service — the fuzzer's
+    /// way of pinning "the published view" at a trace point and replaying
+    /// queries against it later.
+    pub fn capture(closure: &CompressedClosure) -> ServiceSnapshot {
+        ServiceSnapshot {
+            forward: QueryPlane::freeze(&closure.lab),
+            reverse: None,
+            nodes: closure.node_count(),
+            applied_seq: 0,
+            version: 0,
+        }
+    }
+
+    /// Number of nodes the snapshot knows about.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of submitted ops this snapshot reflects (the consumed
+    /// prefix's length).
+    #[inline]
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Publish counter stamped by the writer; the initial snapshot is 1.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether `src` reaches `dst` (reflexive). Nodes beyond the snapshot
+    /// are unreachable. Zero locks, zero allocation.
+    #[inline]
+    pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        src.index() < self.nodes && dst.index() < self.nodes && self.forward.reaches(src, dst)
+    }
+
+    /// Answers every pair into a fresh vector; see
+    /// [`ServiceSnapshot::reaches_batch_into`] for the allocation-free
+    /// form.
+    pub fn reaches_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.reaches_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// Answers every pair into `out` (cleared first). With a caller-reused
+    /// buffer the whole batch allocates nothing.
+    pub fn reaches_batch_into(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(pairs.iter().map(|&(src, dst)| self.reaches(src, dst)));
+    }
+
+    /// All nodes reachable from `node` (including itself), ascending by
+    /// postorder number; empty for nodes beyond the snapshot.
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        if node.index() >= self.nodes {
+            return Vec::new();
+        }
+        self.forward.successors(node)
+    }
+
+    /// Count of nodes reachable from `node` (including itself).
+    pub fn successor_count(&self, node: NodeId) -> usize {
+        if node.index() >= self.nodes {
+            return 0;
+        }
+        self.forward.successor_count(node)
+    }
+
+    /// All nodes reaching `node` (including itself), ascending by node id.
+    /// Bidirectional backends decode the reverse plane (O(k)); single
+    /// backends stab the forward plane's inverted index (O(k log m)).
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        if node.index() >= self.nodes {
+            return Vec::new();
+        }
+        match &self.reverse {
+            Some(rev) => {
+                let mut out = rev.successors(node);
+                out.sort_unstable();
+                out
+            }
+            None => self.forward.predecessors(node),
+        }
+    }
+
+    /// Count of nodes reaching `node` (including itself).
+    pub fn predecessor_count(&self, node: NodeId) -> usize {
+        if node.index() >= self.nodes {
+            return 0;
+        }
+        match &self.reverse {
+            Some(rev) => rev.successor_count(node),
+            None => self.forward.predecessors(node).len(),
+        }
+    }
+
+    fn into_planes(self) -> (QueryPlane, Option<QueryPlane>) {
+        (self.forward, self.reverse)
+    }
+}
+
+/// Writer-side queue: ops waiting to be applied, the submission counter
+/// they were stamped with, and the shutdown latch.
+struct QueueState {
+    ops: VecDeque<ServiceOp>,
+    submitted: u64,
+    closed: bool,
+}
+
+/// Writer-side progress, updated after every publish.
+struct PublishState {
+    consumed: u64,
+    applied: u64,
+    skipped: u64,
+    publishes: u64,
+    violation: Option<String>,
+}
+
+struct Shared {
+    /// Version of the snapshot currently in `slot`; bumped with `Release`
+    /// after the slot is swapped, so a reader whose `Acquire` load sees
+    /// version v finds a snapshot at least that new under the mutex.
+    epoch: AtomicU64,
+    /// Total ops submitted; mirrors `QueueState::submitted` for lock-free
+    /// staleness reads.
+    submitted: AtomicU64,
+    /// The swap cell: current published snapshot. Readers lock it only on
+    /// an epoch change, and only long enough to clone the `Arc`.
+    slot: Mutex<Arc<ServiceSnapshot>>,
+    queue: Mutex<QueueState>,
+    /// Signals the writer that ops arrived (or shutdown was requested).
+    work: Condvar,
+    published: Mutex<PublishState>,
+    /// Signals flushers that `PublishState::consumed` advanced.
+    published_cv: Condvar,
+}
+
+/// A concurrent serving layer over a compressed closure: any number of
+/// lock-free snapshot readers, one background writer applying batched §4
+/// updates and republishing frozen [`QueryPlane`]s. See the module docs
+/// for the design.
+///
+/// ```
+/// use tc_graph::{DiGraph, NodeId};
+/// use tc_core::serve::{ClosureService, ServiceConfig, ServiceOp};
+/// use tc_core::CompressedClosure;
+///
+/// let g = DiGraph::from_edges([(0, 1), (1, 2)]);
+/// let closure = CompressedClosure::build(&g).unwrap();
+/// let service = ClosureService::start(closure, ServiceConfig::new());
+///
+/// let mut reader = service.reader();
+/// assert!(reader.reaches(NodeId(0), NodeId(2)));
+///
+/// service.submit(ServiceOp::AddEdge { src: NodeId(2), dst: NodeId(0) }); // cycle: skipped
+/// service.submit(ServiceOp::AddNode { parents: vec![NodeId(2)] });
+/// let stats = service.flush();
+/// assert_eq!((stats.applied, stats.skipped), (1, 1));
+/// assert!(reader.reaches(NodeId(0), NodeId(3)));
+///
+/// let (_, backend) = service.shutdown();
+/// assert_eq!(backend.into_single().unwrap().node_count(), 4);
+/// ```
+pub struct ClosureService {
+    shared: Arc<Shared>,
+    writer: Option<JoinHandle<ServiceBackend>>,
+}
+
+impl ClosureService {
+    /// Starts serving a single-direction closure. The initial snapshot is
+    /// frozen synchronously, so readers always have something to pin.
+    pub fn start(closure: CompressedClosure, config: ServiceConfig) -> ClosureService {
+        Self::start_backend(ServiceBackend::Single(Box::new(closure)), config)
+    }
+
+    /// Starts serving a bidirectional closure; snapshots then carry a
+    /// reverse plane and `predecessors` decodes instead of stabbing.
+    pub fn start_bidir(bi: BiClosure, config: ServiceConfig) -> ClosureService {
+        Self::start_backend(ServiceBackend::Bidirectional(Box::new(bi)), config)
+    }
+
+    fn start_backend(backend: ServiceBackend, config: ServiceConfig) -> ClosureService {
+        let mut forward_scratch = FreezeScratch::default();
+        let mut reverse_scratch = FreezeScratch::default();
+        let initial =
+            Arc::new(backend.freeze_snapshot(0, 1, &mut forward_scratch, &mut reverse_scratch));
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            slot: Mutex::new(initial),
+            queue: Mutex::new(QueueState {
+                ops: VecDeque::new(),
+                submitted: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            published: Mutex::new(PublishState {
+                consumed: 0,
+                applied: 0,
+                skipped: 0,
+                publishes: 1,
+                violation: None,
+            }),
+            published_cv: Condvar::new(),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tc-serve-writer".into())
+                .spawn(move || writer_loop(shared, backend, config, forward_scratch, reverse_scratch))
+                .expect("spawn service writer thread")
+        };
+        ClosureService { shared, writer: Some(writer) }
+    }
+
+    /// A new reader pinned to the current snapshot. Readers are `Clone`
+    /// and independent; hand one to each querying thread.
+    pub fn reader(&self) -> ServiceReader {
+        let cached = Arc::clone(&self.shared.slot.lock().expect("swap cell poisoned"));
+        let epoch = cached.version;
+        ServiceReader { shared: Arc::clone(&self.shared), cached, epoch }
+    }
+
+    /// Enqueues one op; returns its sequence number (1-based position in
+    /// the submission order). Never blocks on the writer.
+    pub fn submit(&self, op: ServiceOp) -> u64 {
+        let seq = {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            assert!(!q.closed, "submit after shutdown");
+            q.ops.push_back(op);
+            q.submitted += 1;
+            self.shared.submitted.store(q.submitted, Ordering::Release);
+            q.submitted
+        };
+        self.shared.work.notify_one();
+        seq
+    }
+
+    /// Enqueues a batch of ops under one queue lock; returns the sequence
+    /// number of the last one (0 if `ops` was empty).
+    pub fn submit_batch(&self, ops: impl IntoIterator<Item = ServiceOp>) -> u64 {
+        let seq = {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            assert!(!q.closed, "submit after shutdown");
+            let before = q.ops.len();
+            q.ops.extend(ops);
+            q.submitted += (q.ops.len() - before) as u64;
+            self.shared.submitted.store(q.submitted, Ordering::Release);
+            q.submitted
+        };
+        self.shared.work.notify_one();
+        seq
+    }
+
+    /// Blocks until every op submitted so far is covered by a published
+    /// snapshot, then returns the stats at that point.
+    pub fn flush(&self) -> ServiceStats {
+        let target = self.shared.submitted.load(Ordering::Acquire);
+        let mut p = self.shared.published.lock().expect("publish state poisoned");
+        while p.consumed < target {
+            p = self.shared.published_cv.wait(p).expect("publish state poisoned");
+        }
+        self.stats_locked(&p)
+    }
+
+    /// Current progress counters (non-blocking).
+    pub fn stats(&self) -> ServiceStats {
+        let p = self.shared.published.lock().expect("publish state poisoned");
+        self.stats_locked(&p)
+    }
+
+    fn stats_locked(&self, p: &PublishState) -> ServiceStats {
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Acquire),
+            consumed: p.consumed,
+            applied: p.applied,
+            skipped: p.skipped,
+            publishes: p.publishes,
+            audit_violation: p.violation.clone(),
+        }
+    }
+
+    /// Drains the queue, stops the writer, and hands the mutable backend
+    /// back along with the final stats. Outstanding readers keep their
+    /// pinned snapshots and stay fully usable.
+    pub fn shutdown(mut self) -> (ServiceStats, ServiceBackend) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.closed = true;
+        }
+        self.shared.work.notify_all();
+        let backend = self
+            .writer
+            .take()
+            .expect("writer joined twice")
+            .join()
+            .expect("service writer panicked");
+        (self.stats(), backend)
+    }
+}
+
+impl Drop for ClosureService {
+    fn drop(&mut self) {
+        if let Some(handle) = self.writer.take() {
+            if let Ok(mut q) = self.shared.queue.lock() {
+                q.closed = true;
+            }
+            self.shared.work.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A per-thread query handle: caches the current snapshot `Arc` and
+/// revalidates it with one atomic epoch load per probe. While the epoch is
+/// unchanged — the overwhelmingly common case — probes take zero locks and
+/// allocate nothing beyond their own result.
+pub struct ServiceReader {
+    shared: Arc<Shared>,
+    cached: Arc<ServiceSnapshot>,
+    epoch: u64,
+}
+
+impl Clone for ServiceReader {
+    fn clone(&self) -> Self {
+        ServiceReader {
+            shared: Arc::clone(&self.shared),
+            cached: Arc::clone(&self.cached),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl ServiceReader {
+    /// Revalidates the cached snapshot (one `Acquire` epoch load; the swap
+    /// cell mutex is taken only when the epoch moved) and returns it.
+    #[inline]
+    pub fn refresh(&mut self) -> &ServiceSnapshot {
+        let current = self.shared.epoch.load(Ordering::Acquire);
+        if current != self.epoch {
+            let snap = Arc::clone(&self.shared.slot.lock().expect("swap cell poisoned"));
+            self.epoch = snap.version;
+            self.cached = snap;
+        }
+        &self.cached
+    }
+
+    /// Pins and returns the freshest published snapshot. The returned
+    /// `Arc` stays valid (and immutable) however far the service moves on.
+    pub fn snapshot(&mut self) -> Arc<ServiceSnapshot> {
+        self.refresh();
+        Arc::clone(&self.cached)
+    }
+
+    /// Whether `src` reaches `dst` on the freshest published snapshot.
+    #[inline]
+    pub fn reaches(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.refresh().reaches(src, dst)
+    }
+
+    /// Batch reachability on one consistent snapshot (refreshed once for
+    /// the whole batch).
+    pub fn reaches_batch(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
+        self.refresh().reaches_batch(pairs)
+    }
+
+    /// Successor set on the freshest published snapshot.
+    pub fn successors(&mut self, node: NodeId) -> Vec<NodeId> {
+        self.refresh().successors(node)
+    }
+
+    /// Predecessor set on the freshest published snapshot.
+    pub fn predecessors(&mut self, node: NodeId) -> Vec<NodeId> {
+        self.refresh().predecessors(node)
+    }
+
+    /// Ops submitted to the service but not reflected in the snapshot this
+    /// reader currently holds — how far behind head the *next* probe may
+    /// answer.
+    pub fn staleness(&self) -> u64 {
+        self.shared
+            .submitted
+            .load(Ordering::Acquire)
+            .saturating_sub(self.cached.applied_seq)
+    }
+}
+
+fn writer_loop(
+    shared: Arc<Shared>,
+    mut backend: ServiceBackend,
+    config: ServiceConfig,
+    mut forward_scratch: FreezeScratch,
+    mut reverse_scratch: FreezeScratch,
+) -> ServiceBackend {
+    let mut consumed = 0u64;
+    let mut version = 1u64;
+    let mut batch: Vec<ServiceOp> = Vec::new();
+    loop {
+        batch.clear();
+        {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            while q.ops.is_empty() && !q.closed {
+                q = shared.work.wait(q).expect("queue poisoned");
+            }
+            if q.ops.is_empty() {
+                break; // closed and drained
+            }
+            let take = q.ops.len().min(config.batch_max.max(1));
+            batch.extend(q.ops.drain(..take));
+        }
+        let mut applied = 0u64;
+        let mut skipped = 0u64;
+        for op in &batch {
+            // A rejected op (unknown node, cycle, exhausted reserve, ...)
+            // is counted and skipped; the consumed prefix stays a pure
+            // function of the submission order either way.
+            match backend.apply(op) {
+                Ok(()) => applied += 1,
+                Err(_) => skipped += 1,
+            }
+        }
+        consumed += batch.len() as u64;
+        let violation = if config.audit { backend.audit().err() } else { None };
+        version += 1;
+        let snap = Arc::new(backend.freeze_snapshot(
+            consumed,
+            version,
+            &mut forward_scratch,
+            &mut reverse_scratch,
+        ));
+        let retired = {
+            let mut slot = shared.slot.lock().expect("swap cell poisoned");
+            std::mem::replace(&mut *slot, snap)
+        };
+        // Publish: the Release store pairs with readers' Acquire loads, so
+        // any reader that observes the new version also observes the swap
+        // above when it takes the cell mutex.
+        shared.epoch.store(version, Ordering::Release);
+        // Opportunistic plane reuse: when no reader still pins the retired
+        // snapshot, its arrays seed the next freeze.
+        if let Ok(old) = Arc::try_unwrap(retired) {
+            let (forward, reverse) = old.into_planes();
+            forward_scratch.retire(forward);
+            if let Some(reverse) = reverse {
+                reverse_scratch.retire(reverse);
+            }
+        }
+        {
+            let mut p = shared.published.lock().expect("publish state poisoned");
+            p.consumed = consumed;
+            p.applied += applied;
+            p.skipped += skipped;
+            p.publishes = version;
+            if p.violation.is_none() {
+                p.violation = violation;
+            }
+        }
+        shared.published_cv.notify_all();
+    }
+    backend
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosureConfig;
+    use tc_graph::{generators, DiGraph};
+
+    fn dag(nodes: usize, seed: u64) -> DiGraph {
+        generators::random_dag(generators::RandomDagConfig {
+            nodes,
+            avg_out_degree: 2.0,
+            seed,
+        })
+    }
+
+    #[test]
+    fn snapshot_answers_match_the_closure() {
+        let g = dag(60, 3);
+        let closure = CompressedClosure::build(&g).unwrap();
+        let oracle = closure.clone();
+        let service = ClosureService::start(closure, ServiceConfig::new().audit(true));
+        let mut reader = service.reader();
+        for u in g.nodes() {
+            assert_eq!(reader.successors(u), oracle.successors(u), "successors({u:?})");
+            assert_eq!(reader.predecessors(u), oracle.predecessors(u), "predecessors({u:?})");
+            for v in g.nodes().step_by(7) {
+                assert_eq!(reader.reaches(u, v), oracle.reaches(u, v), "reaches({u:?},{v:?})");
+            }
+        }
+        let (stats, backend) = service.shutdown();
+        assert_eq!(stats.publishes, 1, "no writes, no republishing");
+        assert_eq!(stats.audit_violation, None);
+        backend.into_single().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn writes_apply_in_order_and_publish() {
+        let g = DiGraph::from_edges([(0, 1), (1, 2)]);
+        let closure = CompressedClosure::build(&g).unwrap();
+        let service = ClosureService::start(closure, ServiceConfig::new().audit(true));
+        let mut reader = service.reader();
+        assert!(!reader.reaches(NodeId(0), NodeId(3)));
+
+        let s1 = service.submit(ServiceOp::AddNode { parents: vec![NodeId(2)] });
+        let s2 = service.submit(ServiceOp::AddEdge { src: NodeId(3), dst: NodeId(0) }); // cycle
+        let s3 = service.submit(ServiceOp::RemoveEdge { src: NodeId(0), dst: NodeId(9) }); // no such
+        assert_eq!((s1, s2, s3), (1, 2, 3));
+        let stats = service.flush();
+        assert_eq!(stats.consumed, 3);
+        assert_eq!(stats.applied, 1);
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(stats.staleness(), 0);
+        assert_eq!(stats.audit_violation, None);
+
+        assert!(reader.reaches(NodeId(0), NodeId(3)));
+        let snap = reader.snapshot();
+        assert_eq!(snap.applied_seq(), 3);
+        assert_eq!(snap.node_count(), 4);
+        assert_eq!(reader.staleness(), 0);
+
+        let (_, backend) = service.shutdown();
+        let closure = backend.into_single().unwrap();
+        closure.verify().unwrap();
+        assert_eq!(closure.node_count(), 4);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_later_writes() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let service =
+            CompressedClosure::build(&g).map(|c| ClosureService::start(c, ServiceConfig::new())).unwrap();
+        let mut reader = service.reader();
+        let old = reader.snapshot();
+        for _ in 0..10 {
+            service.submit(ServiceOp::AddNode { parents: vec![NodeId(0)] });
+        }
+        service.flush();
+        // The pinned snapshot still answers from its original prefix.
+        assert_eq!(old.node_count(), 2);
+        assert!(!old.reaches(NodeId(0), NodeId(5)));
+        // A refreshed probe sees the new nodes.
+        assert!(reader.reaches(NodeId(0), NodeId(5)));
+        assert!(reader.snapshot().node_count() == 12);
+    }
+
+    #[test]
+    fn refine_and_structural_ops_flow_through() {
+        let g = DiGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
+        let closure = ClosureConfig::new().gap(32).reserve(4).build(&g).unwrap();
+        let service = ClosureService::start(closure, ServiceConfig::new().audit(true));
+        service.submit(ServiceOp::Refine { child: NodeId(2) });
+        service.submit(ServiceOp::Relabel);
+        service.submit(ServiceOp::RemoveNode { node: NodeId(0) });
+        service.submit(ServiceOp::Rebuild);
+        let stats = service.flush();
+        assert_eq!(stats.applied, 4);
+        assert_eq!(stats.audit_violation, None);
+        let mut reader = service.reader();
+        // The refinement node (id 4) still reaches 2 and 3 after all that.
+        assert!(reader.reaches(NodeId(4), NodeId(3)));
+        assert!(!reader.reaches(NodeId(0), NodeId(2)), "node 0 removed");
+        let (_, backend) = service.shutdown();
+        backend.into_single().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn bidir_service_serves_predecessors_from_reverse_plane() {
+        let g = dag(50, 8);
+        let bi = BiClosure::build(&g).unwrap();
+        let oracle = bi.clone();
+        let service = ClosureService::start_bidir(bi, ServiceConfig::new().audit(true));
+        let mut reader = service.reader();
+        for v in g.nodes() {
+            let mut want = oracle.predecessors(v);
+            want.sort_unstable();
+            assert_eq!(reader.predecessors(v), want, "predecessors({v:?})");
+            assert_eq!(
+                reader.refresh().predecessor_count(v),
+                want.len(),
+                "predecessor_count({v:?})"
+            );
+        }
+        service.submit(ServiceOp::AddNode { parents: vec![NodeId(0), NodeId(1)] });
+        service.flush();
+        let n = NodeId(50);
+        assert!(reader.predecessors(n).contains(&NodeId(0)));
+        let (stats, backend) = service.shutdown();
+        assert_eq!(stats.audit_violation, None);
+        backend.into_bidirectional().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stay_consistent() {
+        // A smoke-scale version of the full stress test in tests/: readers
+        // hammer reflexive probes (true on every prefix) while the writer
+        // grows a chain, then everything converges after flush.
+        let g = DiGraph::from_edges([(0, 1)]);
+        let closure = CompressedClosure::build(&g).unwrap();
+        let service = ClosureService::start(closure, ServiceConfig::new().batch_max(4).audit(true));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut reader = service.reader();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut probes = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = reader.snapshot();
+                        let n = snap.node_count() as u32;
+                        for v in 0..n.min(16) {
+                            assert!(snap.reaches(NodeId(v), NodeId(v)), "reflexivity");
+                        }
+                        assert!(snap.reaches(NodeId(0), NodeId(1)), "never deleted");
+                        probes += 1;
+                    }
+                    probes
+                });
+            }
+            let mut tip = NodeId(1);
+            for i in 0..64 {
+                let seq = service.submit(ServiceOp::AddNode { parents: vec![tip] });
+                tip = NodeId(2 + i);
+                assert_eq!(seq, (i + 1) as u64);
+            }
+            let stats = service.flush();
+            assert_eq!(stats.consumed, 64);
+            assert_eq!(stats.audit_violation, None);
+            stop.store(true, Ordering::Relaxed);
+        });
+        let mut reader = service.reader();
+        assert!(reader.reaches(NodeId(0), NodeId(65)));
+        let (_, backend) = service.shutdown();
+        backend.into_single().unwrap().verify().unwrap();
+    }
+}

@@ -31,6 +31,8 @@
 //! | `refine` | node out of range, or the closure reports `ReserveExhausted` |
 //! | `relabel` / `rebuild` / `set-threads` | never |
 //! | `freeze` / `thaw` | never |
+//! | `service-publish` | never |
+//! | `service-query` | nothing published yet |
 //!
 //! `freeze`/`thaw` never mutate the relation, but they count as *applied* so
 //! the per-step audit (which cross-checks a frozen plane against the mutable
@@ -45,6 +47,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use tc_baselines::{ChainIndex, ReachabilityIndex};
+use tc_core::serve::ServiceSnapshot;
 use tc_core::{CompressedClosure, UpdateError};
 use tc_graph::{traverse, DiGraph, NodeId};
 
@@ -86,6 +89,9 @@ pub enum ViolationKind {
     /// The chain-decomposition baseline disagreed with the DFS closure
     /// (an oracle bug, not a closure bug — still worth a reproducer).
     Baseline,
+    /// A pinned service snapshot's answers diverged from the DFS closure of
+    /// the relation as it was when that snapshot was published.
+    Service,
     /// The op (or a check after it) panicked.
     Panic,
 }
@@ -126,12 +132,24 @@ pub struct RunReport {
     pub final_edges: usize,
 }
 
+/// A pinned serving-layer view: the snapshot [`Op::ServicePublish`]
+/// captured plus the mirror relation as it was at that moment (the oracle
+/// [`Op::ServiceQuery`] replays against).
+pub struct PublishedView {
+    /// The frozen snapshot, exactly as a service reader would pin it.
+    pub snapshot: ServiceSnapshot,
+    /// The relation at publish time.
+    pub mirror: DiGraph,
+}
+
 /// Live replay state: the closure under test plus its mirror relation.
 pub struct EngineState {
     /// The interval-compressed closure being fuzzed.
     pub closure: CompressedClosure,
     /// The trivially-maintained mirror of the same relation.
     pub mirror: DiGraph,
+    /// The most recent [`Op::ServicePublish`] capture, if any.
+    pub published: Option<PublishedView>,
 }
 
 impl EngineState {
@@ -144,7 +162,7 @@ impl EngineState {
         })?;
         let mirror = DiGraph::new();
         let closure = cc.build(&mirror).expect("empty graph is acyclic");
-        Ok(EngineState { closure, mirror })
+        Ok(EngineState { closure, mirror, published: None })
     }
 
     fn in_range(&self, id: u32) -> bool {
@@ -152,8 +170,10 @@ impl EngineState {
     }
 
     /// Applies one op. `Ok(true)` = state mutated, `Ok(false)` = skipped,
-    /// `Err` = the closure returned an error the skip rules rule out.
-    pub fn apply(&mut self, op: &Op) -> Result<bool, String> {
+    /// `Err` = the closure returned an error the skip rules rule out, or a
+    /// service-snapshot check failed.
+    pub fn apply(&mut self, op: &Op) -> Result<bool, (ViolationKind, String)> {
+        let update = |detail: String| (ViolationKind::Update, detail);
         match op {
             Op::AddNode { parents } => {
                 let valid: Vec<NodeId> = parents
@@ -164,7 +184,7 @@ impl EngineState {
                 let z = self
                     .closure
                     .add_node_with_parents(&valid)
-                    .map_err(|e| format!("add_node_with_parents({valid:?}): {e}"))?;
+                    .map_err(|e| update(format!("add_node_with_parents({valid:?}): {e}")))?;
                 let m = self.mirror.add_node();
                 debug_assert_eq!(z, m);
                 for &p in &valid {
@@ -183,11 +203,11 @@ impl EngineState {
                 let fresh = self
                     .closure
                     .add_edge(s, d)
-                    .map_err(|e| format!("add_edge({s:?},{d:?}): {e}"))?;
+                    .map_err(|e| update(format!("add_edge({s:?},{d:?}): {e}")))?;
                 if !fresh {
-                    return Err(format!(
+                    return Err(update(format!(
                         "add_edge({s:?},{d:?}) reported a duplicate the mirror does not have"
-                    ));
+                    )));
                 }
                 self.mirror.add_edge(s, d);
                 Ok(true)
@@ -202,7 +222,7 @@ impl EngineState {
                 }
                 self.closure
                     .remove_edge(s, d)
-                    .map_err(|e| format!("remove_edge({s:?},{d:?}): {e}"))?;
+                    .map_err(|e| update(format!("remove_edge({s:?},{d:?}): {e}")))?;
                 self.mirror.remove_edge(s, d);
                 Ok(true)
             }
@@ -213,7 +233,7 @@ impl EngineState {
                 let v = NodeId(*node);
                 self.closure
                     .remove_node(v)
-                    .map_err(|e| format!("remove_node({v:?}): {e}"))?;
+                    .map_err(|e| update(format!("remove_node({v:?}): {e}")))?;
                 // The closure quarantines the node (dense ids keep the slot,
                 // reaching only itself); the mirror equivalent is stripping
                 // every incident arc.
@@ -242,7 +262,7 @@ impl EngineState {
                         Ok(true)
                     }
                     Err(UpdateError::ReserveExhausted(_)) => Ok(false),
-                    Err(e) => Err(format!("refine_insert({c:?},{parents:?}): {e}")),
+                    Err(e) => Err(update(format!("refine_insert({c:?},{parents:?}): {e}"))),
                 }
             }
             Op::Relabel => {
@@ -265,6 +285,20 @@ impl EngineState {
                 self.closure.thaw();
                 Ok(true)
             }
+            Op::ServicePublish => {
+                self.published = Some(PublishedView {
+                    snapshot: ServiceSnapshot::capture(&self.closure),
+                    mirror: self.mirror.clone(),
+                });
+                Ok(true)
+            }
+            Op::ServiceQuery => match &self.published {
+                None => Ok(false),
+                Some(view) => {
+                    check_published(view).map_err(|detail| (ViolationKind::Service, detail))?;
+                    Ok(true)
+                }
+            },
         }
     }
 
@@ -334,6 +368,60 @@ impl EngineState {
     }
 }
 
+/// Checks every answer a pinned service snapshot can give against the DFS
+/// closure of the relation as it was at publish time: full successor and
+/// predecessor sets, successor counts, and a deterministic sample of point
+/// queries (the same multiplicative-hash sample as the live oracle).
+fn check_published(view: &PublishedView) -> Result<(), String> {
+    let snap = &view.snapshot;
+    let n = view.mirror.node_count();
+    if snap.node_count() != n {
+        return Err(format!(
+            "published snapshot has {} nodes, publish-time mirror has {n}",
+            snap.node_count()
+        ));
+    }
+    let rows = traverse::closure_rows(&view.mirror);
+    for (v, row) in rows.iter().enumerate() {
+        let node = NodeId(v as u32);
+        let mut got: Vec<usize> = snap.successors(node).iter().map(|u| u.index()).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = row.iter().collect();
+        if got != want {
+            return Err(format!("snapshot successors({v}) = {got:?}, publish-time DFS says {want:?}"));
+        }
+        if snap.successor_count(node) != want.len() {
+            return Err(format!(
+                "snapshot successor_count({v}) = {}, publish-time DFS says {}",
+                snap.successor_count(node),
+                want.len()
+            ));
+        }
+        let preds: Vec<usize> = snap.predecessors(node).iter().map(|u| u.index()).collect();
+        let want_preds: Vec<usize> = (0..n).filter(|&u| rows[u].contains(v)).collect();
+        if preds != want_preds {
+            return Err(format!(
+                "snapshot predecessors({v}) = {preds:?}, publish-time DFS says {want_preds:?}"
+            ));
+        }
+    }
+    if n > 0 {
+        let samples = (4 * n).min(4096);
+        for k in 0..samples as u64 {
+            let s = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+            let d = (k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32) as usize % n;
+            let got = snap.reaches(NodeId(s as u32), NodeId(d as u32));
+            let want = rows[s].contains(d);
+            if got != want {
+                return Err(format!(
+                    "snapshot reaches({s},{d}) = {got}, publish-time DFS says {want}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Replays `trace` with the given checks. Panics inside ops propagate —
 /// use [`run_trace_catching`] when the trace may crash.
 pub fn run_trace(trace: &OpTrace, opts: &CheckOptions) -> Result<RunReport, Violation> {
@@ -353,9 +441,9 @@ fn run_trace_observed(
     let mut since_oracle = 0usize;
     for (step, op) in trace.ops.iter().enumerate() {
         before_step(step);
-        let applied = state.apply(op).map_err(|detail| Violation {
+        let applied = state.apply(op).map_err(|(kind, detail)| Violation {
             step: Some(step),
-            kind: ViolationKind::Update,
+            kind,
             detail,
         })?;
         if !applied {
@@ -513,6 +601,24 @@ mod tests {
         let r = run_trace_catching(&trace(FuzzConfig::default(), ops), &CheckOptions::default())
             .unwrap();
         assert_eq!(r.applied, 2);
+    }
+
+    #[test]
+    fn service_publish_pins_a_consistent_view() {
+        let ops = vec![
+            Op::AddNode { parents: vec![] },
+            Op::AddNode { parents: vec![0] },
+            Op::ServiceQuery, // nothing published yet: skip
+            Op::ServicePublish,
+            Op::AddNode { parents: vec![1] },
+            Op::RemoveEdge { src: 0, dst: 1 },
+            Op::ServiceQuery, // must answer from the 2-node publish-time view
+            Op::ServicePublish,
+            Op::ServiceQuery,
+        ];
+        let r = run_trace(&trace(FuzzConfig::default(), ops), &CheckOptions::default()).unwrap();
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.applied, 8);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct GenConfig {
     /// Off by default to keep pre-existing seeds producing identical
     /// traces.
     pub freeze: bool,
+    /// Mix `service-publish`/`service-query` ops into the stream, pinning
+    /// serving-layer snapshots mid-churn and replaying queries against them
+    /// later. Off by default for the same seed-stability reason.
+    pub serve: bool,
     /// The closure configuration the trace runs under.
     pub config: FuzzConfig,
 }
@@ -40,6 +44,7 @@ impl Default for GenConfig {
             ops: 256,
             seed: 0,
             freeze: false,
+            serve: false,
             config: FuzzConfig::default(),
         }
     }
@@ -48,15 +53,20 @@ impl Default for GenConfig {
 /// Emits one random op given the current relation state. Kind weights skew
 /// toward growth (a shrinking relation fuzzes nothing) with a steady diet
 /// of deletions, relabels and rebuilds to exercise tombstone churn.
-fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig, freeze: bool) -> Op {
+fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig, freeze: bool, serve: bool) -> Op {
     let n = state.mirror.node_count() as u32;
     if n == 0 {
         return Op::AddNode { parents: vec![] };
     }
-    // Guarded before any RNG draw so that with the knob off, existing seeds
-    // keep producing byte-identical traces.
+    // Each knob is guarded before any RNG draw so that with the knob off,
+    // existing seeds keep producing byte-identical traces.
     if freeze && rng.random_range(0..8u32) == 0 {
         return if rng.random_bool(0.7) { Op::Freeze } else { Op::Thaw };
+    }
+    // Publishes outnumber queries: a query checks the *pinned* view, so the
+    // interesting sequences re-pin often and query while churn diverges.
+    if serve && rng.random_range(0..10u32) == 0 {
+        return if rng.random_bool(0.6) { Op::ServicePublish } else { Op::ServiceQuery };
     }
     let any = |rng: &mut StdRng| rng.random_range(0..n);
     match rng.random_range(0..100u32) {
@@ -115,7 +125,7 @@ pub fn generate(cfg: &GenConfig) -> OpTrace {
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.ops {
-        let op = next_op(&mut rng, &state, &cfg.config, cfg.freeze);
+        let op = next_op(&mut rng, &state, &cfg.config, cfg.freeze, cfg.serve);
         trace.ops.push(op.clone());
         let outcome = catch_unwind(AssertUnwindSafe(|| state.apply(&op)));
         match outcome {
@@ -175,6 +185,7 @@ mod tests {
             seed: 3,
             freeze: true,
             config: FuzzConfig { gap: 64, reserve: 4, ..FuzzConfig::default() },
+            ..GenConfig::default()
         };
         let trace = generate(&cfg);
         let freezes = trace.ops.iter().filter(|op| matches!(op, Op::Freeze)).count();
@@ -185,6 +196,26 @@ mod tests {
         // The knob only adds ops; it never changes what off-knob seeds emit.
         let plain = generate(&GenConfig { freeze: false, ..cfg });
         assert!(plain.ops.iter().all(|op| !matches!(op, Op::Freeze | Op::Thaw)));
+    }
+
+    #[test]
+    fn serve_knob_mixes_in_service_ops_and_replays_clean() {
+        let cfg = GenConfig {
+            ops: 200,
+            seed: 5,
+            serve: true,
+            config: FuzzConfig { gap: 64, reserve: 4, ..FuzzConfig::default() },
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        let publishes = trace.ops.iter().filter(|op| matches!(op, Op::ServicePublish)).count();
+        let queries = trace.ops.iter().filter(|op| matches!(op, Op::ServiceQuery)).count();
+        assert!(publishes > 0, "no service-publish ops in 200");
+        assert!(queries > 0, "no service-query ops in 200");
+        run_trace(&trace, &CheckOptions::default()).unwrap();
+        // The knob only adds ops; off-knob seeds are untouched.
+        let plain = generate(&GenConfig { serve: false, ..cfg });
+        assert!(plain.ops.iter().all(|op| !matches!(op, Op::ServicePublish | Op::ServiceQuery)));
     }
 
     #[test]

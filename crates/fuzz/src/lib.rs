@@ -38,7 +38,8 @@ pub mod ops;
 pub mod shrink;
 
 pub use engine::{
-    run_trace, run_trace_catching, CheckOptions, EngineState, RunReport, Violation, ViolationKind,
+    run_trace, run_trace_catching, CheckOptions, EngineState, PublishedView, RunReport, Violation,
+    ViolationKind,
 };
 pub use gen::{generate, GenConfig};
 pub use ops::{FuzzConfig, Op, OpTrace};

@@ -28,6 +28,8 @@
 //! freeze
 //! thaw
 //! set-threads 2
+//! service-publish
+//! service-query
 //! ```
 
 use std::fmt;
@@ -87,6 +89,15 @@ pub enum Op {
         /// Worker-thread count (0 = one per CPU).
         threads: usize,
     },
+    /// `ServiceSnapshot::capture` — pins the serving layer's published view
+    /// of the current state (plus a mirror copy of the relation for the
+    /// oracle); it stays pinned while the trace keeps mutating, exactly like
+    /// a [`tc_core::ServiceReader`] holding an old snapshot. Never skipped.
+    ServicePublish,
+    /// Replays queries against the pinned published view and checks them
+    /// against a DFS closure of the relation *as it was at publish time*
+    /// (skipped when nothing has been published yet).
+    ServiceQuery,
 }
 
 impl fmt::Display for Op {
@@ -108,6 +119,8 @@ impl fmt::Display for Op {
             Op::Freeze => write!(f, "freeze"),
             Op::Thaw => write!(f, "thaw"),
             Op::SetThreads { threads } => write!(f, "set-threads {threads}"),
+            Op::ServicePublish => write!(f, "service-publish"),
+            Op::ServiceQuery => write!(f, "service-query"),
         }
     }
 }
@@ -267,6 +280,14 @@ impl OpTrace {
                     in_header = false;
                     ops.push(Op::SetThreads { threads: one(&rest)? as usize });
                 }
+                "service-publish" => {
+                    in_header = false;
+                    ops.push(Op::ServicePublish);
+                }
+                "service-query" => {
+                    in_header = false;
+                    ops.push(Op::ServiceQuery);
+                }
                 _ => return fail("unknown directive"),
             }
         }
@@ -294,6 +315,8 @@ mod tests {
                 Op::Freeze,
                 Op::Thaw,
                 Op::SetThreads { threads: 0 },
+                Op::ServicePublish,
+                Op::ServiceQuery,
             ],
         };
         let text = trace.to_text();

@@ -150,6 +150,17 @@ macro_rules! flat_rows {
                 }
             }
 
+            /// An empty builder that inherits a retired index's buffers:
+            /// contents are cleared but the capacity is kept, so a pipeline
+            /// that snapshots repeatedly — a serving layer refreezing after
+            /// every write batch — skips re-growing the two large arrays.
+            pub fn recycle(index: $Index) -> Self {
+                let $Index { mut heads, mut spill } = index;
+                heads.clear();
+                spill.clear();
+                $Builder { heads, spill, current: Vec::new() }
+            }
+
             /// Appends `[lo, hi]` to the row currently being built. Within
             /// a row, calls must arrive with nondecreasing `lo`; an
             /// interval that overlaps or touches the previous one is merged
@@ -354,17 +365,31 @@ impl StabbingIndex {
     /// Builds the index from `(lo, hi, owner)` triples (any order).
     pub fn build(intervals: impl IntoIterator<Item = (u32, u32, u32)>) -> Self {
         let mut items: Vec<(u32, u32, u32)> = intervals.into_iter().collect();
+        StabbingIndex::default().rebuild(&mut items)
+    }
+
+    /// As [`StabbingIndex::build`], but sorting a caller-owned staging
+    /// buffer in place (drained on return, capacity kept for the caller's
+    /// next round) and inheriting this retired index's buffers — cleared,
+    /// capacity kept. Lets a snapshot pipeline rebuild the inverted index
+    /// on every refreeze without reallocating its four arrays.
+    pub fn rebuild(self, items: &mut Vec<(u32, u32, u32)>) -> Self {
         items.sort_unstable();
         let m = items.len();
-        let mut los = Vec::with_capacity(m);
-        let mut his = Vec::with_capacity(m);
-        let mut owners = Vec::with_capacity(m);
-        for (lo, hi, owner) in items {
+        let StabbingIndex { mut los, mut his, mut owners, mut tree, .. } = self;
+        los.clear();
+        his.clear();
+        owners.clear();
+        los.reserve(m);
+        his.reserve(m);
+        owners.reserve(m);
+        for &(lo, hi, owner) in items.iter() {
             debug_assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
             los.push(lo);
             his.push(hi);
             owners.push(owner);
         }
+        items.clear();
         if m == 0 {
             return StabbingIndex::default();
         }
@@ -372,7 +397,8 @@ impl StabbingIndex {
         // tree[leaves + i] = his[i] + 1; padding leaves stay at 0 ( = "max hi
         // is minus infinity") so rank 0 stabs cannot reach them; real leaves
         // are shifted by one to keep the sentinel distinct from hi == 0.
-        let mut tree = vec![0u32; 2 * leaves];
+        tree.clear();
+        tree.resize(2 * leaves, 0u32);
         for (i, &hi) in his.iter().enumerate() {
             tree[leaves + i] = hi + 1;
         }
@@ -546,6 +572,21 @@ mod tests {
                     assert_eq!(idx.rows(), 0);
                     assert_eq!(idx.total_intervals(), 0);
                 }
+
+                #[test]
+                fn recycled_builder_matches_fresh_build() {
+                    let retired = build_rows(&[&[(1, 3), (7, 9)], &[(2, 2)]]);
+                    let rows: &[&[($Key, $Key)]] = &[&[(4, 6)], &[], &[(0, 1), (5, 5)]];
+                    let mut b = $Builder::recycle(retired);
+                    for row in rows {
+                        for &(lo, hi) in *row {
+                            b.push(lo, hi);
+                        }
+                        b.finish_row();
+                    }
+                    let recycled = b.finish();
+                    assert_eq!(recycled, build_rows(rows), "recycled build must be identical");
+                }
             }
         };
     }
@@ -603,6 +644,19 @@ mod tests {
         idx.stab(0, &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn rebuilt_stabbing_index_matches_fresh_build() {
+        let retired = StabbingIndex::build([(1, 4, 0), (2, 6, 1), (9, 9, 2)]);
+        let triples = [(5, 9, 7), (0, 2, 3), (3, 3, 4)];
+        let mut items = triples.to_vec();
+        let rebuilt = retired.rebuild(&mut items);
+        assert!(items.is_empty(), "staging buffer must be drained");
+        assert_eq!(rebuilt, StabbingIndex::build(triples));
+        // And rebuilding down to empty behaves like the empty build.
+        let mut none = Vec::new();
+        assert_eq!(rebuilt.rebuild(&mut none), StabbingIndex::default());
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the concurrent-serving scaling experiment (DESIGN.md, "Concurrent
+# serving") and leaves the table in results/serve_scale.csv.
+#
+# Usage: scripts/bench_serve.sh [serve_scale flags...]
+#   e.g. scripts/bench_serve.sh --nodes 50000 --reps 5 --duration-ms 300
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin serve_scale
+exec target/release/serve_scale "$@"

@@ -328,10 +328,20 @@ proptest! {
     #[test]
     fn frozen_plane_matches_mutable(g in arb_dag(10), gap in 1u64..64, merge in any::<bool>()) {
         let mut c = ClosureConfig::new().gap(gap).merge_adjacent(merge).build(&g).unwrap();
+        let pairs: Vec<_> = g.nodes().flat_map(|v| g.nodes().map(move |w| (v, w))).collect();
         let mutable: Vec<_> = g
             .nodes()
             .map(|v| (c.successors(v), c.predecessors(v), c.successor_count(v)))
             .collect();
+        // The hoisted mutable batch path must agree with per-pair probes.
+        let mutable_batch = c.reaches_batch(&pairs);
+        for (&(v, w), &got) in pairs.iter().zip(&mutable_batch) {
+            prop_assert_eq!(
+                got,
+                mutable[v.index()].0.contains(&w),
+                "mutable reaches_batch({:?},{:?})", v, w
+            );
+        }
         c.freeze();
         prop_assert!(c.is_frozen());
         c.verify().unwrap();
@@ -348,6 +358,8 @@ proptest! {
                 );
             }
         }
+        // Frozen batch answers match the mutable batch bit for bit.
+        prop_assert_eq!(c.reaches_batch(&pairs), mutable_batch, "frozen reaches_batch");
     }
 
     /// `find_path` returns a genuine arc-by-arc witness exactly when

@@ -1,0 +1,271 @@
+//! Snapshot-consistency stress test for the concurrent serving layer.
+//!
+//! For each seed, a tc-fuzz-generated op trace is replayed through a
+//! [`ClosureService`] while reader threads concurrently pin snapshots and
+//! record the answers they observe. The service promises *prefix
+//! consistency*: every published snapshot corresponds to the state after
+//! applying exactly the first `applied_seq` submitted ops (with the
+//! service's deterministic skip-on-error rules). After the run, every
+//! recorded observation is checked against a DFS oracle of the relation at
+//! that exact prefix — any answer that matches no prefix is a violation.
+//!
+//! The per-batch structural audit is on throughout ([`ServiceConfig::audit`]);
+//! a single audit violation across all seeds fails the test.
+//!
+//! Reader count: `TC_SERVE_READERS`, else `RUST_TEST_THREADS`, else 4 —
+//! CI runs this with elevated thread counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use tc_core::serve::{ClosureService, ServiceConfig, ServiceOp, ServiceSnapshot};
+use tc_core::{ClosureConfig, CompressedClosure};
+use tc_fuzz::{generate, GenConfig, Op};
+use tc_graph::{traverse, DiGraph, NodeId};
+
+const SEEDS: u64 = 8;
+const OPS_PER_SEED: usize = 240;
+
+fn reader_threads() -> usize {
+    for var in ["TC_SERVE_READERS", "RUST_TEST_THREADS"] {
+        if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    4
+}
+
+/// Maps a fuzz op to its serving-layer equivalent. Freeze/thaw and
+/// thread-count ops have no service analogue (the service owns its planes
+/// and its thread); service ops never appear (the generator knob is off).
+fn to_service(op: &Op) -> Option<ServiceOp> {
+    match op {
+        Op::AddNode { parents } => Some(ServiceOp::AddNode {
+            parents: parents.iter().map(|&p| NodeId(p)).collect(),
+        }),
+        Op::AddEdge { src, dst } => {
+            Some(ServiceOp::AddEdge { src: NodeId(*src), dst: NodeId(*dst) })
+        }
+        Op::RemoveEdge { src, dst } => {
+            Some(ServiceOp::RemoveEdge { src: NodeId(*src), dst: NodeId(*dst) })
+        }
+        Op::RemoveNode { node } => Some(ServiceOp::RemoveNode { node: NodeId(*node) }),
+        Op::Refine { child } => Some(ServiceOp::Refine { child: NodeId(*child) }),
+        Op::Relabel => Some(ServiceOp::Relabel),
+        Op::Rebuild => Some(ServiceOp::Rebuild),
+        Op::Freeze | Op::Thaw | Op::SetThreads { .. } => None,
+        Op::ServicePublish | Op::ServiceQuery => None,
+    }
+}
+
+/// Replays one op on the oracle closure with exactly the service writer's
+/// semantics: rejected ops are skipped, `Refine` reads the predecessor
+/// list at apply time.
+fn replay(oracle: &mut CompressedClosure, op: &ServiceOp) {
+    let _ = match op {
+        ServiceOp::AddNode { parents } => oracle.add_node_with_parents(parents).map(|_| ()),
+        ServiceOp::AddEdge { src, dst } => oracle.add_edge(*src, *dst).map(|_| ()),
+        ServiceOp::RemoveEdge { src, dst } => oracle.remove_edge(*src, *dst),
+        ServiceOp::RemoveNode { node } => oracle.remove_node(*node),
+        ServiceOp::Refine { child } => {
+            if child.index() >= oracle.node_count() {
+                Ok(())
+            } else {
+                let parents = oracle.graph().predecessors(*child).to_vec();
+                oracle.refine_insert(*child, &parents).map(|_| ())
+            }
+        }
+        ServiceOp::Relabel => {
+            oracle.relabel();
+            Ok(())
+        }
+        ServiceOp::Rebuild => {
+            oracle.rebuild();
+            Ok(())
+        }
+    };
+}
+
+/// One recorded reader observation: the prefix the snapshot claimed to
+/// reflect plus the answers read off it.
+struct Observation {
+    applied_seq: u64,
+    nodes: usize,
+    /// Sampled `(src, dst, answer)` point probes.
+    probes: Vec<(u32, u32, bool)>,
+    /// `(node, successors-sorted-by-id)` decodes.
+    successor_sets: Vec<(u32, Vec<u32>)>,
+    /// `(node, predecessors-sorted-by-id)` decodes.
+    predecessor_sets: Vec<(u32, Vec<u32>)>,
+}
+
+fn observe(snap: &ServiceSnapshot, salt: u64) -> Observation {
+    let n = snap.node_count();
+    let mut probes = Vec::new();
+    let mut successor_sets = Vec::new();
+    let mut predecessor_sets = Vec::new();
+    if n > 0 {
+        for k in 0..32u64 {
+            let h = (k + salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let s = ((h >> 32) as usize % n) as u32;
+            let d = ((h >> 13) as usize % n) as u32;
+            probes.push((s, d, snap.reaches(NodeId(s), NodeId(d))));
+        }
+        for k in 0..3u64 {
+            let v = (((k + salt).wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 32) as usize % n) as u32;
+            let mut succ: Vec<u32> = snap.successors(NodeId(v)).iter().map(|u| u.0).collect();
+            succ.sort_unstable();
+            successor_sets.push((v, succ));
+            let preds: Vec<u32> = snap.predecessors(NodeId(v)).iter().map(|u| u.0).collect();
+            predecessor_sets.push((v, preds));
+        }
+    }
+    Observation {
+        applied_seq: snap.applied_seq(),
+        nodes: n,
+        probes,
+        successor_sets,
+        predecessor_sets,
+    }
+}
+
+fn check_observations(
+    seed: u64,
+    config: ClosureConfig,
+    ops: &[ServiceOp],
+    mut observations: Vec<Observation>,
+) {
+    observations.sort_by_key(|o| o.applied_seq);
+    let mut oracle = config.build(&DiGraph::new()).expect("empty graph is acyclic");
+    let mut replayed = 0usize;
+    let mut rows: Option<Vec<tc_graph::BitSet>> = None;
+    let mut rows_at = u64::MAX;
+    for obs in &observations {
+        let prefix = obs.applied_seq as usize;
+        assert!(
+            prefix <= ops.len(),
+            "seed {seed}: snapshot claims {prefix} ops of a {}-op submission",
+            ops.len()
+        );
+        while replayed < prefix {
+            replay(&mut oracle, &ops[replayed]);
+            replayed += 1;
+        }
+        if rows_at != obs.applied_seq {
+            rows = Some(traverse::closure_rows(oracle.graph()));
+            rows_at = obs.applied_seq;
+        }
+        let rows = rows.as_ref().expect("rows computed above");
+        assert_eq!(
+            obs.nodes,
+            oracle.node_count(),
+            "seed {seed} prefix {prefix}: snapshot node count diverges from the replayed prefix"
+        );
+        for &(s, d, got) in &obs.probes {
+            let want = rows[s as usize].contains(d as usize);
+            assert_eq!(
+                got, want,
+                "seed {seed} prefix {prefix}: observed reaches({s},{d}) = {got}, oracle says {want}"
+            );
+        }
+        for (v, got) in &obs.successor_sets {
+            let want: Vec<u32> = rows[*v as usize].iter().map(|u| u as u32).collect();
+            assert_eq!(
+                got, &want,
+                "seed {seed} prefix {prefix}: observed successors({v}) diverge"
+            );
+        }
+        for (v, got) in &obs.predecessor_sets {
+            let want: Vec<u32> = (0..obs.nodes as u32)
+                .filter(|&u| rows[u as usize].contains(*v as usize))
+                .collect();
+            assert_eq!(
+                got, &want,
+                "seed {seed} prefix {prefix}: observed predecessors({v}) diverge"
+            );
+        }
+    }
+}
+
+fn stress_one_seed(seed: u64, readers: usize) {
+    let fuzz_cfg = GenConfig {
+        ops: OPS_PER_SEED,
+        seed,
+        config: tc_fuzz::FuzzConfig { gap: 64, reserve: 4, ..tc_fuzz::FuzzConfig::default() },
+        ..GenConfig::default()
+    };
+    let ops: Vec<ServiceOp> = generate(&fuzz_cfg).ops.iter().filter_map(to_service).collect();
+    let config = ClosureConfig::new().gap(64).reserve(4);
+    let closure = config.build(&DiGraph::new()).expect("empty graph is acyclic");
+    // Small batches force many publish boundaries per trace.
+    let service = ClosureService::start(closure, ServiceConfig::new().batch_max(7).audit(true));
+
+    let done = AtomicBool::new(false);
+    let observations = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let mut reader = service.reader();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut obs = Vec::new();
+                    let mut salt = (r as u64) << 32;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = reader.snapshot();
+                        obs.push(observe(&snap, salt));
+                        salt += 1;
+                        std::thread::yield_now();
+                    }
+                    // One final look at the fully-applied state.
+                    obs.push(observe(&reader.snapshot(), salt));
+                    obs
+                })
+            })
+            .collect();
+
+        // Feed the trace in dribbles so readers see many distinct prefixes.
+        for chunk in ops.chunks(5) {
+            service.submit_batch(chunk.to_vec());
+            std::thread::yield_now();
+        }
+        let stats = service.flush();
+        done.store(true, Ordering::Relaxed);
+        assert_eq!(
+            stats.consumed,
+            ops.len() as u64,
+            "seed {seed}: writer must consume the whole submission"
+        );
+        assert_eq!(
+            stats.audit_violation, None,
+            "seed {seed}: structural audit failed mid-serve"
+        );
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader panicked"))
+            .collect::<Vec<Observation>>()
+    });
+
+    let (stats, backend) = service.shutdown();
+    assert_eq!(stats.applied + stats.skipped, stats.consumed);
+    let closure = backend.into_single().expect("started single");
+    closure.verify().expect("final closure verifies");
+
+    // Sanity: readers must have caught more than just the initial and final
+    // snapshots, or the test is not exercising concurrency at all.
+    let distinct: std::collections::BTreeSet<u64> =
+        observations.iter().map(|o| o.applied_seq).collect();
+    assert!(
+        distinct.len() >= 2,
+        "seed {seed}: readers observed only {distinct:?} prefixes"
+    );
+
+    check_observations(seed, config, &ops, observations);
+}
+
+#[test]
+fn snapshot_readers_only_ever_see_submission_prefixes() {
+    let readers = reader_threads();
+    for seed in 0..SEEDS {
+        stress_one_seed(seed, readers);
+    }
+}
