@@ -15,7 +15,12 @@
 //! ```text
 //! serve_scale [--nodes 50000] [--degree 3.0] [--seed 1] [--pairs 4096]
 //!             [--duration-ms 300] [--reps 5] [--churn-batch 1000]
+//!             [--churn-mix]
 //! ```
+//!
+//! `--churn-mix` turns the writer batches into mixed add/remove churn
+//! (arc removals of this batch's own inserts plus occasional node
+//! removals), exercising the scoped deletion recompute under serving load.
 //!
 //! Writes `results/serve_scale.csv` with one row per (mode, readers,
 //! writer) cell: probes/s, per-reader probes/s, scaling vs the same mode's
@@ -59,6 +64,7 @@ fn main() {
     let duration_ms: u64 = args.get("duration-ms", 300);
     let reps: usize = args.get("reps", 5).max(1);
     let churn_batch: usize = args.get("churn-batch", 1000);
+    let churn_mix = args.has("churn-mix");
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
 
     eprintln!("generating {nodes}-node, degree-{degree} DAG (seed {seed})...");
@@ -100,6 +106,7 @@ fn main() {
         for &readers in &READER_COUNTS {
             let cell = best_service_cell(
                 &closure, &pairs, readers, writer, duration_ms, reps, churn_batch, nodes,
+                churn_mix,
             );
             eprintln!(
                 "service  readers={readers} writer={}: {:>12.0} probes/s, staleness<={}, {} publishes",
@@ -109,8 +116,9 @@ fn main() {
         }
     }
     for &readers in &READER_COUNTS {
-        let cell =
-            best_mutex_cell(&closure, &pairs, readers, duration_ms, reps, churn_batch, nodes);
+        let cell = best_mutex_cell(
+            &closure, &pairs, readers, duration_ms, reps, churn_batch, nodes, churn_mix,
+        );
         eprintln!(
             "mutex    readers={readers} writer=1: {:>12.0} probes/s, {} publishes",
             cell.qps, cell.publishes
@@ -181,34 +189,49 @@ fn main() {
     }
 }
 
-/// A 1000-op churn batch of §4-*incremental* ops: alternating non-tree arc
-/// inserts and leaf-node adds at hashed positions. Deletions are excluded
-/// on purpose: `remove_edge`/`remove_node` end in a full non-tree
-/// recompute by design (the paper treats deletion as near-rebuild; X2
-/// measures that cost), so a single delete-heavy batch at 50k nodes costs
-/// minutes of repropagation — this experiment is about the *serving* layer
-/// keeping readers isolated from a busy writer, not per-op update cost.
-/// Arc sources and leaf parents come from the shallow decile of the id
-/// space (random DAGs here only have descending-id arcs, so low ids have
-/// few predecessors): §4 insertion propagates the new intervals to every
-/// predecessor of the attachment point, and shallow sources keep a batch
-/// at real-but-bounded cost. Arc destinations strictly ascend ids so no op
-/// is rejected as a cycle.
-fn churn_ops(k: u64, batch: usize, nodes: usize) -> Vec<ServiceOp> {
+/// A 1000-op churn batch of §4-incremental ops: alternating non-tree arc
+/// inserts and leaf-node adds at hashed positions, plus — with `mix` on —
+/// arc removals (each one deleting the arc an earlier slot of the same
+/// batch inserted, so removals hit real arcs) and occasional node removals.
+/// Deletions used to be excluded here because `remove_edge`/`remove_node`
+/// ended in a full non-tree recompute (near-rebuild, minutes of
+/// repropagation per delete-heavy batch at 50k nodes); the scoped
+/// affected-region recompute (DESIGN.md, "Scoped deletion recompute";
+/// delete_scale / X2 measures the gap) made them batch-friendly. Arc
+/// sources and leaf parents come from the shallow decile of the id space
+/// (random DAGs here only have descending-id arcs, so low ids have few
+/// predecessors): §4 insertion propagates the new intervals to every
+/// predecessor of the attachment point, and shallow sources keep a batch —
+/// and the scoped recompute of its removals — at real-but-bounded cost.
+/// Arc destinations strictly ascend ids so no op is rejected as a cycle.
+fn churn_ops(k: u64, batch: usize, nodes: usize, mix: bool) -> Vec<ServiceOp> {
     let shallow = (nodes / 10).max(1);
+    let arc_at = |j: u64| {
+        let h = j.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let src = (h >> 32) as usize % shallow;
+        let dst = src + 1 + (h >> 7) as usize % (nodes - src - 1);
+        (NodeId(src as u32), NodeId(dst as u32))
+    };
     (0..batch as u64)
         .map(|i| {
             let h = (k + i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let src = (h >> 32) as usize % shallow;
-            if i % 2 == 0 {
-                let dst = src + 1 + (h >> 7) as usize % (nodes - src - 1);
-                ServiceOp::AddEdge {
-                    src: NodeId(src as u32),
-                    dst: NodeId(dst as u32),
+            let src = NodeId(((h >> 32) as usize % shallow) as u32);
+            match (i % 4, mix) {
+                // Remove the arc slot i-2 of this batch inserted two ops
+                // ago; a rare node removal rides along (the node regrows
+                // arcs from later batches' inserts).
+                (2, true) => {
+                    let (src, dst) = arc_at(k + i - 2);
+                    ServiceOp::RemoveEdge { src, dst }
                 }
-            } else {
-                ServiceOp::AddNode {
-                    parents: vec![NodeId(src as u32)],
+                (3, true) if h & 0x1f == 0 => ServiceOp::RemoveNode { node: src },
+                _ => {
+                    if i % 2 == 0 {
+                        let (src, dst) = arc_at(k + i);
+                        ServiceOp::AddEdge { src, dst }
+                    } else {
+                        ServiceOp::AddNode { parents: vec![src] }
+                    }
                 }
             }
         })
@@ -225,6 +248,7 @@ fn best_service_cell(
     reps: usize,
     churn_batch: usize,
     nodes: usize,
+    mix: bool,
 ) -> Measurement {
     let mut best = Measurement {
         mode: "service",
@@ -263,7 +287,7 @@ fn best_service_cell(
                     // flush() paces submission to the writer's real apply+
                     // freeze throughput instead of growing the queue without
                     // bound; readers keep answering from snapshots meanwhile.
-                    service.submit_batch(churn_ops(k, churn_batch, nodes));
+                    service.submit_batch(churn_ops(k, churn_batch, nodes, mix));
                     k += churn_batch as u64;
                     service.flush();
                 } else {
@@ -295,6 +319,7 @@ fn best_service_cell(
 /// The design the service replaces: one big lock. Readers take the mutex
 /// per probe batch; the churn writer takes it for a whole batch apply plus
 /// refreeze, stalling every reader for that entire window.
+#[allow(clippy::too_many_arguments)]
 fn best_mutex_cell(
     closure: &CompressedClosure,
     pairs: &[(NodeId, NodeId)],
@@ -303,6 +328,7 @@ fn best_mutex_cell(
     reps: usize,
     churn_batch: usize,
     nodes: usize,
+    mix: bool,
 ) -> Measurement {
     let mut best = Measurement {
         mode: "mutex",
@@ -337,7 +363,7 @@ fn best_mutex_cell(
             let mut k = 0u64;
             let mut publishes = 0u64;
             while Instant::now() < deadline {
-                let ops = churn_ops(k, churn_batch, nodes);
+                let ops = churn_ops(k, churn_batch, nodes, mix);
                 k += churn_batch as u64;
                 let mut guard = shared.lock().expect("closure mutex poisoned");
                 for op in &ops {
@@ -347,6 +373,7 @@ fn best_mutex_cell(
                             guard.add_node_with_parents(parents).map(|_| ())
                         }
                         ServiceOp::RemoveEdge { src, dst } => guard.remove_edge(*src, *dst),
+                        ServiceOp::RemoveNode { node } => guard.remove_node(*node),
                         _ => Ok(()),
                     };
                 }

@@ -62,12 +62,16 @@ const USAGE: &str = "usage:
   interval-tc bench <graph> [--queries N]
   interval-tc serve <graph> [--readers N] [--duration-ms D] [--churn]
   interval-tc fuzz [--ops N] [--seed S] [--seeds K] [--gap G] [--reserve R]
-                   [--merge] [--freeze] [--serve] [--shrink] [--out FILE]
-                   [--replay FILE]
+                   [--merge] [--freeze] [--serve] [--delete-bias] [--shrink]
+                   [--out FILE] [--replay FILE]
 
 global flags: --threads N   build/query on N worker threads (0 = one per CPU)
               --frozen      freeze the query plane after loading; all queries
                             answer from the immutable snapshot
+              --scoped-deletes <on|off>
+                            on (default): deletions recompute only the
+                            affected region; off: historical global sweep
+                            (same answers, kept as a cross-check oracle)
 <graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure
 
 bench: builds (or loads) the closure, then times single-probe reaches, batch
@@ -77,8 +81,9 @@ with --frozen / --threads to compare query paths.
 serve: spins up the concurrent serving layer (lock-free snapshot readers,
 one background writer), spot-checks reader answers against the closure,
 then measures reader throughput for --duration-ms (default 1000) on
---readers threads (default 2); --churn keeps the writer busy with update
-batches meanwhile and reports publish counts and staleness.
+--readers threads (default 2); --churn keeps the writer busy with mixed
+add/remove update batches meanwhile and reports publish counts and
+staleness.
 
 fuzz: random update sequences against the closure, each applied op followed
 by a structural audit and periodically cross-checked against a brute-force
@@ -88,7 +93,10 @@ sequence and prints (or --out writes) a replayable trace; --replay runs a
 previously saved trace instead of generating. --freeze mixes freeze/thaw ops
 into the stream so audits and oracles also run against frozen query planes;
 --serve mixes service-publish/service-query ops that pin serving-layer
-snapshots mid-churn and later check them against the publish-time relation.";
+snapshots mid-churn and later check them against the publish-time relation;
+--delete-bias skews the op mix toward arc/node removals interleaved with
+refines and relabels (combine with --scoped-deletes off to exercise the
+global-sweep oracle on the same seeds).";
 
 /// Global flags stripped from anywhere in the argument list.
 #[derive(Clone, Copy)]
@@ -99,6 +107,9 @@ struct Globals {
     threads: Option<usize>,
     /// Freeze a query plane right after loading.
     frozen: bool,
+    /// Override for [`tc_core::ClosureConfig::scoped_deletes`]; `None`
+    /// keeps the default (or, for `.itc` input, whatever the builder chose).
+    scoped: Option<bool>,
 }
 
 impl Globals {
@@ -123,16 +134,17 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => gen(&args),
         "bench" => bench(&args, globals),
         "serve" => serve(&args, globals),
-        "fuzz" => fuzz(&args, globals.threads_or_serial()),
+        "fuzz" => fuzz(&args, globals),
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
-/// Strips the global flags (`--threads N`, `--frozen`) from anywhere in the
-/// argument list. Absent, the tool stays serial and unfrozen.
+/// Strips the global flags (`--threads N`, `--frozen`,
+/// `--scoped-deletes on|off`) from anywhere in the argument list. Absent,
+/// the tool stays serial, unfrozen and scoped.
 fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut globals = Globals { threads: None, frozen: false };
+    let mut globals = Globals { threads: None, frozen: false, scoped: None };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
@@ -143,6 +155,21 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
             );
         } else if a == "--frozen" {
             globals.frozen = true;
+        } else if a == "--scoped-deletes" || a.starts_with("--scoped-deletes=") {
+            let v = match a.strip_prefix("--scoped-deletes=") {
+                Some(v) => v.to_string(),
+                None => it
+                    .next()
+                    .ok_or("--scoped-deletes requires on|off")?
+                    .clone(),
+            };
+            globals.scoped = Some(match v.as_str() {
+                "on" => true,
+                "off" => false,
+                other => {
+                    return Err(format!("invalid --scoped-deletes value {other:?} (want on|off)"))
+                }
+            });
         } else {
             rest.push(a.clone());
         }
@@ -190,6 +217,9 @@ fn load(path: &str, globals: Globals) -> Result<CompressedClosure, String> {
             .build(&graph)
             .map_err(|e| e.to_string())?
     };
+    if let Some(scoped) = globals.scoped {
+        closure.set_scoped_deletes(scoped);
+    }
     if globals.frozen {
         closure.freeze();
     }
@@ -482,12 +512,21 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
                 let batch: Vec<ServiceOp> = (0..64)
                     .map(|i| {
                         let node = NodeId(((k + i) % n as u64) as u32);
-                        if (k + i) % 2 == 0 {
-                            ServiceOp::AddNode { parents: vec![node] }
-                        } else {
-                            // May skip (cycle/duplicate) — that is part of
-                            // the churn the service must absorb.
-                            ServiceOp::AddEdge { src: node, dst: NodeId(((k + i + 7) % n as u64) as u32) }
+                        let other = NodeId(((k + i + 7) % n as u64) as u32);
+                        // Any of these may skip (cycle, duplicate, missing
+                        // arc) — that is part of the churn the service must
+                        // absorb. Removals ride along since the scoped
+                        // deletion recompute made them batch-friendly.
+                        match (k + i) % 4 {
+                            0 => ServiceOp::AddNode { parents: vec![node] },
+                            1 | 2 => ServiceOp::AddEdge { src: node, dst: other },
+                            _ => {
+                                if (k + i) % 8 == 3 {
+                                    ServiceOp::RemoveNode { node }
+                                } else {
+                                    ServiceOp::RemoveEdge { src: node, dst: other }
+                                }
+                            }
                         }
                     })
                     .collect();
@@ -525,13 +564,18 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
     Ok(())
 }
 
-fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
+fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut ops = 256usize;
     let mut seed = 0u64;
     let mut seeds = 1u64;
-    let mut config = tc_fuzz::FuzzConfig { threads, ..tc_fuzz::FuzzConfig::default() };
+    let mut config = tc_fuzz::FuzzConfig {
+        threads: globals.threads_or_serial(),
+        scoped: globals.scoped.unwrap_or(true),
+        ..tc_fuzz::FuzzConfig::default()
+    };
     let mut freeze = false;
     let mut serve = false;
+    let mut delete_bias = false;
     let mut want_shrink = false;
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
@@ -552,6 +596,7 @@ fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
             "--merge" => config.merge = true,
             "--freeze" => freeze = true,
             "--serve" => serve = true,
+            "--delete-bias" => delete_bias = true,
             "--shrink" => want_shrink = true,
             "--out" => out = Some(value("--out")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
@@ -578,7 +623,7 @@ fn fuzz(args: &[String], threads: usize) -> Result<(), String> {
     }
 
     for s in seed..seed.saturating_add(seeds) {
-        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, serve, config };
+        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, serve, delete_bias, config };
         let trace = tc_fuzz::generate(&gcfg);
         match tc_fuzz::run_trace_catching(&trace, &opts) {
             Ok(r) => println!(

@@ -191,6 +191,50 @@ fn fuzz_serve_flag_runs_clean() {
 }
 
 #[test]
+fn fuzz_delete_bias_runs_under_both_deletion_recomputes() {
+    // The same deletion-heavy seed must come out clean with the scoped
+    // affected-region recompute (default) and with the historical global
+    // sweep selected by the global flag, in both spellings.
+    let out = bin()
+        .args(["fuzz", "--ops", "100", "--seed", "4", "--delete-bias", "--reserve", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok"));
+
+    let out = bin()
+        .args([
+            "fuzz",
+            "--ops",
+            "100",
+            "--seed",
+            "4",
+            "--delete-bias",
+            "--reserve",
+            "4",
+            "--scoped-deletes",
+            "off",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok"));
+
+    let out = bin()
+        .args(["fuzz", "--ops", "40", "--seed", "4", "--scoped-deletes=on"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = bin()
+        .args(["fuzz", "--ops", "10", "--scoped-deletes", "sideways"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid --scoped-deletes"));
+}
+
+#[test]
 fn errors_are_reported() {
     // Unknown command.
     let out = bin().args(["frobnicate"]).output().unwrap();

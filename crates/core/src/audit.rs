@@ -6,7 +6,8 @@
 //! its *structural* counterpart: it checks every representation invariant
 //! the §4 update paths are supposed to maintain, in
 //! O(n + total intervals + tombstones) with only logarithmic number-line
-//! lookups on top — no per-node graph traversal of any kind. A closure can
+//! lookups on top — no graph traversal beyond the out-edges of a
+//! constant-size node sample (invariant 9). A closure can
 //! be structurally sound yet semantically wrong (that is what the
 //! differential fuzz oracle is for), but in practice the update-path bugs
 //! this repository has seen (gap exhaustion, tombstone leaks, cover drift)
@@ -37,6 +38,17 @@
 //!    still mirrors the mutable labeling. Updates must invalidate the plane
 //!    before mutating, so a divergence here means a stale snapshot survived
 //!    an update path.
+//! 9. **Sampled propagation fixed point** — for a small deterministic
+//!    sample of nodes, the stored interval set covers exactly what one
+//!    reverse-topological propagation step would produce from the node's
+//!    tree interval and its graph successors' current sets (compared after
+//!    canonical merging, since §4.1 refinements legitimately leave
+//!    coverage-equal but differently-shaped sets). Every correct sweep —
+//!    global or scoped (see DESIGN.md, "Scoped deletion recompute") — is a
+//!    fixed point of this step, so a scoped recompute that diverges from
+//!    the global result on a sampled node is caught here without paying
+//!    for a second full sweep. This is the one invariant that walks graph
+//!    adjacency, bounded by the sampled nodes' out-degrees.
 
 use tc_graph::NodeId;
 use tc_interval::Interval;
@@ -200,6 +212,44 @@ impl CompressedClosure {
             plane.check_consistency(&self.lab).map_err(|e| format!("query plane: {e}"))?;
         }
 
+        // 9. Sampled propagation fixed point: a node's stored set must
+        // cover exactly its tree interval plus everything inherited from
+        // its current successors. Both the global and the scoped deletion
+        // recompute leave every node in this state, so checking it on a
+        // deterministic sample cross-checks the scoped path against what
+        // the global sweep would have produced — at O(out-degree + set
+        // sizes) per sampled node instead of a second full propagation.
+        // Representations may differ (a refinement shrinks an advertised
+        // interval other nodes hold wide copies of), so coverage is
+        // compared through the canonical merged form.
+        const FIXED_POINT_SAMPLE: usize = 8;
+        if n > 0 {
+            let mut scratch: Vec<Interval> = Vec::new();
+            for k in 0..FIXED_POINT_SAMPLE.min(n) as u64 {
+                let ix = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+                let v = NodeId::from_index(ix);
+                let mut expected = tc_interval::IntervalSet::singleton(Interval::new(
+                    self.lab.low[ix],
+                    self.lab.post[ix],
+                ));
+                for &q in self.graph.successors(v) {
+                    crate::propagate::inherit_into_scratch(&self.lab, q, &mut scratch);
+                    for &iv in &scratch {
+                        expected.insert(iv);
+                    }
+                }
+                expected.merge_adjacent();
+                let mut stored = self.lab.sets[ix].clone();
+                stored.merge_adjacent();
+                if stored != expected {
+                    return Err(format!(
+                        "{v:?}: stored set {stored} is not the propagation fixed point \
+                         {expected} of its successors"
+                    ));
+                }
+            }
+        }
+
         Ok(())
     }
 }
@@ -308,6 +358,32 @@ mod tests {
         let hi = c.lab.advertised_hi.iter().copied().max().unwrap_or(0);
         c.lab.sets[0].insert(tc_interval::Interval::point(hi + 100));
         assert!(c.audit().unwrap_err().contains("query plane"));
+    }
+
+    #[test]
+    fn phantom_interval_is_caught_by_fixed_point_check() {
+        let mut c = base();
+        // A far-away point interval is structurally fine (sorted, own tree
+        // interval still covered) but is not derivable from any successor —
+        // only the sampled fixed-point check can object. Node 0 is always
+        // in the deterministic sample (hash of k = 0).
+        let hi = c.lab.advertised_hi.iter().copied().max().unwrap_or(0);
+        c.lab.sets[0].insert(tc_interval::Interval::point(hi + 100));
+        assert!(c.audit().unwrap_err().contains("fixed point"));
+    }
+
+    #[test]
+    fn dropped_inherited_interval_is_caught_by_fixed_point_check() {
+        let mut c = base();
+        // Node 2 reaches 3 over a non-tree arc, so its set must hold 3's
+        // intervals beyond its own tree interval; resetting it to the bare
+        // tree singleton passes invariants 1-8 but not the fixed point.
+        let ix = 2;
+        c.lab.sets[ix] = IntervalSet::singleton(tc_interval::Interval::new(
+            c.lab.low[ix],
+            c.lab.post[ix],
+        ));
+        assert!(c.audit().unwrap_err().contains("fixed point"));
     }
 
     #[test]

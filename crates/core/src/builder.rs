@@ -32,6 +32,7 @@ pub struct ClosureConfig {
     pub(crate) merge_adjacent: bool,
     pub(crate) threads: usize,
     pub(crate) auto_freeze: bool,
+    pub(crate) scoped_deletes: bool,
 }
 
 impl Default for ClosureConfig {
@@ -47,6 +48,7 @@ impl Default for ClosureConfig {
             merge_adjacent: false,
             threads: 1,
             auto_freeze: false,
+            scoped_deletes: true,
         }
     }
 }
@@ -101,6 +103,17 @@ impl ClosureConfig {
     /// construction".
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Restricts deletion recomputes to the affected region (§4.2 locality:
+    /// only nodes that can reach the deletion site can change). On by
+    /// default; `false` restores the historical global sweep, which the
+    /// differential fuzzer keeps as a cross-check oracle. Both settings
+    /// produce identical reachability; see DESIGN.md, "Scoped deletion
+    /// recompute".
+    pub fn scoped_deletes(mut self, enable: bool) -> Self {
+        self.scoped_deletes = enable;
         self
     }
 

@@ -117,6 +117,20 @@ impl CompressedClosure {
         self.config.threads
     }
 
+    /// Switches deletion recomputes between the scoped affected-region
+    /// sweep and the historical global sweep (see
+    /// [`ClosureConfig::scoped_deletes`]). Takes effect on the next
+    /// `remove_edge`/`remove_node`.
+    pub fn set_scoped_deletes(&mut self, enable: bool) {
+        self.config.scoped_deletes = enable;
+    }
+
+    /// Whether deletions recompute only the affected region (see
+    /// [`ClosureConfig::scoped_deletes`]).
+    pub fn scoped_deletes(&self) -> bool {
+        self.config.scoped_deletes
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()

@@ -231,6 +231,9 @@ impl CompressedClosure {
             // streams written before the footer existed.
             threads: 1,
             auto_freeze: false,
+            // Not serialized: scoped and global deletion recomputes yield
+            // the same closure, so restored streams default to scoped.
+            scoped_deletes: true,
         };
 
         // Relation.

@@ -89,6 +89,105 @@ pub(crate) fn propagate_dispatch(g: &DiGraph, lab: &mut Labeling, threads_knob: 
     }
 }
 
+/// Scoped sweep (§4.2 locality): re-propagates only the nodes in `order`,
+/// treating every other node's existing interval set as a frozen input.
+///
+/// `order` must be an induced reverse topological order of the affected
+/// region (successors before predecessors), and the caller must already have
+/// reset those nodes' sets to their tree singletons. Soundness rests on two
+/// facts (see DESIGN.md, "Scoped deletion recompute"): any path between two
+/// affected nodes passes only through affected nodes, so the induced order
+/// suffices; and an unaffected node reaches no affected node, so its set is
+/// already at its post-deletion fixed point and can be inherited verbatim.
+pub(crate) fn propagate_scoped(g: &DiGraph, order: &[NodeId], lab: &mut Labeling) {
+    let mut scratch: Vec<Interval> = Vec::new();
+    for &p in order {
+        for &q in g.successors(p) {
+            inherit_into_scratch(lab, q, &mut scratch);
+            for &iv in &scratch {
+                lab.sets[p.index()].insert(iv);
+            }
+        }
+    }
+}
+
+/// Level-parallel variant of [`propagate_scoped`], mirroring
+/// [`propagate_all_levels`] over the *induced* levels of the affected
+/// region: `level(p) = 1 + max(level(q))` over `p`'s affected successors
+/// (0 with none). Nodes on the same induced level cannot reach one another
+/// (an affected path between them would force a level difference), so each
+/// worker only reads sets finalized on earlier levels or frozen unaffected
+/// sets. Per node the insert sequence is identical to the serial sweep's,
+/// so the result is bit-identical.
+pub(crate) fn propagate_scoped_levels(
+    g: &DiGraph,
+    order: &[NodeId],
+    lab: &mut Labeling,
+    threads: usize,
+) {
+    let n = g.node_count();
+    const UNAFFECTED: u32 = u32::MAX;
+    let mut level = vec![UNAFFECTED; n];
+    let mut max_level = 0u32;
+    // `order` is reverse-topological over the region, so every affected
+    // successor's level is final when its predecessor is visited.
+    for &p in order {
+        let mut lv = 0u32;
+        for &q in g.successors(p) {
+            if level[q.index()] != UNAFFECTED {
+                lv = lv.max(level[q.index()] + 1);
+            }
+        }
+        level[p.index()] = lv;
+        max_level = max_level.max(lv);
+    }
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_level as usize + 1];
+    for &p in order {
+        buckets[level[p.index()] as usize].push(p);
+    }
+    // Unlike the global sweep, induced level 0 is not skipped: its nodes
+    // have no affected successors but may still inherit from frozen ones.
+    for bucket in &buckets {
+        let read_lab: &Labeling = lab;
+        let new_sets = parallel::map_chunks(bucket, threads, |chunk| {
+            let mut scratch: Vec<Interval> = Vec::new();
+            chunk
+                .iter()
+                .map(|&p| {
+                    let mut set = read_lab.sets[p.index()].clone();
+                    for &q in g.successors(p) {
+                        inherit_into_scratch(read_lab, q, &mut scratch);
+                        for &iv in &scratch {
+                            set.insert(iv);
+                        }
+                    }
+                    set
+                })
+                .collect()
+        });
+        for (&p, set) in bucket.iter().zip(new_sets) {
+            lab.sets[p.index()] = set;
+        }
+    }
+}
+
+/// Runs the scoped sweep, choosing the serial or level-parallel variant
+/// from the (unresolved) `threads` knob — the deletion-path counterpart of
+/// [`propagate_dispatch`].
+pub(crate) fn propagate_scoped_dispatch(
+    g: &DiGraph,
+    order: &[NodeId],
+    lab: &mut Labeling,
+    threads_knob: usize,
+) {
+    let threads = parallel::effective_threads(threads_knob);
+    if threads > 1 {
+        propagate_scoped_levels(g, order, lab, threads);
+    } else {
+        propagate_scoped(g, order, lab);
+    }
+}
+
 /// Collects the intervals `q` passes to an inheritor: its advertised tree
 /// interval plus every non-tree interval it holds.
 pub(crate) fn inherit_into_scratch(lab: &Labeling, q: NodeId, scratch: &mut Vec<Interval>) {

@@ -33,8 +33,16 @@ impl CompressedClosure {
         self.graph.remove_edge(src, dst);
         if is_tree {
             self.cover.detach(dst);
-            self.relocate_subtree(dst);
-        } else if self.lab.low[dst.index()] == self.lab.post[dst.index()] {
+            // Everything renumbered by the relocation seeds the scoped
+            // recompute (stale copies of the old numbers live only in
+            // predecessors of the relocated nodes), plus `src`, whose own
+            // set lost whatever it inherited over the removed arc.
+            let mut seeds = self.relocate_subtree(dst);
+            seeds.push(src);
+            self.recompute_non_tree_scoped(&seeds);
+            return Ok(());
+        }
+        if self.lab.low[dst.index()] == self.lab.post[dst.index()] {
             // Point-labeled destination: a §4.1 refinement node (or a
             // zero-width leaf) sitting inside another node's reserve tail.
             // Predecessor coverage of such a node is *implicit* — ancestor
@@ -51,8 +59,14 @@ impl CompressedClosure {
             self.lab.low[dst.index()] = boundary + 1;
             self.lab.advertised_hi[dst.index()] = num;
             self.lab.line.assign(num, dst.0);
+            // `dst` seeds the recompute alongside `src`: its surviving
+            // predecessors hold point intervals at its old number.
+            self.recompute_non_tree_scoped(&[src, dst]);
+        } else {
+            // Plain non-tree arc: no number changed anywhere, so only
+            // `src` and its predecessors can shrink.
+            self.recompute_non_tree_scoped(&[src]);
         }
-        self.recompute_non_tree();
         Ok(())
     }
 
@@ -73,15 +87,24 @@ impl CompressedClosure {
         for d in out {
             self.graph.remove_edge(node, d);
         }
-        for s in inn {
+        for &s in &inn {
             self.graph.remove_edge(s, node);
         }
+        // Seeds for the scoped recompute: the node itself, its former
+        // predecessors (their sets lose everything they inherited through
+        // it — the arcs are already gone, so the reverse DFS needs them
+        // handed over explicitly), and everything the relocations below
+        // renumber. Former successors only *lose* a predecessor; their
+        // outgoing reachability is untouched.
+        let mut seeds: Vec<NodeId> = Vec::with_capacity(inn.len() + 1);
+        seeds.push(node);
+        seeds.extend(inn);
         // Orphan the node's tree children: each becomes a forest root with
         // fresh numbers (their old numbers sit inside stale intervals).
         let kids: Vec<NodeId> = self.cover.children(node).to_vec();
         for child in kids {
             self.cover.detach(child);
-            self.relocate_subtree(child);
+            seeds.extend(self.relocate_subtree(child));
         }
         self.cover.detach(node);
         // Quarantine the node itself: tombstone its number and give it an
@@ -94,19 +117,33 @@ impl CompressedClosure {
         self.lab.low[node.index()] = boundary + 1;
         self.lab.advertised_hi[node.index()] = num;
         self.lab.line.assign(num, node.0);
-        self.recompute_non_tree();
+        self.recompute_non_tree_scoped(&seeds);
         Ok(())
     }
 
-    /// Highest committed boundary on the number line (advertised top of the
-    /// maximum live node, or the raw maximum for tombstones).
+    /// Highest committed boundary on the number line: the advertised top of
+    /// the maximum live node, never below the raw maximum slot.
     pub(crate) fn boundary_above_max(&self) -> u64 {
-        match self.lab.line.max_used() {
-            None => 0,
-            Some(raw) => match self.lab.line.node_at(raw) {
-                Some(n) => self.lab.advertised_hi[n as usize].max(raw),
-                None => raw,
-            },
+        let Some(raw) = self.lab.line.max_used() else {
+            return 0;
+        };
+        match self.lab.line.node_at(raw) {
+            Some(n) => self.lab.advertised_hi[n as usize].max(raw),
+            None => {
+                // The maximum slot is a tombstone — successive node/subtree
+                // removals leave one on top of the line. No live advertised
+                // tail can reach past it (tails hold no slots, audit
+                // invariant 4), but the highest live node's tail is taken
+                // into account anyway rather than trusting that globally:
+                // a boundary inside a live tail would hand refinements and
+                // fresh labels the same numbers.
+                let live_hi = self
+                    .lab
+                    .line
+                    .max_live()
+                    .map_or(0, |(_, n)| self.lab.advertised_hi[n as usize]);
+                raw.max(live_hi)
+            }
         }
     }
 
@@ -125,7 +162,10 @@ impl CompressedClosure {
     /// Every live straggler in the span is therefore relocated as well, to
     /// a fresh point label; the caller's non-tree recompute rebuilds its
     /// interval set and its predecessors' coverage from the surviving arcs.
-    pub(crate) fn relocate_subtree(&mut self, root: NodeId) {
+    ///
+    /// Returns every renumbered node (subtree members plus stragglers) so
+    /// the caller can seed the scoped recompute with them.
+    pub(crate) fn relocate_subtree(&mut self, root: NodeId) -> Vec<NodeId> {
         debug_assert!(self.cover.parent(root).is_none(), "relocate requires a detached root");
         let gap = self.config.gap;
         let reserve = self.config.reserve;
@@ -178,7 +218,7 @@ impl CompressedClosure {
 
         // Stragglers get quarantine-style point labels above everything
         // (no tail: refinement nodes never carry one until a relabel).
-        for z in stragglers {
+        for &z in &stragglers {
             let boundary = self.boundary_above_max();
             let num = boundary + gap;
             self.lab.post[z.index()] = num;
@@ -186,6 +226,10 @@ impl CompressedClosure {
             self.lab.advertised_hi[z.index()] = num;
             self.lab.line.assign(num, z.0);
         }
+
+        let mut relocated = members;
+        relocated.extend(stragglers);
+        relocated
     }
 }
 
@@ -364,6 +408,81 @@ mod tests {
             }
         }
         c.verify().unwrap();
+    }
+
+    #[test]
+    fn scoped_and_global_recompute_agree_interval_for_interval() {
+        use rand::rngs::StdRng;
+        use rand::seq::IndexedRandom;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..4 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 40,
+                avg_out_degree: 2.5,
+                seed,
+            });
+            for threads in [1usize, 2] {
+                let base = ClosureConfig::new().gap(32).threads(threads);
+                let mut scoped = base.scoped_deletes(true).build(&g).unwrap();
+                let mut global = base.scoped_deletes(false).build(&g).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD1E7);
+                for _ in 0..25 {
+                    if rng.random_bool(0.2) {
+                        let node = NodeId(rng.random_range(0..scoped.node_count() as u32));
+                        scoped.remove_node(node).unwrap();
+                        global.remove_node(node).unwrap();
+                    } else {
+                        let edges: Vec<(NodeId, NodeId)> = scoped.graph().edges().collect();
+                        let Some(&(s, d)) = edges.choose(&mut rng) else { break };
+                        scoped.remove_edge(s, d).unwrap();
+                        global.remove_edge(s, d).unwrap();
+                    }
+                    for v in scoped.graph().nodes() {
+                        assert_eq!(
+                            scoped.intervals(v),
+                            global.intervals(v),
+                            "seed {seed} threads {threads}: {v:?} diverged"
+                        );
+                    }
+                    scoped.audit().unwrap();
+                    global.audit().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_remove_and_readd_at_the_top_of_the_line() {
+        // Each round quarantines node 2 at the very top of the number line,
+        // so the next removal tombstones the maximum slot and
+        // `boundary_above_max()` must take its tombstone branch — the
+        // fresh numbers it hands out must clear every live advertised tail.
+        let g = DiGraph::from_edges([(0, 1), (1, 2)]);
+        let mut c = ClosureConfig::new().gap(8).reserve(3).build(&g).unwrap();
+        for round in 0..6 {
+            c.remove_node(NodeId(2)).unwrap();
+            c.audit().unwrap_or_else(|e| panic!("round {round} remove: {e}"));
+            assert!(!c.reaches(NodeId(1), NodeId(2)));
+            c.add_edge(NodeId(1), NodeId(2)).unwrap();
+            c.audit().unwrap_or_else(|e| panic!("round {round} re-add: {e}"));
+            assert!(c.reaches(NodeId(0), NodeId(2)));
+            c.verify().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        // Same churn through the tree-arc path: relocating the subtree {2}
+        // tombstones the current maximum before renumbering from it.
+        for round in 0..4 {
+            let parent = c.cover().parent(NodeId(2));
+            if let Some(p) = parent {
+                c.remove_edge(p, NodeId(2)).unwrap();
+            } else {
+                c.remove_node(NodeId(2)).unwrap();
+            }
+            c.audit().unwrap_or_else(|e| panic!("tree round {round} remove: {e}"));
+            if !c.graph().has_edge(NodeId(1), NodeId(2)) {
+                c.add_edge(NodeId(1), NodeId(2)).unwrap();
+            }
+            c.verify().unwrap_or_else(|e| panic!("tree round {round}: {e}"));
+        }
     }
 
     #[test]

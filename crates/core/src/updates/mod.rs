@@ -132,4 +132,93 @@ impl crate::CompressedClosure {
         crate::propagate::propagate_dispatch(&self.graph, &mut self.lab, self.config.threads);
         self.apply_merge_policy();
     }
+
+    /// Scoped counterpart of [`Self::recompute_non_tree`] (§4.2 locality):
+    /// only nodes that can reach a deletion's origin can have their
+    /// non-tree intervals change, so the reverse-topological sweep is
+    /// restricted to `seeds ∪ predecessors*(seeds)` over the (already
+    /// updated) base graph, with every other node's set treated as a frozen
+    /// input. Deletion paths seed this with every node whose outgoing
+    /// reachability or number changed: the removed arc's source, relocated
+    /// subtree members and stragglers, a quarantined point label's old
+    /// holder, a removed node's former predecessors.
+    ///
+    /// Falls back to the global sweep when
+    /// [`crate::ClosureConfig::scoped_deletes`] is off — the differential
+    /// fuzzer runs both settings as cross-check oracles of each other.
+    pub(crate) fn recompute_non_tree_scoped(&mut self, seeds: &[NodeId]) {
+        if !self.config.scoped_deletes {
+            self.recompute_non_tree();
+            return;
+        }
+        let n = self.graph.node_count();
+        // Affected region: seeds plus everything that reaches one, by one
+        // reverse DFS over the base graph. A node outside this region
+        // reaches no affected node at all (otherwise it would reach a seed
+        // through it), so both its reachable set and its interval
+        // representation are already at the post-deletion fixed point.
+        let mut affected = vec![false; n];
+        let mut region: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            if !std::mem::replace(&mut affected[s.index()], true) {
+                region.push(s);
+                stack.push(s);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &p in self.graph.predecessors(v) {
+                if !std::mem::replace(&mut affected[p.index()], true) {
+                    region.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        // Induced reverse-topological order: DFS finish order over the
+        // region following affected successors only (in a DAG the head of
+        // every arc finishes before its tail). Paths between affected nodes
+        // never leave the region, so this order is sufficient.
+        let mut order: Vec<NodeId> = Vec::with_capacity(region.len());
+        let mut visited = vec![false; n];
+        let mut walk: Vec<(NodeId, usize)> = Vec::new();
+        for &r in &region {
+            if visited[r.index()] {
+                continue;
+            }
+            visited[r.index()] = true;
+            walk.push((r, 0));
+            while let Some(&mut (v, ref mut next)) = walk.last_mut() {
+                let succ = self.graph.successors(v);
+                if *next < succ.len() {
+                    let q = succ[*next];
+                    *next += 1;
+                    if affected[q.index()] && !visited[q.index()] {
+                        visited[q.index()] = true;
+                        walk.push((q, 0));
+                    }
+                } else {
+                    order.push(v);
+                    walk.pop();
+                }
+            }
+        }
+        // Reset only the region to tree singletons, re-propagate it against
+        // the frozen remainder, and keep the merge policy scoped to it too.
+        for &v in &order {
+            self.lab.sets[v.index()] = tc_interval::IntervalSet::singleton(
+                tc_interval::Interval::new(self.lab.low[v.index()], self.lab.post[v.index()]),
+            );
+        }
+        crate::propagate::propagate_scoped_dispatch(
+            &self.graph,
+            &order,
+            &mut self.lab,
+            self.config.threads,
+        );
+        if self.config.merge_adjacent {
+            for &v in &order {
+                self.lab.sets[v.index()].merge_adjacent();
+            }
+        }
+    }
 }

@@ -34,6 +34,11 @@ pub struct GenConfig {
     /// serving-layer snapshots mid-churn and replaying queries against them
     /// later. Off by default for the same seed-stability reason.
     pub serve: bool,
+    /// Skew the op mix toward `RemoveEdge`/`RemoveNode` interleaved with
+    /// refines and relabels, so the deletion recompute paths (scoped and
+    /// global) see as much churn as insertion does. Off by default for the
+    /// same seed-stability reason.
+    pub delete_bias: bool,
     /// The closure configuration the trace runs under.
     pub config: FuzzConfig,
 }
@@ -45,6 +50,7 @@ impl Default for GenConfig {
             seed: 0,
             freeze: false,
             serve: false,
+            delete_bias: false,
             config: FuzzConfig::default(),
         }
     }
@@ -53,11 +59,19 @@ impl Default for GenConfig {
 /// Emits one random op given the current relation state. Kind weights skew
 /// toward growth (a shrinking relation fuzzes nothing) with a steady diet
 /// of deletions, relabels and rebuilds to exercise tombstone churn.
-fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig, freeze: bool, serve: bool) -> Op {
+fn next_op(
+    rng: &mut StdRng,
+    state: &EngineState,
+    config: &FuzzConfig,
+    freeze: bool,
+    serve: bool,
+    delete_bias: bool,
+) -> Op {
     let n = state.mirror.node_count() as u32;
     if n == 0 {
         return Op::AddNode { parents: vec![] };
     }
+    let any = |rng: &mut StdRng| rng.random_range(0..n);
     // Each knob is guarded before any RNG draw so that with the knob off,
     // existing seeds keep producing byte-identical traces.
     if freeze && rng.random_range(0..8u32) == 0 {
@@ -68,7 +82,30 @@ fn next_op(rng: &mut StdRng, state: &EngineState, config: &FuzzConfig, freeze: b
     if serve && rng.random_range(0..10u32) == 0 {
         return if rng.random_bool(0.6) { Op::ServicePublish } else { Op::ServiceQuery };
     }
-    let any = |rng: &mut StdRng| rng.random_range(0..n);
+    // Half of all ops become deletion-flavoured: arc and node removals
+    // salted with refines and relabels, which are exactly the ops that
+    // interact with quarantined point labels and tombstone churn.
+    if delete_bias && rng.random_range(0..2u32) == 0 {
+        return match rng.random_range(0..10u32) {
+            0..=5 => {
+                let edges: Vec<(u32, u32)> =
+                    state.mirror.edges().map(|(s, d)| (s.0, d.0)).collect();
+                match edges.choose(rng) {
+                    Some(&(src, dst)) => Op::RemoveEdge { src, dst },
+                    None => Op::AddEdge { src: any(rng), dst: any(rng) },
+                }
+            }
+            6 | 7 => Op::RemoveNode { node: any(rng) },
+            8 => {
+                if config.reserve > 0 {
+                    Op::Refine { child: any(rng) }
+                } else {
+                    Op::RemoveNode { node: any(rng) }
+                }
+            }
+            _ => Op::Relabel,
+        };
+    }
     match rng.random_range(0..100u32) {
         // Node additions: roots, single-parent leaves, multi-parent joins —
         // occasionally with duplicate parents to exercise the dedup path.
@@ -125,7 +162,7 @@ pub fn generate(cfg: &GenConfig) -> OpTrace {
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.ops {
-        let op = next_op(&mut rng, &state, &cfg.config, cfg.freeze, cfg.serve);
+        let op = next_op(&mut rng, &state, &cfg.config, cfg.freeze, cfg.serve, cfg.delete_bias);
         trace.ops.push(op.clone());
         let outcome = catch_unwind(AssertUnwindSafe(|| state.apply(&op)));
         match outcome {
@@ -157,7 +194,7 @@ mod tests {
         let cfg = GenConfig {
             ops: 200,
             seed: 7,
-            config: FuzzConfig { gap: 64, reserve: 4, merge: true, threads: 2 },
+            config: FuzzConfig { gap: 64, reserve: 4, merge: true, threads: 2, scoped: true },
             ..GenConfig::default()
         };
         let trace = generate(&cfg);
@@ -216,6 +253,41 @@ mod tests {
         // The knob only adds ops; off-knob seeds are untouched.
         let plain = generate(&GenConfig { serve: false, ..cfg });
         assert!(plain.ops.iter().all(|op| !matches!(op, Op::ServicePublish | Op::ServiceQuery)));
+    }
+
+    #[test]
+    fn delete_bias_knob_skews_toward_removals_and_replays_clean() {
+        let cfg = GenConfig {
+            ops: 240,
+            seed: 9,
+            delete_bias: true,
+            config: FuzzConfig { gap: 64, reserve: 4, ..FuzzConfig::default() },
+            ..GenConfig::default()
+        };
+        let removals = |trace: &OpTrace| {
+            trace
+                .ops
+                .iter()
+                .filter(|op| matches!(op, Op::RemoveEdge { .. } | Op::RemoveNode { .. }))
+                .count()
+        };
+        let biased = generate(&cfg);
+        run_trace(&biased, &CheckOptions::default()).unwrap();
+        let plain = generate(&GenConfig { delete_bias: false, ..cfg });
+        run_trace(&plain, &CheckOptions::default()).unwrap();
+        assert!(
+            removals(&biased) > removals(&plain),
+            "bias did not raise removal count: {} vs {}",
+            removals(&biased),
+            removals(&plain)
+        );
+        // Replaying the same biased seed through the global sweep must also
+        // come out clean — the two deletion recomputes oracle each other.
+        let global = OpTrace {
+            config: FuzzConfig { scoped: false, ..biased.config },
+            ops: biased.ops.clone(),
+        };
+        run_trace(&global, &CheckOptions::default()).unwrap();
     }
 
     #[test]

@@ -137,6 +137,11 @@ pub struct FuzzConfig {
     /// Initial worker-thread count ([`ClosureConfig::threads`]); traces can
     /// change it mid-run with [`Op::SetThreads`].
     pub threads: usize,
+    /// Scoped deletion recompute ([`ClosureConfig::scoped_deletes`]).
+    /// Defaults to on; running the same seed with it off replays every
+    /// deletion through the historical global sweep, so the two settings
+    /// serve as cross-check oracles of each other.
+    pub scoped: bool,
 }
 
 impl Default for FuzzConfig {
@@ -146,6 +151,7 @@ impl Default for FuzzConfig {
             reserve: 0,
             merge: false,
             threads: 1,
+            scoped: true,
         }
     }
 }
@@ -164,7 +170,8 @@ impl FuzzConfig {
             .gap(self.gap)
             .reserve(self.reserve)
             .merge_adjacent(self.merge)
-            .threads(self.threads))
+            .threads(self.threads)
+            .scoped_deletes(self.scoped))
     }
 }
 
@@ -185,6 +192,11 @@ impl OpTrace {
         out.push_str(&format!("reserve {}\n", self.config.reserve));
         out.push_str(&format!("merge {}\n", u8::from(self.config.merge)));
         out.push_str(&format!("threads {}\n", self.config.threads));
+        // Written only off its default so pre-existing reproducers stay
+        // byte-identical.
+        if !self.config.scoped {
+            out.push_str("scoped 0\n");
+        }
         for op in &self.ops {
             out.push_str(&op.to_string());
             out.push('\n');
@@ -193,9 +205,9 @@ impl OpTrace {
     }
 
     /// Parses a trace serialized by [`OpTrace::to_text`]. Header lines
-    /// (`gap`/`reserve`/`merge`/`threads <value>`) may appear in any order
-    /// before the first op and default when absent; blank lines and `#`
-    /// comments are ignored.
+    /// (`gap`/`reserve`/`merge`/`threads`/`scoped <value>`) may appear in
+    /// any order before the first op and default when absent; blank lines
+    /// and `#` comments are ignored.
     pub fn parse(text: &str) -> Result<OpTrace, String> {
         let mut config = FuzzConfig::default();
         let mut ops = Vec::new();
@@ -225,12 +237,13 @@ impl OpTrace {
                 }
             };
             match head {
-                "gap" | "reserve" | "merge" | "threads" if in_header => {
+                "gap" | "reserve" | "merge" | "threads" | "scoped" if in_header => {
                     let v = one(&rest)?;
                     match head {
                         "gap" => config.gap = v,
                         "reserve" => config.reserve = v,
                         "merge" => config.merge = v != 0,
+                        "scoped" => config.scoped = v != 0,
                         _ => config.threads = v as usize,
                     }
                 }
@@ -302,7 +315,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let trace = OpTrace {
-            config: FuzzConfig { gap: 8, reserve: 2, merge: true, threads: 2 },
+            config: FuzzConfig { gap: 8, reserve: 2, merge: true, threads: 2, scoped: false },
             ops: vec![
                 Op::AddNode { parents: vec![] },
                 Op::AddNode { parents: vec![0, 0, 1] },

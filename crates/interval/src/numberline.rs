@@ -123,6 +123,15 @@ impl NumberLine {
         self.slots.keys().next_back().copied()
     }
 
+    /// Greatest *live* number and its node, if any — skips any tombstones
+    /// sitting above it (e.g. after removals at the top of the line).
+    pub fn max_live(&self) -> Option<(u64, u32)> {
+        self.slots.iter().rev().find_map(|(num, slot)| match slot {
+            Slot::Node(n) => Some((*num, *n)),
+            Slot::Tombstone => None,
+        })
+    }
+
     /// Live nodes whose numbers fall in `[lo, hi]`, in ascending number
     /// order. This is how interval labels decode back into successor lists.
     pub fn live_in_range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, u32)> + '_ {

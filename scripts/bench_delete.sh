@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the scoped-vs-global deletion recompute experiment (EXPERIMENTS.md
+# X2; DESIGN.md, "Scoped deletion recompute") and leaves the table in
+# results/delete_scale.csv. Correctness is asserted before timing: the two
+# modes must produce identical interval sets over the whole sequence.
+#
+# Usage: scripts/bench_delete.sh [delete_scale flags...]
+#   e.g. scripts/bench_delete.sh --nodes 50000 --degree 3 --ops 24
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin delete_scale
+exec target/release/delete_scale "$@"

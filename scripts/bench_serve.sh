@@ -4,6 +4,7 @@
 #
 # Usage: scripts/bench_serve.sh [serve_scale flags...]
 #   e.g. scripts/bench_serve.sh --nodes 50000 --reps 5 --duration-ms 300
+#   add --churn-mix for mixed add/remove writer batches (scoped deletes)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -192,6 +192,9 @@ fn stress_one_seed(seed: u64, readers: usize) {
     let fuzz_cfg = GenConfig {
         ops: OPS_PER_SEED,
         seed,
+        // Odd seeds run deletion-heavy mixed churn, so the scoped deletion
+        // recompute serves live readers as often as insertion does.
+        delete_bias: seed % 2 == 1,
         config: tc_fuzz::FuzzConfig { gap: 64, reserve: 4, ..tc_fuzz::FuzzConfig::default() },
         ..GenConfig::default()
     };
