@@ -72,6 +72,11 @@ global flags: --threads N   build/query on N worker threads (0 = one per CPU)
                             on (default): deletions recompute only the
                             affected region; off: historical global sweep
                             (same answers, kept as a cross-check oracle)
+              --shards N    partition the DAG into N shards (weak components,
+                            level-cut fallback) with one closure and one
+                            writer per shard; serve scatter-gathers across
+                            shards and fuzz replays every trace through the
+                            sharded service in lockstep (1 = unsharded)
 <graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure
 
 bench: builds (or loads) the closure, then times single-probe reaches, batch
@@ -110,6 +115,9 @@ struct Globals {
     /// Override for [`tc_core::ClosureConfig::scoped_deletes`]; `None`
     /// keeps the default (or, for `.itc` input, whatever the builder chose).
     scoped: Option<bool>,
+    /// Shard count for the sharded closure layer; `None` or `Some(1)` means
+    /// the unsharded engine.
+    shards: Option<usize>,
 }
 
 impl Globals {
@@ -140,11 +148,11 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Strips the global flags (`--threads N`, `--frozen`,
-/// `--scoped-deletes on|off`) from anywhere in the argument list. Absent,
-/// the tool stays serial, unfrozen and scoped.
+/// `--scoped-deletes on|off`, `--shards N`) from anywhere in the argument
+/// list. Absent, the tool stays serial, unfrozen, scoped and unsharded.
 fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut globals = Globals { threads: None, frozen: false, scoped: None };
+    let mut globals = Globals { threads: None, frozen: false, scoped: None, shards: None };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
@@ -170,6 +178,18 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
                     return Err(format!("invalid --scoped-deletes value {other:?} (want on|off)"))
                 }
             });
+        } else if a == "--shards" || a.starts_with("--shards=") {
+            let v = match a.strip_prefix("--shards=") {
+                Some(v) => v.to_string(),
+                None => it.next().ok_or("--shards requires a value")?.clone(),
+            };
+            let shards: usize = v
+                .parse()
+                .map_err(|_| format!("invalid --shards value {v:?}"))?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            globals.shards = Some(shards);
         } else {
             rest.push(a.clone());
         }
@@ -476,6 +496,18 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
         .collect();
     let want = closure.reaches_batch(&pairs);
 
+    if globals.shards.unwrap_or(1) > 1 {
+        return serve_sharded(
+            closure,
+            &pairs,
+            &want,
+            readers,
+            duration_ms,
+            churn,
+            globals,
+        );
+    }
+
     let service = ClosureService::start(closure, ServiceConfig::new());
     let mut reader = service.reader();
     if reader.reaches_batch(&pairs) != want {
@@ -564,6 +596,128 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
     Ok(())
 }
 
+/// The `serve` benchmark on the sharded layer: the DAG is partitioned into
+/// `--shards` pieces, answers are verified bit-identical against the
+/// unsharded closure before any timing, then reader threads scatter-gather
+/// batch probes while (optionally) churn fans out to the per-shard writers.
+#[allow(clippy::too_many_arguments)]
+fn serve_sharded(
+    closure: CompressedClosure,
+    pairs: &[(NodeId, NodeId)],
+    want: &[bool],
+    readers: usize,
+    duration_ms: u64,
+    churn: bool,
+    globals: Globals,
+) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+    use tc_core::{ServiceConfig, ServiceOp, ShardedClosure, ShardedService};
+
+    let shards = globals.shards.unwrap_or(1);
+    let n = closure.node_count();
+    let mut config = ClosureConfig::new().threads(globals.threads_or_serial());
+    if let Some(scoped) = globals.scoped {
+        config = config.scoped_deletes(scoped);
+    }
+    let sharded =
+        ShardedClosure::build(config, closure.graph(), shards).map_err(|e| e.to_string())?;
+    if sharded.reaches_batch(pairs) != want {
+        return Err("sharded answers diverge from the unsharded closure".into());
+    }
+    println!(
+        "sharded {n} nodes into {} shards (sizes {:?}, {} cross arcs, boundary {}): \
+         {} probe pairs verified against the unsharded closure",
+        sharded.shard_count(),
+        sharded.shard_sizes(),
+        sharded.cross_arc_count(),
+        sharded.boundary_size(),
+        pairs.len()
+    );
+
+    let service = ShardedService::start(sharded, ServiceConfig::new());
+    let mut reader = service.reader();
+    if reader.reaches_batch(pairs) != want {
+        return Err("sharded service snapshot answers diverge from the closure".into());
+    }
+
+    let stop = AtomicBool::new(false);
+    let per_reader = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let mut r = service.reader();
+                let (stop, pairs) = (&stop, pairs);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut probes = 0u64;
+                    let mut max_stale = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        r.reaches_batch_into(pairs, &mut out);
+                        probes += pairs.len() as u64;
+                        max_stale = max_stale.max(r.staleness());
+                    }
+                    (probes, max_stale)
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_millis(duration_ms);
+        let mut k = 0u64;
+        while Instant::now() < deadline {
+            if churn {
+                let batch: Vec<ServiceOp> = (0..64)
+                    .map(|i| {
+                        let node = NodeId(((k + i) % n as u64) as u32);
+                        let other = NodeId(((k + i + 7) % n as u64) as u32);
+                        match (k + i) % 4 {
+                            0 => ServiceOp::AddNode { parents: vec![node] },
+                            1 | 2 => ServiceOp::AddEdge { src: node, dst: other },
+                            _ => {
+                                if (k + i) % 8 == 3 {
+                                    ServiceOp::RemoveNode { node }
+                                } else {
+                                    ServiceOp::RemoveEdge { src: node, dst: other }
+                                }
+                            }
+                        }
+                    })
+                    .collect();
+                k += 64;
+                service.submit_batch(batch);
+                service.flush();
+            } else {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread panicked"))
+            .collect::<Vec<(u64, u64)>>()
+    });
+
+    let total: u64 = per_reader.iter().map(|&(p, _)| p).sum();
+    let max_stale = per_reader.iter().map(|&(_, s)| s).max().unwrap_or(0);
+    let secs = duration_ms as f64 / 1000.0;
+    println!(
+        "readers {readers}: {total} probes in {secs:.2}s  ({:.0} probes/s, {:.0} per reader)",
+        total as f64 / secs,
+        total as f64 / secs / readers as f64
+    );
+    let (stats, sc) = service.shutdown();
+    println!(
+        "front end: {} ops submitted, {} rejected, {} routed; shard writers: \
+         {} applied, {} skipped; {} route publishes, max observed staleness {max_stale} ops",
+        stats.submitted, stats.rejected, stats.routed, stats.applied, stats.skipped,
+        stats.publishes
+    );
+    if let Some(v) = stats.audit_violation {
+        return Err(format!("shard audit failed during serving: {v}"));
+    }
+    sc.audit()
+        .map_err(|e| format!("sharded closure audit failed after shutdown: {e}"))?;
+    Ok(())
+}
+
 fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut ops = 256usize;
     let mut seed = 0u64;
@@ -603,7 +757,10 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
             other => return Err(format!("unknown fuzz flag {other:?}")),
         }
     }
-    let opts = tc_fuzz::CheckOptions::default();
+    let opts = tc_fuzz::CheckOptions {
+        shards: globals.shards.unwrap_or(1),
+        ..tc_fuzz::CheckOptions::default()
+    };
 
     if let Some(path) = replay {
         let text = String::from_utf8(read_input(&path)?)

@@ -181,6 +181,96 @@ fn serve_command_verifies_and_reports_throughput() {
 }
 
 #[test]
+fn serve_shards_flag_in_both_spellings() {
+    let dir = tmpdir("serve_shards");
+    let edges = dir.join("g.txt");
+    let out = bin().args(["gen", "60", "2.0", "9"]).output().unwrap();
+    assert!(out.status.success());
+    std::fs::write(&edges, &out.stdout).unwrap();
+
+    // `--shards N` spelling, with churn fanned out to the per-shard writers.
+    let out = bin()
+        .args([
+            "serve",
+            edges.to_str().unwrap(),
+            "--readers",
+            "2",
+            "--duration-ms",
+            "150",
+            "--churn",
+            "--shards",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("into 2 shards"), "{text}");
+    assert!(text.contains("verified against the unsharded closure"), "{text}");
+    assert!(text.contains("probes/s"), "{text}");
+    assert!(text.contains("front end:"), "{text}");
+
+    // `--shards=N` spelling, read-only.
+    let out = bin()
+        .args([
+            "serve",
+            edges.to_str().unwrap(),
+            "--duration-ms",
+            "100",
+            "--shards=3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("into 3 shards"), "{text}");
+
+    // `--shards 1` is the unsharded serving path, unchanged.
+    let out = bin()
+        .args([
+            "serve",
+            edges.to_str().unwrap(),
+            "--duration-ms",
+            "100",
+            "--shards",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("snapshots published"), "{text}");
+    assert!(!text.contains("front end:"), "{text}");
+
+    // Zero and garbage are rejected up front.
+    let out = bin()
+        .args(["serve", edges.to_str().unwrap(), "--shards", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--shards must be at least 1"));
+
+    let out = bin()
+        .args(["serve", edges.to_str().unwrap(), "--shards", "many"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid --shards"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn fuzz_shards_flag_replays_through_the_sharded_service() {
+    let out = bin()
+        .args(["fuzz", "--ops", "60", "--seed", "3", "--shards", "2", "--reserve", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok"));
+}
+
+#[test]
 fn fuzz_serve_flag_runs_clean() {
     let out = bin()
         .args(["fuzz", "--ops", "80", "--seed", "2", "--serve", "--reserve", "4"])

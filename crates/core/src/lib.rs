@@ -75,6 +75,7 @@ pub mod codec;
 pub mod cyclic;
 pub mod pooled;
 pub mod serve;
+pub mod shard;
 pub mod small_dag;
 pub mod treecover;
 pub mod updates;
@@ -83,6 +84,7 @@ pub use builder::ClosureConfig;
 pub use closure::CompressedClosure;
 pub use plane::QueryPlane;
 pub use serve::{ClosureService, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot};
+pub use shard::{ShardedClosure, ShardedReader, ShardedService, ShardedStats};
 pub use stats::ClosureStats;
 pub use treecover::{CoverStrategy, TreeCover};
 pub use updates::UpdateError;

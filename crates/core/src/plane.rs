@@ -277,11 +277,19 @@ impl QueryPlane {
     /// are disjoint and sorted, so each one is a straight slice copy.
     pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
         let mut out = Vec::with_capacity(self.successor_count(node));
+        self.successors_into(node, &mut out);
+        out
+    }
+
+    /// [`QueryPlane::successors`] into a caller-provided buffer (cleared
+    /// first): with a reused buffer the decode allocates nothing, which is
+    /// what the sharded scatter-gather merge path leans on.
+    pub fn successors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         self.index.for_each_interval(node.index(), |rlo, rhi| {
             let nodes = &self.line_nodes[rlo as usize..=rhi as usize];
             out.extend(nodes.iter().map(|&n| NodeId(n)));
         });
-        out
     }
 
     /// Count of nodes reachable from `node` (including itself), without
@@ -300,11 +308,22 @@ impl QueryPlane {
     /// predecessors among m total intervals.
     pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
         let mut owners = Vec::new();
-        self.inverted.stab(self.rank[node.index()], &mut owners);
+        let mut out = Vec::new();
+        self.predecessors_into(node, &mut owners, &mut out);
+        out
+    }
+
+    /// [`QueryPlane::predecessors`] into caller-provided buffers (both
+    /// cleared first): `scratch` receives the raw stab results, `out` the
+    /// sorted ids. With reused buffers the whole query allocates nothing.
+    pub fn predecessors_into(&self, node: NodeId, scratch: &mut Vec<u32>, out: &mut Vec<NodeId>) {
+        scratch.clear();
+        self.inverted.stab(self.rank[node.index()], scratch);
         // A row's merged intervals are disjoint, so each owner appears at
         // most once — sorting alone restores id order.
-        owners.sort_unstable();
-        owners.into_iter().map(NodeId).collect()
+        scratch.sort_unstable();
+        out.clear();
+        out.extend(scratch.iter().map(|&n| NodeId(n)));
     }
 
     /// Cross-checks the snapshot against the labeling it should mirror —

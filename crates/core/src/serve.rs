@@ -346,6 +346,16 @@ impl ServiceSnapshot {
         self.forward.successors(node)
     }
 
+    /// [`ServiceSnapshot::successors`] into a caller-provided buffer
+    /// (cleared first); with a reused buffer the decode allocates nothing.
+    pub fn successors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        if node.index() >= self.nodes {
+            out.clear();
+            return;
+        }
+        self.forward.successors_into(node, out);
+    }
+
     /// Count of nodes reachable from `node` (including itself).
     pub fn successor_count(&self, node: NodeId) -> usize {
         if node.index() >= self.nodes {
@@ -368,6 +378,23 @@ impl ServiceSnapshot {
                 out
             }
             None => self.forward.predecessors(node),
+        }
+    }
+
+    /// [`ServiceSnapshot::predecessors`] into caller-provided buffers (both
+    /// cleared first): `scratch` holds raw stab results, `out` the sorted
+    /// ids. With reused buffers the whole query allocates nothing.
+    pub fn predecessors_into(&self, node: NodeId, scratch: &mut Vec<u32>, out: &mut Vec<NodeId>) {
+        if node.index() >= self.nodes {
+            out.clear();
+            return;
+        }
+        match &self.reverse {
+            Some(rev) => {
+                rev.successors_into(node, out);
+                out.sort_unstable();
+            }
+            None => self.forward.predecessors_into(node, scratch, out),
         }
     }
 

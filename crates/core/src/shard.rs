@@ -1,0 +1,1737 @@
+//! Sharded closure: partition the DAG, scatter-gather queries, per-shard
+//! writers.
+//!
+//! One `ClosureService` serializes every update through a single writer
+//! thread and freezes one monolithic [`QueryPlane`](crate::QueryPlane) per
+//! publish — the throughput ceiling ROADMAP item 3 measured. This module
+//! splits the closure into independent pieces, in the spirit of DAG
+//! decomposition reachability oracles (Kritikakis–Tollis; Jin's separate
+//! small index for the cross-piece arcs):
+//!
+//! * [`topo::partition`](tc_graph::topo::partition) splits the node set by
+//!   weakly connected component, with a level-cut fallback when one
+//!   component dominates. Each shard gets its own [`CompressedClosure`]
+//!   over the intra-shard arcs only.
+//! * The few arcs that cross shards are kept in a **boundary closure**: the
+//!   transitive closure of the tiny graph whose vertices are the cross-arc
+//!   endpoints and whose arcs are the cross arcs plus the intra-shard
+//!   reachability between same-shard endpoints. `reaches(src, dst)` then
+//!   composes as *intra-shard probe* ∨ (*src → boundary exit* ∧ *boundary
+//!   hop* ∧ *boundary entry → dst*).
+//! * [`ShardedClosure`] is the offline form: exact, synchronous, boundary
+//!   eagerly rebuilt after any mutation that can change it. Its §4 update
+//!   vocabulary matches [`CompressedClosure`] (refinement degrades to a
+//!   generic insert when the reserve runs dry or parents span shards — the
+//!   answers are identical because refinement keeps the parent→child arcs).
+//! * [`ShardedService`] is the online form: one [`ClosureService`] writer
+//!   per shard, a front end that validates ops against an authoritative
+//!   mirror (so per-shard writers never skip and never diverge from the
+//!   routing tables), and a routing/boundary snapshot republished at every
+//!   [`ShardedService::flush`]. Between flushes each shard is prefix
+//!   consistent on its own and cross-shard composition may mix prefixes;
+//!   after a flush the composed answers are exact.
+//!
+//! [`ShardedReader`] scatter-gathers batch probes: pairs are grouped by
+//! shard and answered through the zero-alloc
+//! [`ServiceSnapshot::reaches_batch_into`] path, then the leftovers take
+//! the boundary route.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tc_graph::topo::{self, CycleError, Partition};
+use tc_graph::{traverse, BitSet, DiGraph, NodeId};
+
+use crate::serve::{
+    ClosureService, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot,
+};
+use crate::updates::UpdateError;
+use crate::{ClosureConfig, CompressedClosure};
+
+/// Global↔local id translation for a fixed shard assignment. Global ids
+/// are dense (`0..node_count`); each shard's local ids are dense too, in
+/// ascending global order, so new nodes append on both sides.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Routing {
+    /// Global id → owning shard.
+    shard_of: Vec<u32>,
+    /// Global id → local id within the owning shard.
+    local_of: Vec<u32>,
+    /// Shard → local id → global id.
+    global_of: Vec<Vec<NodeId>>,
+}
+
+impl Routing {
+    fn from_partition(part: &Partition) -> Routing {
+        let n = part.node_count();
+        let shards = part.shards();
+        let mut shard_of = vec![0u32; n];
+        let mut local_of = vec![0u32; n];
+        let mut global_of = vec![Vec::new(); shards];
+        for g in 0..n {
+            let v = NodeId(g as u32);
+            let s = part.shard_of(v);
+            shard_of[g] = s as u32;
+            local_of[g] = global_of[s].len() as u32;
+            global_of[s].push(v);
+        }
+        Routing { shard_of, local_of, global_of }
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    #[inline]
+    fn shards(&self) -> usize {
+        self.global_of.len()
+    }
+
+    #[inline]
+    fn shard(&self, g: NodeId) -> usize {
+        self.shard_of[g.index()] as usize
+    }
+
+    #[inline]
+    fn local(&self, g: NodeId) -> NodeId {
+        NodeId(self.local_of[g.index()])
+    }
+
+    #[inline]
+    fn global(&self, shard: usize, local: NodeId) -> NodeId {
+        self.global_of[shard][local.index()]
+    }
+
+    /// Appends a fresh global id to `shard`; returns `(global, local)`.
+    fn push_node(&mut self, shard: usize) -> (NodeId, NodeId) {
+        let g = NodeId(self.shard_of.len() as u32);
+        let l = NodeId(self.global_of[shard].len() as u32);
+        self.shard_of.push(shard as u32);
+        self.local_of.push(l.0);
+        self.global_of[shard].push(g);
+        (g, l)
+    }
+
+    /// The least-populated shard (ties break to the lowest index) — where
+    /// parentless nodes land.
+    fn smallest_shard(&self) -> usize {
+        (0..self.shards())
+            .min_by_key(|&s| (self.global_of[s].len(), s))
+            .unwrap_or(0)
+    }
+}
+
+/// The boundary closure: cross-arc endpoints, and the transitive closure
+/// of (cross arcs ∪ intra-shard reachability between same-shard
+/// endpoints). Tiny by construction — the partitioner minimizes cross
+/// arcs — and rebuilt from scratch whenever it could have changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Boundary {
+    /// Boundary nodes as *global* ids, ascending.
+    nodes: Vec<NodeId>,
+    /// Shard → indices into `nodes` of the boundary nodes it hosts.
+    by_shard: Vec<Vec<u32>>,
+    /// Reflexive closure rows of the boundary graph, indexed like `nodes`.
+    rows: Vec<BitSet>,
+}
+
+impl Boundary {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rebuilds the boundary closure from the cross-arc list. `intra(s, a,
+    /// b)` must answer intra-shard reachability between *local* ids `a`
+    /// and `b` of shard `s`.
+    fn rebuild<F: FnMut(usize, NodeId, NodeId) -> bool>(
+        cross: &[(NodeId, NodeId)],
+        routing: &Routing,
+        mut intra: F,
+    ) -> Boundary {
+        let mut by_shard = vec![Vec::new(); routing.shards()];
+        if cross.is_empty() {
+            return Boundary { nodes: Vec::new(), by_shard, rows: Vec::new() };
+        }
+        let mut nodes: Vec<NodeId> = cross.iter().flat_map(|&(u, v)| [u, v]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for (i, &v) in nodes.iter().enumerate() {
+            by_shard[routing.shard(v)].push(i as u32);
+        }
+        let mut bg = DiGraph::with_nodes(nodes.len());
+        for &(u, v) in cross {
+            let ui = nodes.binary_search(&u).expect("cross endpoint indexed");
+            let vi = nodes.binary_search(&v).expect("cross endpoint indexed");
+            bg.add_edge(NodeId(ui as u32), NodeId(vi as u32));
+        }
+        // Same-shard boundary pairs inherit the shard's own reachability.
+        for (s, members) in by_shard.iter().enumerate() {
+            for &i in members {
+                for &j in members {
+                    if i != j
+                        && intra(
+                            s,
+                            routing.local(nodes[i as usize]),
+                            routing.local(nodes[j as usize]),
+                        )
+                    {
+                        bg.add_edge(NodeId(i), NodeId(j));
+                    }
+                }
+            }
+        }
+        let rows = traverse::closure_rows(&bg);
+        Boundary { nodes, by_shard, rows }
+    }
+
+    /// Whether `src` reaches `dst` through the boundary: an intra hop from
+    /// `src` to a boundary node of its shard, a (possibly empty) boundary
+    /// walk, and an intra hop from a boundary node of `dst`'s shard to
+    /// `dst`. Covers cross-shard pairs *and* same-shard pairs whose only
+    /// path leaves the shard and comes back.
+    fn route<F: FnMut(usize, NodeId, NodeId) -> bool>(
+        &self,
+        routing: &Routing,
+        src: NodeId,
+        dst: NodeId,
+        mut intra: F,
+    ) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let (ss, sd) = (routing.shard(src), routing.shard(dst));
+        let (ls, ld) = (routing.local(src), routing.local(dst));
+        for &bi in &self.by_shard[ss] {
+            if !intra(ss, ls, routing.local(self.nodes[bi as usize])) {
+                continue;
+            }
+            for &bj in &self.by_shard[sd] {
+                if self.rows[bi as usize].contains(bj as usize)
+                    && intra(sd, routing.local(self.nodes[bj as usize]), ld)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Boundary indices reachable from `src` (through one intra hop plus
+    /// the boundary walk); rows are reflexive, so a boundary node `src`
+    /// itself reaches is included.
+    fn reachable_from<F: FnMut(usize, NodeId, NodeId) -> bool>(
+        &self,
+        routing: &Routing,
+        src: NodeId,
+        mut intra: F,
+    ) -> BitSet {
+        let mut out = BitSet::new(self.nodes.len());
+        if self.is_empty() {
+            return out;
+        }
+        let ss = routing.shard(src);
+        let ls = routing.local(src);
+        for &bi in &self.by_shard[ss] {
+            if intra(ss, ls, routing.local(self.nodes[bi as usize])) {
+                out.union_with(&self.rows[bi as usize]);
+            }
+        }
+        out
+    }
+
+    /// Boundary indices that reach `dst` (boundary walk plus one intra hop
+    /// into `dst`'s shard).
+    fn reaching_to<F: FnMut(usize, NodeId, NodeId) -> bool>(
+        &self,
+        routing: &Routing,
+        dst: NodeId,
+        mut intra: F,
+    ) -> BitSet {
+        let mut hits = BitSet::new(self.nodes.len());
+        if self.is_empty() {
+            return hits;
+        }
+        let sd = routing.shard(dst);
+        let ld = routing.local(dst);
+        for &bj in &self.by_shard[sd] {
+            if intra(sd, routing.local(self.nodes[bj as usize]), ld) {
+                hits.insert(bj as usize);
+            }
+        }
+        let mut out = BitSet::new(self.nodes.len());
+        if hits.is_empty() {
+            return out;
+        }
+        for (bi, row) in self.rows.iter().enumerate() {
+            if row.intersects(&hits) {
+                out.insert(bi);
+            }
+        }
+        out
+    }
+}
+
+/// The offline sharded closure: one [`CompressedClosure`] per shard over
+/// the intra-shard arcs, the cross-arc list, and the boundary closure.
+/// Exact at every point — mutations rebuild the boundary eagerly whenever
+/// it could have changed — with the same §4 update vocabulary as the
+/// single closure.
+///
+/// ```
+/// use tc_graph::{DiGraph, NodeId};
+/// use tc_core::shard::ShardedClosure;
+/// use tc_core::ClosureConfig;
+///
+/// // Two weakly connected components land on different shards.
+/// let g = DiGraph::from_edges([(0, 1), (1, 2), (3, 4)]);
+/// let mut sc = ShardedClosure::build(ClosureConfig::new(), &g, 2).unwrap();
+/// assert_eq!(sc.shard_count(), 2);
+/// assert!(sc.reaches(NodeId(0), NodeId(2)));
+/// assert!(!sc.reaches(NodeId(0), NodeId(4)));
+/// // A cross-shard arc goes through the boundary closure.
+/// sc.add_edge(NodeId(2), NodeId(3)).unwrap();
+/// assert!(sc.reaches(NodeId(0), NodeId(4)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedClosure {
+    routing: Routing,
+    shards: Vec<CompressedClosure>,
+    /// Cross-shard arcs by *global* id, unordered.
+    cross: Vec<(NodeId, NodeId)>,
+    /// The whole graph, authoritative for validation and verification.
+    mirror: DiGraph,
+    boundary: Boundary,
+    config: ClosureConfig,
+}
+
+fn boundary_over(
+    shards: &[CompressedClosure],
+    cross: &[(NodeId, NodeId)],
+    routing: &Routing,
+) -> Boundary {
+    Boundary::rebuild(cross, routing, |s, a, b| shards[s].reaches(a, b))
+}
+
+impl ShardedClosure {
+    /// Partitions `g` into (at most) `shards` pieces and builds one
+    /// compressed closure per piece plus the boundary closure over the
+    /// cross arcs. Rejects cyclic graphs like [`CompressedClosure::build`].
+    pub fn build(
+        config: ClosureConfig,
+        g: &DiGraph,
+        shards: usize,
+    ) -> Result<ShardedClosure, CycleError> {
+        let part = topo::partition(g, shards)?;
+        let mut routing = Routing::from_partition(&part);
+        // `partition` caps the shard count at the number of pieces it found;
+        // pad with empty shards so a small (or empty) graph can still grow
+        // into the requested count — parentless inserts land on the
+        // least-populated shard and fill the empties first.
+        while routing.global_of.len() < shards.max(1) {
+            routing.global_of.push(Vec::new());
+        }
+        let mut locals: Vec<DiGraph> = routing
+            .global_of
+            .iter()
+            .map(|members| DiGraph::with_nodes(members.len()))
+            .collect();
+        let mut cross = Vec::new();
+        for (u, v) in g.edges() {
+            let (su, sv) = (routing.shard(u), routing.shard(v));
+            if su == sv {
+                locals[su].add_edge(routing.local(u), routing.local(v));
+            } else {
+                cross.push((u, v));
+            }
+        }
+        let closures: Vec<CompressedClosure> = locals
+            .iter()
+            .map(|lg| config.build(lg))
+            .collect::<Result<_, _>>()?;
+        let boundary = boundary_over(&closures, &cross, &routing);
+        Ok(ShardedClosure {
+            routing,
+            shards: closures,
+            cross,
+            mirror: g.clone(),
+            boundary,
+            config,
+        })
+    }
+
+    fn rebuild_boundary(&mut self) {
+        self.boundary = boundary_over(&self.shards, &self.cross, &self.routing);
+    }
+
+    /// Whether the intra arcs of shard `s` can influence the boundary
+    /// closure: only if the shard hosts at least two boundary nodes.
+    fn shard_shapes_boundary(&self, s: usize) -> bool {
+        !self.boundary.is_empty() && self.boundary.by_shard[s].len() >= 2
+    }
+
+    /// Total number of nodes across all shards.
+    pub fn node_count(&self) -> usize {
+        self.routing.node_count()
+    }
+
+    /// Number of shards (fixed at build time).
+    pub fn shard_count(&self) -> usize {
+        self.routing.shards()
+    }
+
+    /// Node count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.routing.global_of.iter().map(Vec::len).collect()
+    }
+
+    /// Number of cross-shard arcs currently tracked.
+    pub fn cross_arc_count(&self) -> usize {
+        self.cross.len()
+    }
+
+    /// Number of boundary nodes (cross-arc endpoints).
+    pub fn boundary_size(&self) -> usize {
+        self.boundary.nodes.len()
+    }
+
+    /// The authoritative whole-graph mirror.
+    pub fn graph(&self) -> &DiGraph {
+        &self.mirror
+    }
+
+    /// The configuration every shard was built with.
+    pub fn config(&self) -> &ClosureConfig {
+        &self.config
+    }
+
+    /// Whether `src` reaches `dst` (reflexive): intra-shard probe first,
+    /// then the boundary route. Out-of-range ids are unreachable.
+    pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        let n = self.routing.node_count();
+        if src.index() >= n || dst.index() >= n {
+            return false;
+        }
+        let (ss, sd) = (self.routing.shard(src), self.routing.shard(dst));
+        if ss == sd && self.shards[ss].reaches(self.routing.local(src), self.routing.local(dst)) {
+            return true;
+        }
+        self.boundary
+            .route(&self.routing, src, dst, |s, a, b| self.shards[s].reaches(a, b))
+    }
+
+    /// Batch form of [`ShardedClosure::reaches`].
+    pub fn reaches_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.reaches_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// Batch form of [`ShardedClosure::reaches`] into a reused buffer
+    /// (cleared first).
+    pub fn reaches_batch_into(&self, pairs: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(pairs.iter().map(|&(s, d)| self.reaches(s, d)));
+    }
+
+    /// All nodes reachable from `node` (including itself), ascending by
+    /// global id.
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if node.index() >= self.routing.node_count() {
+            return out;
+        }
+        let ss = self.routing.shard(node);
+        for l in self.shards[ss].successors(self.routing.local(node)) {
+            out.push(self.routing.global(ss, l));
+        }
+        if !self.boundary.is_empty() {
+            let set = self.boundary.reachable_from(&self.routing, node, |s, a, b| {
+                self.shards[s].reaches(a, b)
+            });
+            for j in set.iter() {
+                let exit = self.boundary.nodes[j];
+                let sb = self.routing.shard(exit);
+                for l in self.shards[sb].successors(self.routing.local(exit)) {
+                    out.push(self.routing.global(sb, l));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        } else {
+            out.sort_unstable();
+        }
+        out
+    }
+
+    /// All nodes that reach `node` (including itself), ascending by global
+    /// id.
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if node.index() >= self.routing.node_count() {
+            return out;
+        }
+        let sd = self.routing.shard(node);
+        for l in self.shards[sd].predecessors(self.routing.local(node)) {
+            out.push(self.routing.global(sd, l));
+        }
+        if !self.boundary.is_empty() {
+            let set = self.boundary.reaching_to(&self.routing, node, |s, a, b| {
+                self.shards[s].reaches(a, b)
+            });
+            for j in set.iter() {
+                let entry = self.boundary.nodes[j];
+                let sb = self.routing.shard(entry);
+                for l in self.shards[sb].predecessors(self.routing.local(entry)) {
+                    out.push(self.routing.global(sb, l));
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        } else {
+            out.sort_unstable();
+        }
+        out
+    }
+
+    /// Adds a node with incoming arcs from `parents` (§4.2). The node
+    /// lands on its first parent's shard (parentless nodes go to the
+    /// least-populated shard); parents on other shards become cross arcs.
+    pub fn add_node_with_parents(&mut self, parents: &[NodeId]) -> Result<NodeId, UpdateError> {
+        let n = self.routing.node_count();
+        for &p in parents {
+            if p.index() >= n {
+                return Err(UpdateError::UnknownNode(p));
+            }
+        }
+        let mut uniq: Vec<NodeId> = Vec::with_capacity(parents.len());
+        for &p in parents {
+            if !uniq.contains(&p) {
+                uniq.push(p);
+            }
+        }
+        let s = uniq
+            .first()
+            .map(|&p| self.routing.shard(p))
+            .unwrap_or_else(|| self.routing.smallest_shard());
+        let local_parents: Vec<NodeId> = uniq
+            .iter()
+            .filter(|&&p| self.routing.shard(p) == s)
+            .map(|&p| self.routing.local(p))
+            .collect();
+        let zl = self.shards[s].add_node_with_parents(&local_parents)?;
+        let (zg, expect) = self.routing.push_node(s);
+        debug_assert_eq!(zl, expect);
+        let zm = self.mirror.add_node();
+        debug_assert_eq!(zm, zg);
+        let mut dirty = false;
+        for &p in &uniq {
+            self.mirror.add_edge(p, zg);
+            if self.routing.shard(p) != s {
+                self.cross.push((p, zg));
+                dirty = true;
+            }
+        }
+        if dirty {
+            self.rebuild_boundary();
+        }
+        Ok(zg)
+    }
+
+    /// Adds the arc `src -> dst` (§4.3). Same-shard arcs go to the shard's
+    /// closure; cross-shard arcs go to the cross list and the boundary
+    /// closure. Returns `Ok(false)` if the arc already exists.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<bool, UpdateError> {
+        let n = self.routing.node_count();
+        if src.index() >= n {
+            return Err(UpdateError::UnknownNode(src));
+        }
+        if dst.index() >= n {
+            return Err(UpdateError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(UpdateError::SelfLoop(src));
+        }
+        if self.mirror.has_edge(src, dst) {
+            return Ok(false);
+        }
+        if self.reaches(dst, src) {
+            return Err(UpdateError::WouldCreateCycle { src, dst });
+        }
+        let (ss, sd) = (self.routing.shard(src), self.routing.shard(dst));
+        if ss == sd {
+            self.shards[ss].add_edge(self.routing.local(src), self.routing.local(dst))?;
+            self.mirror.add_edge(src, dst);
+            if self.shard_shapes_boundary(ss) {
+                self.rebuild_boundary();
+            }
+        } else {
+            self.mirror.add_edge(src, dst);
+            self.cross.push((src, dst));
+            self.rebuild_boundary();
+        }
+        Ok(true)
+    }
+
+    /// Removes the arc `src -> dst` (§4.4 / PR 5 scoped recompute inside
+    /// the owning shard).
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), UpdateError> {
+        let n = self.routing.node_count();
+        if src.index() >= n {
+            return Err(UpdateError::UnknownNode(src));
+        }
+        if dst.index() >= n {
+            return Err(UpdateError::UnknownNode(dst));
+        }
+        if !self.mirror.has_edge(src, dst) {
+            return Err(UpdateError::NoSuchEdge(src, dst));
+        }
+        let (ss, sd) = (self.routing.shard(src), self.routing.shard(dst));
+        if ss == sd {
+            self.shards[ss].remove_edge(self.routing.local(src), self.routing.local(dst))?;
+            self.mirror.remove_edge(src, dst);
+            if self.shard_shapes_boundary(ss) {
+                self.rebuild_boundary();
+            }
+        } else {
+            let pos = self
+                .cross
+                .iter()
+                .position(|&a| a == (src, dst))
+                .expect("cross arc tracked in cross list");
+            self.cross.swap_remove(pos);
+            self.mirror.remove_edge(src, dst);
+            self.rebuild_boundary();
+        }
+        Ok(())
+    }
+
+    /// Removes `node` and every incident arc; the owning shard quarantines
+    /// the slot exactly like [`CompressedClosure::remove_node`].
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), UpdateError> {
+        if node.index() >= self.routing.node_count() {
+            return Err(UpdateError::UnknownNode(node));
+        }
+        let s = self.routing.shard(node);
+        self.shards[s].remove_node(self.routing.local(node))?;
+        for d in self.mirror.successors(node).to_vec() {
+            self.mirror.remove_edge(node, d);
+        }
+        for p in self.mirror.predecessors(node).to_vec() {
+            self.mirror.remove_edge(p, node);
+        }
+        let had_cross = self.cross.iter().any(|&(u, v)| u == node || v == node);
+        self.cross.retain(|&(u, v)| u != node && v != node);
+        if had_cross || self.shard_shapes_boundary(s) {
+            self.rebuild_boundary();
+        }
+        Ok(())
+    }
+
+    /// Interposes a refinement node `z` between `child` and its immediate
+    /// predecessors (§4.1). When all parents share `child`'s shard the
+    /// shard's constant-time reserve path is tried first; if the reserve is
+    /// exhausted, or parents span shards, the op degrades to a generic
+    /// insert (`add_node_with_parents` + `add_edge(z, child)`), which
+    /// yields identical reachability because refinement keeps the original
+    /// `parent -> child` arcs either way. Never returns
+    /// [`UpdateError::ReserveExhausted`].
+    pub fn refine_insert(
+        &mut self,
+        child: NodeId,
+        parents: &[NodeId],
+    ) -> Result<NodeId, UpdateError> {
+        let n = self.routing.node_count();
+        if child.index() >= n {
+            return Err(UpdateError::UnknownNode(child));
+        }
+        for &p in parents {
+            if p.index() >= n {
+                return Err(UpdateError::UnknownNode(p));
+            }
+        }
+        let mut want: Vec<NodeId> = parents.to_vec();
+        want.sort_unstable();
+        want.dedup();
+        let mut have: Vec<NodeId> = self.mirror.predecessors(child).to_vec();
+        have.sort_unstable();
+        if want != have {
+            return Err(UpdateError::RefineParentsMismatch { child });
+        }
+        let s = self.routing.shard(child);
+        let lc = self.routing.local(child);
+        let local_parents: Vec<NodeId> = want
+            .iter()
+            .filter(|&&p| self.routing.shard(p) == s)
+            .map(|&p| self.routing.local(p))
+            .collect();
+        let all_local = local_parents.len() == want.len();
+        let zl = if all_local {
+            match self.shards[s].refine_insert(lc, &local_parents) {
+                Ok(z) => z,
+                Err(UpdateError::ReserveExhausted(_)) => {
+                    let z = self.shards[s].add_node_with_parents(&local_parents)?;
+                    self.shards[s].add_edge(z, lc)?;
+                    z
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            let z = self.shards[s].add_node_with_parents(&local_parents)?;
+            self.shards[s].add_edge(z, lc)?;
+            z
+        };
+        let (zg, expect) = self.routing.push_node(s);
+        debug_assert_eq!(zl, expect);
+        let zm = self.mirror.add_node();
+        debug_assert_eq!(zm, zg);
+        let mut dirty = false;
+        for &p in &want {
+            self.mirror.add_edge(p, zg);
+            if self.routing.shard(p) != s {
+                self.cross.push((p, zg));
+                dirty = true;
+            }
+        }
+        self.mirror.add_edge(zg, child);
+        if dirty {
+            self.rebuild_boundary();
+        }
+        Ok(zg)
+    }
+
+    /// Relabels every shard (fresh gaps and reserves, tombstones dropped).
+    pub fn relabel(&mut self) {
+        for c in &mut self.shards {
+            c.relabel();
+        }
+    }
+
+    /// Rebuilds every shard from scratch with a fresh optimal cover.
+    pub fn rebuild(&mut self) {
+        for c in &mut self.shards {
+            c.rebuild();
+        }
+    }
+
+    /// Freezes every shard's query plane.
+    pub fn freeze(&mut self) {
+        for c in &mut self.shards {
+            c.freeze();
+        }
+    }
+
+    /// Thaws every shard.
+    pub fn thaw(&mut self) {
+        for c in &mut self.shards {
+            c.thaw();
+        }
+    }
+
+    /// Sets the build/rebuild thread count on every shard.
+    pub fn set_threads(&mut self, threads: usize) {
+        for c in &mut self.shards {
+            c.set_threads(threads);
+        }
+    }
+
+    /// Enables or disables scoped-deletion recompute on every shard.
+    pub fn set_scoped_deletes(&mut self, enable: bool) {
+        for c in &mut self.shards {
+            c.set_scoped_deletes(enable);
+        }
+    }
+
+    /// Structural audit: every shard's own audit, the routing bijection,
+    /// the intra/cross edge split against the mirror, and the boundary
+    /// closure against a from-scratch rebuild.
+    pub fn audit(&self) -> Result<(), String> {
+        for (s, c) in self.shards.iter().enumerate() {
+            c.audit().map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        let n = self.routing.node_count();
+        if self.mirror.node_count() != n {
+            return Err(format!(
+                "mirror has {} nodes, routing has {n}",
+                self.mirror.node_count()
+            ));
+        }
+        for g in 0..n {
+            let v = NodeId(g as u32);
+            let s = self.routing.shard(v);
+            if s >= self.shards.len() || self.routing.global(s, self.routing.local(v)) != v {
+                return Err(format!("routing bijection broken at node {g}"));
+            }
+        }
+        let intra: usize = self.shards.iter().map(|c| c.graph().edge_count()).sum();
+        if intra + self.cross.len() != self.mirror.edge_count() {
+            return Err(format!(
+                "edge split mismatch: {intra} intra + {} cross != {} mirror arcs",
+                self.cross.len(),
+                self.mirror.edge_count()
+            ));
+        }
+        let fresh = boundary_over(&self.shards, &self.cross, &self.routing);
+        if fresh != self.boundary {
+            return Err("boundary closure out of date".into());
+        }
+        Ok(())
+    }
+
+    /// Full semantic check: every composed successor set against a DFS
+    /// closure of the mirror. O(n·m) — tests and fuzzing only.
+    pub fn verify(&self) -> Result<(), String> {
+        let rows = traverse::closure_rows(&self.mirror);
+        for (u, row) in rows.iter().enumerate() {
+            let got: Vec<usize> = self
+                .successors(NodeId(u as u32))
+                .iter()
+                .map(|v| v.index())
+                .collect();
+            let want: Vec<usize> = row.iter().collect();
+            if got != want {
+                return Err(format!(
+                    "successors({u}): sharded {got:?} != DFS {want:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated progress counters for a [`ShardedService`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Ops accepted by the front end.
+    pub submitted: u64,
+    /// Ops the front end validated and dropped (unknown node, cycle, ...)
+    /// — the sharded analogue of the single service's `skipped`.
+    pub rejected: u64,
+    /// Per-shard ops enqueued to shard writers (one front-end op can fan
+    /// out to several, e.g. a refinement).
+    pub routed: u64,
+    /// Sum of shard writers' applied ops.
+    pub applied: u64,
+    /// Sum of shard writers' skipped ops. The front end validates against
+    /// an authoritative mirror, so this stays 0 unless something is wrong.
+    pub skipped: u64,
+    /// Routing/boundary snapshots published (the initial one included).
+    pub publishes: u64,
+    /// First structural-audit failure reported by any shard writer.
+    pub audit_violation: Option<String>,
+}
+
+/// One published routing + boundary view; shard snapshots pair with it at
+/// read time.
+#[derive(Debug)]
+struct RouteSnapshot {
+    routing: Routing,
+    boundary: Boundary,
+    version: u64,
+}
+
+/// Epoch-validated swap cell for [`RouteSnapshot`]s — same protocol as the
+/// per-shard services' snapshot cell.
+struct RouteCell {
+    epoch: AtomicU64,
+    slot: Mutex<Arc<RouteSnapshot>>,
+}
+
+/// Front-end state: the authoritative mirror the router validates against,
+/// plus longest-path-to-sink levels for O(1) admission of the common
+/// "edge points down" case.
+struct FrontState {
+    routing: Routing,
+    mirror: DiGraph,
+    /// Longest path to a sink per node: every arc `(p, q)` satisfies
+    /// `level[p] >= level[q] + 1`, so a path `dst -> .. -> src` forces
+    /// `level[dst] > level[src]` — the cheap cycle-admission test.
+    level: Vec<usize>,
+    cross: Vec<(NodeId, NodeId)>,
+    /// Whether the boundary closure must be rebuilt at the next flush.
+    dirty: bool,
+    submitted: u64,
+    rejected: u64,
+    routed: u64,
+    /// Generation-stamped DFS visit marks (no clearing between checks).
+    visit: Vec<u32>,
+    visit_gen: u32,
+    stack: Vec<NodeId>,
+    queue: Vec<NodeId>,
+}
+
+impl FrontState {
+    /// Recomputes `level` from successors for each seed, propagating to
+    /// predecessors while anything changes (handles both raises on insert
+    /// and drops on delete).
+    fn recompute_levels_up(&mut self, seeds: &[NodeId]) {
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
+        queue.extend_from_slice(seeds);
+        while let Some(v) = queue.pop() {
+            let want = self
+                .mirror
+                .successors(v)
+                .iter()
+                .map(|d| self.level[d.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            if self.level[v.index()] != want {
+                self.level[v.index()] = want;
+                queue.extend_from_slice(self.mirror.predecessors(v));
+            }
+        }
+        self.queue = queue;
+    }
+
+    /// Whether adding `src -> dst` would create a cycle, i.e. whether
+    /// `dst` already reaches `src`. Levels admit most inserts in O(1);
+    /// otherwise a DFS from `dst` pruned to nodes with
+    /// `level > level[src]` settles it.
+    fn creates_cycle(&mut self, src: NodeId, dst: NodeId) -> bool {
+        if self.level[dst.index()] <= self.level[src.index()] {
+            return false;
+        }
+        self.visit_gen = self.visit_gen.wrapping_add(1);
+        if self.visit_gen == 0 {
+            self.visit.iter_mut().for_each(|v| *v = 0);
+            self.visit_gen = 1;
+        }
+        let gen = self.visit_gen;
+        self.stack.clear();
+        self.stack.push(dst);
+        self.visit[dst.index()] = gen;
+        while let Some(v) = self.stack.pop() {
+            if v == src {
+                return true;
+            }
+            for &w in self.mirror.successors(v) {
+                if self.visit[w.index()] == gen {
+                    continue;
+                }
+                // Only nodes above src's level can sit on a path to src.
+                if w != src && self.level[w.index()] <= self.level[src.index()] {
+                    continue;
+                }
+                self.visit[w.index()] = gen;
+                self.stack.push(w);
+            }
+        }
+        false
+    }
+
+    /// Registers a fresh node on `shard` in the routing tables, mirror,
+    /// and level/visit arrays; returns `(global, local)`.
+    fn push_node(&mut self, shard: usize) -> (NodeId, NodeId) {
+        let (zg, zl) = self.routing.push_node(shard);
+        let zm = self.mirror.add_node();
+        debug_assert_eq!(zm, zg);
+        self.level.push(0);
+        self.visit.push(0);
+        (zg, zl)
+    }
+}
+
+/// The sharded serving layer: one [`ClosureService`] writer per shard, a
+/// validating front end, and a routing/boundary snapshot republished at
+/// every [`ShardedService::flush`].
+///
+/// The front end owns an authoritative mirror, so every op is validated
+/// *synchronously* (unknown nodes, self-loops, duplicate arcs, cycles) and
+/// either rejected — counted in [`ShardedStats::rejected`] — or routed to
+/// the owning shard's writer as ops that cannot fail there. That keeps the
+/// routing tables, which the front end extends synchronously, in lockstep
+/// with what the writers will eventually apply.
+///
+/// Consistency: each shard on its own is prefix-consistent exactly like a
+/// single [`ClosureService`]. The routing/boundary snapshot is republished
+/// only at [`ShardedService::flush`], so between flushes a cross-shard
+/// composition may mix per-shard prefixes and lag behind recent cross-arc
+/// churn; immediately after a flush every composed answer is exact.
+///
+/// ```
+/// use tc_graph::{DiGraph, NodeId};
+/// use tc_core::serve::{ServiceConfig, ServiceOp};
+/// use tc_core::shard::{ShardedClosure, ShardedService};
+/// use tc_core::ClosureConfig;
+///
+/// let g = DiGraph::from_edges([(0, 1), (2, 3)]);
+/// let sc = ShardedClosure::build(ClosureConfig::new(), &g, 2).unwrap();
+/// let service = ShardedService::start(sc, ServiceConfig::new());
+/// let mut reader = service.reader();
+///
+/// // A cross-shard arc: 1 (shard of {0,1}) -> 2 (shard of {2,3}).
+/// service.submit(ServiceOp::AddEdge { src: NodeId(1), dst: NodeId(2) });
+/// service.flush();
+/// assert!(reader.reaches(NodeId(0), NodeId(3)));
+///
+/// let (stats, sc) = service.shutdown();
+/// assert_eq!(stats.skipped, 0);
+/// assert!(sc.audit().is_ok());
+/// ```
+pub struct ShardedService {
+    services: Vec<ClosureService>,
+    front: Mutex<FrontState>,
+    cell: Arc<RouteCell>,
+    config: ClosureConfig,
+}
+
+impl ShardedService {
+    /// Starts one background writer per shard and publishes the initial
+    /// routing/boundary snapshot.
+    pub fn start(sharded: ShardedClosure, config: ServiceConfig) -> ShardedService {
+        let ShardedClosure { routing, shards, cross, mirror, boundary, config: closure_config } =
+            sharded;
+        let lv = topo::levels(&mirror).expect("sharded closure mirror is acyclic");
+        let n = routing.node_count();
+        let level: Vec<usize> = (0..n).map(|i| lv.level_of(NodeId(i as u32))).collect();
+        let services: Vec<ClosureService> = shards
+            .into_iter()
+            .map(|c| ClosureService::start(c, config))
+            .collect();
+        let cell = Arc::new(RouteCell {
+            epoch: AtomicU64::new(1),
+            slot: Mutex::new(Arc::new(RouteSnapshot {
+                routing: routing.clone(),
+                boundary,
+                version: 1,
+            })),
+        });
+        let front = Mutex::new(FrontState {
+            routing,
+            mirror,
+            level,
+            cross,
+            dirty: false,
+            submitted: 0,
+            rejected: 0,
+            routed: 0,
+            visit: vec![0; n],
+            visit_gen: 0,
+            stack: Vec::new(),
+            queue: Vec::new(),
+        });
+        ShardedService { services, front, cell, config: closure_config }
+    }
+
+    /// Validates and routes one op; returns its front-end sequence number.
+    /// Invalid ops (the ones a single [`ClosureService`] writer would
+    /// skip) are counted in [`ShardedStats::rejected`] and dropped here,
+    /// before any writer sees them.
+    pub fn submit(&self, op: ServiceOp) -> u64 {
+        let mut f = self.front.lock().expect("front state poisoned");
+        f.submitted += 1;
+        let seq = f.submitted;
+        self.route_op(&mut f, op);
+        seq
+    }
+
+    /// Submits a batch under one front-end lock; returns the last sequence
+    /// number (0 if empty).
+    pub fn submit_batch(&self, ops: impl IntoIterator<Item = ServiceOp>) -> u64 {
+        let mut f = self.front.lock().expect("front state poisoned");
+        let mut seq = f.submitted;
+        for op in ops {
+            f.submitted += 1;
+            seq = f.submitted;
+            self.route_op(&mut f, op);
+        }
+        seq
+    }
+
+    fn route_op(&self, f: &mut FrontState, op: ServiceOp) {
+        let n = f.routing.node_count();
+        match op {
+            ServiceOp::AddNode { parents } => {
+                if parents.iter().any(|p| p.index() >= n) {
+                    f.rejected += 1;
+                    return;
+                }
+                let mut uniq: Vec<NodeId> = Vec::with_capacity(parents.len());
+                for &p in &parents {
+                    if !uniq.contains(&p) {
+                        uniq.push(p);
+                    }
+                }
+                let s = uniq
+                    .first()
+                    .map(|&p| f.routing.shard(p))
+                    .unwrap_or_else(|| f.routing.smallest_shard());
+                let (zg, _) = f.push_node(s);
+                for &p in &uniq {
+                    f.mirror.add_edge(p, zg);
+                    if f.routing.shard(p) != s {
+                        f.cross.push((p, zg));
+                        f.dirty = true;
+                    }
+                }
+                f.recompute_levels_up(&uniq);
+                let local_parents: Vec<NodeId> = uniq
+                    .iter()
+                    .filter(|&&p| f.routing.shard(p) == s)
+                    .map(|&p| f.routing.local(p))
+                    .collect();
+                self.services[s].submit(ServiceOp::AddNode { parents: local_parents });
+                f.routed += 1;
+            }
+            ServiceOp::AddEdge { src, dst } => {
+                if src.index() >= n || dst.index() >= n || src == dst {
+                    f.rejected += 1;
+                    return;
+                }
+                if f.mirror.has_edge(src, dst) {
+                    return; // duplicate: a no-op, matching CompressedClosure::add_edge
+                }
+                if f.creates_cycle(src, dst) {
+                    f.rejected += 1;
+                    return;
+                }
+                f.mirror.add_edge(src, dst);
+                f.recompute_levels_up(&[src]);
+                let (ss, sd) = (f.routing.shard(src), f.routing.shard(dst));
+                if ss == sd {
+                    self.services[ss].submit(ServiceOp::AddEdge {
+                        src: f.routing.local(src),
+                        dst: f.routing.local(dst),
+                    });
+                    f.routed += 1;
+                    if !f.cross.is_empty() {
+                        f.dirty = true;
+                    }
+                } else {
+                    f.cross.push((src, dst));
+                    f.dirty = true;
+                }
+            }
+            ServiceOp::RemoveEdge { src, dst } => {
+                if src.index() >= n || dst.index() >= n || !f.mirror.has_edge(src, dst) {
+                    f.rejected += 1;
+                    return;
+                }
+                f.mirror.remove_edge(src, dst);
+                f.recompute_levels_up(&[src]);
+                let (ss, sd) = (f.routing.shard(src), f.routing.shard(dst));
+                if ss == sd {
+                    self.services[ss].submit(ServiceOp::RemoveEdge {
+                        src: f.routing.local(src),
+                        dst: f.routing.local(dst),
+                    });
+                    f.routed += 1;
+                    if !f.cross.is_empty() {
+                        f.dirty = true;
+                    }
+                } else {
+                    let pos = f
+                        .cross
+                        .iter()
+                        .position(|&a| a == (src, dst))
+                        .expect("cross arc tracked in cross list");
+                    f.cross.swap_remove(pos);
+                    f.dirty = true;
+                }
+            }
+            ServiceOp::RemoveNode { node } => {
+                if node.index() >= n {
+                    f.rejected += 1;
+                    return;
+                }
+                let preds = f.mirror.predecessors(node).to_vec();
+                for d in f.mirror.successors(node).to_vec() {
+                    f.mirror.remove_edge(node, d);
+                }
+                for &p in &preds {
+                    f.mirror.remove_edge(p, node);
+                }
+                let had_cross = f.cross.iter().any(|&(u, v)| u == node || v == node);
+                f.cross.retain(|&(u, v)| u != node && v != node);
+                if had_cross || !f.cross.is_empty() {
+                    f.dirty = true;
+                }
+                let mut seeds = preds;
+                seeds.push(node);
+                f.recompute_levels_up(&seeds);
+                let s = f.routing.shard(node);
+                self.services[s].submit(ServiceOp::RemoveNode { node: f.routing.local(node) });
+                f.routed += 1;
+            }
+            ServiceOp::Refine { child } => {
+                if child.index() >= n {
+                    f.rejected += 1;
+                    return;
+                }
+                let parents = f.mirror.predecessors(child).to_vec();
+                let s = f.routing.shard(child);
+                let (zg, zl) = f.push_node(s);
+                for &p in &parents {
+                    f.mirror.add_edge(p, zg);
+                    if f.routing.shard(p) != s {
+                        f.cross.push((p, zg));
+                        f.dirty = true;
+                    }
+                }
+                f.mirror.add_edge(zg, child);
+                let mut seeds = parents.clone();
+                seeds.push(zg);
+                f.recompute_levels_up(&seeds);
+                let local_parents: Vec<NodeId> = parents
+                    .iter()
+                    .filter(|&&p| f.routing.shard(p) == s)
+                    .map(|&p| f.routing.local(p))
+                    .collect();
+                // The shard writer applies these FIFO: the generic form of
+                // refinement (reachability-identical because the original
+                // parent -> child arcs stay).
+                self.services[s].submit(ServiceOp::AddNode { parents: local_parents });
+                self.services[s]
+                    .submit(ServiceOp::AddEdge { src: zl, dst: f.routing.local(child) });
+                f.routed += 2;
+            }
+            ServiceOp::Relabel => {
+                for svc in &self.services {
+                    svc.submit(ServiceOp::Relabel);
+                    f.routed += 1;
+                }
+            }
+            ServiceOp::Rebuild => {
+                for svc in &self.services {
+                    svc.submit(ServiceOp::Rebuild);
+                    f.routed += 1;
+                }
+            }
+        }
+    }
+
+    /// Blocks until every routed op is applied and published by its shard
+    /// writer, republishes the routing/boundary snapshot from the fresh
+    /// shard snapshots, and returns the aggregated stats. After this
+    /// returns, composed reads are exact.
+    pub fn flush(&self) -> ShardedStats {
+        let mut f = self.front.lock().expect("front state poisoned");
+        let mut stats = ShardedStats {
+            submitted: f.submitted,
+            rejected: f.rejected,
+            routed: f.routed,
+            ..ShardedStats::default()
+        };
+        for svc in &self.services {
+            let s = svc.flush();
+            stats.applied += s.applied;
+            stats.skipped += s.skipped;
+            if stats.audit_violation.is_none() {
+                stats.audit_violation = s.audit_violation;
+            }
+        }
+        let published = {
+            let slot = self.cell.slot.lock().expect("route cell poisoned");
+            (slot.version, slot.routing.node_count())
+        };
+        if f.dirty || published.1 != f.routing.node_count() {
+            let snaps: Vec<Arc<ServiceSnapshot>> =
+                self.services.iter().map(|s| s.reader().snapshot()).collect();
+            let boundary = if f.dirty {
+                Boundary::rebuild(&f.cross, &f.routing, |s, a, b| snaps[s].reaches(a, b))
+            } else {
+                self.cell.slot.lock().expect("route cell poisoned").boundary.clone()
+            };
+            let next = Arc::new(RouteSnapshot {
+                routing: f.routing.clone(),
+                boundary,
+                version: published.0 + 1,
+            });
+            *self.cell.slot.lock().expect("route cell poisoned") = next;
+            self.cell.epoch.store(published.0 + 1, Ordering::Release);
+            f.dirty = false;
+        }
+        stats.publishes = self.cell.epoch.load(Ordering::Acquire);
+        stats
+    }
+
+    /// Current counters without waiting for the writers to drain.
+    pub fn stats(&self) -> ShardedStats {
+        let f = self.front.lock().expect("front state poisoned");
+        let mut stats = ShardedStats {
+            submitted: f.submitted,
+            rejected: f.rejected,
+            routed: f.routed,
+            publishes: self.cell.epoch.load(Ordering::Acquire),
+            ..ShardedStats::default()
+        };
+        for svc in &self.services {
+            let s = svc.stats();
+            stats.applied += s.applied;
+            stats.skipped += s.skipped;
+            if stats.audit_violation.is_none() {
+                stats.audit_violation = s.audit_violation;
+            }
+        }
+        stats
+    }
+
+    /// A new scatter-gather reader pinned to the current snapshots.
+    pub fn reader(&self) -> ShardedReader {
+        let route = Arc::clone(&self.cell.slot.lock().expect("route cell poisoned"));
+        let epoch = route.version;
+        ShardedReader {
+            readers: self.services.iter().map(|s| s.reader()).collect(),
+            cell: Arc::clone(&self.cell),
+            route,
+            epoch,
+            pinned: Vec::new(),
+            local_pairs: Vec::new(),
+            slots: Vec::new(),
+            bools: Vec::new(),
+            seen: Vec::new(),
+            stab: Vec::new(),
+        }
+    }
+
+    /// Flushes, stops every shard writer, and reassembles the exact
+    /// offline [`ShardedClosure`].
+    pub fn shutdown(self) -> (ShardedStats, ShardedClosure) {
+        let stats = self.flush();
+        let ShardedService { services, front, cell: _, config } = self;
+        let f = front.into_inner().expect("front state poisoned");
+        let mut shards = Vec::with_capacity(services.len());
+        for svc in services {
+            let (_, backend) = svc.shutdown();
+            shards.push(backend.into_single().expect("sharded service runs single backends"));
+        }
+        let boundary = boundary_over(&shards, &f.cross, &f.routing);
+        (
+            stats,
+            ShardedClosure {
+                routing: f.routing,
+                shards,
+                cross: f.cross,
+                mirror: f.mirror,
+                boundary,
+                config,
+            },
+        )
+    }
+}
+
+/// Whether `src` reaches `dst` on one pinned set of shard snapshots.
+fn reaches_on(route: &RouteSnapshot, snaps: &[Arc<ServiceSnapshot>], src: NodeId, dst: NodeId) -> bool {
+    let n = route.routing.node_count();
+    if src.index() >= n || dst.index() >= n {
+        return false;
+    }
+    let (ss, sd) = (route.routing.shard(src), route.routing.shard(dst));
+    if ss == sd && snaps[ss].reaches(route.routing.local(src), route.routing.local(dst)) {
+        return true;
+    }
+    route
+        .boundary
+        .route(&route.routing, src, dst, |s, a, b| snaps[s].reaches(a, b))
+}
+
+/// A scatter-gather query handle over a [`ShardedService`]: one
+/// [`ServiceReader`] per shard plus the routing/boundary snapshot, all
+/// revalidated with one atomic epoch load per pin. Batch probes group
+/// pairs by shard and run through each snapshot's zero-alloc
+/// [`ServiceSnapshot::reaches_batch_into`] path; only pairs the intra
+/// probes left unanswered take the boundary route. All scratch buffers are
+/// reused across calls.
+pub struct ShardedReader {
+    readers: Vec<ServiceReader>,
+    cell: Arc<RouteCell>,
+    route: Arc<RouteSnapshot>,
+    epoch: u64,
+    pinned: Vec<Arc<ServiceSnapshot>>,
+    local_pairs: Vec<Vec<(NodeId, NodeId)>>,
+    slots: Vec<Vec<usize>>,
+    bools: Vec<bool>,
+    seen: Vec<NodeId>,
+    stab: Vec<u32>,
+}
+
+impl ShardedReader {
+    /// Revalidates the routing/boundary snapshot and pins the freshest
+    /// snapshot of every shard for the duration of one query.
+    fn pin(&mut self) {
+        let current = self.cell.epoch.load(Ordering::Acquire);
+        if current != self.epoch {
+            let snap = Arc::clone(&self.cell.slot.lock().expect("route cell poisoned"));
+            self.epoch = snap.version;
+            self.route = snap;
+        }
+        self.pinned.clear();
+        for r in &mut self.readers {
+            self.pinned.push(r.snapshot());
+        }
+    }
+
+    /// Version of the routing/boundary snapshot the last query used.
+    pub fn route_version(&self) -> u64 {
+        self.route.version
+    }
+
+    /// Largest per-shard staleness (submitted-but-unpublished shard ops).
+    pub fn staleness(&self) -> u64 {
+        self.readers.iter().map(ServiceReader::staleness).max().unwrap_or(0)
+    }
+
+    /// Whether `src` reaches `dst` on the freshest pinned snapshots.
+    pub fn reaches(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.pin();
+        reaches_on(&self.route, &self.pinned, src, dst)
+    }
+
+    /// Batch reachability, scatter-gathered across shards; see
+    /// [`ShardedReader::reaches_batch_into`] for the allocation-free form.
+    pub fn reaches_batch(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.reaches_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// Answers every pair into `out` (cleared first). Same-shard pairs are
+    /// grouped per shard and answered through that snapshot's
+    /// [`ServiceSnapshot::reaches_batch_into`]; pairs still unanswered —
+    /// cross-shard pairs and same-shard pairs whose only path leaves the
+    /// shard — take the boundary route. With reused buffers the whole
+    /// batch allocates nothing.
+    pub fn reaches_batch_into(&mut self, pairs: &[(NodeId, NodeId)], out: &mut Vec<bool>) {
+        self.pin();
+        let route = &self.route;
+        let snaps = &self.pinned;
+        let shards = route.routing.shards();
+        self.local_pairs.resize_with(shards, Vec::new);
+        self.slots.resize_with(shards, Vec::new);
+        for v in &mut self.local_pairs {
+            v.clear();
+        }
+        for v in &mut self.slots {
+            v.clear();
+        }
+        out.clear();
+        out.resize(pairs.len(), false);
+        let n = route.routing.node_count();
+        for (i, &(src, dst)) in pairs.iter().enumerate() {
+            if src.index() >= n || dst.index() >= n {
+                continue;
+            }
+            let (ss, sd) = (route.routing.shard(src), route.routing.shard(dst));
+            if ss == sd {
+                self.local_pairs[ss].push((route.routing.local(src), route.routing.local(dst)));
+                self.slots[ss].push(i);
+            }
+        }
+        for (s, snap) in snaps.iter().enumerate() {
+            if self.slots[s].is_empty() {
+                continue;
+            }
+            snap.reaches_batch_into(&self.local_pairs[s], &mut self.bools);
+            for (k, &i) in self.slots[s].iter().enumerate() {
+                out[i] = self.bools[k];
+            }
+        }
+        if !route.boundary.is_empty() {
+            for (i, &(src, dst)) in pairs.iter().enumerate() {
+                if out[i] || src.index() >= n || dst.index() >= n {
+                    continue;
+                }
+                out[i] = route
+                    .boundary
+                    .route(&route.routing, src, dst, |s, a, b| snaps[s].reaches(a, b));
+            }
+        }
+    }
+
+    /// All nodes reachable from `node` (including itself), ascending by
+    /// global id.
+    pub fn successors(&mut self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.successors_into(node, &mut out);
+        out
+    }
+
+    /// [`ShardedReader::successors`] into a reused buffer (cleared
+    /// first): local decode per shard through the zero-alloc
+    /// [`ServiceSnapshot::successors_into`], then the boundary expansion.
+    pub fn successors_into(&mut self, node: NodeId, out: &mut Vec<NodeId>) {
+        self.pin();
+        let route = &self.route;
+        let snaps = &self.pinned;
+        out.clear();
+        if node.index() >= route.routing.node_count() {
+            return;
+        }
+        let ss = route.routing.shard(node);
+        snaps[ss].successors_into(route.routing.local(node), &mut self.seen);
+        out.extend(self.seen.iter().map(|&l| route.routing.global(ss, l)));
+        if !route.boundary.is_empty() {
+            let set = route
+                .boundary
+                .reachable_from(&route.routing, node, |s, a, b| snaps[s].reaches(a, b));
+            for j in set.iter() {
+                let exit = route.boundary.nodes[j];
+                let sb = route.routing.shard(exit);
+                snaps[sb].successors_into(route.routing.local(exit), &mut self.seen);
+                out.extend(self.seen.iter().map(|&l| route.routing.global(sb, l)));
+            }
+            out.sort_unstable();
+            out.dedup();
+        } else {
+            out.sort_unstable();
+        }
+    }
+
+    /// All nodes that reach `node` (including itself), ascending by global
+    /// id.
+    pub fn predecessors(&mut self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.predecessors_into(node, &mut out);
+        out
+    }
+
+    /// [`ShardedReader::predecessors`] into a reused buffer (cleared
+    /// first).
+    pub fn predecessors_into(&mut self, node: NodeId, out: &mut Vec<NodeId>) {
+        self.pin();
+        let route = &self.route;
+        let snaps = &self.pinned;
+        out.clear();
+        if node.index() >= route.routing.node_count() {
+            return;
+        }
+        let sd = route.routing.shard(node);
+        snaps[sd].predecessors_into(route.routing.local(node), &mut self.stab, &mut self.seen);
+        out.extend(self.seen.iter().map(|&l| route.routing.global(sd, l)));
+        if !route.boundary.is_empty() {
+            let set = route
+                .boundary
+                .reaching_to(&route.routing, node, |s, a, b| snaps[s].reaches(a, b));
+            for j in set.iter() {
+                let entry = route.boundary.nodes[j];
+                let sb = route.routing.shard(entry);
+                snaps[sb].predecessors_into(
+                    route.routing.local(entry),
+                    &mut self.stab,
+                    &mut self.seen,
+                );
+                out.extend(self.seen.iter().map(|&l| route.routing.global(sb, l)));
+            }
+            out.sort_unstable();
+            out.dedup();
+        } else {
+            out.sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ServiceOp;
+
+    /// Three weak components plus an isolated node (id 9).
+    fn forest() -> DiGraph {
+        let mut g = DiGraph::from_edges([
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3), // component A: diamond 0..=3
+            (4, 5),
+            (5, 6), // component B: path 4..=6
+            (7, 8), // component C
+        ]);
+        g.add_node();
+        g
+    }
+
+    fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::with_capacity(n * n);
+        for s in 0..n {
+            for d in 0..n {
+                pairs.push((NodeId(s as u32), NodeId(d as u32)));
+            }
+        }
+        pairs
+    }
+
+    fn assert_matches_unsharded(sc: &ShardedClosure, flat: &CompressedClosure) {
+        let n = flat.node_count();
+        assert_eq!(sc.node_count(), n);
+        for &(s, d) in &all_pairs(n) {
+            assert_eq!(
+                sc.reaches(s, d),
+                flat.reaches(s, d),
+                "reaches({s:?}, {d:?}) diverged"
+            );
+        }
+        let pairs = all_pairs(n);
+        assert_eq!(sc.reaches_batch(&pairs), flat.reaches_batch(&pairs));
+        for u in 0..n {
+            let v = NodeId(u as u32);
+            let mut want = flat.successors(v);
+            want.sort_unstable();
+            assert_eq!(sc.successors(v), want, "successors({u}) diverged");
+            let mut want = flat.predecessors(v);
+            want.sort_unstable();
+            assert_eq!(sc.predecessors(v), want, "predecessors({u}) diverged");
+        }
+    }
+
+    #[test]
+    fn multi_component_matches_unsharded() {
+        let g = forest();
+        let flat = CompressedClosure::build(&g).unwrap();
+        for shards in [1, 2, 3, 8] {
+            let sc = ShardedClosure::build(ClosureConfig::new(), &g, shards).unwrap();
+            assert!(sc.audit().is_ok(), "audit: {:?}", sc.audit());
+            assert_eq!(sc.cross_arc_count(), 0, "weak components never split");
+            assert_matches_unsharded(&sc, &flat);
+        }
+    }
+
+    #[test]
+    fn giant_component_routes_through_boundary() {
+        // One dominant component: a path with chords, level-cut into bands.
+        let mut edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+        edges.extend([(0, 10), (3, 15), (5, 18)]);
+        let g = DiGraph::from_edges(edges);
+        let flat = CompressedClosure::build(&g).unwrap();
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 4).unwrap();
+        assert!(sc.shard_count() > 1);
+        assert!(sc.cross_arc_count() > 0, "level cut must produce cross arcs");
+        assert!(sc.audit().is_ok(), "audit: {:?}", sc.audit());
+        assert!(sc.verify().is_ok(), "verify: {:?}", sc.verify());
+        assert_matches_unsharded(&sc, &flat);
+    }
+
+    #[test]
+    fn update_stream_stays_equivalent() {
+        let g = forest();
+        let mut flat = CompressedClosure::build(&g).unwrap();
+        let mut sc = ShardedClosure::build(ClosureConfig::new(), &g, 3).unwrap();
+        // A churn script hitting every op class, including cross-shard
+        // arcs (component A and component B live on different shards).
+        let a = |i: u32| NodeId(i);
+        // Cross-shard arc: 3 (comp A) -> 4 (comp B).
+        assert_eq!(sc.add_edge(a(3), a(4)).unwrap(), flat.add_edge(a(3), a(4)).unwrap());
+        // Cycle attempt across the boundary must be rejected identically.
+        assert!(matches!(sc.add_edge(a(6), a(0)), Err(UpdateError::WouldCreateCycle { .. })));
+        assert!(matches!(flat.add_edge(a(6), a(0)), Err(UpdateError::WouldCreateCycle { .. })));
+        // New node with parents on two shards.
+        let zs = sc.add_node_with_parents(&[a(6), a(8)]).unwrap();
+        let zf = flat.add_node_with_parents(&[a(6), a(8)]).unwrap();
+        assert_eq!(zs, zf);
+        // Refinement with cross-shard parents (parents of the new node).
+        // The flat closure was built with reserve 0, so its refine path is
+        // exhausted; mirror the sharded layer's documented degradation.
+        let rs = sc.refine_insert(zs, &[a(6), a(8)]).unwrap();
+        let rf = match flat.refine_insert(zf, &[a(6), a(8)]) {
+            Ok(z) => z,
+            Err(UpdateError::ReserveExhausted(_)) => {
+                let z = flat.add_node_with_parents(&[a(6), a(8)]).unwrap();
+                flat.add_edge(z, zf).unwrap();
+                z
+            }
+            Err(e) => panic!("flat refine failed: {e}"),
+        };
+        assert_eq!(rs, rf);
+        // Remove the cross arc again, then a node with cross arcs.
+        sc.remove_edge(a(3), a(4)).unwrap();
+        flat.remove_edge(a(3), a(4)).unwrap();
+        sc.remove_node(a(6)).unwrap();
+        flat.remove_node(a(6)).unwrap();
+        sc.relabel();
+        flat.relabel();
+        assert!(sc.audit().is_ok(), "audit: {:?}", sc.audit());
+        assert!(sc.verify().is_ok(), "verify: {:?}", sc.verify());
+        assert_matches_unsharded(&sc, &flat);
+    }
+
+    #[test]
+    fn sharded_service_matches_flat_service_after_flush() {
+        let g = forest();
+        // A refinement reserve keeps the flat writer's Refine on the §4.1
+        // fast path, so both services apply every op below.
+        let cc = ClosureConfig::new().reserve(8);
+        let sc = ShardedClosure::build(cc, &g, 3).unwrap();
+        let service = ShardedService::start(sc, ServiceConfig::new().audit(true));
+        let flat = cc.build(&g).unwrap();
+        let flat_service = ClosureService::start(flat, ServiceConfig::new().audit(true));
+        let mut reader = service.reader();
+        let mut flat_reader = flat_service.reader();
+
+        let ops = [
+            ServiceOp::AddEdge { src: NodeId(3), dst: NodeId(4) }, // cross
+            ServiceOp::AddNode { parents: vec![NodeId(6), NodeId(8)] }, // cross parents
+            ServiceOp::Refine { child: NodeId(3) },
+            ServiceOp::AddEdge { src: NodeId(6), dst: NodeId(0) }, // cycle: rejected
+            ServiceOp::AddEdge { src: NodeId(7), dst: NodeId(7) }, // self-loop: rejected
+            ServiceOp::RemoveEdge { src: NodeId(3), dst: NodeId(4) }, // cross removal
+            ServiceOp::RemoveNode { node: NodeId(5) },
+            ServiceOp::Relabel,
+        ];
+        for op in ops {
+            service.submit(op.clone());
+            flat_service.submit(op);
+            let stats = service.flush();
+            flat_service.flush();
+            assert_eq!(stats.skipped, 0, "shard writers must never skip");
+            assert_eq!(stats.audit_violation, None);
+            let n = flat_reader.refresh().node_count();
+            for &(s, d) in &all_pairs(n) {
+                assert_eq!(
+                    reader.reaches(s, d),
+                    flat_reader.reaches(s, d),
+                    "reaches({s:?}, {d:?}) diverged post-flush"
+                );
+            }
+            for u in 0..n {
+                let v = NodeId(u as u32);
+                let mut want = flat_reader.successors(v);
+                want.sort_unstable();
+                assert_eq!(reader.successors(v), want, "successors({u})");
+                let mut want = flat_reader.predecessors(v);
+                want.sort_unstable();
+                assert_eq!(reader.predecessors(v), want, "predecessors({u})");
+            }
+            let pairs = all_pairs(n);
+            assert_eq!(reader.reaches_batch(&pairs), flat_reader.reaches_batch(&pairs));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rejected, 2, "cycle + self-loop rejected at the front");
+        let (_, sc) = service.shutdown();
+        assert!(sc.audit().is_ok(), "audit: {:?}", sc.audit());
+        assert!(sc.verify().is_ok(), "verify: {:?}", sc.verify());
+    }
+
+    #[test]
+    fn front_end_rejects_what_flat_writer_would_skip() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 2).unwrap();
+        let service = ShardedService::start(sc, ServiceConfig::new());
+        service.submit(ServiceOp::AddEdge { src: NodeId(9), dst: NodeId(0) }); // unknown
+        service.submit(ServiceOp::RemoveEdge { src: NodeId(1), dst: NodeId(0) }); // no such edge
+        service.submit(ServiceOp::RemoveNode { node: NodeId(44) }); // unknown
+        service.submit(ServiceOp::Refine { child: NodeId(44) }); // unknown
+        service.submit(ServiceOp::AddEdge { src: NodeId(1), dst: NodeId(0) }); // cycle
+        let stats = service.flush();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.rejected, 5);
+        assert_eq!(stats.routed, 0);
+        assert_eq!(stats.skipped, 0);
+        let (_, sc) = service.shutdown();
+        assert!(sc.verify().is_ok());
+    }
+
+    #[test]
+    fn shutdown_roundtrips_through_service() {
+        let mut edges: Vec<(u32, u32)> = (0..15).map(|i| (i, i + 1)).collect();
+        edges.push((2, 9));
+        let g = DiGraph::from_edges(edges);
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 4).unwrap();
+        let before: Vec<bool> = sc.reaches_batch(&all_pairs(16));
+        let service = ShardedService::start(sc, ServiceConfig::new());
+        let (stats, sc) = service.shutdown();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(before, sc.reaches_batch(&all_pairs(16)));
+        assert!(sc.audit().is_ok(), "audit: {:?}", sc.audit());
+    }
+}

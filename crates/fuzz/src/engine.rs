@@ -47,8 +47,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use tc_baselines::{ChainIndex, ReachabilityIndex};
-use tc_core::serve::ServiceSnapshot;
-use tc_core::{CompressedClosure, UpdateError};
+use tc_core::serve::{ServiceConfig, ServiceOp, ServiceSnapshot};
+use tc_core::{CompressedClosure, ShardedClosure, ShardedReader, ShardedService, UpdateError};
 use tc_graph::{traverse, DiGraph, NodeId};
 
 use crate::ops::{FuzzConfig, Op, OpTrace};
@@ -63,6 +63,11 @@ pub struct CheckOptions {
     pub oracle_every: usize,
     /// Cross-check reachability against [`ChainIndex`] during oracle runs.
     pub baseline: bool,
+    /// When `> 1`, drive a [`ShardedService`] with that many shards in
+    /// lockstep with the closure under test: every op the engine *applies*
+    /// is forwarded, flushed, and the scatter-gather answers are compared
+    /// after each step (sampled) and at every oracle pass (exhaustively).
+    pub shards: usize,
 }
 
 impl Default for CheckOptions {
@@ -71,6 +76,7 @@ impl Default for CheckOptions {
             audit_every_step: true,
             oracle_every: 64,
             baseline: true,
+            shards: 1,
         }
     }
 }
@@ -92,6 +98,10 @@ pub enum ViolationKind {
     /// A pinned service snapshot's answers diverged from the DFS closure of
     /// the relation as it was when that snapshot was published.
     Service,
+    /// The lockstep [`ShardedService`] replica diverged from the closure
+    /// under test (or its front end rejected / its writers skipped an op
+    /// the reference engine applied).
+    Sharded,
     /// The op (or a check after it) panicked.
     Panic,
 }
@@ -142,6 +152,17 @@ pub struct PublishedView {
     pub mirror: DiGraph,
 }
 
+/// The lockstep sharded replica: a [`ShardedService`] that receives
+/// exactly the ops the reference engine applied, flushed after every
+/// forward so its scatter-gather answers are comparable.
+pub struct ShardedLockstep {
+    service: ShardedService,
+    reader: ShardedReader,
+    /// Ops forwarded so far (seeds the sampling hash so consecutive
+    /// quick checks probe different pairs).
+    forwarded: u64,
+}
+
 /// Live replay state: the closure under test plus its mirror relation.
 pub struct EngineState {
     /// The interval-compressed closure being fuzzed.
@@ -150,6 +171,8 @@ pub struct EngineState {
     pub mirror: DiGraph,
     /// The most recent [`Op::ServicePublish`] capture, if any.
     pub published: Option<PublishedView>,
+    /// The lockstep sharded replica, when [`CheckOptions::shards`] > 1.
+    pub sharded: Option<ShardedLockstep>,
 }
 
 impl EngineState {
@@ -162,7 +185,27 @@ impl EngineState {
         })?;
         let mirror = DiGraph::new();
         let closure = cc.build(&mirror).expect("empty graph is acyclic");
-        Ok(EngineState { closure, mirror, published: None })
+        Ok(EngineState { closure, mirror, published: None, sharded: None })
+    }
+
+    /// Attaches a lockstep [`ShardedService`] replica with `shards` shards,
+    /// seeded from the current relation. Every subsequently *applied* op is
+    /// forwarded to it and the composed answers are compared.
+    pub fn enable_sharding(&mut self, shards: usize, config: &FuzzConfig) -> Result<(), Violation> {
+        let cc = config.closure_config().map_err(|detail| Violation {
+            step: None,
+            kind: ViolationKind::Config,
+            detail,
+        })?;
+        let sc = ShardedClosure::build(cc, &self.mirror, shards).map_err(|e| Violation {
+            step: None,
+            kind: ViolationKind::Config,
+            detail: format!("sharded build failed: {e:?}"),
+        })?;
+        let service = ShardedService::start(sc, ServiceConfig::new());
+        let reader = service.reader();
+        self.sharded = Some(ShardedLockstep { service, reader, forwarded: 0 });
+        Ok(())
     }
 
     fn in_range(&self, id: u32) -> bool {
@@ -190,6 +233,7 @@ impl EngineState {
                 for &p in &valid {
                     self.mirror.add_edge(p, z); // duplicates collapse
                 }
+                self.forward_sharded(ServiceOp::AddNode { parents: valid })?;
                 Ok(true)
             }
             Op::AddEdge { src, dst } => {
@@ -210,6 +254,7 @@ impl EngineState {
                     )));
                 }
                 self.mirror.add_edge(s, d);
+                self.forward_sharded(ServiceOp::AddEdge { src: s, dst: d })?;
                 Ok(true)
             }
             Op::RemoveEdge { src, dst } => {
@@ -224,6 +269,7 @@ impl EngineState {
                     .remove_edge(s, d)
                     .map_err(|e| update(format!("remove_edge({s:?},{d:?}): {e}")))?;
                 self.mirror.remove_edge(s, d);
+                self.forward_sharded(ServiceOp::RemoveEdge { src: s, dst: d })?;
                 Ok(true)
             }
             Op::RemoveNode { node } => {
@@ -243,6 +289,7 @@ impl EngineState {
                 for s in self.mirror.predecessors(v).to_vec() {
                     self.mirror.remove_edge(s, v);
                 }
+                self.forward_sharded(ServiceOp::RemoveNode { node: v })?;
                 Ok(true)
             }
             Op::Refine { child } => {
@@ -259,6 +306,10 @@ impl EngineState {
                             self.mirror.add_edge(p, z);
                         }
                         self.mirror.add_edge(z, c);
+                        // The sharded front end reads the predecessor list
+                        // from its own mirror, which is exactly one op
+                        // behind — i.e. the pre-refinement parents.
+                        self.forward_sharded(ServiceOp::Refine { child: c })?;
                         Ok(true)
                     }
                     Err(UpdateError::ReserveExhausted(_)) => Ok(false),
@@ -267,10 +318,12 @@ impl EngineState {
             }
             Op::Relabel => {
                 self.closure.relabel();
+                self.forward_sharded(ServiceOp::Relabel)?;
                 Ok(true)
             }
             Op::Rebuild => {
                 self.closure.rebuild();
+                self.forward_sharded(ServiceOp::Rebuild)?;
                 Ok(true)
             }
             Op::SetThreads { threads } => {
@@ -366,6 +419,140 @@ impl EngineState {
         }
         Ok(())
     }
+
+    /// Forwards one applied op to the lockstep sharded replica (no-op when
+    /// sharding is off), flushes it, and runs a sampled comparison against
+    /// the closure under test: the front end must reject nothing, the
+    /// per-shard writers must skip nothing, and 32 point probes plus 4
+    /// decoded successor sets must agree.
+    fn forward_sharded(&mut self, op: ServiceOp) -> Result<(), (ViolationKind, String)> {
+        let Some(ls) = self.sharded.as_mut() else {
+            return Ok(());
+        };
+        let viol = |detail: String| (ViolationKind::Sharded, detail);
+        ls.service.submit(op.clone());
+        ls.forwarded += 1;
+        let stats = ls.service.flush();
+        if stats.rejected != 0 {
+            return Err(viol(format!(
+                "front end rejected {} op(s) the reference engine applied (last forwarded: {op:?})",
+                stats.rejected
+            )));
+        }
+        if stats.skipped != 0 {
+            return Err(viol(format!(
+                "shard writers skipped {} op(s) behind the validating front end (last forwarded: {op:?})",
+                stats.skipped
+            )));
+        }
+        if let Some(v) = stats.audit_violation {
+            return Err(viol(format!("per-shard audit after {op:?}: {v}")));
+        }
+        let n = self.mirror.node_count();
+        if n == 0 {
+            return Ok(());
+        }
+        let seed = ls.forwarded.wrapping_mul(131);
+        for k in 0..32u64 {
+            let (s, d) = sample_pair(seed.wrapping_add(k), n);
+            let want = self.closure.reaches(s, d);
+            let got = ls.reader.reaches(s, d);
+            if got != want {
+                return Err(viol(format!(
+                    "after {op:?}: sharded reaches({s:?},{d:?}) = {got}, closure under test says {want}"
+                )));
+            }
+        }
+        for k in 0..4u64 {
+            let (v, _) = sample_pair(seed.wrapping_add(64 + k), n);
+            let mut got: Vec<NodeId> = ls.reader.successors(v);
+            got.sort_unstable_by_key(|u| u.index());
+            let mut want: Vec<NodeId> = self.closure.successors(v);
+            want.sort_unstable_by_key(|u| u.index());
+            if got != want {
+                return Err(viol(format!(
+                    "after {op:?}: sharded successors({v:?}) = {got:?}, closure under test says {want:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustive comparison of the lockstep sharded replica against the
+    /// DFS closure of the mirror: every successor and predecessor set plus
+    /// the same deterministic point-query sample as the live oracle, routed
+    /// through the scatter-gather batch path. No-op when sharding is off.
+    pub fn sharded_full_check(&mut self) -> Result<(), (ViolationKind, String)> {
+        let Some(ls) = self.sharded.as_mut() else {
+            return Ok(());
+        };
+        let viol = |detail: String| (ViolationKind::Sharded, detail);
+        let n = self.mirror.node_count();
+        let rows = traverse::closure_rows(&self.mirror);
+        for (v, row) in rows.iter().enumerate() {
+            let node = NodeId(v as u32);
+            let mut got: Vec<usize> = ls.reader.successors(node).iter().map(|u| u.index()).collect();
+            got.sort_unstable();
+            let want: Vec<usize> = row.iter().collect();
+            if got != want {
+                return Err(viol(format!(
+                    "sharded successors({v}) = {got:?}, DFS closure says {want:?}"
+                )));
+            }
+            let mut preds: Vec<usize> =
+                ls.reader.predecessors(node).iter().map(|u| u.index()).collect();
+            preds.sort_unstable();
+            let want_preds: Vec<usize> = (0..n).filter(|&u| rows[u].contains(v)).collect();
+            if preds != want_preds {
+                return Err(viol(format!(
+                    "sharded predecessors({v}) = {preds:?}, DFS closure says {want_preds:?}"
+                )));
+            }
+        }
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        if n > 0 {
+            let samples = (4 * n).min(4096);
+            for k in 0..samples as u64 {
+                pairs.push(sample_pair(k, n));
+            }
+        }
+        let answers = ls.reader.reaches_batch(&pairs);
+        for (&(s, d), &got) in pairs.iter().zip(&answers) {
+            let want = rows[s.index()].contains(d.index());
+            if got != want {
+                return Err(viol(format!(
+                    "sharded batch reaches({s:?},{d:?}) = {got}, DFS closure says {want}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shuts the lockstep replica down, auditing and verifying the
+    /// reassembled offline [`ShardedClosure`]. No-op when sharding is off.
+    pub fn finish_sharded(&mut self) -> Result<(), (ViolationKind, String)> {
+        let Some(ls) = self.sharded.take() else {
+            return Ok(());
+        };
+        let viol = |detail: String| (ViolationKind::Sharded, detail);
+        let (stats, sc) = ls.service.shutdown();
+        if stats.skipped != 0 {
+            return Err(viol(format!("shard writers skipped {} op(s)", stats.skipped)));
+        }
+        if let Some(v) = stats.audit_violation {
+            return Err(viol(format!("per-shard audit at shutdown: {v}")));
+        }
+        sc.audit().map_err(|e| viol(format!("reassembled sharded closure audit: {e}")))?;
+        sc.verify().map_err(|e| viol(format!("reassembled sharded closure verify: {e}")))?;
+        Ok(())
+    }
+}
+
+/// The multiplicative-hash pair sample shared by every oracle.
+fn sample_pair(k: u64, n: usize) -> (NodeId, NodeId) {
+    let s = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n;
+    let d = (k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 32) as usize % n;
+    (NodeId(s as u32), NodeId(d as u32))
 }
 
 /// Checks every answer a pinned service snapshot can give against the DFS
@@ -437,6 +624,9 @@ fn run_trace_observed(
     mut before_step: impl FnMut(usize),
 ) -> Result<RunReport, Violation> {
     let mut state = EngineState::new(&trace.config)?;
+    if opts.shards > 1 {
+        state.enable_sharding(opts.shards, &trace.config)?;
+    }
     let mut report = RunReport::default();
     let mut since_oracle = 0usize;
     for (step, op) in trace.ops.iter().enumerate() {
@@ -467,6 +657,11 @@ fn run_trace_observed(
                 kind,
                 detail,
             })?;
+            state.sharded_full_check().map_err(|(kind, detail)| Violation {
+                step: Some(step),
+                kind,
+                detail,
+            })?;
         }
     }
     // Always one final differential pass (audit too, covering all-skipped
@@ -480,6 +675,12 @@ fn run_trace_observed(
     report.oracle_checks += 1;
     state
         .differential_check(opts.baseline)
+        .map_err(|(kind, detail)| Violation { step: last, kind, detail })?;
+    state
+        .sharded_full_check()
+        .map_err(|(kind, detail)| Violation { step: last, kind, detail })?;
+    state
+        .finish_sharded()
         .map_err(|(kind, detail)| Violation { step: last, kind, detail })?;
     report.final_nodes = state.mirror.node_count();
     report.final_edges = state.mirror.edge_count();
@@ -619,6 +820,45 @@ mod tests {
         let r = run_trace(&trace(FuzzConfig::default(), ops), &CheckOptions::default()).unwrap();
         assert_eq!(r.skipped, 1);
         assert_eq!(r.applied, 8);
+    }
+
+    #[test]
+    fn sharded_lockstep_matches_on_a_churny_trace() {
+        let ops = vec![
+            Op::AddNode { parents: vec![] },     // 0
+            Op::AddNode { parents: vec![] },     // 1 (second shard fills)
+            Op::AddNode { parents: vec![0] },    // 2
+            Op::AddNode { parents: vec![1] },    // 3
+            Op::AddEdge { src: 2, dst: 3 },      // cross-shard arc
+            Op::AddNode { parents: vec![2, 3] }, // cross-shard parents
+            Op::AddEdge { src: 3, dst: 0 },      // would create a cycle: skip
+            Op::RemoveEdge { src: 2, dst: 3 },
+            Op::Relabel,
+            Op::RemoveNode { node: 1 },
+            Op::AddEdge { src: 0, dst: 3 },
+            Op::Rebuild,
+        ];
+        let opts = CheckOptions { shards: 3, ..CheckOptions::default() };
+        let r = run_trace(&trace(FuzzConfig::default(), ops), &opts).unwrap();
+        assert_eq!(r.applied, 11);
+        assert_eq!(r.skipped, 1);
+    }
+
+    #[test]
+    fn sharded_lockstep_covers_refinement() {
+        let cfg = FuzzConfig { gap: 64, reserve: 4, ..FuzzConfig::default() };
+        let ops = vec![
+            Op::AddNode { parents: vec![] },  // 0
+            Op::AddNode { parents: vec![] },  // 1
+            Op::AddNode { parents: vec![0] }, // 2
+            Op::AddEdge { src: 1, dst: 2 },   // cross-shard arc; 2 now has two parents
+            Op::Refine { child: 2 },          // interposes 3 between {0,1} and 2
+            Op::AddNode { parents: vec![3] },
+        ];
+        let opts = CheckOptions { shards: 2, ..CheckOptions::default() };
+        let r = run_trace(&trace(cfg, ops), &opts).unwrap();
+        assert_eq!(r.applied, 6);
+        assert_eq!(r.final_nodes, 5);
     }
 
     #[test]

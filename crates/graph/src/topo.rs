@@ -245,6 +245,164 @@ pub fn levels(g: &DiGraph) -> Result<Levels, CycleError> {
     Ok(Levels { level, buckets })
 }
 
+/// A disjoint assignment of every node to one of a fixed number of shards.
+///
+/// Produced by [`partition`]; consumed by the sharded closure layer, which
+/// runs one compressed closure per shard and composes cross-shard answers
+/// through a boundary structure over the arcs the partition cuts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `shard_of[v]` = shard of node `v`.
+    shard_of: Vec<u32>,
+    /// Number of shards (at least 1 whenever the graph is non-empty).
+    shards: usize,
+}
+
+impl Partition {
+    /// The trivial partition: every node in shard 0.
+    pub fn singleton(nodes: usize) -> Partition {
+        Partition { shard_of: vec![0; nodes], shards: 1 }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes assigned.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard holding `node`.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.index()] as usize
+    }
+
+    /// The nodes of `shard`, ascending by id.
+    pub fn members(&self, shard: usize) -> Vec<NodeId> {
+        self.shard_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s as usize == shard)
+            .map(|(ix, _)| NodeId::from_index(ix))
+            .collect()
+    }
+
+    /// Node count per shard.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Arcs of `g` whose endpoints land in different shards.
+    pub fn cross_arcs(&self, g: &DiGraph) -> Vec<(NodeId, NodeId)> {
+        g.edges()
+            .filter(|&(s, d)| self.shard_of[s.index()] != self.shard_of[d.index()])
+            .collect()
+    }
+}
+
+/// Partitions a DAG into at most `shards` shards for independent closure
+/// maintenance.
+///
+/// The primary rule is *weakly connected components*: two nodes joined by an
+/// arc (in either direction) always share a component, so packing whole
+/// components into shards cuts **zero** arcs — every shard's closure is
+/// self-contained. Components are bin-packed largest-first onto the
+/// least-loaded shard, which keeps shard sizes balanced and is fully
+/// deterministic (ties break toward the lowest shard index).
+///
+/// When one component dominates the graph (more than half the nodes — the
+/// classic single-giant-component case), it falls back to a *level cut*: the
+/// component's nodes are ordered by descending topological level
+/// ([`levels`]; sources first) and sliced into contiguous bands of roughly
+/// the target size. Arcs always descend levels, so every arc the cut severs
+/// runs from an earlier band to a later one — the quotient over bands stays
+/// acyclic, which keeps the cross-shard boundary structure small and
+/// loop-free.
+///
+/// Fails with a [`CycleError`] on cyclic input (the level cut needs a
+/// topological order). `shards <= 1` returns the trivial partition.
+pub fn partition(g: &DiGraph, shards: usize) -> Result<Partition, CycleError> {
+    let n = g.node_count();
+    if shards <= 1 || n == 0 {
+        levels(g)?; // still reject cyclic input, independent of shard count
+        return Ok(Partition::singleton(n));
+    }
+    let lv = levels(g)?;
+
+    // Weakly connected components by union-find over the arc set.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (s, d) in g.edges() {
+        let (a, b) = (find(&mut parent, s.0), find(&mut parent, d.0));
+        if a != b {
+            // Union by lowest root id: deterministic regardless of edge order.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            parent[hi as usize] = lo;
+        }
+    }
+    let mut comp_nodes: Vec<Vec<u32>> = Vec::new();
+    let mut comp_ix: Vec<u32> = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v) as usize;
+        if comp_ix[root] == u32::MAX {
+            comp_ix[root] = comp_nodes.len() as u32;
+            comp_nodes.push(Vec::new());
+        }
+        comp_nodes[comp_ix[root] as usize].push(v);
+    }
+
+    // Split *dominant* components (more than half the graph — the classic
+    // single-giant-component shape) into level-cut pieces of roughly the
+    // balance target; everything else stays whole, so small components are
+    // never diced just to fill shard slots.
+    let target = n.div_ceil(shards);
+    let mut pieces: Vec<Vec<u32>> = Vec::new();
+    for mut nodes in comp_nodes {
+        if nodes.len() <= target || nodes.len() * 2 <= n {
+            pieces.push(nodes);
+            continue;
+        }
+        // Descending level, ascending id: a contiguous slice ordering in
+        // which every arc points from an earlier position to a later one.
+        nodes.sort_unstable_by_key(|&v| (usize::MAX - lv.level_of(NodeId(v)), v));
+        let cuts = nodes.len().div_ceil(target);
+        let band = nodes.len().div_ceil(cuts);
+        for chunk in nodes.chunks(band) {
+            pieces.push(chunk.to_vec());
+        }
+    }
+
+    // Largest-first onto the least-loaded shard; ties break toward the
+    // earlier piece / lower shard index so the result is deterministic.
+    pieces.sort_by_key(|p| (usize::MAX - p.len(), p.first().copied().unwrap_or(0)));
+    let shards = shards.min(pieces.len().max(1));
+    let mut load = vec![0usize; shards];
+    let mut shard_of = vec![0u32; n];
+    for piece in pieces {
+        let s = (0..shards).min_by_key(|&s| (load[s], s)).expect("at least one shard");
+        load[s] += piece.len();
+        for v in piece {
+            shard_of[v as usize] = s as u32;
+        }
+    }
+    Ok(Partition { shard_of, shards })
+}
+
 /// Validates that `order` is a topological order of `g`.
 pub fn is_topo_order(g: &DiGraph, order: &[NodeId]) -> bool {
     if order.len() != g.node_count() {
@@ -451,5 +609,98 @@ mod tests {
     fn levels_reject_cycles() {
         let g = DiGraph::from_edges([(0, 1), (1, 2), (2, 0)]);
         assert!(levels(&g).is_err());
+    }
+
+    /// Three weakly connected components of sizes 3, 2, 1.
+    fn three_components() -> DiGraph {
+        let mut g = DiGraph::from_edges([(0, 1), (1, 2), (3, 4)]);
+        g.add_node(); // isolated node 5
+        g
+    }
+
+    #[test]
+    fn partition_keeps_weak_components_whole() {
+        let g = three_components();
+        let p = partition(&g, 2).unwrap();
+        assert_eq!(p.shards(), 2);
+        // Arc endpoints always share a shard: no arc is cut.
+        assert!(p.cross_arcs(&g).is_empty());
+        for (s, d) in g.edges() {
+            assert_eq!(p.shard_of(s), p.shard_of(d));
+        }
+        // Balanced: the size-3 component alone, the 2+1 together.
+        let mut sizes = p.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_covers_all_nodes() {
+        let g = crate::generators::random_dag(crate::generators::RandomDagConfig {
+            nodes: 200,
+            avg_out_degree: 1.2,
+            seed: 5,
+        });
+        let p1 = partition(&g, 4).unwrap();
+        let p2 = partition(&g, 4).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.node_count(), 200);
+        assert_eq!(p1.sizes().iter().sum::<usize>(), 200);
+        let members: usize = (0..p1.shards()).map(|s| p1.members(s).len()).sum();
+        assert_eq!(members, 200);
+    }
+
+    #[test]
+    fn giant_component_falls_back_to_level_cut() {
+        // A single path of 40 nodes is one weak component; the level cut
+        // must still split it into 4 shards of 10 with forward-only arcs.
+        let g = DiGraph::from_edges((0..39u32).map(|i| (i, i + 1)));
+        let p = partition(&g, 4).unwrap();
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.sizes(), vec![10, 10, 10, 10]);
+        let cross = p.cross_arcs(&g);
+        assert_eq!(cross.len(), 3, "a path cut into 4 bands severs 3 arcs");
+        // The quotient over shards is acyclic: order shards by the first
+        // time they appear along the path and check arcs never go back.
+        let lv = levels(&g).unwrap();
+        for (s, d) in cross {
+            assert!(lv.level_of(s) > lv.level_of(d));
+        }
+    }
+
+    #[test]
+    fn level_cut_bands_are_acyclic_as_a_quotient() {
+        let g = crate::generators::random_dag(crate::generators::RandomDagConfig {
+            nodes: 400,
+            avg_out_degree: 3.0,
+            seed: 11,
+        });
+        let p = partition(&g, 4).unwrap();
+        // Quotient graph over shards must be a DAG.
+        let mut q = DiGraph::with_nodes(p.shards());
+        for (s, d) in p.cross_arcs(&g) {
+            let (a, b) = (p.shard_of(s), p.shard_of(d));
+            if a != b {
+                let _ = q.try_add_edge(NodeId(a as u32), NodeId(b as u32));
+            }
+        }
+        assert!(is_acyclic(&q), "level-cut quotient has a cycle");
+    }
+
+    #[test]
+    fn partition_trivial_cases() {
+        assert_eq!(partition(&DiGraph::new(), 4).unwrap().shards(), 1);
+        let g = three_components();
+        let p = partition(&g, 1).unwrap();
+        assert_eq!(p.shards(), 1);
+        assert!((0..6).all(|v| p.shard_of(NodeId(v)) == 0));
+        // More shards than components: capped at the piece count.
+        let p = partition(&g, 16).unwrap();
+        assert!(p.shards() <= 16);
+        assert!(p.cross_arcs(&g).is_empty());
+        // Cyclic input is rejected regardless of shard count.
+        let c = DiGraph::from_edges([(0, 1), (1, 0)]);
+        assert!(partition(&c, 1).is_err());
+        assert!(partition(&c, 4).is_err());
     }
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the sharded-closure scaling experiment (DESIGN.md, "Sharded
+# closure") and leaves the table in results/shard_scale.csv.
+#
+# Usage: scripts/bench_shard.sh [shard_scale flags...]
+#   e.g. scripts/bench_shard.sh --nodes 20000 --reps 3 --duration-ms 300
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin shard_scale
+exec target/release/shard_scale "$@"

@@ -430,3 +430,116 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a multi-component DAG assembled from 1–3 independent pieces,
+/// each an arbitrary upper-triangular DAG — the shape the WCC partitioner
+/// splits cleanly, before churn stitches components together.
+fn arb_components() -> impl Strategy<Value = DiGraph> {
+    proptest::collection::vec(arb_dag(5), 1..=3).prop_map(|parts| {
+        let mut g = DiGraph::new();
+        for part in parts {
+            let base = g.node_count() as u32;
+            for _ in 0..part.node_count() {
+                g.add_node();
+            }
+            for (u, v) in part.edges() {
+                g.add_edge(NodeId(base + u.0), NodeId(base + v.0));
+            }
+        }
+        g
+    })
+}
+
+/// Every answer the sharded closure gives — point probes, the batch path,
+/// decoded successor and predecessor sets — must equal the DFS closure of
+/// `g` (and therefore the unsharded closure, which `verify` pins to the
+/// same ground truth elsewhere).
+fn assert_sharded_matches(sc: &tc_core::ShardedClosure, flat: &CompressedClosure, g: &DiGraph) {
+    let rows = tc_graph::traverse::closure_rows(g);
+    let mut pairs = Vec::new();
+    for u in g.nodes() {
+        for v in g.nodes() {
+            pairs.push((u, v));
+            prop_assert_eq!(
+                sc.reaches(u, v),
+                rows[u.index()].contains(v.index()),
+                "sharded reaches({u:?},{v:?})"
+            );
+        }
+    }
+    prop_assert_eq!(sc.reaches_batch(&pairs), flat.reaches_batch(&pairs));
+    for v in g.nodes() {
+        let got: Vec<usize> = sc.successors(v).iter().map(|u| u.index()).collect();
+        let want: Vec<usize> = rows[v.index()].iter().collect();
+        prop_assert_eq!(got, want, "sharded successors({v:?})");
+        let got: Vec<usize> = sc.predecessors(v).iter().map(|u| u.index()).collect();
+        let want: Vec<usize> =
+            (0..g.node_count()).filter(|&u| rows[u].contains(v.index())).collect();
+        prop_assert_eq!(got, want, "sharded predecessors({v:?})");
+    }
+}
+
+proptest! {
+    /// The sharded closure is observationally identical to the unsharded
+    /// one on random multi-component DAGs, at every shard count.
+    #[test]
+    fn sharded_closure_matches_unsharded(g in arb_components(), shards in 1usize..5) {
+        let flat = CompressedClosure::build(&g).unwrap();
+        let sc = tc_core::ShardedClosure::build(ClosureConfig::new(), &g, shards).unwrap();
+        sc.audit().unwrap();
+        assert_sharded_matches(&sc, &flat, &g);
+    }
+
+    /// Equivalence survives update churn that stitches shards together and
+    /// tears them apart again: random edge inserts (cross-shard included),
+    /// edge deletes, and leaf inserts, applied to both layers in lockstep.
+    #[test]
+    fn sharded_closure_survives_cross_shard_churn(
+        g in arb_components(),
+        shards in 2usize..5,
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..16),
+    ) {
+        let mut mirror = g.clone();
+        let mut flat = CompressedClosure::build(&g).unwrap();
+        let mut sc = tc_core::ShardedClosure::build(ClosureConfig::new(), &g, shards).unwrap();
+        for (kind, a, b) in ops {
+            let n = mirror.node_count() as u32;
+            let (u, v) = (NodeId(a % n), NodeId(b % n));
+            match kind % 3 {
+                0 => {
+                    // Insert u -> v unless invalid; rejections must agree.
+                    if u == v || mirror.has_edge(u, v)
+                        || tc_graph::traverse::reaches(&mirror, v, u)
+                    {
+                        continue;
+                    }
+                    flat.add_edge(u, v).unwrap();
+                    sc.add_edge(u, v).unwrap();
+                    mirror.add_edge(u, v);
+                }
+                1 => {
+                    if !mirror.has_edge(u, v) {
+                        continue;
+                    }
+                    flat.remove_edge(u, v).unwrap();
+                    sc.remove_edge(u, v).unwrap();
+                    mirror.remove_edge(u, v);
+                }
+                _ => {
+                    // New leaf under two (possibly equal, possibly
+                    // cross-shard) parents.
+                    let parents = [u, v];
+                    let zf = flat.add_node_with_parents(&parents).unwrap();
+                    let zs = sc.add_node_with_parents(&parents).unwrap();
+                    prop_assert_eq!(zf, zs);
+                    let m = mirror.add_node();
+                    prop_assert_eq!(m, zs);
+                    mirror.add_edge(u, zs);
+                    mirror.add_edge(v, zs);
+                }
+            }
+        }
+        sc.audit().unwrap();
+        assert_sharded_matches(&sc, &flat, &mirror);
+    }
+}
