@@ -1,0 +1,264 @@
+//! Closed-loop load generator for the network serving front end
+//! (DESIGN.md, "Network serving").
+//!
+//! Starts the TCP daemon in-process on an ephemeral localhost port, then
+//! drives it with N client threads over *real sockets*, each running a
+//! closed loop: send one request line, wait for the response, record the
+//! round-trip latency, repeat. The request mix is `--write-pct` percent
+//! writes (`add-edge` / `remove-edge` pairs on hashed endpoints, so the
+//! graph stays bounded) and the rest reads (`reaches` probes by string
+//! key). Every response must be protocol-clean: `ok ...` (semantic
+//! rejections like a cycle are `ok rejected` and count as success); any
+//! `err ...` response is a protocol error and fails the run.
+//!
+//! Before any timing, network answers are spot-checked against an
+//! in-process oracle: a batch of writes goes through the wire, the engine
+//! is flushed, and `reaches` / `successors` answers from a network client
+//! are compared with a [`tc_core::ShardedReader`] plus the engine's own
+//! dictionary — a divergence aborts the run before a single number is
+//! reported.
+//!
+//! ```text
+//! serve_net [--nodes 2000] [--degree 2.0] [--seed 1] [--shards 2]
+//!           [--duration-ms 1000] [--write-pct 10] [--max-clients 8]
+//! ```
+//!
+//! Writes `results/net_scale.csv` with one row per client count:
+//! requests/s, p50/p95/p99 round-trip latency (µs), and the protocol
+//! error count (asserted zero).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use tc_bench::{f2, Args, Table};
+use tc_core::{ClosureConfig, ShardedClosure};
+use tc_graph::{generators, NodeId};
+use tc_server::{Client, Dict, Engine, EngineConfig, Server, ServerConfig};
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed cell: everything the client threads brought home.
+struct Measurement {
+    clients: usize,
+    requests: u64,
+    elapsed: f64,
+    /// Round-trip latencies in microseconds, merged across clients, sorted.
+    latencies_us: Vec<u64>,
+    protocol_errors: u64,
+}
+
+impl Measurement {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let ix = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[ix]
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes", 2000);
+    let degree: f64 = args.get("degree", 2.0);
+    let seed: u64 = args.get("seed", 1);
+    let shards: usize = args.get("shards", 2);
+    let duration_ms: u64 = args.get("duration-ms", 1000);
+    let write_pct: u64 = args.get("write-pct", 10).min(100);
+    let max_clients: usize = args.get("max-clients", 8);
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+
+    eprintln!("generating {nodes}-node, degree-{degree} DAG (seed {seed})...");
+    let g = generators::random_dag(generators::RandomDagConfig {
+        nodes,
+        avg_out_degree: degree,
+        seed,
+    });
+    let sharded = ShardedClosure::build(ClosureConfig::new(), &g, shards)
+        .expect("generated DAG is acyclic");
+    let engine = Engine::start(sharded, Dict::with_default_keys(nodes), EngineConfig::default());
+    let server = Server::start(engine, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind ephemeral localhost port");
+    let addr = server.addr().to_string();
+    eprintln!("daemon up on {addr} ({shards} shard(s))");
+
+    // Answers must be right before they are fast: push writes through the
+    // wire, flush, and compare network answers with the in-process oracle.
+    oracle_check(&server, &addr, nodes);
+
+    let mut cells: Vec<Measurement> = Vec::new();
+    for &clients in CLIENT_COUNTS.iter().filter(|&&c| c <= max_clients) {
+        let cell = run_cell(&addr, clients, nodes, duration_ms, write_pct);
+        eprintln!(
+            "clients={clients}: {:>8.0} req/s, p50 {}us p95 {}us p99 {}us, {} protocol errors",
+            cell.requests as f64 / cell.elapsed,
+            cell.percentile(0.50),
+            cell.percentile(0.95),
+            cell.percentile(0.99),
+            cell.protocol_errors
+        );
+        cells.push(cell);
+    }
+
+    let caught = server.caught_panics();
+    server.stop().expect("accept loop survived the load");
+
+    let mut table = Table::new(
+        &format!(
+            "network serving: n={nodes}, degree={degree}, {shards} shard(s), \
+             {write_pct}% writes, {duration_ms}ms cells, closed loop over localhost, \
+             {cores} cores"
+        ),
+        &[
+            "clients",
+            "cores",
+            "requests",
+            "reqs_per_s",
+            "per_client",
+            "scaling_vs_1client",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "write_pct",
+            "protocol_errors",
+        ],
+    );
+    let base = cells.first().map(|c| c.requests as f64 / c.elapsed).unwrap_or(1.0);
+    for cell in &cells {
+        let qps = cell.requests as f64 / cell.elapsed;
+        table.row(&[
+            cell.clients.to_string(),
+            cores.to_string(),
+            cell.requests.to_string(),
+            format!("{qps:.0}"),
+            format!("{:.0}", qps / cell.clients as f64),
+            f2(qps / base),
+            cell.percentile(0.50).to_string(),
+            cell.percentile(0.95).to_string(),
+            cell.percentile(0.99).to_string(),
+            write_pct.to_string(),
+            cell.protocol_errors.to_string(),
+        ]);
+    }
+    table.finish("net_scale");
+
+    let errors: u64 = cells.iter().map(|c| c.protocol_errors).sum();
+    if caught > 0 || errors > 0 {
+        eprintln!("FAIL: {errors} protocol errors, {caught} handler panics under load");
+        std::process::exit(1);
+    }
+    println!("zero protocol errors and zero handler panics across all cells");
+}
+
+/// Hashed endpoints for write ops: ascending ids so `add-edge` is usually
+/// accepted (a rejection is still protocol-clean), stable per slot so the
+/// paired `remove-edge` deletes the arc its own slot added earlier and the
+/// graph stays bounded under sustained load.
+fn arc_at(j: u64, nodes: usize) -> (usize, usize) {
+    let h = j.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let src = (h >> 32) as usize % (nodes - 1);
+    let dst = src + 1 + (h >> 7) as usize % (nodes - src - 1);
+    (src, dst)
+}
+
+/// Pushes writes through the wire, flushes, and compares network answers
+/// against the engine's own snapshot reader + dictionary. Panics on any
+/// divergence — the bench refuses to time a daemon that answers wrong.
+fn oracle_check(server: &Server, addr: &str, nodes: usize) {
+    let mut c = Client::connect(addr).expect("oracle client connects");
+    for j in 0..64u64 {
+        let (src, dst) = arc_at(j, nodes);
+        let resp = c.request(&format!("add-edge n{src} n{dst}")).expect("oracle write");
+        assert!(resp.starts_with("ok"), "oracle write rejected by protocol: {resp:?}");
+    }
+    assert_eq!(c.request("flush").expect("flush"), "ok flushed");
+
+    let dict = Dict::from_bytes(&server.engine().dict_bytes()).expect("dict snapshot");
+    let mut reader = server.engine().reader();
+    let mut checked = 0u64;
+    for k in 0..256u64 {
+        let h = k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let a = (h >> 32) as usize % nodes;
+        let b = (h >> 13) as usize % nodes;
+        let want = reader.reaches(NodeId(a as u32), NodeId(b as u32));
+        let got = c.reaches(&format!("n{a}"), &format!("n{b}")).expect("oracle probe");
+        assert_eq!(got, Ok(want), "network reaches(n{a}, n{b}) diverged from the oracle");
+        checked += 1;
+    }
+    for a in (0..nodes).step_by((nodes / 8).max(1)) {
+        let resp = c.request(&format!("successors n{a}")).expect("oracle successors");
+        let mut want: Vec<&str> = reader
+            .successors(NodeId(a as u32))
+            .iter()
+            .filter_map(|&v| dict.key(v))
+            .collect();
+        want.sort_unstable();
+        let got: Vec<&str> =
+            resp.strip_prefix("ok").expect("successors answer").split_whitespace().collect();
+        assert_eq!(got, want, "network successors(n{a}) diverged from the oracle");
+        checked += 1;
+    }
+    eprintln!("oracle: {checked} network answers identical to the in-process reader");
+}
+
+/// One closed-loop cell: `clients` threads, each one socket, each looping
+/// send -> wait -> record until the deadline.
+fn run_cell(
+    addr: &str,
+    clients: usize,
+    nodes: usize,
+    duration_ms: u64,
+    write_pct: u64,
+) -> Measurement {
+    let stop = AtomicBool::new(false);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let per_client: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let (stop, errors) = (&stop, &errors);
+                let mut c = Client::connect(addr).expect("load client connects");
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(4096);
+                    let mut j = t as u64 * 0x1_0000;
+                    while !stop.load(Ordering::Relaxed) {
+                        let req = if j % 100 < write_pct {
+                            let (src, dst) = arc_at(j / 2, nodes);
+                            if j % 2 == 0 {
+                                format!("add-edge n{src} n{dst}")
+                            } else {
+                                format!("remove-edge n{src} n{dst}")
+                            }
+                        } else {
+                            let h = j.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            let a = (h >> 32) as usize % nodes;
+                            let b = (h >> 11) as usize % nodes;
+                            format!("reaches n{a} n{b}")
+                        };
+                        let sent = Instant::now();
+                        let resp = c.request(&req).expect("daemon answered");
+                        lat.push(sent.elapsed().as_micros() as u64);
+                        if !resp.starts_with("ok") {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        j += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(duration_ms));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("load client panicked")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut latencies_us: Vec<u64> = per_client.into_iter().flatten().collect();
+    latencies_us.sort_unstable();
+    Measurement {
+        clients,
+        requests: latencies_us.len() as u64,
+        elapsed,
+        latencies_us,
+        protocol_errors: errors.load(Ordering::Relaxed),
+    }
+}

@@ -287,7 +287,9 @@ fn best_service_cell(
                     // flush() paces submission to the writer's real apply+
                     // freeze throughput instead of growing the queue without
                     // bound; readers keep answering from snapshots meanwhile.
-                    service.submit_batch(churn_ops(k, churn_batch, nodes, mix));
+                    service
+                        .submit_batch(churn_ops(k, churn_batch, nodes, mix))
+                        .expect("service closed mid-bench");
                     k += churn_batch as u64;
                     service.flush();
                 } else {

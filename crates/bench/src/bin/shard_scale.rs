@@ -339,7 +339,9 @@ fn flat_cell(
                 probes
             },
             || {
-                service.submit_batch(churn_ops(k, churn_batch, churn));
+                service
+                    .submit_batch(churn_ops(k, churn_batch, churn))
+                    .expect("service closed mid-bench");
                 k += churn_batch as u64;
                 service.flush();
                 churn_batch as u64
@@ -421,7 +423,9 @@ fn sharded_cell(
                 probes
             },
             || {
-                service.submit_batch(churn_ops(k, churn_batch, churn));
+                service
+                    .submit_batch(churn_ops(k, churn_batch, churn))
+                    .expect("service closed mid-bench");
                 k += churn_batch as u64;
                 service.flush();
                 churn_batch as u64

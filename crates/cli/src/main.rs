@@ -13,6 +13,7 @@
 //! interval-tc gen <nodes> <degree> [seed]   emit a random §3.3 edge list
 //! interval-tc bench <graph> [--queries N]   time point/batch/predecessor queries
 //! interval-tc serve <graph> [flags]         concurrent snapshot-serving benchmark
+//! interval-tc serve <graph> --listen ADDR   network daemon (line protocol, string keys)
 //! interval-tc fuzz [flags]                  differential update-churn fuzzing
 //! ```
 //!
@@ -61,9 +62,10 @@ const USAGE: &str = "usage:
   interval-tc gen <nodes> <degree> [seed]
   interval-tc bench <graph> [--queries N]
   interval-tc serve <graph> [--readers N] [--duration-ms D] [--churn]
+  interval-tc serve <graph> --listen ADDR
   interval-tc fuzz [--ops N] [--seed S] [--seeds K] [--gap G] [--reserve R]
                    [--merge] [--freeze] [--serve] [--delete-bias] [--shrink]
-                   [--out FILE] [--replay FILE]
+                   [--codec] [--out FILE] [--replay FILE]
 
 global flags: --threads N   build/query on N worker threads (0 = one per CPU)
               --frozen      freeze the query plane after loading; all queries
@@ -88,7 +90,12 @@ one background writer), spot-checks reader answers against the closure,
 then measures reader throughput for --duration-ms (default 1000) on
 --readers threads (default 2); --churn keeps the writer busy with mixed
 add/remove update batches meanwhile and reports publish counts and
-staleness.
+staleness. With --listen ADDR the same machinery is exposed as a TCP
+daemon speaking a line protocol with string node keys (n0, n1, ... for
+the initial graph): reads answer from lock-free snapshots, writes go
+through the batched background writers, and a client's `shutdown` verb
+stops the daemon (combine with --shards to serve the partitioned
+engine).
 
 fuzz: random update sequences against the closure, each applied op followed
 by a structural audit and periodically cross-checked against a brute-force
@@ -101,7 +108,10 @@ into the stream so audits and oracles also run against frozen query planes;
 snapshots mid-churn and later check them against the publish-time relation;
 --delete-bias skews the op mix toward arc/node removals interleaved with
 refines and relabels (combine with --scoped-deletes off to exercise the
-global-sweep oracle on the same seeds).";
+global-sweep oracle on the same seeds). --codec switches to byte-mutation
+mode: --seeds K corrupted .itc streams (bit flips, truncation, length-field
+sabotage, half with re-signed trailers) are fed to the decoder, which must
+reject each with a structured error — any panic fails the run.";
 
 /// Global flags stripped from anywhere in the argument list.
 #[derive(Clone, Copy)]
@@ -478,6 +488,10 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
                 duration_ms = v.parse().map_err(|_| "invalid --duration-ms")?;
             }
             "--churn" => churn = true,
+            "--listen" => {
+                let addr = it.next().ok_or("--listen requires an address")?;
+                return serve_listen(path, addr, globals);
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -519,7 +533,7 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
     );
 
     let stop = AtomicBool::new(false);
-    let per_reader = std::thread::scope(|scope| {
+    let (per_reader, panicked) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..readers)
             .map(|_| {
                 let mut r = service.reader();
@@ -563,18 +577,22 @@ fn serve(args: &[String], globals: Globals) -> Result<(), String> {
                     })
                     .collect();
                 k += 64;
-                service.submit_batch(batch);
+                service.submit_batch(batch).expect("service closed while harness submits");
                 service.flush();
             } else {
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
         stop.store(true, Ordering::Relaxed);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reader thread panicked"))
-            .collect::<Vec<(u64, u64)>>()
+        join_readers(handles)
     });
+    if !panicked.is_empty() {
+        return Err(format!(
+            "reader thread(s) {panicked:?} panicked during serving \
+             ({} of {readers} readers survived)",
+            per_reader.len()
+        ));
+    }
 
     let total: u64 = per_reader.iter().map(|&(p, _)| p).sum();
     let max_stale = per_reader.iter().map(|&(_, s)| s).max().unwrap_or(0);
@@ -642,7 +660,7 @@ fn serve_sharded(
     }
 
     let stop = AtomicBool::new(false);
-    let per_reader = std::thread::scope(|scope| {
+    let (per_reader, panicked) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..readers)
             .map(|_| {
                 let mut r = service.reader();
@@ -682,18 +700,22 @@ fn serve_sharded(
                     })
                     .collect();
                 k += 64;
-                service.submit_batch(batch);
+                service.submit_batch(batch).expect("service closed while harness submits");
                 service.flush();
             } else {
                 std::thread::sleep(Duration::from_millis(5));
             }
         }
         stop.store(true, Ordering::Relaxed);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reader thread panicked"))
-            .collect::<Vec<(u64, u64)>>()
+        join_readers(handles)
     });
+    if !panicked.is_empty() {
+        return Err(format!(
+            "reader thread(s) {panicked:?} panicked during serving \
+             ({} of {readers} readers survived)",
+            per_reader.len()
+        ));
+    }
 
     let total: u64 = per_reader.iter().map(|&(p, _)| p).sum();
     let max_stale = per_reader.iter().map(|&(_, s)| s).max().unwrap_or(0);
@@ -718,6 +740,69 @@ fn serve_sharded(
     Ok(())
 }
 
+/// Joins the benchmark's reader threads one by one, collecting the indices
+/// of any that panicked instead of propagating the first panic — one
+/// poisoned reader must not hide the fate of the others or leave the user
+/// guessing which thread died.
+fn join_readers<'scope>(
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, (u64, u64)>>,
+) -> (Vec<(u64, u64)>, Vec<usize>) {
+    let mut results = Vec::with_capacity(handles.len());
+    let mut panicked = Vec::new();
+    for (ix, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(_) => panicked.push(ix),
+        }
+    }
+    (results, panicked)
+}
+
+/// `serve --listen ADDR`: run the network daemon instead of the in-process
+/// benchmark. Nodes are addressed by string key (`n0`, `n1`, ... for the
+/// initial graph); the daemon serves the line protocol until a client sends
+/// the `shutdown` verb.
+fn serve_listen(path: &str, addr: &str, globals: Globals) -> Result<(), String> {
+    use tc_core::ShardedClosure;
+    use tc_server::{Dict, Engine, EngineConfig, Server, ServerConfig};
+
+    let closure = load(path, globals)?;
+    let n = closure.node_count();
+    if n == 0 {
+        return Err("empty graph: nothing to serve".into());
+    }
+    let shards = globals.shards.unwrap_or(1);
+    let mut config = ClosureConfig::new().threads(globals.threads_or_serial());
+    if let Some(scoped) = globals.scoped {
+        config = config.scoped_deletes(scoped);
+    }
+    let sharded =
+        ShardedClosure::build(config, closure.graph(), shards).map_err(|e| e.to_string())?;
+    let engine = Engine::start(sharded, Dict::with_default_keys(n), EngineConfig::default());
+    let server = Server::start(engine, addr, ServerConfig::default())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serving {n} nodes ({shards} shard(s)) on {}", server.addr());
+    println!("one request per line; try `ping`, `reaches n0 n1`, `stats`, `shutdown`");
+
+    // Block until some client sends `shutdown` (which closes the engine);
+    // the accept loop notices the closed engine and exits on its own.
+    while !server.engine().is_closed() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let requests = server.requests();
+    let panics = server.caught_panics();
+    server
+        .stop()
+        .map_err(|e| format!("daemon shutdown: {e} ({requests} requests served)"))?;
+    println!("shutdown: {requests} requests served, {panics} handler panic(s) caught");
+    if panics > 0 {
+        return Err(format!(
+            "{panics} request handler(s) panicked (each answered with `err internal`)"
+        ));
+    }
+    Ok(())
+}
+
 fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut ops = 256usize;
     let mut seed = 0u64;
@@ -731,6 +816,7 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut serve = false;
     let mut delete_bias = false;
     let mut want_shrink = false;
+    let mut codec = false;
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
 
@@ -752,6 +838,7 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
             "--serve" => serve = true,
             "--delete-bias" => delete_bias = true,
             "--shrink" => want_shrink = true,
+            "--codec" => codec = true,
             "--out" => out = Some(value("--out")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
             other => return Err(format!("unknown fuzz flag {other:?}")),
@@ -761,6 +848,24 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
         shards: globals.shards.unwrap_or(1),
         ..tc_fuzz::CheckOptions::default()
     };
+
+    if codec {
+        // Mutation mode: corrupt serialized closure streams instead of
+        // churning update ops; `--seeds` counts mutated cases here.
+        let report = tc_fuzz::closure_campaign(seeds.max(1), seed);
+        println!(
+            "codec mutation campaign: {} cases — {} rejected, {} ok+verified, \
+             {} ok-but-corrupt (re-signed trailers), {} panics",
+            report.cases, report.rejected, report.ok_clean, report.ok_corrupt, report.panics
+        );
+        if report.failed() {
+            return Err(format!(
+                "decoder panicked on {} case(s); replay seeds {:?}",
+                report.panics, report.panic_seeds
+            ));
+        }
+        return Ok(());
+    }
 
     if let Some(path) = replay {
         let text = String::from_utf8(read_input(&path)?)

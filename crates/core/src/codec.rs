@@ -28,8 +28,10 @@ const NO_PARENT: u32 = u32::MAX;
 const TOMBSTONE: u32 = u32::MAX;
 
 /// FNV-1a, 64-bit: integrity check over the payload so bit-level corruption
-/// cannot silently alter reachability answers.
-fn fnv1a(data: &[u8]) -> u64 {
+/// cannot silently alter reachability answers. Public so sibling codecs
+/// (the server's dictionary section) and the fuzzer's mutation mode can
+/// share the exact trailer convention.
+pub fn fnv1a(data: &[u8]) -> u64 {
     let mut hash = 0xcbf29ce484222325u64;
     for &b in data {
         hash ^= b as u64;
@@ -103,6 +105,9 @@ impl<'a> Reader<'a> {
     }
     fn done(&self) -> bool {
         self.pos == self.data.len()
+    }
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
     }
 }
 
@@ -238,6 +243,13 @@ impl CompressedClosure {
 
         // Relation.
         let n = r.u32()? as usize;
+        // Every node costs at least 4 bytes (its degree word) before the
+        // stream can end, so a declared count beyond that is corrupt — and
+        // must be rejected *before* sizing any allocation by it, or a
+        // 5-byte stream could demand gigabytes.
+        if n > r.remaining() / 4 {
+            return Err(DecodeError::Corrupt("node count exceeds stream"));
+        }
         let mut graph = DiGraph::with_nodes(n);
         for v in 0..n as u32 {
             let deg = r.u32()? as usize;
@@ -324,13 +336,22 @@ impl CompressedClosure {
             sets.push(set);
         }
 
-        // Number line.
+        // Number line. Each entry is 12 bytes on the wire; a count beyond
+        // what the stream can still hold is corrupt, not a reason to loop.
         let entries = r.u64()? as usize;
+        if entries > r.remaining() / 12 {
+            return Err(DecodeError::Corrupt("number line count exceeds stream"));
+        }
         let mut line = NumberLine::new();
         let mut live = 0usize;
         for _ in 0..entries {
             let num = r.u64()?;
             let owner = r.u32()?;
+            if line.is_used(num) {
+                // `NumberLine::assign` asserts uniqueness; a corrupt stream
+                // must not be able to trip that assert.
+                return Err(DecodeError::Corrupt("duplicate number on the line"));
+            }
             if owner == TOMBSTONE {
                 // Assign-then-tombstone reconstructs the tombstoned state.
                 line.assign(num, 0);
@@ -471,6 +492,104 @@ mod tests {
                     .unwrap_or_else(|e| panic!("silent corruption at byte {pos}: {e}"));
             }
         }
+    }
+
+    /// Re-signs a mutated stream so it passes the trailer check — the
+    /// mutation-campaign trick, reproduced here for the shrunk regressions.
+    fn refix(bytes: &mut [u8]) {
+        let split = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..split]);
+        bytes[split..].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Shrunk mutation-campaign reproducer: a stream declaring u32::MAX
+    /// nodes used to size a multi-gigabyte graph allocation before reading
+    /// another byte. The count must be rejected against the bytes actually
+    /// present.
+    #[test]
+    fn oversized_node_count_is_rejected_not_allocated() {
+        let mut bytes = sample().to_bytes();
+        // Node count sits right after magic(4) + strategy tag(1) + gap(8) +
+        // reserve(8) + merge flag(1) for the non-seeded strategies.
+        let off = 22;
+        assert_eq!(
+            u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()),
+            40,
+            "node-count offset moved; update this reproducer"
+        );
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        refix(&mut bytes);
+        assert_eq!(
+            CompressedClosure::from_bytes(&bytes).err(),
+            Some(DecodeError::Corrupt("node count exceeds stream"))
+        );
+    }
+
+    /// Shrunk mutation-campaign reproducer: a duplicated number-line entry
+    /// used to trip `NumberLine::assign`'s uniqueness assert — a panic on
+    /// attacker-controlled bytes.
+    #[test]
+    fn duplicate_number_line_entry_is_rejected_not_a_panic() {
+        let bytes = sample().to_bytes();
+        // Layout from the tail: checksum(8), footer(4+8+1), then the
+        // number-line section ending with the last 12-byte entry.
+        let footer = 8 + 13;
+        let tail = bytes.len() - footer;
+        let entry = bytes[tail - 12..tail].to_vec();
+        let cnt_off = {
+            // The count field precedes the entries; scan for it by decoding
+            // the count and checking it spans exactly to `tail`.
+            let mut off = None;
+            for probe in (12..tail).rev() {
+                let c = u64::from_le_bytes(bytes[probe - 8..probe].try_into().unwrap());
+                if let Some(span) = c.checked_mul(12) {
+                    if span as usize == tail - probe {
+                        off = Some(probe - 8);
+                        break;
+                    }
+                }
+            }
+            off.expect("number-line count field located")
+        };
+        let count = u64::from_le_bytes(bytes[cnt_off..cnt_off + 8].try_into().unwrap());
+        let mut broken = Vec::new();
+        broken.extend_from_slice(&bytes[..cnt_off]);
+        broken.extend_from_slice(&(count + 1).to_le_bytes());
+        broken.extend_from_slice(&bytes[cnt_off + 8..tail]);
+        broken.extend_from_slice(&entry); // the duplicate
+        broken.extend_from_slice(&bytes[tail..]);
+        refix(&mut broken);
+        assert_eq!(
+            CompressedClosure::from_bytes(&broken).err(),
+            Some(DecodeError::Corrupt("duplicate number on the line"))
+        );
+    }
+
+    /// Shrunk mutation-campaign reproducer: a number-line count of u64::MAX
+    /// must be bounded by the stream, not looped over.
+    #[test]
+    fn oversized_number_line_count_is_rejected() {
+        let bytes = sample().to_bytes();
+        let footer = 8 + 13;
+        let tail = bytes.len() - footer;
+        let mut cnt_off = None;
+        for probe in (12..tail).rev() {
+            let c = u64::from_le_bytes(bytes[probe - 8..probe].try_into().unwrap());
+            if let Some(span) = c.checked_mul(12) {
+                if span as usize == tail - probe {
+                    cnt_off = Some(probe - 8);
+                    break;
+                }
+            }
+        }
+        let cnt_off = cnt_off.expect("number-line count field located");
+        let mut broken = bytes.clone();
+        broken[cnt_off..cnt_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        refix(&mut broken);
+        assert_eq!(
+            CompressedClosure::from_bytes(&broken).err(),
+            Some(DecodeError::Corrupt("number line count exceeds stream"))
+        );
     }
 
     #[test]

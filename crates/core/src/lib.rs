@@ -83,8 +83,8 @@ pub mod updates;
 pub use builder::ClosureConfig;
 pub use closure::CompressedClosure;
 pub use plane::QueryPlane;
-pub use serve::{ClosureService, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot};
-pub use shard::{ShardedClosure, ShardedReader, ShardedService, ShardedStats};
+pub use serve::{ClosureService, ServiceClosed, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot};
+pub use shard::{ShardedClosure, ShardedReader, ShardedService, ShardedStats, SubmitOutcome};
 pub use stats::ClosureStats;
 pub use treecover::{CoverStrategy, TreeCover};
 pub use updates::UpdateError;

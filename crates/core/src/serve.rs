@@ -34,6 +34,7 @@
 //! snapshot-consistency stress test checks against a DFS oracle.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -153,6 +154,24 @@ impl ServiceStats {
         self.submitted.saturating_sub(self.consumed)
     }
 }
+
+/// Error returned by [`ClosureService::submit`] once the service has been
+/// closed: the op was *not* enqueued and will never be applied.
+///
+/// Every op ever accepted (`Ok(seq)`) is still drained and applied (or
+/// skipped with accounting) before the writer exits — a submission racing
+/// [`ClosureService::close`] is therefore either applied or observably
+/// rejected here, never silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service is closed: op rejected, not enqueued")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
 
 /// The mutable closure a service writes to: one direction, or a
 /// [`BiClosure`] pair when predecessor queries should decode from the
@@ -467,8 +486,8 @@ struct Shared {
 /// let mut reader = service.reader();
 /// assert!(reader.reaches(NodeId(0), NodeId(2)));
 ///
-/// service.submit(ServiceOp::AddEdge { src: NodeId(2), dst: NodeId(0) }); // cycle: skipped
-/// service.submit(ServiceOp::AddNode { parents: vec![NodeId(2)] });
+/// service.submit(ServiceOp::AddEdge { src: NodeId(2), dst: NodeId(0) }).unwrap(); // cycle: skipped
+/// service.submit(ServiceOp::AddNode { parents: vec![NodeId(2)] }).unwrap();
 /// let stats = service.flush();
 /// assert_eq!((stats.applied, stats.skipped), (1, 1));
 /// assert!(reader.reaches(NodeId(0), NodeId(3)));
@@ -537,26 +556,38 @@ impl ClosureService {
     }
 
     /// Enqueues one op; returns its sequence number (1-based position in
-    /// the submission order). Never blocks on the writer.
-    pub fn submit(&self, op: ServiceOp) -> u64 {
+    /// the submission order). Never blocks on the writer. Once the service
+    /// is [closed](ClosureService::close), returns [`ServiceClosed`]
+    /// instead: an accepted op is always eventually consumed (applied or
+    /// skipped, with exact accounting), a rejected one is observably never
+    /// enqueued — there is no silent-drop window between the two.
+    pub fn submit(&self, op: ServiceOp) -> Result<u64, ServiceClosed> {
         let seq = {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
-            assert!(!q.closed, "submit after shutdown");
+            if q.closed {
+                return Err(ServiceClosed);
+            }
             q.ops.push_back(op);
             q.submitted += 1;
             self.shared.submitted.store(q.submitted, Ordering::Release);
             q.submitted
         };
         self.shared.work.notify_one();
-        seq
+        Ok(seq)
     }
 
     /// Enqueues a batch of ops under one queue lock; returns the sequence
-    /// number of the last one (0 if `ops` was empty).
-    pub fn submit_batch(&self, ops: impl IntoIterator<Item = ServiceOp>) -> u64 {
+    /// number of the last one (0 if `ops` was empty). All-or-nothing under
+    /// a close race: either every op of the batch is accepted or none is.
+    pub fn submit_batch(
+        &self,
+        ops: impl IntoIterator<Item = ServiceOp>,
+    ) -> Result<u64, ServiceClosed> {
         let seq = {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
-            assert!(!q.closed, "submit after shutdown");
+            if q.closed {
+                return Err(ServiceClosed);
+            }
             let before = q.ops.len();
             q.ops.extend(ops);
             q.submitted += (q.ops.len() - before) as u64;
@@ -564,7 +595,20 @@ impl ClosureService {
             q.submitted
         };
         self.shared.work.notify_one();
-        seq
+        Ok(seq)
+    }
+
+    /// Closes the submission queue: every later [`ClosureService::submit`]
+    /// returns [`ServiceClosed`], while everything accepted before the
+    /// close is still drained, applied and published. Idempotent, and safe
+    /// to call from any thread — the handle stays usable for `flush`,
+    /// `stats`, readers, and the final [`ClosureService::shutdown`].
+    pub fn close(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.closed = true;
+        }
+        self.shared.work.notify_all();
     }
 
     /// Blocks until every op submitted so far is covered by a published
@@ -599,11 +643,7 @@ impl ClosureService {
     /// back along with the final stats. Outstanding readers keep their
     /// pinned snapshots and stay fully usable.
     pub fn shutdown(mut self) -> (ServiceStats, ServiceBackend) {
-        {
-            let mut q = self.shared.queue.lock().expect("queue poisoned");
-            q.closed = true;
-        }
-        self.shared.work.notify_all();
+        self.close();
         let backend = self
             .writer
             .take()
@@ -817,9 +857,9 @@ mod tests {
         let mut reader = service.reader();
         assert!(!reader.reaches(NodeId(0), NodeId(3)));
 
-        let s1 = service.submit(ServiceOp::AddNode { parents: vec![NodeId(2)] });
-        let s2 = service.submit(ServiceOp::AddEdge { src: NodeId(3), dst: NodeId(0) }); // cycle
-        let s3 = service.submit(ServiceOp::RemoveEdge { src: NodeId(0), dst: NodeId(9) }); // no such
+        let s1 = service.submit(ServiceOp::AddNode { parents: vec![NodeId(2)] }).unwrap();
+        let s2 = service.submit(ServiceOp::AddEdge { src: NodeId(3), dst: NodeId(0) }).unwrap(); // cycle
+        let s3 = service.submit(ServiceOp::RemoveEdge { src: NodeId(0), dst: NodeId(9) }).unwrap(); // no such
         assert_eq!((s1, s2, s3), (1, 2, 3));
         let stats = service.flush();
         assert_eq!(stats.consumed, 3);
@@ -841,6 +881,46 @@ mod tests {
     }
 
     #[test]
+    fn submit_racing_close_is_applied_or_rejected_never_lost() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let closure = CompressedClosure::build(&g).unwrap();
+        let service = ClosureService::start(closure, ServiceConfig::new().audit(true));
+        let accepted = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        match service.submit(ServiceOp::AddNode { parents: vec![NodeId(1)] }) {
+                            Ok(_) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServiceClosed) => break,
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            service.close();
+        });
+        let ok = accepted.load(Ordering::Relaxed);
+        service.close(); // idempotent
+        assert_eq!(service.submit(ServiceOp::Relabel), Err(ServiceClosed));
+        assert_eq!(service.submit_batch([ServiceOp::Relabel]), Err(ServiceClosed));
+        let (stats, backend) = service.shutdown();
+        // Exact accounting: every Ok(seq) was enqueued and drained; every
+        // Err(ServiceClosed) never touched the queue. Nothing in between.
+        assert_eq!(stats.submitted, ok, "submitted must equal the Ok count");
+        assert_eq!(stats.consumed, stats.submitted, "accepted ops are never dropped");
+        assert_eq!(stats.applied + stats.skipped, stats.consumed);
+        assert_eq!(stats.staleness(), 0);
+        assert_eq!(stats.audit_violation, None);
+        let closure = backend.into_single().unwrap();
+        closure.verify().unwrap();
+        assert_eq!(closure.node_count() as u64, 2 + stats.applied);
+    }
+
+    #[test]
     fn pinned_snapshots_survive_later_writes() {
         let g = DiGraph::from_edges([(0, 1)]);
         let service =
@@ -848,7 +928,7 @@ mod tests {
         let mut reader = service.reader();
         let old = reader.snapshot();
         for _ in 0..10 {
-            service.submit(ServiceOp::AddNode { parents: vec![NodeId(0)] });
+            service.submit(ServiceOp::AddNode { parents: vec![NodeId(0)] }).unwrap();
         }
         service.flush();
         // The pinned snapshot still answers from its original prefix.
@@ -864,10 +944,10 @@ mod tests {
         let g = DiGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
         let closure = ClosureConfig::new().gap(32).reserve(4).build(&g).unwrap();
         let service = ClosureService::start(closure, ServiceConfig::new().audit(true));
-        service.submit(ServiceOp::Refine { child: NodeId(2) });
-        service.submit(ServiceOp::Relabel);
-        service.submit(ServiceOp::RemoveNode { node: NodeId(0) });
-        service.submit(ServiceOp::Rebuild);
+        service.submit(ServiceOp::Refine { child: NodeId(2) }).unwrap();
+        service.submit(ServiceOp::Relabel).unwrap();
+        service.submit(ServiceOp::RemoveNode { node: NodeId(0) }).unwrap();
+        service.submit(ServiceOp::Rebuild).unwrap();
         let stats = service.flush();
         assert_eq!(stats.applied, 4);
         assert_eq!(stats.audit_violation, None);
@@ -896,7 +976,7 @@ mod tests {
                 "predecessor_count({v:?})"
             );
         }
-        service.submit(ServiceOp::AddNode { parents: vec![NodeId(0), NodeId(1)] });
+        service.submit(ServiceOp::AddNode { parents: vec![NodeId(0), NodeId(1)] }).unwrap();
         service.flush();
         let n = NodeId(50);
         assert!(reader.predecessors(n).contains(&NodeId(0)));
@@ -934,7 +1014,7 @@ mod tests {
             }
             let mut tip = NodeId(1);
             for i in 0..64 {
-                let seq = service.submit(ServiceOp::AddNode { parents: vec![tip] });
+                let seq = service.submit(ServiceOp::AddNode { parents: vec![tip] }).unwrap();
                 tip = NodeId(2 + i);
                 assert_eq!(seq, (i + 1) as u64);
             }

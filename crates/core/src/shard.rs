@@ -43,7 +43,7 @@ use tc_graph::topo::{self, CycleError, Partition};
 use tc_graph::{traverse, BitSet, DiGraph, NodeId};
 
 use crate::serve::{
-    ClosureService, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot,
+    ClosureService, ServiceClosed, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot,
 };
 use crate::updates::UpdateError;
 use crate::{ClosureConfig, CompressedClosure};
@@ -101,6 +101,16 @@ impl Routing {
     #[inline]
     fn global(&self, shard: usize, local: NodeId) -> NodeId {
         self.global_of[shard][local.index()]
+    }
+
+    /// Like [`Routing::global`], but total: readers pin the routing and
+    /// the shard snapshots *independently*, so a shard snapshot can run
+    /// ahead and decode locals this routing snapshot has never mapped.
+    /// Those nodes are invisible until the next routing publish — `None`,
+    /// not an out-of-bounds panic.
+    #[inline]
+    fn global_get(&self, shard: usize, local: NodeId) -> Option<NodeId> {
+        self.global_of[shard].get(local.index()).copied()
     }
 
     /// Appends a fresh global id to `shard`; returns `(global, local)`.
@@ -822,6 +832,26 @@ pub struct ShardedStats {
     pub audit_violation: Option<String>,
 }
 
+/// The front end's synchronous verdict for one submitted op, reported by
+/// [`ShardedService::submit_with_outcome`]. Validation and id assignment
+/// happen under the front-end lock at submit time, so `Routed` can carry
+/// the id of a node the op created before any shard writer has applied it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Validated and routed to the shard writers; `new_node` is the global
+    /// id assigned if the op creates a node (`AddNode`, `Refine`).
+    Routed {
+        /// Id of the node this op created, if any.
+        new_node: Option<NodeId>,
+    },
+    /// Validated and dropped (unknown node, cycle, absent arc, ...);
+    /// counted in [`ShardedStats::rejected`].
+    Rejected,
+    /// A no-op by definition (currently: a duplicate arc) — accepted
+    /// without routing anything.
+    Noop,
+}
+
 /// One published routing + boundary view; shard snapshots pair with it at
 /// read time.
 #[derive(Debug)]
@@ -851,6 +881,9 @@ struct FrontState {
     cross: Vec<(NodeId, NodeId)>,
     /// Whether the boundary closure must be rebuilt at the next flush.
     dirty: bool,
+    /// Set by [`ShardedService::close`]: later submits are rejected with
+    /// [`ServiceClosed`] before touching the mirror or any shard writer.
+    closed: bool,
     submitted: u64,
     rejected: u64,
     routed: u64,
@@ -962,7 +995,7 @@ impl FrontState {
 /// let mut reader = service.reader();
 ///
 /// // A cross-shard arc: 1 (shard of {0,1}) -> 2 (shard of {2,3}).
-/// service.submit(ServiceOp::AddEdge { src: NodeId(1), dst: NodeId(2) });
+/// service.submit(ServiceOp::AddEdge { src: NodeId(1), dst: NodeId(2) }).unwrap();
 /// service.flush();
 /// assert!(reader.reaches(NodeId(0), NodeId(3)));
 ///
@@ -1004,6 +1037,7 @@ impl ShardedService {
             level,
             cross,
             dirty: false,
+            closed: false,
             submitted: 0,
             rejected: 0,
             routed: 0,
@@ -1018,35 +1052,71 @@ impl ShardedService {
     /// Validates and routes one op; returns its front-end sequence number.
     /// Invalid ops (the ones a single [`ClosureService`] writer would
     /// skip) are counted in [`ShardedStats::rejected`] and dropped here,
-    /// before any writer sees them.
-    pub fn submit(&self, op: ServiceOp) -> u64 {
+    /// before any writer sees them. After [`ShardedService::close`] the op
+    /// is rejected with [`ServiceClosed`] before touching any state.
+    pub fn submit(&self, op: ServiceOp) -> Result<u64, ServiceClosed> {
+        self.submit_with_outcome(op).map(|(seq, _)| seq)
+    }
+
+    /// [`ShardedService::submit`], but also reports the front end's
+    /// synchronous verdict. Because validation and id assignment happen
+    /// under the front-end lock *at submit time*, a caller learns the id
+    /// of a node created by `AddNode`/`Refine` immediately — the network
+    /// dictionary layer binds string keys to exactly these ids.
+    pub fn submit_with_outcome(
+        &self,
+        op: ServiceOp,
+    ) -> Result<(u64, SubmitOutcome), ServiceClosed> {
         let mut f = self.front.lock().expect("front state poisoned");
+        if f.closed {
+            return Err(ServiceClosed);
+        }
         f.submitted += 1;
         let seq = f.submitted;
-        self.route_op(&mut f, op);
-        seq
+        let outcome = self.route_op(&mut f, op);
+        Ok((seq, outcome))
     }
 
     /// Submits a batch under one front-end lock; returns the last sequence
-    /// number (0 if empty).
-    pub fn submit_batch(&self, ops: impl IntoIterator<Item = ServiceOp>) -> u64 {
+    /// number (0 if empty). All-or-nothing under a close race: either the
+    /// whole batch is validated and routed, or [`ServiceClosed`] comes back
+    /// and none of it was.
+    pub fn submit_batch(
+        &self,
+        ops: impl IntoIterator<Item = ServiceOp>,
+    ) -> Result<u64, ServiceClosed> {
         let mut f = self.front.lock().expect("front state poisoned");
+        if f.closed {
+            return Err(ServiceClosed);
+        }
         let mut seq = f.submitted;
         for op in ops {
             f.submitted += 1;
             seq = f.submitted;
             self.route_op(&mut f, op);
         }
-        seq
+        Ok(seq)
     }
 
-    fn route_op(&self, f: &mut FrontState, op: ServiceOp) {
+    /// Closes the front end and every shard writer's queue: later submits
+    /// return [`ServiceClosed`]; everything accepted before the close is
+    /// still applied and published. Taken under the front-end lock, so no
+    /// accepted op can observe a closed shard writer. Idempotent.
+    pub fn close(&self) {
+        let mut f = self.front.lock().expect("front state poisoned");
+        f.closed = true;
+        for svc in &self.services {
+            svc.close();
+        }
+    }
+
+    fn route_op(&self, f: &mut FrontState, op: ServiceOp) -> SubmitOutcome {
         let n = f.routing.node_count();
         match op {
             ServiceOp::AddNode { parents } => {
                 if parents.iter().any(|p| p.index() >= n) {
                     f.rejected += 1;
-                    return;
+                    return SubmitOutcome::Rejected;
                 }
                 let mut uniq: Vec<NodeId> = Vec::with_capacity(parents.len());
                 for &p in &parents {
@@ -1072,29 +1142,35 @@ impl ShardedService {
                     .filter(|&&p| f.routing.shard(p) == s)
                     .map(|&p| f.routing.local(p))
                     .collect();
-                self.services[s].submit(ServiceOp::AddNode { parents: local_parents });
+                self.services[s]
+                    .submit(ServiceOp::AddNode { parents: local_parents })
+                    .expect("shard writer closed before front end");
                 f.routed += 1;
+                SubmitOutcome::Routed { new_node: Some(zg) }
             }
             ServiceOp::AddEdge { src, dst } => {
                 if src.index() >= n || dst.index() >= n || src == dst {
                     f.rejected += 1;
-                    return;
+                    return SubmitOutcome::Rejected;
                 }
                 if f.mirror.has_edge(src, dst) {
-                    return; // duplicate: a no-op, matching CompressedClosure::add_edge
+                    // duplicate: a no-op, matching CompressedClosure::add_edge
+                    return SubmitOutcome::Noop;
                 }
                 if f.creates_cycle(src, dst) {
                     f.rejected += 1;
-                    return;
+                    return SubmitOutcome::Rejected;
                 }
                 f.mirror.add_edge(src, dst);
                 f.recompute_levels_up(&[src]);
                 let (ss, sd) = (f.routing.shard(src), f.routing.shard(dst));
                 if ss == sd {
-                    self.services[ss].submit(ServiceOp::AddEdge {
-                        src: f.routing.local(src),
-                        dst: f.routing.local(dst),
-                    });
+                    self.services[ss]
+                        .submit(ServiceOp::AddEdge {
+                            src: f.routing.local(src),
+                            dst: f.routing.local(dst),
+                        })
+                        .expect("shard writer closed before front end");
                     f.routed += 1;
                     if !f.cross.is_empty() {
                         f.dirty = true;
@@ -1103,20 +1179,23 @@ impl ShardedService {
                     f.cross.push((src, dst));
                     f.dirty = true;
                 }
+                SubmitOutcome::Routed { new_node: None }
             }
             ServiceOp::RemoveEdge { src, dst } => {
                 if src.index() >= n || dst.index() >= n || !f.mirror.has_edge(src, dst) {
                     f.rejected += 1;
-                    return;
+                    return SubmitOutcome::Rejected;
                 }
                 f.mirror.remove_edge(src, dst);
                 f.recompute_levels_up(&[src]);
                 let (ss, sd) = (f.routing.shard(src), f.routing.shard(dst));
                 if ss == sd {
-                    self.services[ss].submit(ServiceOp::RemoveEdge {
-                        src: f.routing.local(src),
-                        dst: f.routing.local(dst),
-                    });
+                    self.services[ss]
+                        .submit(ServiceOp::RemoveEdge {
+                            src: f.routing.local(src),
+                            dst: f.routing.local(dst),
+                        })
+                        .expect("shard writer closed before front end");
                     f.routed += 1;
                     if !f.cross.is_empty() {
                         f.dirty = true;
@@ -1130,11 +1209,12 @@ impl ShardedService {
                     f.cross.swap_remove(pos);
                     f.dirty = true;
                 }
+                SubmitOutcome::Routed { new_node: None }
             }
             ServiceOp::RemoveNode { node } => {
                 if node.index() >= n {
                     f.rejected += 1;
-                    return;
+                    return SubmitOutcome::Rejected;
                 }
                 let preds = f.mirror.predecessors(node).to_vec();
                 for d in f.mirror.successors(node).to_vec() {
@@ -1152,13 +1232,16 @@ impl ShardedService {
                 seeds.push(node);
                 f.recompute_levels_up(&seeds);
                 let s = f.routing.shard(node);
-                self.services[s].submit(ServiceOp::RemoveNode { node: f.routing.local(node) });
+                self.services[s]
+                    .submit(ServiceOp::RemoveNode { node: f.routing.local(node) })
+                    .expect("shard writer closed before front end");
                 f.routed += 1;
+                SubmitOutcome::Routed { new_node: None }
             }
             ServiceOp::Refine { child } => {
                 if child.index() >= n {
                     f.rejected += 1;
-                    return;
+                    return SubmitOutcome::Rejected;
                 }
                 let parents = f.mirror.predecessors(child).to_vec();
                 let s = f.routing.shard(child);
@@ -1182,22 +1265,28 @@ impl ShardedService {
                 // The shard writer applies these FIFO: the generic form of
                 // refinement (reachability-identical because the original
                 // parent -> child arcs stay).
-                self.services[s].submit(ServiceOp::AddNode { parents: local_parents });
                 self.services[s]
-                    .submit(ServiceOp::AddEdge { src: zl, dst: f.routing.local(child) });
+                    .submit(ServiceOp::AddNode { parents: local_parents })
+                    .expect("shard writer closed before front end");
+                self.services[s]
+                    .submit(ServiceOp::AddEdge { src: zl, dst: f.routing.local(child) })
+                    .expect("shard writer closed before front end");
                 f.routed += 2;
+                SubmitOutcome::Routed { new_node: Some(zg) }
             }
             ServiceOp::Relabel => {
                 for svc in &self.services {
-                    svc.submit(ServiceOp::Relabel);
+                    svc.submit(ServiceOp::Relabel).expect("shard writer closed before front end");
                     f.routed += 1;
                 }
+                SubmitOutcome::Routed { new_node: None }
             }
             ServiceOp::Rebuild => {
                 for svc in &self.services {
-                    svc.submit(ServiceOp::Rebuild);
+                    svc.submit(ServiceOp::Rebuild).expect("shard writer closed before front end");
                     f.routed += 1;
                 }
+                SubmitOutcome::Routed { new_node: None }
             }
         }
     }
@@ -1289,6 +1378,7 @@ impl ShardedService {
     /// Flushes, stops every shard writer, and reassembles the exact
     /// offline [`ShardedClosure`].
     pub fn shutdown(self) -> (ShardedStats, ShardedClosure) {
+        self.close();
         let stats = self.flush();
         let ShardedService { services, front, cell: _, config } = self;
         let f = front.into_inner().expect("front state poisoned");
@@ -1461,7 +1551,7 @@ impl ShardedReader {
         }
         let ss = route.routing.shard(node);
         snaps[ss].successors_into(route.routing.local(node), &mut self.seen);
-        out.extend(self.seen.iter().map(|&l| route.routing.global(ss, l)));
+        out.extend(self.seen.iter().filter_map(|&l| route.routing.global_get(ss, l)));
         if !route.boundary.is_empty() {
             let set = route
                 .boundary
@@ -1470,7 +1560,7 @@ impl ShardedReader {
                 let exit = route.boundary.nodes[j];
                 let sb = route.routing.shard(exit);
                 snaps[sb].successors_into(route.routing.local(exit), &mut self.seen);
-                out.extend(self.seen.iter().map(|&l| route.routing.global(sb, l)));
+                out.extend(self.seen.iter().filter_map(|&l| route.routing.global_get(sb, l)));
             }
             out.sort_unstable();
             out.dedup();
@@ -1499,7 +1589,7 @@ impl ShardedReader {
         }
         let sd = route.routing.shard(node);
         snaps[sd].predecessors_into(route.routing.local(node), &mut self.stab, &mut self.seen);
-        out.extend(self.seen.iter().map(|&l| route.routing.global(sd, l)));
+        out.extend(self.seen.iter().filter_map(|&l| route.routing.global_get(sd, l)));
         if !route.boundary.is_empty() {
             let set = route
                 .boundary
@@ -1512,7 +1602,7 @@ impl ShardedReader {
                     &mut self.stab,
                     &mut self.seen,
                 );
-                out.extend(self.seen.iter().map(|&l| route.routing.global(sb, l)));
+                out.extend(self.seen.iter().filter_map(|&l| route.routing.global_get(sb, l)));
             }
             out.sort_unstable();
             out.dedup();
@@ -1669,8 +1759,8 @@ mod tests {
             ServiceOp::Relabel,
         ];
         for op in ops {
-            service.submit(op.clone());
-            flat_service.submit(op);
+            service.submit(op.clone()).unwrap();
+            flat_service.submit(op).unwrap();
             let stats = service.flush();
             flat_service.flush();
             assert_eq!(stats.skipped, 0, "shard writers must never skip");
@@ -1703,15 +1793,113 @@ mod tests {
     }
 
     #[test]
+    fn reader_tolerates_shard_snapshots_ahead_of_routing() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 1).unwrap();
+        let service = ShardedService::start(sc, ServiceConfig::new());
+        let mut reader = service.reader();
+        assert_eq!(reader.successors(NodeId(0)).len(), 2);
+        service.submit(ServiceOp::AddNode { parents: vec![NodeId(0)] }).unwrap();
+        // Wait for the shard writer to apply and publish *without* a
+        // flush, so the pinned routing stays one node behind the shard
+        // snapshot — the torn-pin state a network reader can observe.
+        for _ in 0..5000 {
+            if service.stats().applied >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(service.stats().applied, 1, "shard writer publish timed out");
+        // The new node is invisible to the pinned routing: the decode must
+        // skip it, not index out of bounds.
+        let succ = reader.successors(NodeId(0));
+        assert!(succ.iter().all(|v| v.index() < 2), "unrouted node leaked: {succ:?}");
+        let preds = reader.predecessors(NodeId(1));
+        assert!(preds.iter().all(|v| v.index() < 2));
+        service.flush();
+        assert_eq!(reader.successors(NodeId(0)).len(), 3, "visible after routing publish");
+        let (_, sc) = service.shutdown();
+        assert!(sc.audit().is_ok());
+    }
+
+    #[test]
+    fn submit_racing_close_is_applied_or_rejected_never_lost() {
+        let g = DiGraph::from_edges([(0, 1), (2, 3)]);
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 2).unwrap();
+        let service = ShardedService::start(sc, ServiceConfig::new());
+        let accepted = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        match service.submit(ServiceOp::AddNode { parents: vec![NodeId(1)] }) {
+                            Ok(_) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServiceClosed) => break,
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            service.close();
+        });
+        let ok = accepted.load(Ordering::Relaxed);
+        service.close(); // idempotent
+        assert_eq!(service.submit(ServiceOp::Relabel), Err(ServiceClosed));
+        assert_eq!(service.submit_batch([ServiceOp::Relabel]), Err(ServiceClosed));
+        assert!(service.submit_with_outcome(ServiceOp::Relabel).is_err());
+        let (stats, sc) = service.shutdown();
+        // Every Ok(seq) was validated, routed, and applied by a shard
+        // writer; every Err(ServiceClosed) touched nothing.
+        assert_eq!(stats.submitted, ok, "submitted must equal the Ok count");
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.routed, ok, "each accepted AddNode routes one shard op");
+        assert_eq!(stats.applied, stats.routed, "routed ops are never dropped");
+        assert_eq!(stats.skipped, 0);
+        assert!(sc.audit().is_ok(), "audit: {:?}", sc.audit());
+    }
+
+    #[test]
+    fn outcome_reports_assigned_node_ids_and_verdicts() {
+        let g = DiGraph::from_edges([(0, 1)]);
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 2).unwrap();
+        let service = ShardedService::start(sc, ServiceConfig::new());
+        let (_, out) = service
+            .submit_with_outcome(ServiceOp::AddNode { parents: vec![NodeId(1)] })
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Routed { new_node: Some(NodeId(2)) });
+        let (_, out) = service
+            .submit_with_outcome(ServiceOp::AddEdge { src: NodeId(0), dst: NodeId(2) })
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Routed { new_node: None });
+        let (_, out) = service
+            .submit_with_outcome(ServiceOp::AddEdge { src: NodeId(0), dst: NodeId(2) })
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Noop, "duplicate arc is a no-op");
+        let (_, out) = service
+            .submit_with_outcome(ServiceOp::AddEdge { src: NodeId(2), dst: NodeId(0) })
+            .unwrap();
+        assert_eq!(out, SubmitOutcome::Rejected, "cycle is rejected");
+        let mut reader = service.reader();
+        service.flush();
+        assert!(reader.reaches(NodeId(0), NodeId(2)));
+        let (stats, sc) = service.shutdown();
+        assert_eq!(stats.skipped, 0);
+        assert!(sc.audit().is_ok());
+    }
+
+    #[test]
     fn front_end_rejects_what_flat_writer_would_skip() {
         let g = DiGraph::from_edges([(0, 1)]);
         let sc = ShardedClosure::build(ClosureConfig::new(), &g, 2).unwrap();
         let service = ShardedService::start(sc, ServiceConfig::new());
-        service.submit(ServiceOp::AddEdge { src: NodeId(9), dst: NodeId(0) }); // unknown
-        service.submit(ServiceOp::RemoveEdge { src: NodeId(1), dst: NodeId(0) }); // no such edge
-        service.submit(ServiceOp::RemoveNode { node: NodeId(44) }); // unknown
-        service.submit(ServiceOp::Refine { child: NodeId(44) }); // unknown
-        service.submit(ServiceOp::AddEdge { src: NodeId(1), dst: NodeId(0) }); // cycle
+        service.submit(ServiceOp::AddEdge { src: NodeId(9), dst: NodeId(0) }).unwrap(); // unknown
+        service.submit(ServiceOp::RemoveEdge { src: NodeId(1), dst: NodeId(0) }).unwrap(); // no such edge
+        service.submit(ServiceOp::RemoveNode { node: NodeId(44) }).unwrap(); // unknown
+        service.submit(ServiceOp::Refine { child: NodeId(44) }).unwrap(); // unknown
+        service.submit(ServiceOp::AddEdge { src: NodeId(1), dst: NodeId(0) }).unwrap(); // cycle
         let stats = service.flush();
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.rejected, 5);

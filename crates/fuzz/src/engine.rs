@@ -430,7 +430,7 @@ impl EngineState {
             return Ok(());
         };
         let viol = |detail: String| (ViolationKind::Sharded, detail);
-        ls.service.submit(op.clone());
+        ls.service.submit(op.clone()).expect("lockstep service closed mid-trace");
         ls.forwarded += 1;
         let stats = ls.service.flush();
         if stats.rejected != 0 {

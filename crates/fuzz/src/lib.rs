@@ -34,6 +34,7 @@
 
 pub mod engine;
 pub mod gen;
+pub mod mutate;
 pub mod ops;
 pub mod shrink;
 
@@ -42,5 +43,8 @@ pub use engine::{
     ViolationKind,
 };
 pub use gen::{generate, GenConfig};
+pub use mutate::{
+    campaign, closure_campaign, mutate, refix_checksum, CaseOutcome, MutationKind, MutationReport,
+};
 pub use ops::{FuzzConfig, Op, OpTrace};
 pub use shrink::{shrink, ShrinkResult};

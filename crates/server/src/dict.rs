@@ -1,0 +1,316 @@
+//! String ⇄ [`NodeId`] dictionary encoding.
+//!
+//! External callers never see raw u32 node ids: every node is named by a
+//! UTF-8 key (no whitespace or control characters, at most
+//! [`MAX_KEY_BYTES`] bytes — keys travel as single tokens on the wire).
+//! Slots are indexed by node id and grow append-only, mirroring how the
+//! serving front end assigns ids monotonically; removing a node tombstones
+//! its slot, which frees the *name* for immediate re-registration and
+//! leaves the slot itself reusable should the engine ever hand that id
+//! out again.
+//!
+//! The dictionary persists as its own codec section (`DIC1` magic, same
+//! FNV-1a trailer convention as the closure's `ITC1` stream) so a daemon
+//! can save and restore its key space alongside the closure. The decoder
+//! is held to the closure codec's standard: corrupt bytes yield a
+//! [`DecodeError`], never a panic and never an allocation sized by a
+//! corrupted length field.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tc_core::codec::{fnv1a, DecodeError};
+use tc_graph::NodeId;
+
+const MAGIC: &[u8; 4] = b"DIC1";
+
+/// Longest permitted key, in bytes.
+pub const MAX_KEY_BYTES: usize = 255;
+
+/// Why a key was refused by [`Dict::bind`] or key validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictError {
+    /// The key is empty, too long, or contains whitespace/control bytes.
+    InvalidKey,
+    /// The key already names a live node.
+    Exists,
+    /// The slot for this id already holds a live key.
+    SlotLive,
+}
+
+impl fmt::Display for DictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictError::InvalidKey => {
+                write!(f, "invalid key (empty, over {MAX_KEY_BYTES} bytes, or has whitespace)")
+            }
+            DictError::Exists => write!(f, "key already bound"),
+            DictError::SlotLive => write!(f, "node already has a key"),
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    /// Id never bound (a gap left by out-of-order binds).
+    Empty,
+    /// Id currently named by this key.
+    Live(String),
+    /// Id was named once; the node is gone and the name released.
+    Tombstone,
+}
+
+/// Append-only string ⇄ node-id table with tombstone reuse.
+#[derive(Debug, Clone, Default)]
+pub struct Dict {
+    slots: Vec<Slot>,
+    index: HashMap<String, u32>,
+    tombstones: usize,
+}
+
+/// Whether `key` may name a node: non-empty, at most [`MAX_KEY_BYTES`]
+/// bytes, and free of whitespace/control characters (keys are single
+/// tokens in the line protocol).
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= MAX_KEY_BYTES
+        && key.chars().all(|c| !c.is_whitespace() && !c.is_control())
+}
+
+impl Dict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dict::default()
+    }
+
+    /// A dictionary naming ids `0..n` with the default keys `n0`, `n1`, …
+    /// — how a daemon labels a closure loaded from a bare edge list.
+    pub fn with_default_keys(n: usize) -> Self {
+        let mut d = Dict::new();
+        for i in 0..n {
+            d.bind(NodeId(i as u32), &format!("n{i}")).expect("default keys are unique");
+        }
+        d
+    }
+
+    /// The id named by `key`, if any.
+    pub fn resolve(&self, key: &str) -> Option<NodeId> {
+        self.index.get(key).map(|&i| NodeId(i))
+    }
+
+    /// The key naming `id`, if the slot is live.
+    pub fn key(&self, id: NodeId) -> Option<&str> {
+        match self.slots.get(id.index()) {
+            Some(Slot::Live(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Names `id` with `key`. The slot must not be live (appending past the
+    /// end or reusing a tombstone both work), and the key must be valid and
+    /// unused.
+    pub fn bind(&mut self, id: NodeId, key: &str) -> Result<(), DictError> {
+        if !valid_key(key) {
+            return Err(DictError::InvalidKey);
+        }
+        if self.index.contains_key(key) {
+            return Err(DictError::Exists);
+        }
+        let ix = id.index();
+        if ix >= self.slots.len() {
+            self.slots.resize(ix + 1, Slot::Empty);
+        }
+        match &self.slots[ix] {
+            Slot::Live(_) => return Err(DictError::SlotLive),
+            Slot::Tombstone => self.tombstones -= 1,
+            Slot::Empty => {}
+        }
+        self.slots[ix] = Slot::Live(key.to_owned());
+        self.index.insert(key.to_owned(), id.0);
+        Ok(())
+    }
+
+    /// Releases the name of `id`, tombstoning its slot; returns the freed
+    /// key if the slot was live.
+    pub fn unbind(&mut self, id: NodeId) -> Option<String> {
+        match self.slots.get_mut(id.index()) {
+            Some(slot @ Slot::Live(_)) => {
+                let old = std::mem::replace(slot, Slot::Tombstone);
+                self.tombstones += 1;
+                let Slot::Live(key) = old else { unreachable!() };
+                self.index.remove(&key);
+                Some(key)
+            }
+            _ => None,
+        }
+    }
+
+    /// Live keys currently bound.
+    pub fn live_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Tombstoned slots (names released by removals).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Total slots, live + tombstoned + gaps.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Serializes the dictionary: `DIC1`, slot count, tagged slots, FNV-1a
+    /// trailer — the same stream conventions as the closure codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(self.slots.len() as u64).to_le_bytes());
+        for slot in &self.slots {
+            match slot {
+                Slot::Empty => buf.push(0),
+                Slot::Live(key) => {
+                    buf.push(1);
+                    buf.push(key.len() as u8);
+                    buf.extend_from_slice(key.as_bytes());
+                }
+                Slot::Tombstone => buf.push(2),
+            }
+        }
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Restores a dictionary serialized with [`Dict::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DecodeError> {
+        if data.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let (payload, tail) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if fnv1a(payload) != stored {
+            return Err(DecodeError::Corrupt("checksum mismatch"));
+        }
+        if payload.len() < 12 || &payload[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let count = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes")) as usize;
+        let rest = &payload[12..];
+        // Every slot costs at least its 1-byte tag; reject a count the
+        // stream cannot possibly hold before sizing anything by it.
+        if count > rest.len() {
+            return Err(DecodeError::Corrupt("slot count exceeds stream"));
+        }
+        let mut dict = Dict { slots: Vec::with_capacity(count), index: HashMap::new(), tombstones: 0 };
+        let mut pos = 0usize;
+        for ix in 0..count {
+            let tag = *rest.get(pos).ok_or(DecodeError::Truncated)?;
+            pos += 1;
+            match tag {
+                0 => dict.slots.push(Slot::Empty),
+                1 => {
+                    let len = *rest.get(pos).ok_or(DecodeError::Truncated)? as usize;
+                    pos += 1;
+                    let bytes = rest.get(pos..pos + len).ok_or(DecodeError::Truncated)?;
+                    pos += len;
+                    let key = std::str::from_utf8(bytes)
+                        .map_err(|_| DecodeError::Corrupt("key is not UTF-8"))?;
+                    if !valid_key(key) {
+                        return Err(DecodeError::Corrupt("invalid key"));
+                    }
+                    if dict.index.insert(key.to_owned(), ix as u32).is_some() {
+                        return Err(DecodeError::Corrupt("duplicate key"));
+                    }
+                    dict.slots.push(Slot::Live(key.to_owned()));
+                }
+                2 => {
+                    dict.slots.push(Slot::Tombstone);
+                    dict.tombstones += 1;
+                }
+                _ => return Err(DecodeError::Corrupt("unknown slot tag")),
+            }
+        }
+        if pos != rest.len() {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        Ok(dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_resolve_unbind_reuse() {
+        let mut d = Dict::new();
+        d.bind(NodeId(0), "alice").unwrap();
+        d.bind(NodeId(1), "bob").unwrap();
+        assert_eq!(d.resolve("alice"), Some(NodeId(0)));
+        assert_eq!(d.key(NodeId(1)), Some("bob"));
+        assert_eq!(d.bind(NodeId(2), "alice"), Err(DictError::Exists));
+        assert_eq!(d.bind(NodeId(0), "carol"), Err(DictError::SlotLive));
+
+        assert_eq!(d.unbind(NodeId(0)), Some("alice".to_owned()));
+        assert_eq!(d.resolve("alice"), None);
+        assert_eq!(d.tombstone_count(), 1);
+        // The freed name re-registers, and the tombstoned slot rebinds.
+        d.bind(NodeId(2), "alice").unwrap();
+        d.bind(NodeId(0), "carol").unwrap();
+        assert_eq!(d.tombstone_count(), 0);
+        assert_eq!(d.resolve("carol"), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_invalid_keys() {
+        let mut d = Dict::new();
+        assert_eq!(d.bind(NodeId(0), ""), Err(DictError::InvalidKey));
+        assert_eq!(d.bind(NodeId(0), "two words"), Err(DictError::InvalidKey));
+        assert_eq!(d.bind(NodeId(0), "tab\there"), Err(DictError::InvalidKey));
+        assert_eq!(d.bind(NodeId(0), &"x".repeat(256)), Err(DictError::InvalidKey));
+        d.bind(NodeId(0), &"x".repeat(255)).unwrap();
+        d.bind(NodeId(1), "unicode-λ-ok").unwrap();
+    }
+
+    #[test]
+    fn codec_roundtrips_gaps_and_tombstones() {
+        let mut d = Dict::new();
+        d.bind(NodeId(0), "root").unwrap();
+        d.bind(NodeId(3), "sparse").unwrap(); // leaves gaps at 1, 2
+        d.bind(NodeId(4), "gone").unwrap();
+        d.unbind(NodeId(4));
+        let bytes = d.to_bytes();
+        let back = Dict::from_bytes(&bytes).unwrap();
+        assert_eq!(back.resolve("root"), Some(NodeId(0)));
+        assert_eq!(back.resolve("sparse"), Some(NodeId(3)));
+        assert_eq!(back.resolve("gone"), None);
+        assert_eq!(back.key(NodeId(1)), None);
+        assert_eq!(back.tombstone_count(), 1);
+        assert_eq!(back.slot_count(), 5);
+        assert_eq!(back.to_bytes(), bytes, "re-serialization is stable");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Dict::from_bytes(b"short").err(), Some(DecodeError::Truncated));
+        let mut bytes = Dict::with_default_keys(8).to_bytes();
+        let split = bytes.len() - 8;
+        bytes[2] ^= 0xFF;
+        assert_eq!(
+            Dict::from_bytes(&bytes).err(),
+            Some(DecodeError::Corrupt("checksum mismatch"))
+        );
+        // Re-sign an oversized slot count: must be bounded, not allocated.
+        bytes[2] ^= 0xFF;
+        bytes[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        let sum = fnv1a(&bytes[..split]);
+        bytes[split..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Dict::from_bytes(&bytes).err(),
+            Some(DecodeError::Corrupt("slot count exceeds stream"))
+        );
+    }
+}

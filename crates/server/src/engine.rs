@@ -1,0 +1,412 @@
+//! The serving engine: one [`ShardedService`] plus the dictionary, shared
+//! by every connection.
+//!
+//! Reads never lock the engine: each connection owns a
+//! [`ShardedReader`] whose answers come from epoch-validated snapshots.
+//! Writes take the dictionary's write lock for exactly as long as it takes
+//! to validate keys and hand the op to the validating front end — id
+//! assignment is synchronous there (see
+//! [`ShardedService::submit_with_outcome`]), so a new node's key is bound
+//! before the response line is written, while the actual closure update
+//! proceeds on the background shard writers.
+//!
+//! A background *flusher* thread bounds staleness: whenever writes have
+//! been admitted since the last publish, it drains the writers and
+//! republishes the routing snapshot every `flush_interval`. Readers
+//! therefore serve some prefix of the accepted write sequence, at most one
+//! flush interval old — the staleness model measured in EXPERIMENTS.md X6,
+//! now exposed over the wire.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tc_core::shard::SubmitOutcome;
+use tc_core::{ServiceOp, ShardedClosure, ShardedReader, ShardedService, ShardedStats};
+use tc_graph::NodeId;
+
+use crate::dict::{valid_key, Dict};
+use crate::proto::{parse, ProtoError, Request};
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// How often the background flusher drains writers and republishes
+    /// when writes are pending.
+    pub flush_interval: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { flush_interval: Duration::from_millis(25) }
+    }
+}
+
+struct FlusherState {
+    dirty: bool,
+    stop: bool,
+}
+
+/// The shared serving engine. Cheap to share via `Arc`; connections call
+/// [`Engine::handle`] with their own reader.
+pub struct Engine {
+    service: ShardedService,
+    dict: RwLock<Dict>,
+    closed: AtomicBool,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+    fl: Arc<(Mutex<FlusherState>, Condvar)>,
+}
+
+impl Engine {
+    /// Starts the engine over a built sharded closure and its dictionary,
+    /// spawning the background flusher.
+    pub fn start(closure: ShardedClosure, dict: Dict, config: EngineConfig) -> Arc<Engine> {
+        let service = ShardedService::start(closure, tc_core::ServiceConfig::new());
+        let engine = Arc::new(Engine {
+            service,
+            dict: RwLock::new(dict),
+            closed: AtomicBool::new(false),
+            flusher: Mutex::new(None),
+            fl: Arc::new((Mutex::new(FlusherState { dirty: false, stop: false }), Condvar::new())),
+        });
+        let worker = Arc::clone(&engine);
+        let interval = config.flush_interval;
+        let handle = std::thread::Builder::new()
+            .name("tc-flusher".into())
+            .spawn(move || worker.flusher_loop(interval))
+            .expect("spawn flusher");
+        *engine.flusher.lock().expect("flusher slot poisoned") = Some(handle);
+        engine
+    }
+
+    fn flusher_loop(&self, interval: Duration) {
+        let (lock, cv) = &*self.fl;
+        loop {
+            let (dirty, stop) = {
+                let mut st = lock.lock().expect("flusher state poisoned");
+                if !st.dirty && !st.stop {
+                    // One bounded wait per iteration: a timeout falls through
+                    // to the outer loop's re-check, so the interval paces
+                    // publishes even without notifications.
+                    let (next, _) = cv.wait_timeout(st, interval).expect("flusher state poisoned");
+                    st = next;
+                }
+                let dirty = st.dirty;
+                st.dirty = false;
+                (dirty, st.stop)
+            };
+            if dirty {
+                self.service.flush();
+            }
+            if stop {
+                return;
+            }
+        }
+    }
+
+    fn mark_dirty(&self) {
+        let (lock, cv) = &*self.fl;
+        lock.lock().expect("flusher state poisoned").dirty = true;
+        cv.notify_all();
+    }
+
+    /// A zero-lock reader for one connection.
+    pub fn reader(&self) -> ShardedReader {
+        self.service.reader()
+    }
+
+    /// Drains the shard writers and republishes now; after this returns,
+    /// reads are exact with respect to every admitted write.
+    pub fn flush(&self) -> ShardedStats {
+        self.service.flush()
+    }
+
+    /// Current engine counters without forcing a flush.
+    pub fn stats(&self) -> ShardedStats {
+        self.service.stats()
+    }
+
+    /// Whether [`Engine::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Closes the engine: later writes answer `err closed`, every admitted
+    /// write is drained and published, the flusher stops. Reads keep
+    /// working off the final snapshots. Idempotent.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.service.close();
+        let (lock, cv) = &*self.fl;
+        {
+            let mut st = lock.lock().expect("flusher state poisoned");
+            st.stop = true;
+            st.dirty = false;
+        }
+        cv.notify_all();
+        let handle = self.flusher.lock().expect("flusher slot poisoned").take();
+        if let Some(h) = handle {
+            // A panicking flusher must not take the daemon down with it.
+            if h.join().is_err() {
+                eprintln!("tc-server: flusher thread panicked; continuing without it");
+            }
+        }
+        self.service.flush();
+    }
+
+    /// A snapshot of the dictionary (for persistence).
+    pub fn dict_bytes(&self) -> Vec<u8> {
+        self.dict.read().expect("dict poisoned").to_bytes()
+    }
+
+    /// Parses and executes one request line, returning the response line
+    /// (no terminator). Never panics on malformed input; semantic
+    /// rejections answer `ok rejected`.
+    pub fn handle(&self, reader: &mut ShardedReader, line: &str) -> String {
+        match parse(line) {
+            Err(e) => e.line(),
+            Ok(req) => self.dispatch(reader, req),
+        }
+    }
+
+    fn dispatch(&self, reader: &mut ShardedReader, req: Request<'_>) -> String {
+        match req {
+            Request::Ping => "ok pong".to_owned(),
+            Request::Flush => {
+                self.flush();
+                "ok flushed".to_owned()
+            }
+            Request::Shutdown => {
+                self.close();
+                "ok bye".to_owned()
+            }
+            Request::Stats => {
+                let s = self.stats();
+                let dict = self.dict.read().expect("dict poisoned");
+                format!(
+                    "ok submitted={} rejected={} routed={} applied={} skipped={} \
+                     publishes={} staleness={} keys={} tombstones={}",
+                    s.submitted,
+                    s.rejected,
+                    s.routed,
+                    s.applied,
+                    s.skipped,
+                    s.publishes,
+                    reader.staleness(),
+                    dict.live_count(),
+                    dict.tombstone_count(),
+                )
+            }
+            Request::Reaches(a, b) => match self.resolve2(a, b) {
+                Err(e) => e.line(),
+                Ok((src, dst)) => format!("ok {}", reader.reaches(src, dst)),
+            },
+            Request::ReachesBatch(pairs) => {
+                let ids = {
+                    let dict = self.dict.read().expect("dict poisoned");
+                    let mut ids = Vec::with_capacity(pairs.len());
+                    for (a, b) in &pairs {
+                        match (dict.resolve(a), dict.resolve(b)) {
+                            (Some(s), Some(d)) => ids.push((s, d)),
+                            _ => return ProtoError::UnknownKey.line(),
+                        }
+                    }
+                    ids
+                };
+                let bits = reader.reaches_batch(&ids);
+                let mut out = String::with_capacity(3 + 2 * bits.len());
+                out.push_str("ok");
+                for b in bits {
+                    out.push(' ');
+                    out.push(if b { '1' } else { '0' });
+                }
+                out
+            }
+            Request::Successors(k) => self.render_set(k, |r, id| r.successors(id), reader),
+            Request::Predecessors(k) => self.render_set(k, |r, id| r.predecessors(id), reader),
+            Request::AddNode { key, parents } => {
+                let mut dict = self.dict.write().expect("dict poisoned");
+                if !valid_key(key) {
+                    return ProtoError::BadRequest("invalid key").line();
+                }
+                if dict.resolve(key).is_some() {
+                    return ProtoError::Exists.line();
+                }
+                let mut pids = Vec::with_capacity(parents.len());
+                for p in &parents {
+                    match dict.resolve(p) {
+                        Some(id) => pids.push(id),
+                        None => return ProtoError::UnknownKey.line(),
+                    }
+                }
+                match self.service.submit_with_outcome(ServiceOp::AddNode { parents: pids }) {
+                    Err(_) => ProtoError::Closed.line(),
+                    Ok((_, SubmitOutcome::Routed { new_node: Some(id) })) => {
+                        dict.bind(id, key).expect("fresh id gets a fresh key");
+                        self.mark_dirty();
+                        "ok added".to_owned()
+                    }
+                    Ok(_) => "ok rejected".to_owned(),
+                }
+            }
+            Request::AddEdge(a, b) => self.write_pair(a, b, |s, d| ServiceOp::AddEdge {
+                src: s,
+                dst: d,
+            }, "added"),
+            Request::RemoveEdge(a, b) => self.write_pair(a, b, |s, d| ServiceOp::RemoveEdge {
+                src: s,
+                dst: d,
+            }, "removed"),
+            Request::RemoveNode(k) => {
+                let mut dict = self.dict.write().expect("dict poisoned");
+                let Some(id) = dict.resolve(k) else {
+                    return ProtoError::UnknownKey.line();
+                };
+                match self.service.submit_with_outcome(ServiceOp::RemoveNode { node: id }) {
+                    Err(_) => ProtoError::Closed.line(),
+                    Ok((_, SubmitOutcome::Routed { .. })) => {
+                        dict.unbind(id);
+                        self.mark_dirty();
+                        "ok removed".to_owned()
+                    }
+                    Ok(_) => "ok rejected".to_owned(),
+                }
+            }
+        }
+    }
+
+    fn resolve2(&self, a: &str, b: &str) -> Result<(NodeId, NodeId), ProtoError> {
+        let dict = self.dict.read().expect("dict poisoned");
+        match (dict.resolve(a), dict.resolve(b)) {
+            (Some(s), Some(d)) => Ok((s, d)),
+            _ => Err(ProtoError::UnknownKey),
+        }
+    }
+
+    /// Writes that take two existing keys and map to one op; `verb` is the
+    /// success token (`added` / `removed`).
+    fn write_pair(
+        &self,
+        a: &str,
+        b: &str,
+        op: impl FnOnce(NodeId, NodeId) -> ServiceOp,
+        verb: &str,
+    ) -> String {
+        let dict = self.dict.write().expect("dict poisoned");
+        let (src, dst) = match (dict.resolve(a), dict.resolve(b)) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return ProtoError::UnknownKey.line(),
+        };
+        match self.service.submit_with_outcome(op(src, dst)) {
+            Err(_) => ProtoError::Closed.line(),
+            Ok((_, SubmitOutcome::Routed { .. })) => {
+                drop(dict);
+                self.mark_dirty();
+                format!("ok {verb}")
+            }
+            Ok((_, SubmitOutcome::Noop)) => "ok noop".to_owned(),
+            Ok((_, SubmitOutcome::Rejected)) => "ok rejected".to_owned(),
+        }
+    }
+
+    /// Renders a successor/predecessor set as sorted keys. Ids whose slot
+    /// is tombstoned (a removal racing this read's snapshot) are skipped:
+    /// they are unreachable by name.
+    fn render_set(
+        &self,
+        key: &str,
+        query: impl FnOnce(&mut ShardedReader, NodeId) -> Vec<NodeId>,
+        reader: &mut ShardedReader,
+    ) -> String {
+        let id = {
+            let dict = self.dict.read().expect("dict poisoned");
+            match dict.resolve(key) {
+                Some(id) => id,
+                None => return ProtoError::UnknownKey.line(),
+            }
+        };
+        let ids = query(reader, id);
+        let dict = self.dict.read().expect("dict poisoned");
+        let mut keys: Vec<&str> = ids.iter().filter_map(|&v| dict.key(v)).collect();
+        keys.sort_unstable();
+        let mut out = String::from("ok");
+        for k in keys {
+            out.push(' ');
+            out.push_str(k);
+        }
+        out
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::ClosureConfig;
+    use tc_graph::DiGraph;
+
+    fn engine() -> (Arc<Engine>, ShardedReader) {
+        let g = DiGraph::from_edges([(0, 1), (1, 2)]);
+        let sc = ShardedClosure::build(ClosureConfig::new(), &g, 1).unwrap();
+        let e = Engine::start(sc, Dict::with_default_keys(3), EngineConfig::default());
+        let r = e.reader();
+        (e, r)
+    }
+
+    #[test]
+    fn reads_and_writes_roundtrip_by_key() {
+        let (e, mut r) = engine();
+        assert_eq!(e.handle(&mut r, "ping"), "ok pong");
+        assert_eq!(e.handle(&mut r, "reaches n0 n2"), "ok true");
+        assert_eq!(e.handle(&mut r, "reaches n2 n0"), "ok false");
+        assert_eq!(e.handle(&mut r, "add-node leaf n2"), "ok added");
+        assert_eq!(e.handle(&mut r, "flush"), "ok flushed");
+        assert_eq!(e.handle(&mut r, "reaches n0 leaf"), "ok true");
+        assert_eq!(e.handle(&mut r, "reaches-batch n0 leaf leaf n0"), "ok 1 0");
+        assert_eq!(e.handle(&mut r, "successors n1"), "ok leaf n1 n2"); // reflexive
+        assert_eq!(e.handle(&mut r, "predecessors leaf"), "ok leaf n0 n1 n2");
+        assert_eq!(e.handle(&mut r, "add-edge leaf n0"), "ok rejected"); // cycle
+        assert_eq!(e.handle(&mut r, "add-edge n2 leaf"), "ok noop"); // duplicate
+        assert_eq!(e.handle(&mut r, "remove-node leaf"), "ok removed");
+        assert_eq!(e.handle(&mut r, "flush"), "ok flushed");
+        assert_eq!(e.handle(&mut r, "reaches n0 leaf"), "err unknown-key no node by that key");
+        assert_eq!(e.handle(&mut r, "add-node leaf n0"), "ok added"); // name reuse
+        e.close();
+    }
+
+    #[test]
+    fn protocol_errors_do_not_disturb_the_engine() {
+        let (e, mut r) = engine();
+        assert!(e.handle(&mut r, "frobnicate").starts_with("err unknown-verb"));
+        assert!(e.handle(&mut r, "reaches n0").starts_with("err bad-request"));
+        assert!(e.handle(&mut r, "reaches nope n0").starts_with("err unknown-key"));
+        assert!(e.handle(&mut r, "add-node bad\u{7f}key").starts_with("err bad-request"));
+        assert!(e.handle(&mut r, "add-node n0").starts_with("err exists"));
+        assert_eq!(e.handle(&mut r, "reaches n0 n2"), "ok true");
+        let stats = e.stats();
+        assert_eq!(stats.submitted, 0, "failed requests never touch the service");
+        e.close();
+    }
+
+    #[test]
+    fn closed_engine_rejects_writes_but_serves_reads() {
+        let (e, mut r) = engine();
+        assert_eq!(e.handle(&mut r, "add-node leaf n2"), "ok added");
+        assert_eq!(e.handle(&mut r, "shutdown"), "ok bye");
+        assert!(e.is_closed());
+        assert!(e.handle(&mut r, "add-edge n0 n2").starts_with("err closed"));
+        assert!(e.handle(&mut r, "add-node more n0").starts_with("err closed"));
+        assert!(e.handle(&mut r, "remove-node n0").starts_with("err closed"));
+        // The admitted write was drained and published by close().
+        assert_eq!(e.handle(&mut r, "reaches n0 leaf"), "ok true");
+        e.close(); // idempotent
+    }
+}

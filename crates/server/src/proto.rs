@@ -1,0 +1,236 @@
+//! The wire protocol: one LF-terminated request line in, one response line
+//! out.
+//!
+//! Grammar (tokens separated by single spaces, keys as in
+//! [`crate::dict::valid_key`]):
+//!
+//! ```text
+//! request   = "ping"
+//!           | "stats"
+//!           | "flush"
+//!           | "shutdown"
+//!           | "reaches" key key
+//!           | "reaches-batch" (key key)+
+//!           | "successors" key
+//!           | "predecessors" key
+//!           | "add-node" key key*          ; new key, then parent keys
+//!           | "add-edge" key key
+//!           | "remove-edge" key key
+//!           | "remove-node" key
+//!
+//! response  = "ok" [token*]
+//!           | "err" code [text]
+//! code      = "unknown-verb" | "bad-request" | "unknown-key" | "exists"
+//!           | "oversized" | "utf8" | "truncated" | "closed" | "internal"
+//! ```
+//!
+//! Semantically *rejected* writes (a cycle, a missing arc) are not
+//! protocol errors: they answer `ok rejected`, mirroring how the serving
+//! front end validates-and-drops instead of failing. `err` is reserved for
+//! requests the daemon could not even interpret or admit.
+
+use std::fmt;
+
+/// Longest accepted request line in bytes, terminator included. Anything
+/// longer is drained and answered with `err oversized`.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// Liveness probe.
+    Ping,
+    /// Engine + dictionary counters.
+    Stats,
+    /// Force the serving layer to drain writers and republish.
+    Flush,
+    /// Close the engine and stop accepting connections.
+    Shutdown,
+    /// Is `dst` reachable from `src`?
+    Reaches(&'a str, &'a str),
+    /// Batched reachability probes.
+    ReachesBatch(Vec<(&'a str, &'a str)>),
+    /// All nodes reachable from the key.
+    Successors(&'a str),
+    /// All nodes that reach the key.
+    Predecessors(&'a str),
+    /// Create a node named `key` under the given parents.
+    AddNode {
+        /// Name for the new node; must be unbound.
+        key: &'a str,
+        /// Existing parent keys (possibly none: a new root).
+        parents: Vec<&'a str>,
+    },
+    /// Add the arc src → dst.
+    AddEdge(&'a str, &'a str),
+    /// Remove the arc src → dst.
+    RemoveEdge(&'a str, &'a str),
+    /// Remove the node and its arcs, releasing its name.
+    RemoveNode(&'a str),
+}
+
+/// A request the daemon could not interpret or admit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// First token is not a known verb.
+    UnknownVerb,
+    /// Known verb, malformed operands.
+    BadRequest(&'static str),
+    /// Request line is not UTF-8.
+    Utf8,
+    /// Request line exceeded [`MAX_LINE`].
+    Oversized,
+    /// The connection half-closed mid-line.
+    Truncated,
+    /// A key that names no live node.
+    UnknownKey,
+    /// `add-node` with a key that is already bound.
+    Exists,
+    /// The engine is shut down; writes are no longer admitted.
+    Closed,
+    /// The request handler panicked (caught; the daemon lives on).
+    Internal,
+}
+
+impl ProtoError {
+    /// The machine-readable code token.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::UnknownVerb => "unknown-verb",
+            ProtoError::BadRequest(_) => "bad-request",
+            ProtoError::Utf8 => "utf8",
+            ProtoError::Oversized => "oversized",
+            ProtoError::Truncated => "truncated",
+            ProtoError::UnknownKey => "unknown-key",
+            ProtoError::Exists => "exists",
+            ProtoError::Closed => "closed",
+            ProtoError::Internal => "internal",
+        }
+    }
+
+    /// The full `err <code> <text>` response line (no terminator).
+    pub fn line(&self) -> String {
+        format!("err {} {}", self.code(), self)
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnknownVerb => write!(f, "unknown verb"),
+            ProtoError::BadRequest(what) => write!(f, "{what}"),
+            ProtoError::Utf8 => write!(f, "request is not UTF-8"),
+            ProtoError::Oversized => write!(f, "request line over {MAX_LINE} bytes"),
+            ProtoError::Truncated => write!(f, "connection closed mid-request"),
+            ProtoError::UnknownKey => write!(f, "no node by that key"),
+            ProtoError::Exists => write!(f, "key already bound"),
+            ProtoError::Closed => write!(f, "engine is shut down"),
+            ProtoError::Internal => write!(f, "request handler panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Parses one request line (no terminator).
+pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
+    let mut toks = line.split_ascii_whitespace();
+    let verb = toks.next().ok_or(ProtoError::BadRequest("empty request"))?;
+    let rest: Vec<&str> = toks.collect();
+    let expect = |n: usize| -> Result<(), ProtoError> {
+        if rest.len() == n {
+            Ok(())
+        } else {
+            Err(ProtoError::BadRequest("wrong operand count"))
+        }
+    };
+    match verb {
+        "ping" => {
+            expect(0)?;
+            Ok(Request::Ping)
+        }
+        "stats" => {
+            expect(0)?;
+            Ok(Request::Stats)
+        }
+        "flush" => {
+            expect(0)?;
+            Ok(Request::Flush)
+        }
+        "shutdown" => {
+            expect(0)?;
+            Ok(Request::Shutdown)
+        }
+        "reaches" => {
+            expect(2)?;
+            Ok(Request::Reaches(rest[0], rest[1]))
+        }
+        "reaches-batch" => {
+            if rest.is_empty() || rest.len() % 2 != 0 {
+                return Err(ProtoError::BadRequest("need one or more key pairs"));
+            }
+            Ok(Request::ReachesBatch(rest.chunks(2).map(|c| (c[0], c[1])).collect()))
+        }
+        "successors" => {
+            expect(1)?;
+            Ok(Request::Successors(rest[0]))
+        }
+        "predecessors" => {
+            expect(1)?;
+            Ok(Request::Predecessors(rest[0]))
+        }
+        "add-node" => {
+            if rest.is_empty() {
+                return Err(ProtoError::BadRequest("need a key"));
+            }
+            Ok(Request::AddNode { key: rest[0], parents: rest[1..].to_vec() })
+        }
+        "add-edge" => {
+            expect(2)?;
+            Ok(Request::AddEdge(rest[0], rest[1]))
+        }
+        "remove-edge" => {
+            expect(2)?;
+            Ok(Request::RemoveEdge(rest[0], rest[1]))
+        }
+        "remove-node" => {
+            expect(1)?;
+            Ok(Request::RemoveNode(rest[0]))
+        }
+        _ => Err(ProtoError::UnknownVerb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_grammar() {
+        assert_eq!(parse("ping"), Ok(Request::Ping));
+        assert_eq!(parse("reaches a b"), Ok(Request::Reaches("a", "b")));
+        assert_eq!(
+            parse("reaches-batch a b c d"),
+            Ok(Request::ReachesBatch(vec![("a", "b"), ("c", "d")]))
+        );
+        assert_eq!(
+            parse("add-node kid p1 p2"),
+            Ok(Request::AddNode { key: "kid", parents: vec!["p1", "p2"] })
+        );
+        assert_eq!(parse("add-node root"), Ok(Request::AddNode { key: "root", parents: vec![] }));
+        assert_eq!(parse("remove-node x"), Ok(Request::RemoveNode("x")));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse("frobnicate a"), Err(ProtoError::UnknownVerb));
+        assert_eq!(parse(""), Err(ProtoError::BadRequest("empty request")));
+        assert_eq!(parse("reaches a"), Err(ProtoError::BadRequest("wrong operand count")));
+        assert_eq!(parse("reaches a b c"), Err(ProtoError::BadRequest("wrong operand count")));
+        assert_eq!(
+            parse("reaches-batch a"),
+            Err(ProtoError::BadRequest("need one or more key pairs"))
+        );
+        assert_eq!(parse("add-node"), Err(ProtoError::BadRequest("need a key")));
+    }
+}

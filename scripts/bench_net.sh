@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the network-serving closed-loop load experiment (DESIGN.md, "Network
+# serving") and leaves the table in results/net_scale.csv.
+#
+# The load generator starts the daemon in-process on an ephemeral localhost
+# port, verifies network answers against an in-process oracle, then measures
+# throughput and p50/p95/p99 round-trip latency at 1/2/4/8 client threads
+# with a mixed read/write request stream. Any protocol error or handler
+# panic fails the run.
+#
+# Usage: scripts/bench_net.sh [serve_net flags...]
+#   e.g. scripts/bench_net.sh --nodes 2000 --duration-ms 1000 --write-pct 10
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin serve_net
+exec target/release/serve_net "$@"

@@ -228,7 +228,7 @@ fn stress_one_seed(seed: u64, readers: usize) {
 
         // Feed the trace in dribbles so readers see many distinct prefixes.
         for chunk in ops.chunks(5) {
-            service.submit_batch(chunk.to_vec());
+            service.submit_batch(chunk.to_vec()).expect("service closed mid-stress");
             std::thread::yield_now();
         }
         let stats = service.flush();
