@@ -26,7 +26,9 @@
 //! per CPU); the result is identical to the serial build. A global
 //! `--frozen` flag freezes a read-optimized query plane after loading, so
 //! every query answers from the immutable snapshot (see DESIGN.md, "Frozen
-//! query plane").
+//! query plane"). A global `--paged N` flag makes those freezes out-of-core:
+//! the plane streams to disk and queries page it through an `N`-frame
+//! buffer pool, answering bit-identically to the resident plane.
 
 #![forbid(unsafe_code)]
 
@@ -79,6 +81,13 @@ global flags: --threads N   build/query on N worker threads (0 = one per CPU)
                             writer per shard; serve scatter-gathers across
                             shards and fuzz replays every trace through the
                             sharded service in lockstep (1 = unsharded)
+              --paged N     freeze query planes out-of-core: the frozen plane
+                            streams to a temp file and queries page it through
+                            an N-frame buffer pool instead of holding it
+                            resident (answers are bit-identical); compress
+                            appends a PLN1 plane section for instant restart
+                            via open_paged, and fuzz mixes paged-probe round
+                            trips into the op stream
 <graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure
 
 bench: builds (or loads) the closure, then times single-probe reaches, batch
@@ -111,7 +120,9 @@ refines and relabels (combine with --scoped-deletes off to exercise the
 global-sweep oracle on the same seeds). --codec switches to byte-mutation
 mode: --seeds K corrupted .itc streams (bit flips, truncation, length-field
 sabotage, half with re-signed trailers) are fed to the decoder, which must
-reject each with a structured error — any panic fails the run.";
+reject each with a structured error — any panic fails the run; the same
+seeds then corrupt a paged (ITC1 + PLN1) image opened and probed through a
+2-frame buffer pool under the same zero-panic rule.";
 
 /// Global flags stripped from anywhere in the argument list.
 #[derive(Clone, Copy)]
@@ -128,6 +139,9 @@ struct Globals {
     /// Shard count for the sharded closure layer; `None` or `Some(1)` means
     /// the unsharded engine.
     shards: Option<usize>,
+    /// Buffer-pool size (in pages) for out-of-core frozen planes; `None`
+    /// keeps freezes fully resident.
+    paged: Option<usize>,
 }
 
 impl Globals {
@@ -158,11 +172,13 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Strips the global flags (`--threads N`, `--frozen`,
-/// `--scoped-deletes on|off`, `--shards N`) from anywhere in the argument
-/// list. Absent, the tool stays serial, unfrozen, scoped and unsharded.
+/// `--scoped-deletes on|off`, `--shards N`, `--paged N`) from anywhere in
+/// the argument list. Absent, the tool stays serial, unfrozen, scoped,
+/// unsharded and fully resident.
 fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut globals = Globals { threads: None, frozen: false, scoped: None, shards: None };
+    let mut globals =
+        Globals { threads: None, frozen: false, scoped: None, shards: None, paged: None };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
@@ -200,6 +216,18 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
                 return Err("--shards must be at least 1".into());
             }
             globals.shards = Some(shards);
+        } else if a == "--paged" || a.starts_with("--paged=") {
+            let v = match a.strip_prefix("--paged=") {
+                Some(v) => v.to_string(),
+                None => it.next().ok_or("--paged requires a value")?.clone(),
+            };
+            let pages: usize = v
+                .parse()
+                .map_err(|_| format!("invalid --paged value {v:?}"))?;
+            if pages == 0 {
+                return Err("--paged must be at least 1 buffer-pool page".into());
+            }
+            globals.paged = Some(pages);
         } else {
             rest.push(a.clone());
         }
@@ -231,7 +259,10 @@ fn read_input(path: &str) -> Result<Vec<u8>, String> {
 fn load(path: &str, globals: Globals) -> Result<CompressedClosure, String> {
     let data = read_input(path)?;
     let mut closure = if data.starts_with(b"ITC1") {
-        let mut closure = CompressedClosure::from_bytes(&data).map_err(|e| e.to_string())?;
+        // `from_bytes_auto` also accepts `save_paged` images, skipping the
+        // trailing plane section.
+        let mut closure =
+            CompressedClosure::from_bytes_auto(&data).map_err(|e| e.to_string())?;
         // An explicit --threads overrides the stream's config footer; absent,
         // the closure keeps the thread count it was saved with.
         if let Some(threads) = globals.threads {
@@ -249,6 +280,12 @@ fn load(path: &str, globals: Globals) -> Result<CompressedClosure, String> {
     };
     if let Some(scoped) = globals.scoped {
         closure.set_scoped_deletes(scoped);
+    }
+    if let Some(pool) = globals.paged {
+        // Routes the next freeze (including the --frozen one below, and the
+        // serving layer's snapshot freezes) through an out-of-core plane
+        // paged on a `pool`-frame buffer pool.
+        closure.set_paged_pool(pool);
     }
     if globals.frozen {
         closure.freeze();
@@ -357,15 +394,19 @@ fn dot(path: &str, globals: Globals) -> Result<(), String> {
 
 fn compress(path: &str, out: &str, globals: Globals) -> Result<(), String> {
     let closure = load(path, globals)?;
-    let bytes = closure.to_bytes();
+    // With --paged the image additionally carries a PLN1 plane section, so
+    // `open_paged` restarts in O(directory) instead of re-freezing.
+    let paged = globals.paged.is_some();
+    let bytes = if paged { closure.to_paged_bytes() } else { closure.to_bytes() };
     std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
     let s = closure.stats();
     eprintln!(
-        "wrote {out}: {} nodes, {} arcs, {} closure pairs in {} bytes",
+        "wrote {out}: {} nodes, {} arcs, {} closure pairs in {} bytes{}",
         s.nodes,
         s.graph_arcs,
         s.closure_size,
-        bytes.len()
+        bytes.len(),
+        if paged { " (with plane section for instant restart)" } else { "" }
     );
     Ok(())
 }
@@ -638,6 +679,10 @@ fn serve_sharded(
     if let Some(scoped) = globals.scoped {
         config = config.scoped_deletes(scoped);
     }
+    if let Some(pool) = globals.paged {
+        // Each shard freezes its own out-of-core plane on its own pool.
+        config = config.paged(pool);
+    }
     let sharded =
         ShardedClosure::build(config, closure.graph(), shards).map_err(|e| e.to_string())?;
     if sharded.reaches_batch(pairs) != want {
@@ -776,6 +821,10 @@ fn serve_listen(path: &str, addr: &str, globals: Globals) -> Result<(), String> 
     if let Some(scoped) = globals.scoped {
         config = config.scoped_deletes(scoped);
     }
+    if let Some(pool) = globals.paged {
+        // Each shard freezes its own out-of-core plane on its own pool.
+        config = config.paged(pool);
+    }
     let sharded =
         ShardedClosure::build(config, closure.graph(), shards).map_err(|e| e.to_string())?;
     let engine = Engine::start(sharded, Dict::with_default_keys(n), EngineConfig::default());
@@ -817,6 +866,11 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut delete_bias = false;
     let mut want_shrink = false;
     let mut codec = false;
+    // The global --paged flag doubles as the gen knob here: it mixes
+    // paged-probe ops (full round trips through an eviction-forcing pool)
+    // into the stream. The engine picks its own tiny pool, so the page
+    // count itself is irrelevant to fuzzing.
+    let paged = globals.paged.is_some();
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
 
@@ -851,7 +905,9 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
 
     if codec {
         // Mutation mode: corrupt serialized closure streams instead of
-        // churning update ops; `--seeds` counts mutated cases here.
+        // churning update ops; `--seeds` counts mutated cases here. The
+        // same seeds then mutate a save_paged image (ITC1 + PLN1 plane
+        // section) probed through a 2-frame pool.
         let report = tc_fuzz::closure_campaign(seeds.max(1), seed);
         println!(
             "codec mutation campaign: {} cases — {} rejected, {} ok+verified, \
@@ -861,6 +917,18 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
         if report.failed() {
             return Err(format!(
                 "decoder panicked on {} case(s); replay seeds {:?}",
+                report.panics, report.panic_seeds
+            ));
+        }
+        let report = tc_fuzz::paged_campaign(seeds.max(1), seed);
+        println!(
+            "paged-plane mutation campaign: {} cases — {} rejected, {} ok+verified, \
+             {} ok-but-corrupt (re-signed headers), {} panics",
+            report.cases, report.rejected, report.ok_clean, report.ok_corrupt, report.panics
+        );
+        if report.failed() {
+            return Err(format!(
+                "paged open/probe panicked on {} case(s); replay seeds {:?}",
                 report.panics, report.panic_seeds
             ));
         }
@@ -885,7 +953,7 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     }
 
     for s in seed..seed.saturating_add(seeds) {
-        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, serve, delete_bias, config };
+        let gcfg = tc_fuzz::GenConfig { ops, seed: s, freeze, serve, delete_bias, paged, config };
         let trace = tc_fuzz::generate(&gcfg);
         match tc_fuzz::run_trace_catching(&trace, &opts) {
             Ok(r) => println!(

@@ -325,6 +325,97 @@ fn fuzz_delete_bias_runs_under_both_deletion_recomputes() {
 }
 
 #[test]
+fn paged_flag_round_trips_compress_query_serve_and_fuzz() {
+    let dir = tmpdir("paged");
+    let edges = dir.join("g.txt");
+    let itc = dir.join("g.itc");
+    let out = bin().args(["gen", "80", "2.0", "7"]).output().unwrap();
+    assert!(out.status.success());
+    std::fs::write(&edges, &out.stdout).unwrap();
+
+    // compress --paged appends the PLN1 plane section ...
+    let out = bin()
+        .args(["compress", edges.to_str().unwrap(), itc.to_str().unwrap(), "--paged", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("instant restart"), "{}", stderr(&out));
+    let image = std::fs::read(&itc).unwrap();
+    assert_eq!(&image[image.len() - 4..], b"PLN1");
+
+    // ... and every command still reads the image, resident or paged
+    // through a deliberately tiny (eviction-forcing) pool. Answers must
+    // match the pure edge-list build.
+    for probe in [
+        vec!["successors", itc.to_str().unwrap(), "0"],
+        vec!["successors", itc.to_str().unwrap(), "0", "--paged=2", "--frozen"],
+        vec!["successors", edges.to_str().unwrap(), "0"],
+    ] {
+        let out = bin().args(&probe).output().unwrap();
+        assert!(out.status.success(), "{probe:?}: {}", stderr(&out));
+    }
+    let resident = bin().args(["successors", itc.to_str().unwrap(), "0"]).output().unwrap();
+    let paged = bin()
+        .args(["successors", itc.to_str().unwrap(), "0", "--paged=2", "--frozen"])
+        .output()
+        .unwrap();
+    assert_eq!(stdout(&resident), stdout(&paged));
+
+    // The serving benchmark publishes out-of-core snapshots and still
+    // verifies every spot-check against the closure.
+    let out = bin()
+        .args([
+            "serve",
+            edges.to_str().unwrap(),
+            "--duration-ms",
+            "100",
+            "--paged",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("verified against the closure"), "{}", stdout(&out));
+
+    // Fuzz: --paged mixes paged-probe ops into the stream.
+    let out = bin()
+        .args(["fuzz", "--ops", "60", "--seed", "5", "--reserve", "4", "--paged", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok"));
+
+    // Zero and garbage pool sizes are rejected up front.
+    let out = bin()
+        .args(["stats", edges.to_str().unwrap(), "--paged", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--paged must be at least 1"));
+    let out = bin()
+        .args(["stats", edges.to_str().unwrap(), "--paged", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid --paged"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn fuzz_codec_runs_both_mutation_campaigns() {
+    let out = bin()
+        .args(["fuzz", "--codec", "--seeds", "48", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("codec mutation campaign: 48 cases"), "{text}");
+    assert!(text.contains("paged-plane mutation campaign: 48 cases"), "{text}");
+    assert!(text.contains("0 panics"), "{text}");
+}
+
+#[test]
 fn errors_are_reported() {
     // Unknown command.
     let out = bin().args(["frobnicate"]).output().unwrap();

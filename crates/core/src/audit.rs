@@ -211,6 +211,9 @@ impl CompressedClosure {
         if let Some(plane) = &self.plane {
             plane.check_consistency(&self.lab).map_err(|e| format!("query plane: {e}"))?;
         }
+        if let Some(paged) = &self.paged {
+            paged.check_consistency(&self.lab).map_err(|e| format!("paged plane: {e}"))?;
+        }
 
         // 9. Sampled propagation fixed point: a node's stored set must
         // cover exactly its tree interval plus everything inherited from

@@ -33,6 +33,8 @@ pub struct ClosureConfig {
     pub(crate) threads: usize,
     pub(crate) auto_freeze: bool,
     pub(crate) scoped_deletes: bool,
+    /// Buffer-pool pages for out-of-core freezes; 0 freezes in memory.
+    pub(crate) paged_pool: usize,
 }
 
 impl Default for ClosureConfig {
@@ -49,6 +51,7 @@ impl Default for ClosureConfig {
             threads: 1,
             auto_freeze: false,
             scoped_deletes: true,
+            paged_pool: 0,
         }
     }
 }
@@ -114,6 +117,18 @@ impl ClosureConfig {
     /// recompute".
     pub fn scoped_deletes(mut self, enable: bool) -> Self {
         self.scoped_deletes = enable;
+        self
+    }
+
+    /// Serves frozen snapshots *out-of-core*: [`CompressedClosure::freeze`]
+    /// streams the plane to a temp file as a `PLN1` section and answers
+    /// queries through a `pool_pages`-page buffer pool
+    /// ([`crate::PagedPlane`]) instead of building the in-memory
+    /// [`crate::QueryPlane`]. Answers are bit-identical either way; peak
+    /// freeze RSS and steady-state memory drop to the pool size plus the
+    /// stabbing triples. `0` (the default) keeps freezes in memory.
+    pub fn paged(mut self, pool_pages: usize) -> Self {
+        self.paged_pool = pool_pages;
         self
     }
 

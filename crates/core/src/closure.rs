@@ -1,10 +1,13 @@
 //! The compressed transitive closure and its query API.
 
+use std::sync::Arc;
+
 use tc_graph::{dot, topo, DiGraph, NodeId};
 use tc_interval::IntervalSet;
 
 use crate::builder::ClosureConfig;
 use crate::labeling::Labeling;
+use crate::paged::PagedPlane;
 use crate::parallel;
 use crate::plane::QueryPlane;
 use crate::propagate::propagate_dispatch;
@@ -33,6 +36,13 @@ pub struct CompressedClosure {
     /// between a [`CompressedClosure::freeze`] and the next update. Never
     /// serialized.
     pub(crate) plane: Option<QueryPlane>,
+    /// Out-of-core snapshot ([`PagedPlane`]): the same frozen state, paged
+    /// through a buffer pool from a `PLN1` temp file instead of held in
+    /// memory. Built by [`CompressedClosure::freeze`] when
+    /// [`ClosureConfig::paged`] is set, or attached by
+    /// [`crate::PagedClosure::thaw`]. Mutually exclusive with `plane`;
+    /// invalidated by updates exactly like it. Never serialized.
+    pub(crate) paged: Option<Arc<PagedPlane>>,
 }
 
 impl CompressedClosure {
@@ -54,32 +64,54 @@ impl CompressedClosure {
             lab,
             config,
             plane: None,
+            paged: None,
         }
     }
 
-    /// Freezes the current labels into a read-optimized [`QueryPlane`]:
+    /// Freezes the current labels into a read-optimized snapshot:
     /// `reaches`, `reaches_batch`, `successors`, `successor_count`, and
-    /// `predecessors` answer from contiguous, allocation-free index arrays
-    /// until the next update invalidates the snapshot. Freezing is O(n +
-    /// total intervals) and idempotent; answers are identical either way.
+    /// `predecessors` answer from contiguous index arrays until the next
+    /// update invalidates it. By default the snapshot is an in-memory
+    /// [`QueryPlane`]; with [`ClosureConfig::paged`] set it is instead
+    /// streamed to a temp file and served out-of-core through a buffer
+    /// pool ([`PagedPlane`]). Freezing is O(n + total intervals) and
+    /// idempotent; answers are bit-identical in all three modes.
+    ///
+    /// # Panics
+    ///
+    /// A paged freeze panics if the temp file cannot be written.
     pub fn freeze(&mut self) {
-        self.plane = Some(QueryPlane::freeze(&self.lab));
+        if self.config.paged_pool > 0 {
+            let plane = crate::paged::freeze_paged(&self.lab, self.config.paged_pool)
+                .expect("paged freeze: temp plane file");
+            self.paged = Some(Arc::new(plane));
+            self.plane = None;
+        } else {
+            self.plane = Some(QueryPlane::freeze(&self.lab));
+            self.paged = None;
+        }
     }
 
-    /// Drops the frozen [`QueryPlane`] (if any), returning queries to the
+    /// Drops the frozen snapshot (if any), returning queries to the
     /// mutable labels.
     pub fn thaw(&mut self) {
         self.plane = None;
+        self.paged = None;
     }
 
-    /// Whether a frozen [`QueryPlane`] is currently serving queries.
+    /// Whether a frozen snapshot (in-memory or paged) is serving queries.
     pub fn is_frozen(&self) -> bool {
-        self.plane.is_some()
+        self.plane.is_some() || self.paged.is_some()
     }
 
-    /// The frozen [`QueryPlane`], when one is active.
+    /// The frozen in-memory [`QueryPlane`], when one is active.
     pub fn plane(&self) -> Option<&QueryPlane> {
         self.plane.as_ref()
+    }
+
+    /// The frozen out-of-core [`PagedPlane`], when one is active.
+    pub fn paged_plane(&self) -> Option<&Arc<PagedPlane>> {
+        self.paged.as_ref()
     }
 
     /// Invalidates the frozen plane; every update path calls this at its
@@ -87,6 +119,7 @@ impl CompressedClosure {
     /// query.
     pub(crate) fn invalidate_plane(&mut self) {
         self.plane = None;
+        self.paged = None;
     }
 
     /// The base relation this closure materializes.
@@ -131,6 +164,22 @@ impl CompressedClosure {
         self.config.scoped_deletes
     }
 
+    /// Switches subsequent freezes between the resident query plane and the
+    /// out-of-core paged plane (see [`ClosureConfig::paged`]); `0` goes back
+    /// to resident. Takes effect on the next [`CompressedClosure::freeze`] —
+    /// an already-frozen plane is left as it is. Never serialized: whether a
+    /// snapshot is served out-of-core is a property of the opening process,
+    /// not the stream.
+    pub fn set_paged_pool(&mut self, pool_pages: usize) {
+        self.config.paged_pool = pool_pages;
+    }
+
+    /// The buffer-pool page budget paged freezes will use (`0` = resident
+    /// freezes; see [`ClosureConfig::paged`]).
+    pub fn paged_pool(&self) -> usize {
+        self.config.paged_pool
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()
@@ -146,7 +195,10 @@ impl CompressedClosure {
     pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
         match &self.plane {
             Some(plane) => plane.reaches(src, dst),
-            None => self.label_contains(src, self.lab.post[dst.index()]),
+            None => match &self.paged {
+                Some(paged) => paged.reaches(src, dst),
+                None => self.label_contains(src, self.lab.post[dst.index()]),
+            },
         }
     }
 
@@ -172,7 +224,10 @@ impl CompressedClosure {
     pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
         match &self.plane {
             Some(plane) => plane.successors(node),
-            None => self.lab.decode(&self.lab.sets[node.index()]),
+            None => match &self.paged {
+                Some(paged) => paged.successors(node),
+                None => self.lab.decode(&self.lab.sets[node.index()]),
+            },
         }
     }
 
@@ -181,7 +236,10 @@ impl CompressedClosure {
     pub fn successor_count(&self, node: NodeId) -> usize {
         match &self.plane {
             Some(plane) => plane.successor_count(node),
-            None => self.lab.decode_count(&self.lab.sets[node.index()]),
+            None => match &self.paged {
+                Some(paged) => paged.successor_count(node),
+                None => self.lab.decode_count(&self.lab.sets[node.index()]),
+            },
         }
     }
 
@@ -203,6 +261,15 @@ impl CompressedClosure {
                     *slot = plane.reaches(src, dst);
                 }
             }),
+            // Paged probes serialize on the pool lock anyway, so the batch
+            // runs inline; the win is the pool keeping hot pages resident
+            // across the whole batch.
+            None if self.paged.is_some() => {
+                let paged = self.paged.as_ref().expect("checked above");
+                for (slot, &(src, dst)) in out.iter_mut().zip(pairs) {
+                    *slot = paged.reaches(src, dst);
+                }
+            }
             None => {
                 // Hoist the post-number array out of the per-pair loop; each
                 // probe then goes through the same single-interval fast path
@@ -230,6 +297,9 @@ impl CompressedClosure {
     pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
         if let Some(plane) = &self.plane {
             return plane.predecessors(node);
+        }
+        if let Some(paged) = &self.paged {
+            return paged.predecessors(node);
         }
         let target = self.lab.post[node.index()];
         let threads = parallel::effective_threads(self.config.threads);
@@ -391,7 +461,12 @@ impl CompressedClosure {
         // invalidate — never freeze — or the caller would keep mutating
         // under a live snapshot.
         self.invalidate_plane();
+        let cap = self.lab.line.capacity();
         self.lab = Labeling::assign(&self.cover, self.config.gap, self.config.reserve);
+        // Carry the configured admission ceiling across the fresh line. The
+        // relabeled line holds only live nodes — at most the old occupancy —
+        // so the old capacity is always admissible here.
+        self.lab.line.set_capacity(cap);
         propagate_dispatch(&self.graph, &mut self.lab, self.config.threads);
         self.apply_merge_policy();
     }

@@ -10,6 +10,7 @@
 //! state included.
 
 use std::fmt;
+use std::io::{self, Write};
 
 use tc_graph::{DiGraph, NodeId};
 use tc_interval::{Interval, IntervalSet, NumberLine};
@@ -32,12 +33,89 @@ const TOMBSTONE: u32 = u32::MAX;
 /// (the server's dictionary section) and the fuzzer's mutation mode can
 /// share the exact trailer convention.
 pub fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf29ce484222325u64;
-    for &b in data {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100000001b3);
+    let mut h = Fnv1a::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental FNV-1a, 64-bit: feed bytes in any chunking and get the same
+/// digest as [`fnv1a`] over their concatenation. This is what lets the
+/// streaming encode paths (closure save, plane section) compute their
+/// trailer on the fly instead of materializing the stream first.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
     }
-    hash
+}
+
+impl Fnv1a {
+    /// A fresh accumulator at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf29ce484222325u64)
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut hash = self.0;
+        for &b in data {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        self.0 = hash;
+    }
+
+    /// The digest so far (the accumulator is still usable afterwards).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An [`io::Write`] adapter that FNV-accumulates and counts everything
+/// written through it. The streaming save paths wrap their sink in this, so
+/// the integrity trailer falls out of the write pass itself.
+#[derive(Debug)]
+pub struct HashingWriter<W> {
+    inner: W,
+    hash: Fnv1a,
+    written: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    /// Wraps `inner` with a fresh accumulator.
+    pub fn new(inner: W) -> Self {
+        HashingWriter { inner, hash: Fnv1a::new(), written: 0 }
+    }
+
+    /// Digest of everything written so far.
+    pub fn digest(&self) -> u64 {
+        self.hash.finish()
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Errors from decoding a serialized closure.
@@ -63,19 +141,22 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-struct Writer {
-    buf: Vec<u8>,
+struct Writer<W> {
+    sink: HashingWriter<W>,
 }
 
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+impl<W: Write> Writer<W> {
+    fn bytes(&mut self, v: &[u8]) -> io::Result<()> {
+        self.sink.write_all(v)
     }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.sink.write_all(&[v])
     }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.sink.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.sink.write_all(&v.to_le_bytes())
     }
 }
 
@@ -114,87 +195,98 @@ impl<'a> Reader<'a> {
 impl CompressedClosure {
     /// Serializes the closure (relation, cover, numbering, labels) to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer { buf: Vec::new() };
-        w.buf.extend_from_slice(MAGIC);
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Streams the closure's serialized form into any [`io::Write`] sink —
+    /// the same bytes as [`CompressedClosure::to_bytes`], but without
+    /// materializing the stream: the FNV-1a trailer is accumulated on the
+    /// fly, so peak memory during a save is O(1) beyond the closure itself.
+    pub fn write_to<W: Write>(&self, sink: W) -> io::Result<()> {
+        let mut w = Writer { sink: HashingWriter::new(sink) };
+        w.bytes(MAGIC)?;
 
         // Config.
         match self.config.strategy {
-            CoverStrategy::Optimal => w.u8(0),
-            CoverStrategy::FirstParent => w.u8(1),
+            CoverStrategy::Optimal => w.u8(0)?,
+            CoverStrategy::FirstParent => w.u8(1)?,
             CoverStrategy::Random { seed } => {
-                w.u8(2);
-                w.u64(seed);
+                w.u8(2)?;
+                w.u64(seed)?;
             }
-            CoverStrategy::Deepest => w.u8(3),
+            CoverStrategy::Deepest => w.u8(3)?,
         }
-        w.u64(self.config.gap);
-        w.u64(self.config.reserve);
-        w.u8(self.config.merge_adjacent as u8);
+        w.u64(self.config.gap)?;
+        w.u64(self.config.reserve)?;
+        w.u8(self.config.merge_adjacent as u8)?;
 
         // Relation.
         let n = self.graph.node_count();
-        w.u32(n as u32);
+        w.u32(n as u32)?;
         for v in self.graph.nodes() {
             let succ = self.graph.successors(v);
-            w.u32(succ.len() as u32);
+            w.u32(succ.len() as u32)?;
             for s in succ {
-                w.u32(s.0);
+                w.u32(s.0)?;
             }
         }
 
         // Tree cover (children order is recoverable: ascending id for the
         // builder strategies; explicit covers serialize their order).
         for v in self.graph.nodes() {
-            w.u32(self.cover.parent(v).map_or(NO_PARENT, |p| p.0));
+            w.u32(self.cover.parent(v).map_or(NO_PARENT, |p| p.0))?;
         }
         for v in self.graph.nodes() {
             let kids = self.cover.children(v);
-            w.u32(kids.len() as u32);
+            w.u32(kids.len() as u32)?;
             for k in kids {
-                w.u32(k.0);
+                w.u32(k.0)?;
             }
         }
 
         // Labels.
         for ix in 0..n {
-            w.u64(self.lab.post[ix]);
-            w.u64(self.lab.low[ix]);
-            w.u64(self.lab.advertised_hi[ix]);
+            w.u64(self.lab.post[ix])?;
+            w.u64(self.lab.low[ix])?;
+            w.u64(self.lab.advertised_hi[ix])?;
         }
-        w.u64(self.lab.reserve);
+        w.u64(self.lab.reserve)?;
         for ix in 0..n {
             let set = &self.lab.sets[ix];
-            w.u32(set.count() as u32);
+            w.u32(set.count() as u32)?;
             for iv in set.iter() {
-                w.u64(iv.lo());
-                w.u64(iv.hi());
+                w.u64(iv.lo())?;
+                w.u64(iv.hi())?;
             }
         }
 
-        // Number line, tombstones included.
-        let mut entries: Vec<(u64, u32)> = Vec::new();
-        let mut cursor = self.lab.line.max_used();
+        // Number line, tombstones included, ascending — streamed straight
+        // off the line instead of staging a Vec of entries.
+        w.u64(self.lab.line.total_count() as u64)?;
+        let mut cursor = if self.lab.line.is_used(0) {
+            Some(0) // `next_used` is exclusive, and 0 itself can be occupied
+        } else {
+            self.lab.line.next_used(0)
+        };
         while let Some(num) = cursor {
-            entries.push((num, self.lab.line.node_at(num).unwrap_or(TOMBSTONE)));
-            cursor = self.lab.line.prev_used(num);
-        }
-        entries.reverse();
-        w.u64(entries.len() as u64);
-        for (num, owner) in entries {
-            w.u64(num);
-            w.u32(owner);
+            w.u64(num)?;
+            w.u32(self.lab.line.node_at(num).unwrap_or(TOMBSTONE))?;
+            cursor = self.lab.line.next_used(num);
         }
 
         // Runtime-config footer: the knobs that are not closure *state* but
         // should survive a save/load cycle all the same (a service restored
         // from disk wants its thread count and freeze policy back).
-        w.buf.extend_from_slice(CONFIG_FOOTER);
-        w.u64(self.config.threads as u64);
-        w.u8(self.config.auto_freeze as u8);
+        w.bytes(CONFIG_FOOTER)?;
+        w.u64(self.config.threads as u64)?;
+        w.u8(self.config.auto_freeze as u8)?;
 
-        let checksum = fnv1a(&w.buf);
-        w.u64(checksum);
-        w.buf
+        let checksum = w.sink.digest();
+        let mut sink = w.sink.into_inner();
+        sink.write_all(&checksum.to_le_bytes())?;
+        sink.flush()
     }
 
     /// Restores a closure serialized with [`CompressedClosure::to_bytes`].
@@ -239,6 +331,9 @@ impl CompressedClosure {
             // Not serialized: scoped and global deletion recomputes yield
             // the same closure, so restored streams default to scoped.
             scoped_deletes: true,
+            // Not serialized: whether to serve frozen snapshots out-of-core
+            // is a property of the opening process, not the stream.
+            paged_pool: 0,
         };
 
         // Relation.

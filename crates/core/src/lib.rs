@@ -73,6 +73,7 @@ pub mod bidir;
 pub mod bruteforce;
 pub mod codec;
 pub mod cyclic;
+pub mod paged;
 pub mod pooled;
 pub mod serve;
 pub mod shard;
@@ -82,6 +83,7 @@ pub mod updates;
 
 pub use builder::ClosureConfig;
 pub use closure::CompressedClosure;
+pub use paged::{PagedClosure, PagedError, PagedIoStats, PagedPlane, DEFAULT_POOL_PAGES};
 pub use plane::QueryPlane;
 pub use serve::{ClosureService, ServiceClosed, ServiceConfig, ServiceOp, ServiceReader, ServiceSnapshot};
 pub use shard::{ShardedClosure, ShardedReader, ShardedService, ShardedStats, SubmitOutcome};

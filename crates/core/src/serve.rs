@@ -42,6 +42,7 @@ use std::thread::JoinHandle;
 use tc_graph::NodeId;
 
 use crate::bidir::BiClosure;
+use crate::paged::PagedPlane;
 use crate::plane::{FreezeScratch, QueryPlane};
 use crate::updates::UpdateError;
 use crate::CompressedClosure;
@@ -251,14 +252,35 @@ impl ServiceBackend {
     ) -> ServiceSnapshot {
         match self {
             ServiceBackend::Single(c) => ServiceSnapshot {
-                forward: QueryPlane::freeze_with(&c.lab, forward_scratch),
+                // A closure configured with `ClosureConfig::paged` publishes
+                // out-of-core snapshots: the freeze streams to a temp `PLN1`
+                // file and readers probe it through the buffer pool, so the
+                // served plane never has to fit in RAM. An I/O failure falls
+                // back to the (bit-identical) resident plane rather than
+                // killing the writer.
+                forward: if c.config.paged_pool > 0 {
+                    match crate::paged::freeze_paged(&c.lab, c.config.paged_pool) {
+                        Ok(plane) => SnapshotPlane::Paged(Arc::new(plane)),
+                        Err(_) => {
+                            SnapshotPlane::Mem(QueryPlane::freeze_with(&c.lab, forward_scratch))
+                        }
+                    }
+                } else {
+                    SnapshotPlane::Mem(QueryPlane::freeze_with(&c.lab, forward_scratch))
+                },
                 reverse: None,
                 nodes: c.node_count(),
                 applied_seq: consumed,
                 version,
             },
+            // Bidirectional backends keep both planes resident: the reverse
+            // plane exists precisely to make predecessor decodes cheap, and
+            // paging it would reintroduce the latency it buys back.
             ServiceBackend::Bidirectional(bi) => ServiceSnapshot {
-                forward: QueryPlane::freeze_with(&bi.forward().lab, forward_scratch),
+                forward: SnapshotPlane::Mem(QueryPlane::freeze_with(
+                    &bi.forward().lab,
+                    forward_scratch,
+                )),
                 reverse: Some(QueryPlane::freeze_with(&bi.reverse().lab, reverse_scratch)),
                 nodes: bi.node_count(),
                 applied_seq: consumed,
@@ -284,16 +306,75 @@ impl ServiceBackend {
     }
 }
 
-/// One published, immutable view of the closure: a frozen [`QueryPlane`]
-/// (plus a reverse plane for bidirectional backends) stamped with the
-/// prefix of submitted ops it reflects.
+/// The forward plane behind a published snapshot: a resident
+/// [`QueryPlane`], or an out-of-core [`PagedPlane`] answering through the
+/// buffer pool. Both give bit-identical answers; the enum only decides
+/// where the bytes live.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one per snapshot, always behind an Arc
+enum SnapshotPlane {
+    /// Arrays resident in memory.
+    Mem(QueryPlane),
+    /// A `PLN1` file section probed through the buffer pool.
+    Paged(Arc<PagedPlane>),
+}
+
+impl SnapshotPlane {
+    #[inline]
+    fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        match self {
+            SnapshotPlane::Mem(p) => p.reaches(src, dst),
+            SnapshotPlane::Paged(p) => p.reaches(src, dst),
+        }
+    }
+
+    fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        match self {
+            SnapshotPlane::Mem(p) => p.successors(node),
+            SnapshotPlane::Paged(p) => p.successors(node),
+        }
+    }
+
+    fn successors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        match self {
+            SnapshotPlane::Mem(p) => p.successors_into(node, out),
+            SnapshotPlane::Paged(p) => p.successors_into(node, out),
+        }
+    }
+
+    fn successor_count(&self, node: NodeId) -> usize {
+        match self {
+            SnapshotPlane::Mem(p) => p.successor_count(node),
+            SnapshotPlane::Paged(p) => p.successor_count(node),
+        }
+    }
+
+    fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        match self {
+            SnapshotPlane::Mem(p) => p.predecessors(node),
+            SnapshotPlane::Paged(p) => p.predecessors(node),
+        }
+    }
+
+    fn predecessors_into(&self, node: NodeId, scratch: &mut Vec<u32>, out: &mut Vec<NodeId>) {
+        match self {
+            SnapshotPlane::Mem(p) => p.predecessors_into(node, scratch, out),
+            SnapshotPlane::Paged(p) => p.predecessors_into(node, out),
+        }
+    }
+}
+
+/// One published, immutable view of the closure: a frozen forward plane —
+/// resident, or paged out-of-core when the backend was configured with
+/// [`crate::ClosureConfig::paged`] — plus a reverse plane for bidirectional
+/// backends, stamped with the prefix of submitted ops it reflects.
 ///
 /// Nodes created after the snapshot was cut simply do not exist in it:
 /// probes involving them report unreachable / empty rather than panicking,
 /// which is the honest answer under bounded staleness.
 #[derive(Debug)]
 pub struct ServiceSnapshot {
-    forward: QueryPlane,
+    forward: SnapshotPlane,
     reverse: Option<QueryPlane>,
     nodes: usize,
     applied_seq: u64,
@@ -303,15 +384,26 @@ pub struct ServiceSnapshot {
 impl ServiceSnapshot {
     /// Snapshots a standalone closure outside any service — the fuzzer's
     /// way of pinning "the published view" at a trace point and replaying
-    /// queries against it later.
+    /// queries against it later. A closure already frozen out-of-core is
+    /// captured by pinning its paged plane (an `Arc` clone — no freeze at
+    /// all); anything else freezes a resident plane.
     pub fn capture(closure: &CompressedClosure) -> ServiceSnapshot {
+        let forward = match closure.paged_plane() {
+            Some(paged) => SnapshotPlane::Paged(Arc::clone(paged)),
+            None => SnapshotPlane::Mem(QueryPlane::freeze(&closure.lab)),
+        };
         ServiceSnapshot {
-            forward: QueryPlane::freeze(&closure.lab),
+            forward,
             reverse: None,
             nodes: closure.node_count(),
             applied_seq: 0,
             version: 0,
         }
+    }
+
+    /// Whether this snapshot serves its forward plane out-of-core.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.forward, SnapshotPlane::Paged(_))
     }
 
     /// Number of nodes the snapshot knows about.
@@ -428,8 +520,14 @@ impl ServiceSnapshot {
         }
     }
 
-    fn into_planes(self) -> (QueryPlane, Option<QueryPlane>) {
-        (self.forward, self.reverse)
+    /// Recyclable planes: only resident arrays can seed the next freeze; a
+    /// paged plane's storage is its file, reclaimed by its own `Drop`.
+    fn into_planes(self) -> (Option<QueryPlane>, Option<QueryPlane>) {
+        let forward = match self.forward {
+            SnapshotPlane::Mem(p) => Some(p),
+            SnapshotPlane::Paged(_) => None,
+        };
+        (forward, self.reverse)
     }
 }
 
@@ -795,7 +893,9 @@ fn writer_loop(
         // snapshot, its arrays seed the next freeze.
         if let Ok(old) = Arc::try_unwrap(retired) {
             let (forward, reverse) = old.into_planes();
-            forward_scratch.retire(forward);
+            if let Some(forward) = forward {
+                forward_scratch.retire(forward);
+            }
             if let Some(reverse) = reverse {
                 reverse_scratch.retire(reverse);
             }
@@ -957,6 +1057,48 @@ mod tests {
         assert!(!reader.reaches(NodeId(0), NodeId(2)), "node 0 removed");
         let (_, backend) = service.shutdown();
         backend.into_single().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn paged_backend_publishes_out_of_core_snapshots() {
+        let g = dag(60, 5);
+        // Pool of 2 frames: almost every probe faults pages in, so the
+        // paged path is genuinely exercised, not just resident-cached.
+        let closure = ClosureConfig::new().paged(2).build(&g).unwrap();
+        let oracle = CompressedClosure::build(&g).unwrap();
+        let service = ClosureService::start(closure, ServiceConfig::new().audit(true));
+        let mut reader = service.reader();
+        assert!(reader.snapshot().is_paged(), "initial snapshot must be paged");
+        for u in g.nodes() {
+            assert_eq!(reader.successors(u), oracle.successors(u), "successors({u:?})");
+            assert_eq!(reader.predecessors(u), oracle.predecessors(u), "predecessors({u:?})");
+            for v in g.nodes().step_by(9) {
+                assert_eq!(reader.reaches(u, v), oracle.reaches(u, v), "reaches({u:?},{v:?})");
+            }
+        }
+        // Writes republish fresh paged snapshots.
+        service.submit(ServiceOp::AddNode { parents: vec![NodeId(0)] }).unwrap();
+        let stats = service.flush();
+        assert_eq!((stats.applied, stats.skipped), (1, 0));
+        assert_eq!(stats.audit_violation, None);
+        let snap = reader.snapshot();
+        assert!(snap.is_paged(), "republished snapshot must stay paged");
+        assert!(snap.reaches(NodeId(0), NodeId(60)));
+        let (_, backend) = service.shutdown();
+        backend.into_single().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn capture_pins_a_frozen_paged_plane_without_refreezing() {
+        let g = dag(40, 11);
+        let mut closure = ClosureConfig::new().paged(4).build(&g).unwrap();
+        closure.freeze();
+        let snap = ServiceSnapshot::capture(&closure);
+        assert!(snap.is_paged());
+        let oracle = CompressedClosure::build(&g).unwrap();
+        for u in g.nodes() {
+            assert_eq!(snap.successors(u), oracle.successors(u), "successors({u:?})");
+        }
     }
 
     #[test]

@@ -106,7 +106,7 @@ impl CompressedClosure {
         let boundary = self.boundary_above_max();
         let num = boundary + self.config.gap;
         let low = boundary + 1;
-        Ok(self.push_labeled_node(None, num, low, self.config.reserve))
+        self.push_labeled_node(None, num, low, self.config.reserve)
     }
 
     /// Inserts a new leaf in the gap owned by `parent` (§4.1: number 35,
@@ -136,20 +136,29 @@ impl CompressedClosure {
             },
         };
         let tail = self.config.reserve.min(hi.saturating_sub(num + 1));
-        let node = self.push_labeled_node(Some(parent), num, start + 1, tail);
+        let node = self.push_labeled_node(Some(parent), num, start + 1, tail)?;
         self.graph.add_edge(parent, node);
         debug_assert!(self.reaches(parent, node));
         Ok(node)
     }
 
     /// Appends a node to every parallel structure with the given labels.
+    ///
+    /// The number-line capacity is checked *before* anything mutates, so a
+    /// [`UpdateError::NumberLineFull`] leaves the closure exactly as it was.
     fn push_labeled_node(
         &mut self,
         tree_parent: Option<NodeId>,
         num: u64,
         low: u64,
         tail: u64,
-    ) -> NodeId {
+    ) -> Result<NodeId, UpdateError> {
+        if self.lab.line.total_count() >= self.lab.line.capacity() {
+            return Err(UpdateError::NumberLineFull {
+                used: self.lab.line.total_count(),
+                capacity: self.lab.line.capacity(),
+            });
+        }
         let node = self.graph.add_node();
         let in_cover = self.cover.push_node(tree_parent);
         debug_assert_eq!(node, in_cover);
@@ -160,7 +169,7 @@ impl CompressedClosure {
             .sets
             .push(tc_interval::IntervalSet::singleton(Interval::new(low, num)));
         self.lab.line.assign(num, node.0);
-        node
+        Ok(node)
     }
 }
 
@@ -227,6 +236,48 @@ mod tests {
         }
         c.verify().unwrap();
         assert_eq!(c.node_count(), 12);
+    }
+
+    #[test]
+    fn full_number_line_errors_without_corrupting_state() {
+        let mut c = base();
+        let used = c.lab.line.total_count();
+        c.lab.line.set_capacity(used);
+        let nodes_before = c.node_count();
+        // Leaf path: fails loudly, no panic, nothing mutates.
+        let err = c.add_node_with_parents(&[NodeId(1)]).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::NumberLineFull {
+                used,
+                capacity: used
+            }
+        );
+        assert_eq!(c.node_count(), nodes_before);
+        c.verify().unwrap();
+        // Root path hits the same guard.
+        assert!(matches!(
+            c.add_node_with_parents(&[]),
+            Err(UpdateError::NumberLineFull { .. })
+        ));
+        // One more slot admits exactly one more node.
+        c.lab.line.set_capacity(used + 1);
+        let n = c.add_node_with_parents(&[NodeId(0)]).unwrap();
+        assert!(c.reaches(NodeId(0), n));
+        assert!(matches!(
+            c.add_node_with_parents(&[]),
+            Err(UpdateError::NumberLineFull { .. })
+        ));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn relabel_preserves_configured_capacity() {
+        let mut c = base();
+        c.lab.line.set_capacity(100);
+        c.relabel();
+        assert_eq!(c.lab.line.capacity(), 100, "relabel must carry the ceiling");
+        c.verify().unwrap();
     }
 
     #[test]

@@ -73,6 +73,17 @@ pub enum UpdateError {
     /// and retry, or fall back to
     /// [`crate::CompressedClosure::add_node_with_parents`].
     ReserveExhausted(NodeId),
+    /// The number line has reached its configured capacity
+    /// ([`tc_interval::NumberLine::capacity`]); no new node can take a
+    /// postorder number. Checked *before* any structure mutates, so the
+    /// closure is unchanged. [`crate::CompressedClosure::relabel`] reclaims
+    /// tombstoned positions; otherwise the capacity must be raised.
+    NumberLineFull {
+        /// Occupied positions (live + tombstoned).
+        used: usize,
+        /// The configured ceiling.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for UpdateError {
@@ -91,6 +102,11 @@ impl fmt::Display for UpdateError {
             UpdateError::ReserveExhausted(n) => {
                 write!(f, "reserve tail of {n:?} is exhausted; relabel and retry")
             }
+            UpdateError::NumberLineFull { used, capacity } => write!(
+                f,
+                "number line full ({used}/{capacity} positions occupied); \
+                 relabel to reclaim tombstones or raise the capacity"
+            ),
         }
     }
 }

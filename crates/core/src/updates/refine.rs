@@ -71,6 +71,14 @@ impl CompressedClosure {
         if num == self.lab.post[child.index()] {
             return Err(UpdateError::ReserveExhausted(child));
         }
+        // z occupies one fresh number-line position; check capacity before
+        // the first mutation so a full line leaves the closure untouched.
+        if self.lab.line.total_count() >= self.lab.line.capacity() {
+            return Err(UpdateError::NumberLineFull {
+                used: self.lab.line.total_count(),
+                capacity: self.lab.line.capacity(),
+            });
+        }
         self.invalidate_plane();
         self.lab.advertised_hi[child.index()] = num - 1;
 
@@ -171,6 +179,26 @@ mod tests {
         assert_eq!(c.reserve_remaining(NodeId(1)), 2, "relabel replenishes tails");
         let z = c.refine_insert(NodeId(1), &preds).unwrap();
         assert!(c.reaches(NodeId(0), z));
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn full_number_line_blocks_refinement_before_any_mutation() {
+        let mut c = fig42(); // reserve(5): the tail check passes, capacity fails
+        let used = c.lab.line.total_count();
+        c.lab.line.set_capacity(used);
+        let tails_before = c.lab.advertised_hi.clone();
+        assert_eq!(
+            c.refine_insert(NodeId(3), &[NodeId(1), NodeId(2)]),
+            Err(UpdateError::NumberLineFull {
+                used,
+                capacity: used
+            })
+        );
+        assert_eq!(
+            c.lab.advertised_hi, tails_before,
+            "no tail may be consumed on a failed refinement"
+        );
         c.verify().unwrap();
     }
 

@@ -33,6 +33,7 @@
 //! | `freeze` / `thaw` | never |
 //! | `service-publish` | never |
 //! | `service-query` | nothing published yet |
+//! | `paged-probe` | never |
 //!
 //! `freeze`/`thaw` never mutate the relation, but they count as *applied* so
 //! the per-step audit (which cross-checks a frozen plane against the mutable
@@ -48,7 +49,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use tc_baselines::{ChainIndex, ReachabilityIndex};
 use tc_core::serve::{ServiceConfig, ServiceOp, ServiceSnapshot};
-use tc_core::{CompressedClosure, ShardedClosure, ShardedReader, ShardedService, UpdateError};
+use tc_core::{
+    CompressedClosure, PagedPlane, ShardedClosure, ShardedReader, ShardedService, UpdateError,
+};
 use tc_graph::{traverse, DiGraph, NodeId};
 
 use crate::ops::{FuzzConfig, Op, OpTrace};
@@ -98,6 +101,9 @@ pub enum ViolationKind {
     /// A pinned service snapshot's answers diverged from the DFS closure of
     /// the relation as it was when that snapshot was published.
     Service,
+    /// The out-of-core `PLN1` round trip failed, or the paged plane's
+    /// answers diverged from the closure under test.
+    Paged,
     /// The lockstep [`ShardedService`] replica diverged from the closure
     /// under test (or its front end rejected / its writers skipped an op
     /// the reference engine applied).
@@ -352,7 +358,72 @@ impl EngineState {
                     Ok(true)
                 }
             },
+            Op::PagedProbe => {
+                self.check_paged().map_err(|detail| (ViolationKind::Paged, detail))?;
+                Ok(true)
+            }
         }
+    }
+
+    /// Round-trips the closure through the `PLN1` out-of-core format and
+    /// compares the paged plane's answers — served through a 2-frame pool,
+    /// so nearly every probe evicts — against the closure under test:
+    /// every successor set, every predecessor set, every successor count,
+    /// and the shared deterministic point-query sample.
+    fn check_paged(&self) -> Result<(), String> {
+        let bytes = self.closure.to_paged_bytes();
+        let plane = PagedPlane::open_from_bytes(&bytes, 2)
+            .map_err(|e| format!("open_from_bytes on a freshly written stream: {e}"))?;
+        let n = self.mirror.node_count();
+        if plane.node_count() != n {
+            return Err(format!(
+                "paged plane has {} nodes, closure has {n}",
+                plane.node_count()
+            ));
+        }
+        for v in 0..n as u32 {
+            let node = NodeId(v);
+            let mut got = plane.successors(node);
+            got.sort_unstable_by_key(|u| u.index());
+            let mut want = self.closure.successors(node);
+            want.sort_unstable_by_key(|u| u.index());
+            if got != want {
+                return Err(format!(
+                    "paged successors({v}) = {got:?}, closure says {want:?}"
+                ));
+            }
+            if plane.successor_count(node) != want.len() {
+                return Err(format!(
+                    "paged successor_count({v}) = {}, closure says {}",
+                    plane.successor_count(node),
+                    want.len()
+                ));
+            }
+            let got_preds = plane.predecessors(node);
+            let mut want_preds = self.closure.predecessors(node);
+            want_preds.sort_unstable();
+            if got_preds != want_preds {
+                return Err(format!(
+                    "paged predecessors({v}) = {got_preds:?}, closure says {want_preds:?}"
+                ));
+            }
+        }
+        if n > 0 {
+            let samples = (4 * n).min(1024);
+            for k in 0..samples as u64 {
+                let (s, d) = sample_pair(k, n);
+                let got = plane.reaches(s, d);
+                let want = self.closure.reaches(s, d);
+                if got != want {
+                    return Err(format!(
+                        "paged reaches({s:?},{d:?}) = {got}, closure says {want}"
+                    ));
+                }
+            }
+        }
+        plane
+            .verify_payload()
+            .map_err(|e| format!("verify_payload on a freshly written stream: {e}"))
     }
 
     /// Full differential pass: decoded successor sets and batched point
@@ -859,6 +930,29 @@ mod tests {
         let r = run_trace(&trace(cfg, ops), &opts).unwrap();
         assert_eq!(r.applied, 6);
         assert_eq!(r.final_nodes, 5);
+    }
+
+    #[test]
+    fn paged_probe_round_trips_through_every_state() {
+        let cfg = FuzzConfig { gap: 32, reserve: 3, ..FuzzConfig::default() };
+        let ops = vec![
+            Op::PagedProbe, // empty relation: still round-trips
+            Op::AddNode { parents: vec![] },
+            Op::AddNode { parents: vec![0] },
+            Op::AddNode { parents: vec![0] },
+            Op::AddEdge { src: 1, dst: 2 },
+            Op::PagedProbe,
+            Op::Refine { child: 2 },
+            Op::RemoveNode { node: 1 }, // tombstones
+            Op::PagedProbe,
+            Op::Freeze, // probe while a resident plane is live too
+            Op::PagedProbe,
+            Op::Relabel,
+            Op::PagedProbe,
+        ];
+        let r = run_trace(&trace(cfg, ops), &CheckOptions::default()).unwrap();
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.final_nodes, 4);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct GenConfig {
     /// global) see as much churn as insertion does. Off by default for the
     /// same seed-stability reason.
     pub delete_bias: bool,
+    /// Mix `paged-probe` ops into the stream, round-tripping the closure
+    /// through the out-of-core `PLN1` format mid-churn and lockstep-
+    /// comparing the paged answers. Off by default for the same
+    /// seed-stability reason.
+    pub paged: bool,
     /// The closure configuration the trace runs under.
     pub config: FuzzConfig,
 }
@@ -51,6 +56,7 @@ impl Default for GenConfig {
             freeze: false,
             serve: false,
             delete_bias: false,
+            paged: false,
             config: FuzzConfig::default(),
         }
     }
@@ -66,6 +72,7 @@ fn next_op(
     freeze: bool,
     serve: bool,
     delete_bias: bool,
+    paged: bool,
 ) -> Op {
     let n = state.mirror.node_count() as u32;
     if n == 0 {
@@ -81,6 +88,12 @@ fn next_op(
     // interesting sequences re-pin often and query while churn diverges.
     if serve && rng.random_range(0..10u32) == 0 {
         return if rng.random_bool(0.6) { Op::ServicePublish } else { Op::ServiceQuery };
+    }
+    // Paged probes are a full round trip plus an exhaustive comparison, so
+    // they stay rare — enough to catch a divergence, cheap enough to leave
+    // the update mix dominant.
+    if paged && rng.random_range(0..12u32) == 0 {
+        return Op::PagedProbe;
     }
     // Half of all ops become deletion-flavoured: arc and node removals
     // salted with refines and relabels, which are exactly the ops that
@@ -162,7 +175,15 @@ pub fn generate(cfg: &GenConfig) -> OpTrace {
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.ops {
-        let op = next_op(&mut rng, &state, &cfg.config, cfg.freeze, cfg.serve, cfg.delete_bias);
+        let op = next_op(
+            &mut rng,
+            &state,
+            &cfg.config,
+            cfg.freeze,
+            cfg.serve,
+            cfg.delete_bias,
+            cfg.paged,
+        );
         trace.ops.push(op.clone());
         let outcome = catch_unwind(AssertUnwindSafe(|| state.apply(&op)));
         match outcome {
@@ -253,6 +274,25 @@ mod tests {
         // The knob only adds ops; off-knob seeds are untouched.
         let plain = generate(&GenConfig { serve: false, ..cfg });
         assert!(plain.ops.iter().all(|op| !matches!(op, Op::ServicePublish | Op::ServiceQuery)));
+    }
+
+    #[test]
+    fn paged_knob_mixes_in_paged_probes_and_replays_clean() {
+        let cfg = GenConfig {
+            ops: 200,
+            seed: 13,
+            paged: true,
+            delete_bias: true, // tombstones + relocations feed the round trip
+            config: FuzzConfig { gap: 64, reserve: 4, ..FuzzConfig::default() },
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        let probes = trace.ops.iter().filter(|op| matches!(op, Op::PagedProbe)).count();
+        assert!(probes > 0, "no paged-probe ops in 200");
+        run_trace(&trace, &CheckOptions::default()).unwrap();
+        // The knob only adds ops; off-knob seeds are untouched.
+        let plain = generate(&GenConfig { paged: false, ..cfg });
+        assert!(plain.ops.iter().all(|op| !matches!(op, Op::PagedProbe)));
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub use engine::{
 };
 pub use gen::{generate, GenConfig};
 pub use mutate::{
-    campaign, closure_campaign, mutate, refix_checksum, CaseOutcome, MutationKind, MutationReport,
+    campaign, closure_campaign, mutate, paged_campaign, refix_checksum, CaseOutcome, MutationKind,
+    MutationReport,
 };
 pub use ops::{FuzzConfig, Op, OpTrace};
 pub use shrink::{shrink, ShrinkResult};

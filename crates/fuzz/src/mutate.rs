@@ -60,9 +60,15 @@ pub fn refix_checksum(bytes: &mut [u8]) {
     bytes[split..].copy_from_slice(&sum.to_le_bytes());
 }
 
-/// Applies one random mutation to `base`. Returns the mutated stream, the
-/// mutation family, and whether the checksum was re-fixed afterwards.
-pub fn mutate(base: &[u8], rng: &mut StdRng) -> (Vec<u8>, MutationKind, bool) {
+/// Applies one random mutation to `base`, re-signing with `refix` half the
+/// time so the decoder's interior — not an end-of-stream digest — has to
+/// reject the result. Returns the mutated stream, the mutation family, and
+/// whether the re-sign ran.
+pub fn mutate_with(
+    base: &[u8],
+    rng: &mut StdRng,
+    refix: &dyn Fn(&mut Vec<u8>),
+) -> (Vec<u8>, MutationKind, bool) {
     let mut bytes = base.to_vec();
     let kind = KINDS[rng.random_range(0..KINDS.len())];
     let len = bytes.len();
@@ -104,13 +110,19 @@ pub fn mutate(base: &[u8], rng: &mut StdRng) -> (Vec<u8>, MutationKind, bool) {
             bytes.drain(pos..pos + span);
         }
     }
-    // Half the time, make the trailer lie for the mutation so the decoder's
+    // Half the time, make the digest lie for the mutation so the decoder's
     // interior — not the checksum — has to reject the stream.
     let refixed = rng.random_bool(0.5);
     if refixed {
-        refix_checksum(&mut bytes);
+        refix(&mut bytes);
     }
     (bytes, kind, refixed)
+}
+
+/// [`mutate_with`] re-signing the trailing FNV-1a — the right refix for
+/// every `ITC1`-style stream whose last 8 bytes are the digest.
+pub fn mutate(base: &[u8], rng: &mut StdRng) -> (Vec<u8>, MutationKind, bool) {
+    mutate_with(base, rng, &|bytes| refix_checksum(bytes))
 }
 
 /// What one decode attempt did with a mutated stream.
@@ -159,11 +171,26 @@ pub fn campaign<F>(base: &[u8], cases: u64, seed: u64, decode: F) -> MutationRep
 where
     F: Fn(&[u8]) -> CaseOutcome,
 {
+    campaign_with_refix(base, cases, seed, &|bytes| refix_checksum(bytes), decode)
+}
+
+/// [`campaign`] with a format-specific re-sign step — `PLN1` planes keep
+/// their digest in the trailing header rather than the last 8 bytes.
+pub fn campaign_with_refix<F>(
+    base: &[u8],
+    cases: u64,
+    seed: u64,
+    refix: &dyn Fn(&mut Vec<u8>),
+    decode: F,
+) -> MutationReport
+where
+    F: Fn(&[u8]) -> CaseOutcome,
+{
     let mut report = MutationReport::default();
     for i in 0..cases {
         let case_seed = seed.wrapping_add(i);
         let mut rng = StdRng::seed_from_u64(case_seed);
-        let (bytes, _, _) = mutate(base, &mut rng);
+        let (bytes, _, _) = mutate_with(base, &mut rng, refix);
         report.cases += 1;
         match catch_unwind(AssertUnwindSafe(|| decode(&bytes))) {
             Ok(CaseOutcome::Rejected) => report.rejected += 1,
@@ -214,9 +241,9 @@ pub fn decode_closure(bytes: &[u8]) -> CaseOutcome {
     }
 }
 
-/// A serialized closure in a rich state — tombstones, refinement nodes,
-/// consumed reserve — so mutations can hit every codec section.
-pub fn closure_base_stream() -> Vec<u8> {
+/// A closure in a rich state — tombstones, refinement nodes, consumed
+/// reserve — so mutations can hit every codec section.
+fn rich_closure() -> tc_core::CompressedClosure {
     use tc_graph::generators;
     let g = generators::random_dag(generators::RandomDagConfig {
         nodes: 40,
@@ -240,7 +267,80 @@ pub fn closure_base_stream() -> Vec<u8> {
     if let Some((s, d)) = tree_arc {
         c.remove_edge(s, d).expect("remove tree arc");
     }
-    c.to_bytes()
+    c
+}
+
+/// The serialized [`rich_closure`] — the closure-codec campaign's corpus.
+pub fn closure_base_stream() -> Vec<u8> {
+    rich_closure().to_bytes()
+}
+
+/// Geometry of the `PLN1` plane section (mirrors `tc-core::paged`): the
+/// file ends in a 224-byte header — whose final 8 bytes are an FNV-1a over
+/// the preceding 216 — followed by a 12-byte footer.
+const PLANE_HEADER_BYTES: usize = 224;
+const PLANE_HEADER_HASHED: usize = 216;
+const PLANE_FOOTER_BYTES: usize = 12;
+
+/// Recomputes a `PLN1` file's header digest so a mutated plane passes the
+/// header check and reaches the directory validation and probe paths. (The
+/// payload digest is deliberately left alone: `verify_payload` catching it
+/// is one of the outcomes under test.)
+pub fn refix_plane_header(bytes: &mut [u8]) {
+    let tail = PLANE_HEADER_BYTES + PLANE_FOOTER_BYTES;
+    if bytes.len() < tail {
+        return;
+    }
+    let hstart = bytes.len() - tail;
+    let sum = fnv1a(&bytes[hstart..hstart + PLANE_HEADER_HASHED]);
+    bytes[hstart + PLANE_HEADER_HASHED..hstart + PLANE_HEADER_BYTES]
+        .copy_from_slice(&sum.to_le_bytes());
+}
+
+/// The `PLN1` base corpus: the rich closure written in the paged format
+/// (ITC1 stream + plane section).
+pub fn paged_base_stream() -> Vec<u8> {
+    rich_closure().to_paged_bytes()
+}
+
+/// Opens one mutated stream as a paged plane and drives every probe path.
+/// Structured errors — at open, from a probe, or from the deep payload
+/// verify — are failing closed; the only unacceptable outcome is a panic.
+pub fn decode_paged(bytes: &[u8]) -> CaseOutcome {
+    use tc_core::PagedPlane;
+    use tc_graph::NodeId;
+    // A 2-frame pool forces eviction on nearly every touch, so pin reuse
+    // and straddled reads run against corrupted geometry too.
+    let plane = match PagedPlane::open_from_bytes(bytes, 2) {
+        Err(_) => return CaseOutcome::Rejected,
+        Ok(p) => p,
+    };
+    let mut corrupt = plane.verify_payload().is_err();
+    let n = plane.node_count().min(64) as u32;
+    let mut out = Vec::new();
+    for v in 0..n {
+        let node = NodeId(v);
+        corrupt |= plane.try_successors_into(node, &mut out).is_err();
+        corrupt |= plane.try_predecessors_into(node, &mut out).is_err();
+        corrupt |= plane.try_successor_count(node).is_err();
+        corrupt |= plane.try_reaches(node, NodeId(v.wrapping_mul(7) % n)).is_err();
+    }
+    if corrupt {
+        CaseOutcome::OkCorrupt
+    } else {
+        CaseOutcome::OkClean
+    }
+}
+
+/// The `PLN1` mutation campaign: corrupt paged-plane files, open them with
+/// the O(directory) shallow open, and hammer the probe paths. Zero panics
+/// is the pass criterion — every length and offset a probe trusts came
+/// from the (validated) directory, so corruption must surface as a
+/// [`tc_core::PagedError`], never as an out-of-bounds or oversized
+/// allocation.
+pub fn paged_campaign(cases: u64, seed: u64) -> MutationReport {
+    let base = paged_base_stream();
+    campaign_with_refix(&base, cases, seed, &|bytes| refix_plane_header(bytes), decode_paged)
 }
 
 #[cfg(test)]
@@ -263,6 +363,41 @@ mod tests {
         // the decoder never panics and never sizes an allocation from a
         // corrupted length field.
         assert!(report.rejected > 0, "campaign never reached the decoder");
+    }
+
+    #[test]
+    fn paged_plane_survives_mutation_campaign() {
+        let report = paged_campaign(96, 0x9A6ED);
+        assert_eq!(report.cases, 96);
+        assert_eq!(
+            report.panics, 0,
+            "paged open/probe panicked; replay seeds {:?}",
+            report.panic_seeds
+        );
+        assert!(report.rejected > 0, "campaign never reached the plane parser");
+    }
+
+    #[test]
+    fn refixed_plane_headers_reach_the_directory_validation() {
+        // With the header digest re-signed, rejection must come from the
+        // geometry checks (directory lengths, alignment, counts) — prove
+        // mutations actually penetrate past the digest.
+        let base = paged_base_stream();
+        let mut interior_rejects = 0;
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut bytes, _, refixed) = mutate_with(&base, &mut rng, &|bytes| refix_plane_header(bytes));
+            if !refixed {
+                refix_plane_header(&mut bytes);
+            }
+            if matches!(decode_paged(&bytes), CaseOutcome::Rejected) {
+                interior_rejects += 1;
+            }
+        }
+        assert!(
+            interior_rejects > 8,
+            "mutations never reached past the header digest: {interior_rejects}"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! set-threads 2
 //! service-publish
 //! service-query
+//! paged-probe
 //! ```
 
 use std::fmt;
@@ -98,6 +99,12 @@ pub enum Op {
     /// against a DFS closure of the relation *as it was at publish time*
     /// (skipped when nothing has been published yet).
     ServiceQuery,
+    /// Round-trips the current closure through the out-of-core `PLN1`
+    /// format (`CompressedClosure::to_paged_bytes` →
+    /// `PagedPlane::open_from_bytes` with an eviction-forcing 2-frame pool)
+    /// and compares every paged answer against the closure under test.
+    /// Never skipped; never mutates the relation but counts as applied.
+    PagedProbe,
 }
 
 impl fmt::Display for Op {
@@ -121,6 +128,7 @@ impl fmt::Display for Op {
             Op::SetThreads { threads } => write!(f, "set-threads {threads}"),
             Op::ServicePublish => write!(f, "service-publish"),
             Op::ServiceQuery => write!(f, "service-query"),
+            Op::PagedProbe => write!(f, "paged-probe"),
         }
     }
 }
@@ -301,6 +309,10 @@ impl OpTrace {
                     in_header = false;
                     ops.push(Op::ServiceQuery);
                 }
+                "paged-probe" => {
+                    in_header = false;
+                    ops.push(Op::PagedProbe);
+                }
                 _ => return fail("unknown directive"),
             }
         }
@@ -330,6 +342,7 @@ mod tests {
                 Op::SetThreads { threads: 0 },
                 Op::ServicePublish,
                 Op::ServiceQuery,
+                Op::PagedProbe,
             ],
         };
         let text = trace.to_text();

@@ -23,6 +23,9 @@
 //!   is a fenced parity count over two dependent cache accesses, and a
 //!   globally sorted inverted index answering "which sets contain `t`?"
 //!   stabbing queries in O(k log m).
+//! * [`paged`] — the same fenced row layout as raw bytes, for the
+//!   out-of-core plane: encode/probe helpers shared by the streaming freeze
+//!   writer and the buffer-pool-backed prober in `tc-core`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,11 +34,12 @@
 mod flat;
 mod interval;
 mod numberline;
+pub mod paged;
 mod set;
 
 pub use flat::{
     upper_bound, FlatBuilder, FlatIntervalIndex, NarrowBuilder, NarrowIntervalIndex, StabbingIndex,
 };
 pub use interval::Interval;
-pub use numberline::{NumberLine, RenumberPlan};
+pub use numberline::{CapacityError, NumberLine, RenumberPlan, DEFAULT_LINE_CAPACITY};
 pub use set::IntervalSet;

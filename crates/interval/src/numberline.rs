@@ -15,6 +15,35 @@
 //! nodes would create false positives — but they no longer decode to a node.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default entry capacity of a [`NumberLine`]: the frozen query plane and
+/// the dense node indexing both address line entries with `u32` ranks, so a
+/// line is full once it holds `u32::MAX` occupied numbers (live or
+/// tombstoned). Builds at the 5–50M-node scale sit well below this; the
+/// guard exists so they fail loudly instead of wrapping if they ever don't.
+pub const DEFAULT_LINE_CAPACITY: usize = u32::MAX as usize;
+
+/// The number line cannot admit another occupied number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Occupied entries (live + tombstones) at the time of the attempt.
+    pub used: usize,
+    /// The line's configured capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "number line full: {} of {} positions occupied",
+            self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
 
 /// The owner of an in-use number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,16 +55,47 @@ enum Slot {
 }
 
 /// The sorted postorder-number list *L*.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NumberLine {
     slots: BTreeMap<u64, Slot>,
     live: usize,
+    capacity: usize,
+}
+
+impl Default for NumberLine {
+    fn default() -> Self {
+        NumberLine {
+            slots: BTreeMap::new(),
+            live: 0,
+            capacity: DEFAULT_LINE_CAPACITY,
+        }
+    }
 }
 
 impl NumberLine {
-    /// Creates an empty number line.
+    /// Creates an empty number line with the [`DEFAULT_LINE_CAPACITY`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The maximum number of occupied entries this line admits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Overrides the entry capacity — admission control for tests and for
+    /// deployments that want to fail earlier than [`DEFAULT_LINE_CAPACITY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is below the current occupancy.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(
+            capacity >= self.slots.len(),
+            "capacity {capacity} below current occupancy {}",
+            self.slots.len()
+        );
+        self.capacity = capacity;
     }
 
     /// Number of live (non-tombstone) entries.
@@ -73,11 +133,29 @@ impl NumberLine {
     /// # Panics
     ///
     /// Panics if `num` is already in use (live or tombstoned): numbers are
-    /// unique by construction.
+    /// unique by construction. Panics on a full line — update paths that can
+    /// surface the condition as an error use [`NumberLine::try_assign`].
     pub fn assign(&mut self, num: u64, node: u32) {
+        self.try_assign(num, node).expect("number line capacity exhausted");
+    }
+
+    /// Assigns `num` to the node with dense index `node`, failing with a
+    /// [`CapacityError`] — not a panic — if the line is already at capacity.
+    /// Tombstones count: they occupy positions a frozen rank array must
+    /// still index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` is already in use (live or tombstoned); duplicate
+    /// numbers are a logic error, not a resource condition.
+    pub fn try_assign(&mut self, num: u64, node: u32) -> Result<(), CapacityError> {
+        if self.slots.len() >= self.capacity {
+            return Err(CapacityError { used: self.slots.len(), capacity: self.capacity });
+        }
         let prev = self.slots.insert(num, Slot::Node(node));
         assert!(prev.is_none(), "postorder number {num} already in use");
         self.live += 1;
+        Ok(())
     }
 
     /// Tombstones `num`: the number stays occupied but decodes to nothing.
@@ -192,6 +270,7 @@ impl NumberLine {
     /// dropped.
     pub fn apply_plan(&self, plan: &RenumberPlan) -> NumberLine {
         let mut out = NumberLine::new();
+        out.capacity = self.capacity;
         for (old, slot) in &self.slots {
             if let Slot::Node(n) = slot {
                 out.assign(plan.map_used(*old).expect("plan must cover all live numbers"), *n);
@@ -385,5 +464,54 @@ mod tests {
     #[should_panic(expected = "not monotone")]
     fn non_monotone_plan_rejected() {
         let _ = RenumberPlan::from_pairs([(1, 10), (2, 5)]);
+    }
+
+    #[test]
+    fn capacity_guard_errors_instead_of_wrapping() {
+        let mut l = NumberLine::new();
+        assert_eq!(l.capacity(), DEFAULT_LINE_CAPACITY);
+        l.set_capacity(2);
+        assert!(l.try_assign(10, 0).is_ok());
+        assert!(l.try_assign(20, 1).is_ok());
+        let err = l.try_assign(30, 2).unwrap_err();
+        assert_eq!(err, CapacityError { used: 2, capacity: 2 });
+        assert_eq!(l.total_count(), 2, "failed assign left the line unchanged");
+        assert_eq!(l.node_at(30), None);
+        // The error is an error, and it prints the occupancy.
+        assert!(err.to_string().contains("2 of 2"));
+    }
+
+    #[test]
+    fn tombstones_count_toward_capacity() {
+        // A tombstone still occupies a rank-indexed position, so it must
+        // count against the admission limit.
+        let mut l = NumberLine::new();
+        l.set_capacity(2);
+        l.assign(10, 0);
+        l.assign(20, 1);
+        l.tombstone(10);
+        assert_eq!(l.live_count(), 1);
+        assert!(l.try_assign(30, 2).is_err(), "tombstone holds its position");
+        // Renumbering drops tombstones and frees the position again.
+        let fresh = l.apply_plan(&l.renumber_plan(10));
+        assert_eq!(fresh.capacity(), 2, "capacity survives renumbering");
+        let mut fresh = fresh;
+        assert!(fresh.try_assign(30, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn unchecked_assign_panics_at_capacity() {
+        let mut l = NumberLine::new();
+        l.set_capacity(1);
+        l.assign(10, 0);
+        l.assign(20, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below current occupancy")]
+    fn shrinking_capacity_below_occupancy_rejected() {
+        let mut l = line_with(&[(10, 0), (20, 1)]);
+        l.set_capacity(1);
     }
 }

@@ -1,0 +1,441 @@
+//! Byte-level row layout for the *paged* frozen plane.
+//!
+//! The out-of-core query plane stores the same fenced boundary-array rows as
+//! [`FlatIntervalIndex`] / [`NarrowIntervalIndex`], but serialized into
+//! page-aligned disk segments instead of `Vec`s: a `HEADS` segment of
+//! fixed-size row headers and a `SPILL` segment of boundary keys. This
+//! module is the single source of truth for that byte layout — the
+//! streaming freeze writer encodes rows through it and the paged prober
+//! decodes them through it, so the two cannot drift. The field order and
+//! geometry (fence count, slice granule, padding) are identical to the
+//! in-memory `repr(C)` row headers in `flat.rs`; a paged probe therefore
+//! counts exactly the same boundaries as an in-memory probe and returns
+//! bit-identical answers.
+//!
+//! Everything here is pure byte arithmetic over caller-provided slices —
+//! no I/O, no panics on corrupt *values* (only on caller slice-length
+//! violations, which the paged plane bounds-checks before calling in).
+//!
+//! [`FlatIntervalIndex`]: crate::FlatIntervalIndex
+//! [`NarrowIntervalIndex`]: crate::NarrowIntervalIndex
+
+/// Intervals per slice granule; must match `flat::SLICE_GRANULE`.
+const SLICE_GRANULE: usize = 8;
+
+/// The rank key width of a paged plane — the on-disk counterpart of the
+/// `FlatIntervalIndex` (`u32`) / `NarrowIntervalIndex` (`u16`) split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyWidth {
+    /// `u16` ranks: 64-byte headers, 26 fences. Usable when the live number
+    /// line has at most `u16::MAX` entries.
+    Narrow,
+    /// `u32` ranks: 128-byte headers, 27 fences.
+    Wide,
+}
+
+impl KeyWidth {
+    /// Bytes per rank key.
+    #[inline]
+    pub fn key_bytes(self) -> usize {
+        match self {
+            KeyWidth::Narrow => 2,
+            KeyWidth::Wide => 4,
+        }
+    }
+
+    /// Fence keys per row header (matches the in-memory layouts).
+    #[inline]
+    pub fn fences(self) -> usize {
+        match self {
+            KeyWidth::Narrow => 26,
+            KeyWidth::Wide => 27,
+        }
+    }
+
+    /// Bytes per row header: 64 for narrow, 128 for wide — both divide the
+    /// 4 KiB page, so a header never straddles a page boundary.
+    #[inline]
+    pub fn head_bytes(self) -> usize {
+        match self {
+            KeyWidth::Narrow => 64,
+            KeyWidth::Wide => 128,
+        }
+    }
+
+    /// The key maximum, used as the fence/padding sentinel (widened to
+    /// `u32` for the narrow layout).
+    #[inline]
+    pub fn max_key(self) -> u32 {
+        match self {
+            KeyWidth::Narrow => u16::MAX as u32,
+            KeyWidth::Wide => u32::MAX,
+        }
+    }
+
+    /// Reads the key at byte offset `pos * key_bytes()` of `buf`, widened.
+    #[inline]
+    pub fn key_at(self, buf: &[u8], pos: usize) -> u32 {
+        match self {
+            KeyWidth::Narrow => {
+                let o = pos * 2;
+                u16::from_le_bytes([buf[o], buf[o + 1]]) as u32
+            }
+            KeyWidth::Wide => {
+                let o = pos * 4;
+                u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]])
+            }
+        }
+    }
+
+    /// Writes `v` as the key at position `pos` of `buf`.
+    #[inline]
+    pub fn put_key(self, buf: &mut [u8], pos: usize, v: u32) {
+        match self {
+            KeyWidth::Narrow => {
+                let o = pos * 2;
+                buf[o..o + 2].copy_from_slice(&(v as u16).to_le_bytes());
+            }
+            KeyWidth::Wide => {
+                let o = pos * 4;
+                buf[o..o + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Slice width (in intervals) for a row of `m` intervals — identical to the
+/// in-memory layouts: the smallest [`SLICE_GRANULE`] multiple that fits `m`
+/// into `fences + 1` slices.
+#[inline]
+pub fn slice_width(m: usize, kw: KeyWidth) -> usize {
+    (m.div_ceil(kw.fences() + 1)).next_multiple_of(SLICE_GRANULE)
+}
+
+/// Total boundary *keys* a row of `m` intervals occupies in the spill
+/// segment, padding included: whole slices of `2 * slice_width` keys.
+/// Zero for an empty row.
+#[inline]
+pub fn padded_boundary_keys(m: usize, kw: KeyWidth) -> usize {
+    if m == 0 {
+        return 0;
+    }
+    let width = slice_width(m, kw);
+    m.div_ceil(width) * 2 * width
+}
+
+/// A decoded row header (fences are read lazily during probes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedHead {
+    /// First interval's endpoints; `[1, 0]` for an empty row.
+    pub lo0: u32,
+    /// First interval's upper endpoint.
+    pub hi0: u32,
+    /// Start of the row's boundary slices in the spill segment, in keys.
+    pub spill_start: u32,
+    /// The row's merged interval count.
+    pub intervals: u32,
+    /// One past the row's last covered rank; 0 for an empty row.
+    pub top: u32,
+}
+
+// Field byte offsets within a header, per width. Mirrors the `repr(C)`
+// order in `flat.rs`: lo0, hi0, spill_start (u32), intervals, top, fences.
+#[inline]
+fn field_offsets(kw: KeyWidth) -> (usize, usize, usize, usize, usize, usize) {
+    let kb = kw.key_bytes();
+    // (lo0, hi0, spill_start, intervals, top, fences_base)
+    (0, kb, 2 * kb, 2 * kb + 4, 3 * kb + 4, 4 * kb + 4)
+}
+
+/// Encodes one row header into `out` (exactly [`KeyWidth::head_bytes`]).
+/// `intervals` must be the row's *merged* intervals, ascending and disjoint,
+/// with every endpoint strictly below [`KeyWidth::max_key`]; `spill_start`
+/// is the row's first key index in the spill segment.
+pub fn encode_head(out: &mut [u8], kw: KeyWidth, intervals: &[(u32, u32)], spill_start: u32) {
+    assert_eq!(out.len(), kw.head_bytes(), "head buffer size");
+    let (o_lo0, o_hi0, o_spill, o_m, o_top, o_fences) = field_offsets(kw);
+    let Some(&(lo0, hi0)) = intervals.first() else {
+        // The empty row: impossible interval [1, 0], zero extent, all-max
+        // fences — byte-identical to `EMPTY_ROW` in flat.rs.
+        out.fill(0);
+        kw.put_key(&mut out[o_lo0..], 0, 1);
+        kw.put_key(&mut out[o_hi0..], 0, 0);
+        for i in 0..kw.fences() {
+            kw.put_key(&mut out[o_fences..], i, kw.max_key());
+        }
+        return;
+    };
+    let m = intervals.len();
+    let width = slice_width(m, kw);
+    let slices = m.div_ceil(width);
+    kw.put_key(&mut out[o_lo0..], 0, lo0);
+    kw.put_key(&mut out[o_hi0..], 0, hi0);
+    out[o_spill..o_spill + 4].copy_from_slice(&spill_start.to_le_bytes());
+    kw.put_key(&mut out[o_m..], 0, m as u32);
+    kw.put_key(&mut out[o_top..], 0, intervals[m - 1].1 + 1);
+    for i in 0..kw.fences() {
+        // fences[i] is the first boundary of slice i + 1 (padding boundaries
+        // are the key maximum), or the key maximum past the last slice.
+        let fence = if i < slices - 1 {
+            boundary_at(intervals, (i + 1) * 2 * width, kw)
+        } else {
+            kw.max_key()
+        };
+        kw.put_key(&mut out[o_fences..], i, fence);
+    }
+}
+
+/// The `j`-th boundary of a row: `lo_0, hi_0+1, lo_1, hi_1+1, ...`, with
+/// the key maximum past the real boundaries (tail-slice padding).
+#[inline]
+fn boundary_at(intervals: &[(u32, u32)], j: usize, kw: KeyWidth) -> u32 {
+    if j < 2 * intervals.len() {
+        let (lo, hi) = intervals[j / 2];
+        if j % 2 == 0 { lo } else { hi + 1 }
+    } else {
+        kw.max_key()
+    }
+}
+
+/// Appends one row's boundary keys — real boundaries plus tail-slice
+/// padding, [`padded_boundary_keys`] keys total — to `out` as bytes.
+pub fn encode_boundaries(out: &mut Vec<u8>, kw: KeyWidth, intervals: &[(u32, u32)]) {
+    let total = padded_boundary_keys(intervals.len(), kw);
+    let base = out.len();
+    out.resize(base + total * kw.key_bytes(), 0);
+    let buf = &mut out[base..];
+    for j in 0..total {
+        kw.put_key(buf, j, boundary_at(intervals, j, kw));
+    }
+}
+
+/// Decodes a row header from `bytes` (at least [`KeyWidth::head_bytes`]).
+pub fn decode_head(bytes: &[u8], kw: KeyWidth) -> PagedHead {
+    let (o_lo0, o_hi0, o_spill, o_m, o_top, _) = field_offsets(kw);
+    PagedHead {
+        lo0: kw.key_at(&bytes[o_lo0..], 0),
+        hi0: kw.key_at(&bytes[o_hi0..], 0),
+        spill_start: u32::from_le_bytes([
+            bytes[o_spill],
+            bytes[o_spill + 1],
+            bytes[o_spill + 2],
+            bytes[o_spill + 3],
+        ]),
+        intervals: kw.key_at(&bytes[o_m..], 0),
+        top: kw.key_at(&bytes[o_top..], 0),
+    }
+}
+
+/// Outcome of probing a row header for rank `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadProbe {
+    /// The header alone settles the probe.
+    Hit(bool),
+    /// The probe must parity-count one boundary slice: `key_count` keys of
+    /// the spill segment starting at key index `key_start`. The answer is
+    /// `count_le(slice, t)` being odd.
+    Scan {
+        /// First key index of the slice within the spill segment.
+        key_start: u64,
+        /// Keys in the slice (`2 * slice_width`).
+        key_count: u32,
+    },
+}
+
+/// Probes a row header for rank `t` — the paged half of `contains_point`.
+/// Identical decision sequence to the in-memory probe: inline first
+/// interval, row upper bound, then a fence scan selecting one slice.
+pub fn probe_head(bytes: &[u8], kw: KeyWidth, t: u32) -> HeadProbe {
+    let (_, _, _, _, _, o_fences) = field_offsets(kw);
+    let head = decode_head(bytes, kw);
+    if t <= head.hi0 {
+        return HeadProbe::Hit(t >= head.lo0);
+    }
+    if t >= head.top {
+        return HeadProbe::Hit(false);
+    }
+    let m = head.intervals as usize;
+    let fences = &bytes[o_fences..];
+    let mut g = 0usize;
+    for i in 0..kw.fences() {
+        g += usize::from(kw.key_at(fences, i) <= t);
+    }
+    let width = 2 * slice_width(m, kw);
+    HeadProbe::Scan {
+        key_start: head.spill_start as u64 + (g * width) as u64,
+        key_count: width as u32,
+    }
+}
+
+/// Counts the keys `<= t` in a raw key run (`bytes.len()` must be a
+/// multiple of the key size) — the parity count of a boundary slice, usable
+/// piecewise across page boundaries since addition is associative.
+pub fn count_le(bytes: &[u8], kw: KeyWidth, t: u32) -> usize {
+    let n = bytes.len() / kw.key_bytes();
+    let mut count = 0usize;
+    for pos in 0..n {
+        count += usize::from(kw.key_at(bytes, pos) <= t);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlatBuilder, NarrowBuilder};
+
+    /// Serializes rows via this module and probes every rank through the
+    /// byte layout, comparing against the in-memory index built from the
+    /// same rows — the bit-identical-layout contract.
+    fn assert_rows_match(kw: KeyWidth, rows: &[Vec<(u32, u32)>], top_probe: u32) {
+        // Byte-side: encode heads + spill exactly as the plane writer does.
+        let mut heads = Vec::new();
+        let mut spill = Vec::new();
+        let mut spill_keys = 0u32;
+        for row in rows {
+            let base = heads.len();
+            heads.resize(base + kw.head_bytes(), 0);
+            encode_head(&mut heads[base..], kw, row, spill_keys);
+            encode_boundaries(&mut spill, kw, row);
+            spill_keys += padded_boundary_keys(row.len(), kw) as u32;
+        }
+        let probe = |row: usize, t: u32| -> bool {
+            let hb = kw.head_bytes();
+            match probe_head(&heads[row * hb..(row + 1) * hb], kw, t) {
+                HeadProbe::Hit(ans) => ans,
+                HeadProbe::Scan { key_start, key_count } => {
+                    let kb = kw.key_bytes();
+                    let a = key_start as usize * kb;
+                    let b = a + key_count as usize * kb;
+                    count_le(&spill[a..b], kw, t) % 2 == 1
+                }
+            }
+        };
+        // Memory-side reference.
+        match kw {
+            KeyWidth::Wide => {
+                let mut b = FlatBuilder::with_capacity(rows.len(), 0);
+                for row in rows {
+                    for &(lo, hi) in row {
+                        b.push(lo, hi);
+                    }
+                    b.finish_row();
+                }
+                let idx = b.finish();
+                for row in 0..rows.len() {
+                    for t in 0..top_probe {
+                        assert_eq!(
+                            probe(row, t),
+                            idx.contains_point(row, t),
+                            "wide row {row}, t {t}"
+                        );
+                    }
+                }
+            }
+            KeyWidth::Narrow => {
+                let mut b = NarrowBuilder::with_capacity(rows.len(), 0);
+                for row in rows {
+                    for &(lo, hi) in row {
+                        b.push(lo as u16, hi as u16);
+                    }
+                    b.finish_row();
+                }
+                let idx = b.finish();
+                for row in 0..rows.len() {
+                    for t in 0..top_probe {
+                        assert_eq!(
+                            probe(row, t),
+                            idx.contains_point(row, t as u16),
+                            "narrow row {row}, t {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-merged interval rows (ascending, disjoint, non-adjacent) — what
+    /// the freeze path hands the encoder.
+    fn sample_rows() -> Vec<Vec<(u32, u32)>> {
+        vec![
+            vec![(1, 3), (7, 9)],
+            vec![],
+            vec![(2, 2)],
+            vec![(0, 9), (20, 30)],
+            vec![(0, 0)],
+        ]
+    }
+
+    #[test]
+    fn byte_probe_matches_memory_probe_both_widths() {
+        assert_rows_match(KeyWidth::Wide, &sample_rows(), 40);
+        assert_rows_match(KeyWidth::Narrow, &sample_rows(), 40);
+    }
+
+    #[test]
+    fn large_rows_cross_fence_slices() {
+        // Rows around the slice-count boundaries, so the fence scan and
+        // multi-slice padding paths are exercised in both widths.
+        let mut state = 0x0123_4567_89ab_cdefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 33) as u32
+        };
+        for m in [1usize, 8, 9, 223, 224, 225, 500] {
+            let mut row = Vec::with_capacity(m);
+            let mut lo = next() % 3;
+            for _ in 0..m {
+                let hi = lo + next() % 9;
+                row.push((lo, hi));
+                lo = hi + 2 + next() % 7;
+            }
+            let top = row.last().unwrap().1 + 3;
+            let rows = vec![row];
+            assert_rows_match(KeyWidth::Wide, &rows, top.min(4000));
+            if top < u16::MAX as u32 {
+                assert_rows_match(KeyWidth::Narrow, &rows, top.min(4000));
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(KeyWidth::Wide.head_bytes(), 128);
+        assert_eq!(KeyWidth::Narrow.head_bytes(), 64);
+        // Headers exactly fill their footprint: fields + fences.
+        let (.., o_fences) = {
+            let t = field_offsets(KeyWidth::Wide);
+            (t.0, t.5)
+        };
+        assert_eq!(o_fences + KeyWidth::Wide.fences() * 4, 128);
+        let (.., o_fences) = {
+            let t = field_offsets(KeyWidth::Narrow);
+            (t.0, t.5)
+        };
+        assert_eq!(o_fences + KeyWidth::Narrow.fences() * 2, 64);
+        // Rows always occupy whole 16-key (one-slice-granule) units, so
+        // spill starts stay slice-aligned.
+        for m in 0..600 {
+            assert_eq!(padded_boundary_keys(m, KeyWidth::Wide) % 16, 0);
+            assert_eq!(padded_boundary_keys(m, KeyWidth::Narrow) % 16, 0);
+        }
+    }
+
+    #[test]
+    fn head_roundtrip() {
+        for kw in [KeyWidth::Wide, KeyWidth::Narrow] {
+            let mut buf = vec![0u8; kw.head_bytes()];
+            encode_head(&mut buf, kw, &[(3, 5), (9, 12)], 48);
+            let head = decode_head(&buf, kw);
+            assert_eq!(
+                head,
+                PagedHead { lo0: 3, hi0: 5, spill_start: 48, intervals: 2, top: 13 }
+            );
+            encode_head(&mut buf, kw, &[], 0);
+            let empty = decode_head(&buf, kw);
+            assert_eq!(empty, PagedHead { lo0: 1, hi0: 0, spill_start: 0, intervals: 0, top: 0 });
+        }
+    }
+}

@@ -1,6 +1,15 @@
-//! An LRU buffer pool over the [`Pager`].
+//! An LRU buffer pool over the [`Pager`], with page pins.
+//!
+//! A probe that decodes a row slice in place must be able to hold the page
+//! across its own logic without the pool yanking the frame on the next
+//! fetch. [`BufferPool::fetch_pin`] returns a [`PagePin`] — a shared handle
+//! to the frame — and eviction only ever considers unpinned frames. If every
+//! frame is pinned the pool temporarily overflows its capacity rather than
+//! invalidate a live borrow.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::{PageId, Pager};
 
@@ -23,6 +32,22 @@ impl PoolStats {
     }
 }
 
+/// A pinned page image. Holding the pin keeps the bytes alive even if the
+/// pool evicts the frame underneath — the pin shares ownership, so the worst
+/// case is a redundant re-read later, never a dangling slice.
+#[derive(Debug, Clone)]
+pub struct PagePin {
+    data: Arc<[u8]>,
+}
+
+impl Deref for PagePin {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
 /// A fixed-capacity LRU cache of page images.
 ///
 /// Read-only (the stores in this crate are build-once/query-many, like the
@@ -31,7 +56,7 @@ impl PoolStats {
 pub struct BufferPool {
     capacity: usize,
     /// page -> (image, last-use tick)
-    frames: HashMap<PageId, (Box<[u8]>, u64)>,
+    frames: HashMap<PageId, (Arc<[u8]>, u64)>,
     tick: u64,
     stats: PoolStats,
 }
@@ -50,31 +75,46 @@ impl BufferPool {
 
     /// Fetches a page through the pool, touching the pager only on a miss.
     pub fn fetch<'a>(&'a mut self, pager: &Pager, id: PageId) -> &'a [u8] {
+        self.fetch_frame(pager, id);
+        &self.frames.get(&id).expect("frame just ensured").0
+    }
+
+    /// Fetches a page and pins it. The returned [`PagePin`] keeps the bytes
+    /// valid for as long as it lives; a pinned frame is never evicted.
+    pub fn fetch_pin(&mut self, pager: &Pager, id: PageId) -> PagePin {
+        self.fetch_frame(pager, id);
+        PagePin {
+            data: Arc::clone(&self.frames.get(&id).expect("frame just ensured").0),
+        }
+    }
+
+    fn fetch_frame(&mut self, pager: &Pager, id: PageId) {
         self.tick += 1;
         let tick = self.tick;
-        if self.frames.contains_key(&id) {
+        if let Some(entry) = self.frames.get_mut(&id) {
             self.stats.hits += 1;
-            let entry = self.frames.get_mut(&id).expect("checked above");
             entry.1 = tick;
-            return &entry.0;
+            return;
         }
         self.stats.misses += 1;
         if self.frames.len() >= self.capacity {
-            let victim = *self
+            // Evict the least-recently-used *unpinned* frame. The map holds
+            // exactly one reference to an unpinned image, so any extra
+            // strong count is an outstanding PagePin.
+            let victim = self
                 .frames
                 .iter()
+                .filter(|(_, (image, _))| Arc::strong_count(image) == 1)
                 .min_by_key(|(_, (_, last))| *last)
-                .map(|(id, _)| id)
-                .expect("pool is non-empty when full");
-            self.frames.remove(&victim);
-            self.stats.evictions += 1;
+                .map(|(id, _)| *id);
+            if let Some(victim) = victim {
+                self.frames.remove(&victim);
+                self.stats.evictions += 1;
+            }
+            // All frames pinned: overflow capacity rather than drop a pin.
         }
-        let image: Box<[u8]> = pager.read(id).into();
-        &self
-            .frames
-            .entry(id)
-            .or_insert((image, tick))
-            .0
+        let image: Arc<[u8]> = pager.read_page(id).into();
+        self.frames.insert(id, (image, tick));
     }
 
     /// Access statistics so far.
@@ -83,6 +123,7 @@ impl BufferPool {
     }
 
     /// Clears cached pages and statistics (for cold-cache measurements).
+    /// Outstanding pins stay valid — they own their images.
     pub fn clear(&mut self) {
         self.frames.clear();
         self.stats = PoolStats::default();
@@ -159,5 +200,55 @@ mod tests {
         pool.fetch(&pager, PageId(0));
         pool.fetch(&pager, PageId(0));
         assert!((pool.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_page_survives_eviction_pressure() {
+        let pager = disk_with(4);
+        let mut pool = BufferPool::new(2);
+        let pin = pool.fetch_pin(&pager, PageId(0));
+        // Churn enough distinct pages through a 2-frame pool to evict
+        // everything unpinned several times over.
+        for round in 0..3 {
+            for i in 1..4u32 {
+                let _ = round;
+                pool.fetch(&pager, PageId(i));
+            }
+        }
+        // The pinned frame was never chosen as a victim...
+        let before = pager.reads();
+        pool.fetch(&pager, PageId(0));
+        assert_eq!(pager.reads(), before, "pinned page 0 stayed resident");
+        // ...and the pin's bytes are intact regardless.
+        assert_eq!(pin[0], 0);
+    }
+
+    #[test]
+    fn all_pinned_overflows_instead_of_evicting() {
+        let pager = disk_with(4);
+        let mut pool = BufferPool::new(2);
+        let p0 = pool.fetch_pin(&pager, PageId(0));
+        let p1 = pool.fetch_pin(&pager, PageId(1));
+        // Pool is full of pinned frames; a third fetch must not invalidate
+        // either pin.
+        let p2 = pool.fetch_pin(&pager, PageId(2));
+        assert_eq!(pool.resident(), 3, "pool overflowed rather than evict a pin");
+        assert_eq!(pool.stats().evictions, 0);
+        assert_eq!((p0[0], p1[0], p2[0]), (0, 1, 2));
+        drop(p0);
+        drop(p1);
+        // With pins released, a miss evicts normally again.
+        pool.fetch(&pager, PageId(3));
+        assert!(pool.stats().evictions >= 1);
+        drop(p2);
+    }
+
+    #[test]
+    fn pin_outlives_clear() {
+        let pager = disk_with(1);
+        let mut pool = BufferPool::new(1);
+        let pin = pool.fetch_pin(&pager, PageId(0));
+        pool.clear();
+        assert_eq!(pin[0], 0, "pin owns its image across clear()");
     }
 }

@@ -1,12 +1,19 @@
-//! Paged secondary-storage simulation.
+//! Paged secondary storage: pager, buffer pool, and page-resident stores.
 //!
 //! The paper motivates compression with I/O: "in the case of large
 //! relations, the information will reside on secondary storage, and hence we
-//! need to minimize I/O traffic" (§2.2). This crate makes that claim
-//! measurable: a [`Pager`] simulates a page-granular disk with read/write
-//! counters, a [`BufferPool`] adds LRU caching with hit/miss statistics, and
-//! three page-resident stores answer reachability queries while every page
-//! touch is counted:
+//! need to minimize I/O traffic" (§2.2). This crate supplies the storage
+//! substrate: a [`Pager`] is a page-granular disk — either an in-memory
+//! simulation with read/write counters, or a real `File` addressed with
+//! `pread`/`pwrite` (optionally windowed to a section of a larger stream) —
+//! and a [`BufferPool`] adds LRU caching with hit/miss statistics and
+//! [`PagePin`] guards that keep a frame's bytes valid across eviction.
+//!
+//! Two layers build on it. The **paged query plane** in `tc-core`
+//! (`PagedPlane`) serves frozen-closure reachability straight from a `PLN1`
+//! file section through the pool, so graphs larger than RAM stay queryable.
+//! And three page-resident stores replay the paper's §3.3 storage-layout
+//! comparison, with every page touch counted:
 //!
 //! * [`LabelStore`] — the compressed closure's interval records; a
 //!   reachability query typically costs **one** page read.
@@ -28,12 +35,12 @@
 
 mod blob;
 mod btree;
-mod bufpool;
-mod pager;
 mod stores;
 
 pub use blob::BlobStore;
 pub use btree::{BTreeDirectory, IndexedLabelStore};
-pub use bufpool::{BufferPool, PoolStats};
-pub use pager::{PageId, Pager, DEFAULT_PAGE_SIZE};
+// The pager and buffer pool live in the dependency-free `tc-pager` crate
+// (so `tc-core`'s paged plane can use them without a cycle); re-exported
+// here unchanged.
+pub use tc_pager::{BufferPool, PageId, PagePin, Pager, PoolStats, DEFAULT_PAGE_SIZE};
 pub use stores::{AdjStore, LabelStore, TcListStore};

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the out-of-core frozen-plane experiment (DESIGN.md, "Out-of-core
+# frozen plane") and leaves the table in results/io_scale.csv: open_paged
+# restart cost vs full decode across graph sizes, then page-reads/probe
+# and pool hit rate across buffer-pool sizes (answers asserted identical
+# to the resident plane before any timing).
+#
+# Usage: scripts/bench_io.sh [io_scale flags...]
+#   e.g. scripts/bench_io.sh --nodes 40000 --probes 200000 --reps 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin io_scale
+exec target/release/io_scale "$@"

@@ -55,7 +55,7 @@ fn to_service(op: &Op) -> Option<ServiceOp> {
         Op::Relabel => Some(ServiceOp::Relabel),
         Op::Rebuild => Some(ServiceOp::Rebuild),
         Op::Freeze | Op::Thaw | Op::SetThreads { .. } => None,
-        Op::ServicePublish | Op::ServiceQuery => None,
+        Op::ServicePublish | Op::ServiceQuery | Op::PagedProbe => None,
     }
 }
 
