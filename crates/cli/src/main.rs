@@ -28,7 +28,10 @@
 //! every query answers from the immutable snapshot (see DESIGN.md, "Frozen
 //! query plane"). A global `--paged N` flag makes those freezes out-of-core:
 //! the plane streams to disk and queries page it through an `N`-frame
-//! buffer pool, answering bit-identically to the resident plane.
+//! buffer pool, answering bit-identically to the resident plane. A global
+//! `--hybrid T` flag arms the hybrid oracle: frozen planes carry
+//! negative-cutoff labels and switch any row with more than `T` merged
+//! intervals to a bitset representation (see DESIGN.md, "Hybrid oracle").
 
 #![forbid(unsafe_code)]
 
@@ -88,6 +91,12 @@ global flags: --threads N   build/query on N worker threads (0 = one per CPU)
                             appends a PLN1 plane section for instant restart
                             via open_paged, and fuzz mixes paged-probe round
                             trips into the op stream
+              --hybrid T    arm the hybrid oracle for frozen planes: rows with
+                            more than T merged intervals freeze as bitsets and
+                            every reaches probe consults negative-cutoff
+                            labels first (answers are bit-identical); with
+                            --paged the bitset overlay rides the plane file as
+                            a resident HYB1 section
 <graph> = edge-list file ('src dst' lines, '-' for stdin) or a .itc closure
 
 bench: builds (or loads) the closure, then times single-probe reaches, batch
@@ -112,7 +121,9 @@ DFS oracle and the chain-decomposition baseline. --seeds K runs K
 consecutive seeds starting at --seed. On failure --shrink minimizes the
 sequence and prints (or --out writes) a replayable trace; --replay runs a
 previously saved trace instead of generating. --freeze mixes freeze/thaw ops
-into the stream so audits and oracles also run against frozen query planes;
+into the stream so audits and oracles also run against frozen query planes
+(combine with the global --hybrid T to run every frozen plane, and its
+paged image, through the hybrid oracle on the same seeds);
 --serve mixes service-publish/service-query ops that pin serving-layer
 snapshots mid-churn and later check them against the publish-time relation;
 --delete-bias skews the op mix toward arc/node removals interleaved with
@@ -142,6 +153,10 @@ struct Globals {
     /// Buffer-pool size (in pages) for out-of-core frozen planes; `None`
     /// keeps freezes fully resident.
     paged: Option<usize>,
+    /// Hybrid-oracle threshold: frozen rows with more merged intervals than
+    /// this switch to bitsets and every probe consults negative-cutoff
+    /// labels first; `None` keeps planes pure-interval.
+    hybrid: Option<usize>,
 }
 
 impl Globals {
@@ -172,13 +187,19 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Strips the global flags (`--threads N`, `--frozen`,
-/// `--scoped-deletes on|off`, `--shards N`, `--paged N`) from anywhere in
-/// the argument list. Absent, the tool stays serial, unfrozen, scoped,
-/// unsharded and fully resident.
+/// `--scoped-deletes on|off`, `--shards N`, `--paged N`, `--hybrid T`)
+/// from anywhere in the argument list. Absent, the tool stays serial,
+/// unfrozen, scoped, unsharded, fully resident and pure-interval.
 fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut globals =
-        Globals { threads: None, frozen: false, scoped: None, shards: None, paged: None };
+    let mut globals = Globals {
+        threads: None,
+        frozen: false,
+        scoped: None,
+        shards: None,
+        paged: None,
+        hybrid: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
@@ -228,6 +249,15 @@ fn extract_globals(args: &[String]) -> Result<(Vec<String>, Globals), String> {
                 return Err("--paged must be at least 1 buffer-pool page".into());
             }
             globals.paged = Some(pages);
+        } else if a == "--hybrid" || a.starts_with("--hybrid=") {
+            let v = match a.strip_prefix("--hybrid=") {
+                Some(v) => v.to_string(),
+                None => it.next().ok_or("--hybrid requires a value")?.clone(),
+            };
+            let threshold: usize = v
+                .parse()
+                .map_err(|_| format!("invalid --hybrid value {v:?}"))?;
+            globals.hybrid = Some(threshold);
         } else {
             rest.push(a.clone());
         }
@@ -287,6 +317,9 @@ fn load(path: &str, globals: Globals) -> Result<CompressedClosure, String> {
         // paged on a `pool`-frame buffer pool.
         closure.set_paged_pool(pool);
     }
+    if let Some(threshold) = globals.hybrid {
+        closure.set_hybrid_threshold(threshold);
+    }
     if globals.frozen {
         closure.freeze();
     }
@@ -328,6 +361,30 @@ fn stats(path: &str, globals: Globals) -> Result<(), String> {
     println!("closure pairs         {}", s.closure_size);
     println!("tree intervals        {}", s.tree_intervals);
     println!("non-tree intervals    {}", s.non_tree_intervals);
+    let mut counts = closure.merged_interval_counts();
+    counts.sort_unstable();
+    if let Some(&max) = counts.last() {
+        // The frozen plane stores rows post-merge, so this histogram — not
+        // the raw set sizes above — is what the hybrid row-selection rule
+        // sees (DESIGN.md, "Hybrid oracle").
+        let pct = |p: f64| counts[((counts.len() - 1) as f64 * p) as usize];
+        println!(
+            "merged intervals/row  p50 {}  p95 {}  max {}",
+            pct(0.50),
+            pct(0.95),
+            max
+        );
+        match closure.hybrid_threshold() {
+            usize::MAX => println!("hybrid threshold      off (arm with --hybrid T)"),
+            t => {
+                let over = counts.iter().filter(|&&c| c > t).count();
+                println!(
+                    "hybrid threshold      {t}  ({over} of {} rows freeze as bitsets)",
+                    counts.len()
+                );
+            }
+        }
+    }
     println!("compressed units      {}  ({:.2}x relation, {:.2}x closure)",
         s.compressed_units(), s.compressed_ratio(), 1.0 / s.compression_factor());
     let pooled = tc_core::pooled::PooledClosure::from_closure(&closure);
@@ -683,6 +740,9 @@ fn serve_sharded(
         // Each shard freezes its own out-of-core plane on its own pool.
         config = config.paged(pool);
     }
+    if let Some(threshold) = globals.hybrid {
+        config = config.hybrid(threshold);
+    }
     let sharded =
         ShardedClosure::build(config, closure.graph(), shards).map_err(|e| e.to_string())?;
     if sharded.reaches_batch(pairs) != want {
@@ -825,6 +885,9 @@ fn serve_listen(path: &str, addr: &str, globals: Globals) -> Result<(), String> 
         // Each shard freezes its own out-of-core plane on its own pool.
         config = config.paged(pool);
     }
+    if let Some(threshold) = globals.hybrid {
+        config = config.hybrid(threshold);
+    }
     let sharded =
         ShardedClosure::build(config, closure.graph(), shards).map_err(|e| e.to_string())?;
     let engine = Engine::start(sharded, Dict::with_default_keys(n), EngineConfig::default());
@@ -859,6 +922,10 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut config = tc_fuzz::FuzzConfig {
         threads: globals.threads_or_serial(),
         scoped: globals.scoped.unwrap_or(true),
+        // The global --hybrid flag arms the hybrid oracle in every freeze
+        // the trace performs (combine with --freeze); the op stream itself
+        // is unaffected, so seeds reproduce across thresholds.
+        hybrid: globals.hybrid.map_or(u64::MAX, |t| t as u64),
         ..tc_fuzz::FuzzConfig::default()
     };
     let mut freeze = false;

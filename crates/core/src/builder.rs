@@ -35,6 +35,9 @@ pub struct ClosureConfig {
     pub(crate) scoped_deletes: bool,
     /// Buffer-pool pages for out-of-core freezes; 0 freezes in memory.
     pub(crate) paged_pool: usize,
+    /// Merged-interval count above which a freeze gives a node a bitset
+    /// row instead of an interval row; `usize::MAX` disables the hybrid.
+    pub(crate) hybrid_threshold: usize,
 }
 
 impl Default for ClosureConfig {
@@ -52,6 +55,7 @@ impl Default for ClosureConfig {
             auto_freeze: false,
             scoped_deletes: true,
             paged_pool: 0,
+            hybrid_threshold: usize::MAX,
         }
     }
 }
@@ -129,6 +133,20 @@ impl ClosureConfig {
     /// stabbing triples. `0` (the default) keeps freezes in memory.
     pub fn paged(mut self, pool_pages: usize) -> Self {
         self.paged_pool = pool_pages;
+        self
+    }
+
+    /// Enables the *hybrid reachability oracle* on subsequent freezes: any
+    /// node whose rank-compressed row would hold more than `threshold`
+    /// merged intervals gets a word-aligned bitset row instead, turning its
+    /// `reaches` probe into one word test however fragmented its successor
+    /// set is. Negative-cutoff labels are consulted first in all modes, so
+    /// most unreachable pairs never touch a row at all. `usize::MAX` (the
+    /// default) keeps freezes pure-interval; `0` gives every node a bitset
+    /// row. Answers are bit-identical at any threshold — see DESIGN.md,
+    /// "Hybrid oracle".
+    pub fn hybrid(mut self, threshold: usize) -> Self {
+        self.hybrid_threshold = threshold;
         self
     }
 

@@ -82,12 +82,21 @@ impl CompressedClosure {
     /// A paged freeze panics if the temp file cannot be written.
     pub fn freeze(&mut self) {
         if self.config.paged_pool > 0 {
-            let plane = crate::paged::freeze_paged(&self.lab, self.config.paged_pool)
-                .expect("paged freeze: temp plane file");
+            let plane = crate::paged::freeze_paged(
+                &self.graph,
+                &self.lab,
+                self.config.hybrid_threshold,
+                self.config.paged_pool,
+            )
+            .expect("paged freeze: temp plane file");
             self.paged = Some(Arc::new(plane));
             self.plane = None;
         } else {
-            self.plane = Some(QueryPlane::freeze(&self.lab));
+            self.plane = Some(QueryPlane::freeze(
+                &self.graph,
+                &self.lab,
+                self.config.hybrid_threshold,
+            ));
             self.paged = None;
         }
     }
@@ -180,6 +189,43 @@ impl CompressedClosure {
         self.config.paged_pool
     }
 
+    /// Changes the hybrid bitset threshold used by subsequent freezes (see
+    /// [`ClosureConfig::hybrid`]): nodes whose merged rank-interval count
+    /// exceeds `threshold` get a bitset row instead of an interval row.
+    /// `usize::MAX` (the default) keeps freezes pure-interval. Takes effect
+    /// on the next [`CompressedClosure::freeze`].
+    pub fn set_hybrid_threshold(&mut self, threshold: usize) {
+        self.config.hybrid_threshold = threshold;
+    }
+
+    /// The hybrid bitset threshold subsequent freezes will use (see
+    /// [`ClosureConfig::hybrid`]).
+    pub fn hybrid_threshold(&self) -> usize {
+        self.config.hybrid_threshold
+    }
+
+    /// Per-node *merged rank-interval* counts — the fragment counts a
+    /// freeze would store per row, i.e. exactly the quantity the hybrid
+    /// threshold is compared against. Computed without freezing, so `stats`
+    /// tooling can report the histogram on a mutable closure.
+    pub fn merged_interval_counts(&self) -> Vec<usize> {
+        let line_nums: Vec<u64> = self
+            .lab
+            .line
+            .live_in_range(0, u64::MAX)
+            .map(|(num, _)| num)
+            .collect();
+        let mut row = Vec::new();
+        self.lab
+            .sets
+            .iter()
+            .map(|set| {
+                crate::plane::merged_row_into(&line_nums, set, &mut row);
+                row.len()
+            })
+            .collect()
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()
@@ -222,11 +268,21 @@ impl CompressedClosure {
     /// All nodes reachable from `node` (including itself), decoded from the
     /// interval set in ascending postorder-number order.
     pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.successors_into(node, &mut out);
+        out
+    }
+
+    /// [`CompressedClosure::successors`] into a caller buffer: clears
+    /// `out`, keeps its capacity. Decode loops hoist the buffer so only
+    /// the largest row ever pays allocation (the hoisting `reaches_batch`
+    /// already does) — works frozen, paged, or mutable.
+    pub fn successors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
         match &self.plane {
-            Some(plane) => plane.successors(node),
+            Some(plane) => plane.successors_into(node, out),
             None => match &self.paged {
-                Some(paged) => paged.successors(node),
-                None => self.lab.decode(&self.lab.sets[node.index()]),
+                Some(paged) => paged.successors_into(node, out),
+                None => self.lab.decode_into(&self.lab.sets[node.index()], out),
             },
         }
     }
@@ -742,7 +798,7 @@ mod tests {
         let mut c = CompressedClosure::build(&g).unwrap();
         c.freeze();
         let narrow = c.plane().expect("frozen").clone();
-        let wide = crate::plane::QueryPlane::freeze_wide(&c.lab);
+        let wide = crate::plane::QueryPlane::freeze_wide(&c.graph, &c.lab, usize::MAX);
         wide.check_consistency(&c.lab).unwrap();
         assert_eq!(wide.total_intervals(), narrow.total_intervals());
         for v in (0..nodes).map(NodeId::from_index) {

@@ -25,6 +25,11 @@ const MAGIC: &[u8; 4] = b"ITC1";
 /// decoding treats an absent footer as the old defaults (serial, thawed),
 /// which keeps every previously written stream valid.
 const CONFIG_FOOTER: &[u8; 4] = b"CFG1";
+/// Tag of the optional hybrid-threshold footer, written after the `CFG1`
+/// fields only when [`ClosureConfig::hybrid`] is set (threshold !=
+/// `usize::MAX`). Non-hybrid closures keep producing byte-identical
+/// streams, and old streams decode with the hybrid disabled.
+const HYBRID_FOOTER: &[u8; 4] = b"HYB1";
 const NO_PARENT: u32 = u32::MAX;
 const TOMBSTONE: u32 = u32::MAX;
 
@@ -282,6 +287,10 @@ impl CompressedClosure {
         w.bytes(CONFIG_FOOTER)?;
         w.u64(self.config.threads as u64)?;
         w.u8(self.config.auto_freeze as u8)?;
+        if self.config.hybrid_threshold != usize::MAX {
+            w.bytes(HYBRID_FOOTER)?;
+            w.u64(self.config.hybrid_threshold as u64)?;
+        }
 
         let checksum = w.sink.digest();
         let mut sink = w.sink.into_inner();
@@ -334,6 +343,8 @@ impl CompressedClosure {
             // Not serialized: whether to serve frozen snapshots out-of-core
             // is a property of the opening process, not the stream.
             paged_pool: 0,
+            // Restored from the optional HYB1 footer when present.
+            hybrid_threshold: usize::MAX,
         };
 
         // Relation.
@@ -469,6 +480,17 @@ impl CompressedClosure {
             }
             config.threads = r.u64()? as usize;
             config.auto_freeze = r.u8()? != 0;
+            // Optional hybrid-threshold footer (absent when disabled).
+            if !r.done() {
+                if r.take(4)? != HYBRID_FOOTER {
+                    return Err(DecodeError::Corrupt("trailing bytes"));
+                }
+                let threshold = r.u64()?;
+                if threshold == u64::MAX {
+                    return Err(DecodeError::Corrupt("hybrid footer with disabled threshold"));
+                }
+                config.hybrid_threshold = threshold as usize;
+            }
             if !r.done() {
                 return Err(DecodeError::Corrupt("trailing bytes"));
             }

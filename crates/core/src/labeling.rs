@@ -115,9 +115,12 @@ impl Labeling {
     }
 
     /// Decodes an interval set into live node ids, ascending by postorder
-    /// number, deduplicating overlap between intervals.
-    pub fn decode(&self, set: &IntervalSet) -> Vec<NodeId> {
-        let mut out = Vec::new();
+    /// number, deduplicating overlap between intervals — into a caller
+    /// buffer: clears `out`, keeps its capacity. Batch decode loops hoist
+    /// the buffer so only the largest row ever pays allocation — the same
+    /// hoisting `reaches_batch` uses.
+    pub fn decode_into(&self, set: &IntervalSet, out: &mut Vec<NodeId>) {
+        out.clear();
         let mut next_free = 0u64; // numbers below this were already decoded
         for iv in set.iter() {
             let lo = iv.lo().max(next_free);
@@ -127,7 +130,6 @@ impl Labeling {
             out.extend(self.line.live_in_range(lo, iv.hi()).map(|(_, n)| NodeId(n)));
             next_free = iv.hi().saturating_add(1);
         }
-        out
     }
 
     /// Counts live nodes covered by a set (without materializing them).
@@ -179,6 +181,12 @@ mod tests {
         let g = tree();
         let cover = cover_of(&g, CoverStrategy::Optimal).unwrap();
         (Labeling::assign(&cover, gap, reserve), cover)
+    }
+
+    fn decode(lab: &Labeling, set: &IntervalSet) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        lab.decode_into(set, &mut out);
+        out
     }
 
     #[test]
@@ -238,11 +246,11 @@ mod tests {
     fn decode_roundtrips_tree_reachability() {
         let (lab, _) = labeled(10, 0);
         let root_set = &lab.sets[0];
-        let mut nodes = lab.decode(root_set);
+        let mut nodes = decode(&lab, root_set);
         nodes.sort_unstable();
         assert_eq!(nodes.len(), 5, "root reaches all (reflexively)");
         assert_eq!(lab.decode_count(root_set), 5);
-        let leaf = lab.decode(&lab.sets[3]);
+        let leaf = decode(&lab, &lab.sets[3]);
         assert_eq!(leaf, vec![tc_graph::NodeId(3)]);
     }
 
@@ -252,7 +260,7 @@ mod tests {
         let mut set = IntervalSet::new();
         set.insert(Interval::new(1, 25)); // covers posts 10, 20
         set.insert(Interval::new(15, 45)); // covers posts 20, 30, 40
-        let nodes = lab.decode(&set);
+        let nodes = decode(&lab, &set);
         assert_eq!(nodes.len(), 4, "post 20 must be emitted once");
         assert_eq!(lab.decode_count(&set), 4);
     }

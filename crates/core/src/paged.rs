@@ -44,20 +44,31 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use tc_graph::NodeId;
+use tc_graph::topo::CutoffLabels;
+use tc_graph::{DiGraph, NodeId};
 use tc_interval::paged::{
     count_le, decode_head, encode_boundaries, encode_head, padded_boundary_keys, probe_head,
     HeadProbe, KeyWidth,
 };
-use tc_interval::{upper_bound, IntervalSet};
+use tc_interval::{BitRows, BitRowsBuilder};
 use tc_pager::{BufferPool, PageId, PagePin, Pager, PoolStats, DEFAULT_PAGE_SIZE};
 
 use crate::codec::{fnv1a, DecodeError, HashingWriter};
 use crate::labeling::Labeling;
+use crate::plane::merged_row_into;
 use crate::CompressedClosure;
 
 /// Magic of the plane section ("PLN1").
 const PLANE_MAGIC: [u8; 4] = *b"PLN1";
+/// Magic of the optional hybrid-oracle overlay appended *after* the plane
+/// footer ("HYB1"). Old files simply end with the `PLN1` footer and keep
+/// opening unchanged.
+const HYBRID_MAGIC: [u8; 4] = *b"HYB1";
+/// Fixed hybrid trailer at the very end of an overlay-bearing file:
+/// `[magic][n][live][threshold][word count][payload fnv][plane end][fnv]`.
+const HYBRID_TRAILER_BYTES: usize = 60;
+/// Bytes of the hybrid trailer covered by its digest.
+const HYBRID_HASHED: usize = 52;
 /// Fixed header size: fields, segment directory, header digest.
 const HEADER_BYTES: usize = 224;
 /// Trailing footer: `[header locator: section_start u64][magic]`.
@@ -301,28 +312,6 @@ impl PlaneMeta {
 // Streaming writer
 // ---------------------------------------------------------------------------
 
-/// Rank-compresses one label set into merged rank intervals — the exact
-/// mapping and merge rule of `QueryPlane::freeze_impl` + `FlatBuilder::push`,
-/// so paged rows hold byte-identical geometry to the in-memory rows.
-fn merged_row_into(line_nums: &[u64], set: &IntervalSet, out: &mut Vec<(u32, u32)>) {
-    out.clear();
-    for iv in set.iter() {
-        let rlo = line_nums.partition_point(|&x| x < iv.lo());
-        let rhi = upper_bound(line_nums, iv.hi());
-        if rlo >= rhi {
-            continue;
-        }
-        let (lo, hi) = (rlo as u32, (rhi - 1) as u32);
-        if let Some(&mut (_, ref mut phi)) = out.last_mut() {
-            if lo <= phi.saturating_add(1) {
-                *phi = (*phi).max(hi);
-                continue;
-            }
-        }
-        out.push((lo, hi));
-    }
-}
-
 /// Streams the labeling's frozen snapshot to `out` as a `PLN1` section,
 /// starting at the current stream position. Two passes over the label sets
 /// (count, then write); row headers and boundary spill are re-derived per
@@ -520,6 +509,171 @@ fn write_u32s<W: Write>(
 }
 
 // ---------------------------------------------------------------------------
+// The hybrid overlay (HYB1)
+// ---------------------------------------------------------------------------
+//
+// The hybrid oracle's two structures — negative-cutoff labels and the
+// bitset rows — are consulted on (nearly) every probe, so paging them would
+// defeat their purpose. They ride as a *resident overlay* appended after
+// the `PLN1` footer: `mn[n] ++ post[n] ++ slots[n]` as `u32`s, then the
+// words arena as `u64`s, closed by a fixed trailer that locates where the
+// plain plane image ends. The `PLN1` section itself is unchanged (every
+// node keeps its full interval row on disk), so files without the overlay
+// still end with the plane footer and open exactly as before.
+
+/// The hybrid structures held in memory alongside a [`PagedPlane`].
+#[derive(Debug)]
+struct ResidentHybrid {
+    cutoff: CutoffLabels,
+    bitrows: BitRows,
+    threshold: u64,
+}
+
+/// A parsed, shape-validated hybrid trailer.
+struct HybridTail {
+    n: usize,
+    live: usize,
+    threshold: u64,
+    words: usize,
+    payload_fnv: u64,
+    /// Where the `PLN1` file image ends — also the overlay payload start.
+    plane_end: u64,
+}
+
+impl HybridTail {
+    fn payload_len(&self) -> u64 {
+        self.n as u64 * 12 + self.words as u64 * 8
+    }
+
+    /// Parses the trailing [`HYBRID_TRAILER_BYTES`] of a file. `Ok(None)`
+    /// means "no overlay here" (fall through to a plain `PLN1` parse);
+    /// a valid magic with a broken digest or shape is `Corrupt`.
+    fn parse(file_len: u64, t: &[u8]) -> Result<Option<HybridTail>, PagedError> {
+        if t.len() != HYBRID_TRAILER_BYTES || t[0..4] != HYBRID_MAGIC {
+            return Ok(None);
+        }
+        if fnv1a(&t[..HYBRID_HASHED]) != rd_u64(t, HYBRID_HASHED) {
+            return corrupt("hybrid trailer digest mismatch");
+        }
+        let as_count = |v: u64, what: &'static str| -> Result<usize, PagedError> {
+            if v > u32::MAX as u64 {
+                Err(PagedError::Corrupt(what))
+            } else {
+                Ok(v as usize)
+            }
+        };
+        let tail = HybridTail {
+            n: as_count(rd_u64(t, 4), "hybrid node count")?,
+            live: as_count(rd_u64(t, 12), "hybrid live count")?,
+            threshold: rd_u64(t, 20),
+            words: as_count(rd_u64(t, 28), "hybrid word count")?,
+            payload_fnv: rd_u64(t, 36),
+            plane_end: rd_u64(t, 44),
+        };
+        let end = tail
+            .plane_end
+            .checked_add(tail.payload_len())
+            .and_then(|v| v.checked_add(HYBRID_TRAILER_BYTES as u64));
+        if end != Some(file_len) {
+            return corrupt("hybrid overlay extents");
+        }
+        Ok(Some(tail))
+    }
+
+    /// Reassembles the resident structures from the raw payload bytes.
+    fn load(&self, payload: &[u8]) -> Result<ResidentHybrid, PagedError> {
+        if payload.len() as u64 != self.payload_len() {
+            return corrupt("hybrid payload length");
+        }
+        if fnv1a(payload) != self.payload_fnv {
+            return corrupt("hybrid payload digest mismatch");
+        }
+        let n = self.n;
+        let u32s = |at: usize| -> Vec<u32> {
+            payload[at..at + 4 * n].chunks_exact(4).map(|c| rd_u32(c, 0)).collect()
+        };
+        let mn = u32s(0);
+        let post = u32s(4 * n);
+        let slots = u32s(8 * n);
+        let words: Vec<u64> = payload[12 * n..].chunks_exact(8).map(|c| rd_u64(c, 0)).collect();
+        let width = self.live.div_ceil(64);
+        let bitrows =
+            BitRows::from_parts(width, slots, words, 0).map_err(PagedError::Corrupt)?;
+        Ok(ResidentHybrid {
+            cutoff: CutoffLabels::from_parts(mn, post),
+            bitrows,
+            threshold: self.threshold,
+        })
+    }
+}
+
+/// If `data` ends with a valid hybrid trailer, the prefix holding the plain
+/// `PLN1` file image; `data` unchanged otherwise. Purely structural.
+fn strip_hybrid_tail(data: &[u8]) -> &[u8] {
+    if data.len() < HYBRID_TRAILER_BYTES {
+        return data;
+    }
+    let t = &data[data.len() - HYBRID_TRAILER_BYTES..];
+    match HybridTail::parse(data.len() as u64, t) {
+        Ok(Some(tail)) => &data[..tail.plane_end as usize],
+        _ => data,
+    }
+}
+
+/// Appends the hybrid overlay for `lab` (frozen against `graph` at
+/// `threshold`) at the writer's current position — which must be the end of
+/// the `PLN1` section — and closes it with the trailer.
+pub(crate) fn write_hybrid_overlay<W: Write + Seek>(
+    graph: &DiGraph,
+    lab: &Labeling,
+    threshold: usize,
+    out: &mut W,
+) -> io::Result<()> {
+    let plane_end = out.stream_position()?;
+    let n = lab.post.len();
+    debug_assert_eq!(graph.node_count(), n, "hybrid overlay graph/labeling mismatch");
+    let live = lab.line.live_count();
+    let cutoff = CutoffLabels::build(graph);
+    let line_nums: Vec<u64> = lab.line.live_in_range(0, u64::MAX).map(|(num, _)| num).collect();
+    let mut bits = BitRowsBuilder::new(n, live);
+    let mut row: Vec<(u32, u32)> = Vec::new();
+    for (owner, set) in lab.sets.iter().enumerate() {
+        merged_row_into(&line_nums, set, &mut row);
+        if row.len() > threshold {
+            bits.add_row(owner, &row);
+        }
+    }
+    let rows = bits.finish();
+    let mut w = HashingWriter::new(&mut *out);
+    let mut cursor = 0u64;
+    write_u32s(&mut w, &mut cursor, cutoff.mn().iter().copied())?;
+    write_u32s(&mut w, &mut cursor, cutoff.post().iter().copied())?;
+    write_u32s(&mut w, &mut cursor, rows.slots().iter().copied())?;
+    let mut buf = Vec::with_capacity(4096);
+    for &word in rows.words() {
+        buf.extend_from_slice(&word.to_le_bytes());
+        if buf.len() >= 4096 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    let payload_fnv = w.digest();
+    let mut t = [0u8; HYBRID_TRAILER_BYTES];
+    t[0..4].copy_from_slice(&HYBRID_MAGIC);
+    t[4..12].copy_from_slice(&(n as u64).to_le_bytes());
+    t[12..20].copy_from_slice(&(live as u64).to_le_bytes());
+    t[20..28].copy_from_slice(&(threshold as u64).to_le_bytes());
+    t[28..36].copy_from_slice(&(rows.words().len() as u64).to_le_bytes());
+    t[36..44].copy_from_slice(&payload_fnv.to_le_bytes());
+    t[44..52].copy_from_slice(&plane_end.to_le_bytes());
+    let tfnv = fnv1a(&t[..HYBRID_HASHED]);
+    t[HYBRID_HASHED..].copy_from_slice(&tfnv.to_le_bytes());
+    out.write_all(&t)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // The paged prober
 // ---------------------------------------------------------------------------
 
@@ -555,6 +709,10 @@ pub struct PagedIoStats {
 pub struct PagedPlane {
     meta: PlaneMeta,
     inner: Mutex<PoolInner>,
+    /// Resident hybrid-oracle structures (negative-cutoff labels + bitset
+    /// rows) when the file carries a `HYB1` overlay; `None` serves the
+    /// plain interval plane.
+    hybrid: Option<ResidentHybrid>,
     /// A temp file owned by this plane (freeze-to-temp), removed on drop.
     owned_path: Option<PathBuf>,
 }
@@ -583,13 +741,29 @@ impl PagedPlane {
     ) -> Result<PagedPlane, PagedError> {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
+        // A hybrid overlay, when present, sits between the plane footer and
+        // the end of the file; load it resident and parse the `PLN1`
+        // section as if the file ended where the overlay begins.
+        let mut hybrid = None;
+        let mut plane_len = file_len;
+        if file_len >= HYBRID_TRAILER_BYTES as u64 {
+            let mut tb = [0u8; HYBRID_TRAILER_BYTES];
+            file.read_exact_at(&mut tb, file_len - HYBRID_TRAILER_BYTES as u64)?;
+            if let Some(tail) = HybridTail::parse(file_len, &tb)? {
+                let mut payload = vec![0u8; tail.payload_len() as usize];
+                file.read_exact_at(&mut payload, tail.plane_end)?;
+                hybrid = Some(tail.load(&payload)?);
+                plane_len = tail.plane_end;
+            }
+        }
         let tail = (HEADER_BYTES + FOOTER_BYTES) as u64;
-        if file_len < tail {
+        if plane_len < tail {
             return corrupt("file shorter than header");
         }
         let mut buf = [0u8; HEADER_BYTES + FOOTER_BYTES];
-        file.read_exact_at(&mut buf, file_len - tail)?;
-        let meta = PlaneMeta::parse(file_len, &buf[..HEADER_BYTES], &buf[HEADER_BYTES..])?;
+        file.read_exact_at(&mut buf, plane_len - tail)?;
+        let meta = PlaneMeta::parse(plane_len, &buf[..HEADER_BYTES], &buf[HEADER_BYTES..])?;
+        Self::check_hybrid_shape(&meta, hybrid.as_ref())?;
         let pager = Pager::open_file_region(
             file,
             meta.payload_off,
@@ -597,7 +771,23 @@ impl PagedPlane {
             meta.page_size,
         );
         let pool = BufferPool::new(pool_pages.max(1));
-        Ok(PagedPlane { meta, inner: Mutex::new(PoolInner { pager, pool }), owned_path })
+        Ok(PagedPlane { meta, inner: Mutex::new(PoolInner { pager, pool }), hybrid, owned_path })
+    }
+
+    /// The overlay's counts must match the plane it annotates.
+    fn check_hybrid_shape(
+        meta: &PlaneMeta,
+        hybrid: Option<&ResidentHybrid>,
+    ) -> Result<(), PagedError> {
+        if let Some(h) = hybrid {
+            if h.cutoff.len() != meta.nodes || h.bitrows.slots().len() != meta.nodes {
+                return corrupt("hybrid overlay node count mismatch");
+            }
+            if h.bitrows.row_count() > 0 && h.bitrows.width_words() != meta.live.div_ceil(64) {
+                return corrupt("hybrid overlay width mismatch");
+            }
+        }
+        Ok(())
     }
 
     /// As [`PagedPlane::open`], but taking ownership of `path`: the file is
@@ -611,23 +801,40 @@ impl PagedPlane {
     /// campaign's entry point: byte mutations hit the same parse and probe
     /// paths as a corrupt file would.
     pub fn open_from_bytes(data: &[u8], pool_pages: usize) -> Result<PagedPlane, PagedError> {
+        let mut hybrid = None;
+        let mut plane = data;
+        if data.len() >= HYBRID_TRAILER_BYTES {
+            let tb = &data[data.len() - HYBRID_TRAILER_BYTES..];
+            if let Some(tail) = HybridTail::parse(data.len() as u64, tb)? {
+                let payload = &data[tail.plane_end as usize
+                    ..tail.plane_end as usize + tail.payload_len() as usize];
+                hybrid = Some(tail.load(payload)?);
+                plane = &data[..tail.plane_end as usize];
+            }
+        }
         let tail = HEADER_BYTES + FOOTER_BYTES;
-        if data.len() < tail {
+        if plane.len() < tail {
             return corrupt("file shorter than header");
         }
-        let header = &data[data.len() - tail..data.len() - FOOTER_BYTES];
-        let footer = &data[data.len() - FOOTER_BYTES..];
-        let meta = PlaneMeta::parse(data.len() as u64, header, footer)?;
+        let header = &plane[plane.len() - tail..plane.len() - FOOTER_BYTES];
+        let footer = &plane[plane.len() - FOOTER_BYTES..];
+        let meta = PlaneMeta::parse(plane.len() as u64, header, footer)?;
+        Self::check_hybrid_shape(&meta, hybrid.as_ref())?;
         let mut pager = Pager::with_page_size(meta.page_size);
         let payload =
-            &data[meta.payload_off as usize..(meta.payload_off + meta.payload_len) as usize];
+            &plane[meta.payload_off as usize..(meta.payload_off + meta.payload_len) as usize];
         for chunk in payload.chunks(meta.page_size) {
             let id = pager.alloc();
             pager.write(id, chunk);
         }
         pager.reset_counters();
         let pool = BufferPool::new(pool_pages.max(1));
-        Ok(PagedPlane { meta, inner: Mutex::new(PoolInner { pager, pool }), owned_path: None })
+        Ok(PagedPlane {
+            meta,
+            inner: Mutex::new(PoolInner { pager, pool }),
+            hybrid,
+            owned_path: None,
+        })
     }
 
     /// Number of nodes in the snapshot.
@@ -653,6 +860,18 @@ impl PagedPlane {
     /// Page size of the section.
     pub fn page_size(&self) -> usize {
         self.meta.page_size
+    }
+
+    /// The hybrid threshold the overlay was written with, when the file
+    /// carries one (`None` = plain interval plane).
+    pub fn hybrid_threshold(&self) -> Option<u64> {
+        self.hybrid.as_ref().map(|h| h.threshold)
+    }
+
+    /// Number of nodes served from resident bitset rows (0 without an
+    /// overlay).
+    pub fn bitset_rows(&self) -> usize {
+        self.hybrid.as_ref().map_or(0, |h| h.bitrows.row_count())
     }
 
     /// Total payload pages on disk (the plane's out-of-core footprint).
@@ -806,6 +1025,20 @@ impl PagedPlane {
     /// panicking.
     pub fn try_reaches(&self, src: NodeId, dst: NodeId) -> Result<bool, PagedError> {
         let row = self.check_node(src)?;
+        if let Some(h) = &self.hybrid {
+            self.check_node(dst)?;
+            // The cutoff labels rule out most unreachable pairs without a
+            // single page fetch; a resident bitset row answers the rest of
+            // its node's probes with one word test.
+            if !h.cutoff.may_reach(src, dst) {
+                return Ok(false);
+            }
+            let t = self.rank_of(dst)?;
+            if let Some(hit) = h.bitrows.contains(row, t) {
+                return Ok(hit);
+            }
+            return self.row_contains(row, t);
+        }
         let t = self.rank_of(dst)?;
         self.row_contains(row, t)
     }
@@ -875,7 +1108,13 @@ impl PagedPlane {
     ) -> Result<(), PagedError> {
         let row = self.check_node(node)?;
         let mut intervals = Vec::new();
-        self.read_row_intervals(row, &mut intervals)?;
+        let from_bits = self
+            .hybrid
+            .as_ref()
+            .is_some_and(|h| h.bitrows.for_each_run(row, |lo, hi| intervals.push((lo, hi))));
+        if !from_bits {
+            self.read_row_intervals(row, &mut intervals)?;
+        }
         out.clear();
         for (rlo, rhi) in intervals {
             self.read_line_run(rlo, rhi, out)?;
@@ -921,6 +1160,9 @@ impl PagedPlane {
     /// Fallible [`PagedPlane::successor_count`].
     pub fn try_successor_count(&self, node: NodeId) -> Result<usize, PagedError> {
         let row = self.check_node(node)?;
+        if let Some(count) = self.hybrid.as_ref().and_then(|h| h.bitrows.count(row)) {
+            return Ok(count);
+        }
         let mut intervals = Vec::new();
         self.read_row_intervals(row, &mut intervals)?;
         Ok(intervals.iter().map(|&(lo, hi)| (hi - lo) as usize + 1).sum())
@@ -1059,8 +1301,14 @@ impl PagedPlane {
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Streams `lab`'s snapshot to a fresh temp file and opens it paged; the
-/// file is removed when the returned plane drops.
-pub(crate) fn freeze_paged(lab: &Labeling, pool_pages: usize) -> Result<PagedPlane, PagedError> {
+/// file is removed when the returned plane drops. A finite `threshold`
+/// appends the hybrid overlay, served resident by the opened plane.
+pub(crate) fn freeze_paged(
+    graph: &DiGraph,
+    lab: &Labeling,
+    threshold: usize,
+    pool_pages: usize,
+) -> Result<PagedPlane, PagedError> {
     let path = std::env::temp_dir().join(format!(
         "tc-plane-{}-{}.pln",
         std::process::id(),
@@ -1069,6 +1317,9 @@ pub(crate) fn freeze_paged(lab: &Labeling, pool_pages: usize) -> Result<PagedPla
     let write = || -> io::Result<()> {
         let mut w = io::BufWriter::new(File::create(&path)?);
         write_plane_section(lab, &mut w, DEFAULT_PAGE_SIZE)?;
+        if threshold != usize::MAX {
+            write_hybrid_overlay(graph, lab, threshold, &mut w)?;
+        }
         w.flush()
     };
     if let Err(e) = write() {
@@ -1160,6 +1411,9 @@ impl CompressedClosure {
         let mut w = io::BufWriter::new(File::create(path)?);
         self.write_to(&mut w)?;
         write_plane_section(&self.lab, &mut w, DEFAULT_PAGE_SIZE)?;
+        if self.config.hybrid_threshold != usize::MAX {
+            write_hybrid_overlay(&self.graph, &self.lab, self.config.hybrid_threshold, &mut w)?;
+        }
         w.flush()
     }
 
@@ -1170,6 +1424,10 @@ impl CompressedClosure {
         cur.seek(io::SeekFrom::End(0)).expect("in-memory seek");
         write_plane_section(&self.lab, &mut cur, DEFAULT_PAGE_SIZE)
             .expect("in-memory plane write");
+        if self.config.hybrid_threshold != usize::MAX {
+            write_hybrid_overlay(&self.graph, &self.lab, self.config.hybrid_threshold, &mut cur)
+                .expect("in-memory overlay write");
+        }
         cur.into_inner()
     }
 
@@ -1205,10 +1463,12 @@ impl CompressedClosure {
     }
 }
 
-/// If `data` ends with a plane footer, the byte offset where the section
-/// begins (i.e. the `ITC1` stream length). Purely structural — corrupt
-/// sections are caught later by the header digest.
+/// If `data` ends with a plane footer (optionally followed by a hybrid
+/// overlay), the byte offset where the section begins (i.e. the `ITC1`
+/// stream length). Purely structural — corrupt sections are caught later by
+/// the header digest.
 fn plane_section_start(data: &[u8]) -> Option<usize> {
+    let data = strip_hybrid_tail(data);
     if data.len() < HEADER_BYTES + FOOTER_BYTES {
         return None;
     }
@@ -1371,6 +1631,79 @@ mod tests {
             let bytes = c.to_paged_bytes();
             let paged = PagedPlane::open_from_bytes(&bytes, 2).unwrap();
             assert_plane_matches(&c, &paged);
+        }
+    }
+
+    fn hybrid_closure() -> CompressedClosure {
+        // Dense layered graphs fragment successor sets, so a low threshold
+        // actually selects bitset rows.
+        let g = generators::dense_layered(6, 18, 4, 9);
+        ClosureConfig::new().hybrid(2).build(&g).unwrap()
+    }
+
+    #[test]
+    fn hybrid_overlay_roundtrips_and_matches_every_plane() {
+        let c = hybrid_closure();
+        let bytes = c.to_paged_bytes();
+        let paged = PagedPlane::open_from_bytes(&bytes, 8).unwrap();
+        assert_eq!(paged.hybrid_threshold(), Some(2));
+        assert!(paged.bitset_rows() > 0, "threshold 2 must select bitset rows");
+        // Identical to the hybrid in-memory plane...
+        assert_plane_matches(&c, &paged);
+        // ...and to a pure-interval freeze of the same labels.
+        let mut pure = c.clone();
+        pure.set_hybrid_threshold(usize::MAX);
+        pure.freeze();
+        let plain = pure.plane().expect("frozen");
+        for v in (0..c.node_count()).map(NodeId::from_index) {
+            assert_eq!(paged.successors(v), plain.successors(v));
+            assert_eq!(paged.successor_count(v), plain.successor_count(v));
+            for w in (0..c.node_count()).step_by(5).map(NodeId::from_index) {
+                assert_eq!(paged.reaches(v, w), plain.reaches(v, w), "reaches({v:?},{w:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_overlay_survives_a_file_roundtrip() {
+        let c = hybrid_closure();
+        let path = temp_path("hybrid");
+        c.save_paged(&path).unwrap();
+        let paged = PagedPlane::open(&path, 16).unwrap();
+        assert!(paged.bitset_rows() > 0);
+        assert_plane_matches(&c, &paged);
+        // `load` sees through the overlay *and* the plane section, and the
+        // HYB1 config footer restores the threshold.
+        let loaded = CompressedClosure::load(&path).unwrap();
+        assert_eq!(loaded.hybrid_threshold(), 2);
+        assert_eq!(loaded.to_bytes(), c.to_bytes());
+        drop(paged);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_hybrid_overlays_error_instead_of_panicking() {
+        let c = hybrid_closure();
+        let good = c.to_paged_bytes();
+        // A flipped overlay payload byte breaks the payload digest.
+        let plane_end = {
+            let t = &good[good.len() - HYBRID_TRAILER_BYTES..];
+            rd_u64(t, 44) as usize
+        };
+        let mut bad = good.clone();
+        bad[plane_end] ^= 0xff;
+        assert!(matches!(
+            PagedPlane::open_from_bytes(&bad, 4),
+            Err(PagedError::Corrupt(_))
+        ));
+        // A flipped trailer byte breaks the trailer digest.
+        let mut bad = good.clone();
+        let at = good.len() - HYBRID_TRAILER_BYTES + 20;
+        bad[at] ^= 0xff;
+        assert!(PagedPlane::open_from_bytes(&bad, 4).is_err());
+        // Truncations anywhere in the overlay reject cleanly.
+        for cut in [plane_end + 1, good.len() - HYBRID_TRAILER_BYTES, good.len() - 1] {
+            assert!(PagedPlane::open_from_bytes(&good[..cut], 4).is_err());
         }
     }
 

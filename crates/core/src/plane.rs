@@ -28,12 +28,39 @@
 //! drops it and answers from the mutable labels again) until the caller —
 //! or [`crate::ClosureConfig::auto_freeze`] — freezes anew.
 
-use tc_graph::NodeId;
+use tc_graph::topo::CutoffLabels;
+use tc_graph::{DiGraph, NodeId};
 use tc_interval::{
-    upper_bound, FlatBuilder, FlatIntervalIndex, NarrowBuilder, NarrowIntervalIndex, StabbingIndex,
+    upper_bound, BitRows, BitRowsBuilder, FlatBuilder, FlatIntervalIndex, IntervalSet,
+    NarrowBuilder, NarrowIntervalIndex, StabbingIndex,
 };
 
 use crate::labeling::Labeling;
+
+/// Rank-compresses one label set into merged rank intervals: each endpoint
+/// becomes its index in the sorted live-number array, and intervals left
+/// adjacent or overlapping in rank space (separated only by dead numbers)
+/// fuse — the exact merge rule of the flat-row builders, factored out so
+/// the resident freeze, the streaming `PLN1` writer, and the hybrid row
+/// selection all stage byte-identical geometry.
+pub(crate) fn merged_row_into(line_nums: &[u64], set: &IntervalSet, out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    for iv in set.iter() {
+        let rlo = line_nums.partition_point(|&x| x < iv.lo());
+        let rhi = upper_bound(line_nums, iv.hi());
+        if rlo >= rhi {
+            continue;
+        }
+        let (lo, hi) = (rlo as u32, (rhi - 1) as u32);
+        if let Some(&mut (_, ref mut phi)) = out.last_mut() {
+            if lo <= phi.saturating_add(1) {
+                *phi = (*phi).max(hi);
+                continue;
+            }
+        }
+        out.push((lo, hi));
+    }
+}
 
 /// The per-node rank-interval rows in whichever key width the snapshot
 /// fits: `u16` ranks (single-cache-line headers, half-size slices) whenever
@@ -113,12 +140,16 @@ impl RankRows {
 /// mutable label structures.
 #[derive(Debug, Clone)]
 pub struct QueryPlane {
-    /// Per-node rank-interval sets in flat boundary-array layout.
+    /// Per-node rank-interval sets in flat boundary-array layout. Nodes
+    /// that the hybrid selection moved to a bitset row keep an *empty* row
+    /// here so CSR row indices stay aligned with node ids.
     index: RankRows,
     /// Rank of each node's own postorder number in the live number line —
     /// the probe key for `reaches(_, dst)` and `predecessors(dst)`.
     rank: Vec<u32>,
-    /// Inverted index: every rank interval with its owning node.
+    /// Inverted index: every rank interval with its owning node —
+    /// including the intervals of bitset-rowed nodes, so `predecessors`
+    /// never needs to consult row representations at all.
     inverted: StabbingIndex,
     /// Live node at each rank (the number line with the numbers compressed
     /// away): decoding a rank interval is a slice copy.
@@ -127,6 +158,13 @@ pub struct QueryPlane {
     /// the consistency audit compares it against the live labeling to catch
     /// updates that forgot to invalidate the plane.
     source_intervals: usize,
+    /// GRAIL-style negative-cutoff labels over the base relation, consulted
+    /// first on every `reaches`: when the label containment fails the pair
+    /// is provably unreachable and no row is touched.
+    cutoff: CutoffLabels,
+    /// Bitset successor rows for the nodes whose merged rank-interval count
+    /// exceeded the hybrid threshold; empty under a pure-interval freeze.
+    bitrows: BitRows,
 }
 
 /// Reusable freeze-time buffers, plus (optionally) a retired snapshot whose
@@ -141,6 +179,9 @@ pub(crate) struct FreezeScratch {
     line_nums: Vec<u64>,
     /// Staging for the inverted index's `(lo, hi, owner)` triples.
     inverted_items: Vec<(u32, u32, u32)>,
+    /// Staging for one node's merged rank intervals (the hybrid selection
+    /// needs the count before committing the row to either representation).
+    row: Vec<(u32, u32)>,
     /// A retired snapshot whose rank array, line array, row index, and
     /// stabbing index are recycled (when the key widths line up).
     retired: Option<QueryPlane>,
@@ -156,28 +197,44 @@ impl FreezeScratch {
 }
 
 impl QueryPlane {
-    /// Snapshots the given labeling, rank-compressing every interval.
-    pub(crate) fn freeze(lab: &Labeling) -> QueryPlane {
-        Self::freeze_impl(lab, false, &mut FreezeScratch::default())
+    /// Snapshots the given labeling, rank-compressing every interval. The
+    /// base relation rides along to seed the negative-cutoff labels, and
+    /// `threshold` is the hybrid row-selection rule: any node whose merged
+    /// rank-interval count *exceeds* it trades its interval row for a
+    /// bitset row (`usize::MAX` = pure interval, the default).
+    pub(crate) fn freeze(graph: &DiGraph, lab: &Labeling, threshold: usize) -> QueryPlane {
+        Self::freeze_impl(graph, lab, threshold, false, &mut FreezeScratch::default())
     }
 
     /// As [`QueryPlane::freeze`], but building into (and reclaiming) the
     /// caller's [`FreezeScratch`] so repeated freezes reuse allocations.
-    pub(crate) fn freeze_with(lab: &Labeling, scratch: &mut FreezeScratch) -> QueryPlane {
-        Self::freeze_impl(lab, false, scratch)
+    pub(crate) fn freeze_with(
+        graph: &DiGraph,
+        lab: &Labeling,
+        threshold: usize,
+        scratch: &mut FreezeScratch,
+    ) -> QueryPlane {
+        Self::freeze_impl(graph, lab, threshold, false, scratch)
     }
 
     /// As [`QueryPlane::freeze`], but forcing the wide (`u32`) row layout
     /// even when the snapshot would fit the narrow one — lets tests compare
     /// both layouts on the small graphs they can afford.
     #[cfg(test)]
-    pub(crate) fn freeze_wide(lab: &Labeling) -> QueryPlane {
-        Self::freeze_impl(lab, true, &mut FreezeScratch::default())
+    pub(crate) fn freeze_wide(graph: &DiGraph, lab: &Labeling, threshold: usize) -> QueryPlane {
+        Self::freeze_impl(graph, lab, threshold, true, &mut FreezeScratch::default())
     }
 
-    fn freeze_impl(lab: &Labeling, force_wide: bool, scratch: &mut FreezeScratch) -> QueryPlane {
+    fn freeze_impl(
+        graph: &DiGraph,
+        lab: &Labeling,
+        threshold: usize,
+        force_wide: bool,
+        scratch: &mut FreezeScratch,
+    ) -> QueryPlane {
         let n = lab.post.len();
-        let FreezeScratch { line_nums, inverted_items, retired } = scratch;
+        debug_assert_eq!(graph.node_count(), n, "freeze graph out of step with labeling");
+        let FreezeScratch { line_nums, inverted_items, row, retired } = scratch;
         let (mut rank, mut line_nodes, retired_rows, retired_stab) = match retired.take() {
             Some(QueryPlane { index, rank, inverted, line_nodes, .. }) => {
                 (rank, line_nodes, Some(index), Some(inverted))
@@ -204,19 +261,30 @@ impl QueryPlane {
         }
 
         let source_intervals: usize = lab.sets.iter().map(|s| s.count()).sum();
-        // Maps every label interval onto rank space and feeds the sink.
-        // First rank at or above lo / last rank at or below hi; an interval
-        // covering only dead numbers maps to nothing and is dropped —
-        // every query key is a live number.
-        let feed = |sink: &mut dyn RowSink| {
-            for set in lab.sets.iter() {
-                for iv in set.iter() {
-                    let rlo = line_nums.partition_point(|&x| x < iv.lo());
-                    let rhi = upper_bound(line_nums, iv.hi());
-                    if rlo >= rhi {
-                        continue;
+        // Stage each node's *merged* rank intervals first (the hybrid
+        // selection needs the count before committing), then route the row:
+        // past the threshold it is range-filled into a bitset row and the
+        // CSR gets an empty row (keeping row index == node id); otherwise
+        // the intervals feed the flat builder unchanged. Either way the
+        // merged intervals also feed the inverted index, so `predecessors`
+        // is representation-blind. An interval covering only dead numbers
+        // maps to nothing and is dropped — every query key is a live
+        // number.
+        inverted_items.clear();
+        inverted_items.reserve(source_intervals);
+        let mut bits = BitRowsBuilder::new(n, live);
+        let mut feed = |sink: &mut dyn RowSink| {
+            for (owner, set) in lab.sets.iter().enumerate() {
+                merged_row_into(line_nums, set, row);
+                for &(rlo, rhi) in row.iter() {
+                    inverted_items.push((rlo, rhi, owner as u32));
+                }
+                if row.len() > threshold {
+                    bits.add_row(owner, row);
+                } else {
+                    for &(rlo, rhi) in row.iter() {
+                        sink.add(rlo, rhi);
                     }
-                    sink.add(rlo as u32, (rhi - 1) as u32);
                 }
                 sink.seal();
             }
@@ -236,18 +304,21 @@ impl QueryPlane {
             feed(&mut builder);
             RankRows::Wide(builder.finish())
         };
-        // Invert the *merged* rows, not the raw sets: fewer intervals, and
-        // per-owner disjointness makes stab results duplicate-free.
-        inverted_items.clear();
-        inverted_items.reserve(source_intervals);
-        for owner in 0..n {
-            index.for_each_interval(owner, |rlo, rhi| {
-                inverted_items.push((rlo, rhi, owner as u32));
-            });
-        }
         let inverted = retired_stab.unwrap_or_default().rebuild(inverted_items);
+        // The cutoff labels come from the base relation, not the labeling:
+        // one DFS, two u32s per node, always built (they pay for themselves
+        // on the very first "no").
+        let cutoff = CutoffLabels::build(graph);
 
-        QueryPlane { index, rank, inverted, line_nodes, source_intervals }
+        QueryPlane {
+            index,
+            rank,
+            inverted,
+            line_nodes,
+            source_intervals,
+            cutoff,
+            bitrows: bits.finish(),
+        }
     }
 
     /// Number of nodes in the snapshot.
@@ -256,19 +327,51 @@ impl QueryPlane {
         self.rank.len()
     }
 
-    /// Total rank intervals in the snapshot. At most the mutable closure's
+    /// Total rank intervals in the snapshot (interval rows plus the merged
+    /// intervals the bitset rows absorbed). At most the mutable closure's
     /// [`crate::CompressedClosure::total_intervals`] at freeze time —
     /// usually well below it, since rank compression merges intervals
     /// separated only by dead numbers.
     #[inline]
     pub fn total_intervals(&self) -> usize {
-        self.index.total_intervals()
+        self.index.total_intervals() + self.bitrows.interval_count()
     }
 
-    /// Whether `src` reaches `dst` (reflexive): one fenced parity probe of
-    /// `src`'s boundary-array row for `dst`'s rank.
+    /// Number of nodes the hybrid selection moved to bitset rows (0 under
+    /// a pure-interval freeze).
+    #[inline]
+    pub fn bitset_rows(&self) -> usize {
+        self.bitrows.row_count()
+    }
+
+    /// Whether `src` reaches `dst` (reflexive). The negative-cutoff labels
+    /// go first — most "no" answers return on two label compares without
+    /// touching any row — then `src`'s row in whichever representation it
+    /// carries: one word test for a bitset row, one fenced parity probe of
+    /// the boundary-array row otherwise.
     #[inline]
     pub fn reaches(&self, src: NodeId, dst: NodeId) -> bool {
+        if !self.cutoff.may_reach(src, dst) {
+            return false;
+        }
+        let t = self.rank[dst.index()];
+        match self.bitrows.contains(src.index(), t) {
+            Some(hit) => hit,
+            None => self.index.contains(src.index(), t),
+        }
+    }
+
+    /// The pre-hybrid probe path: `src`'s boundary-array row alone, no
+    /// negative-cutoff screen, no bitset rows. Only meaningful on a
+    /// pure-interval plane (hybrid freezes move heavy rows out of the
+    /// boundary index); kept as the baseline the `hybrid_scale` experiment
+    /// and its CSV measure the oracle against.
+    #[inline]
+    pub fn reaches_interval_only(&self, src: NodeId, dst: NodeId) -> bool {
+        debug_assert!(
+            self.bitrows.row_count() == 0,
+            "interval-only probe on a hybrid plane"
+        );
         self.index.contains(src.index(), self.rank[dst.index()])
     }
 
@@ -286,15 +389,26 @@ impl QueryPlane {
     /// what the sharded scatter-gather merge path leans on.
     pub fn successors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
         out.clear();
-        self.index.for_each_interval(node.index(), |rlo, rhi| {
+        // A bitset row decodes as maximal set-bit runs — the same (lo, hi)
+        // geometry its interval row would have held, so the output order
+        // (ascending rank == ascending postorder number) is identical.
+        let decode = |rlo: u32, rhi: u32, out: &mut Vec<NodeId>| {
             let nodes = &self.line_nodes[rlo as usize..=rhi as usize];
             out.extend(nodes.iter().map(|&n| NodeId(n)));
-        });
+        };
+        if self.bitrows.for_each_run(node.index(), |rlo, rhi| decode(rlo, rhi, out)) {
+            return;
+        }
+        self.index.for_each_interval(node.index(), |rlo, rhi| decode(rlo, rhi, out));
     }
 
     /// Count of nodes reachable from `node` (including itself), without
-    /// materializing the list: a sum of interval widths.
+    /// materializing the list: a popcount sweep for a bitset row, a sum of
+    /// interval widths otherwise.
     pub fn successor_count(&self, node: NodeId) -> usize {
+        if let Some(count) = self.bitrows.count(node.index()) {
+            return count;
+        }
         let mut count = 0usize;
         self.index.for_each_interval(node.index(), |rlo, rhi| {
             count += (rhi - rlo) as usize + 1;
@@ -347,12 +461,21 @@ impl QueryPlane {
                 self.source_intervals
             ));
         }
-        if self.index.total_intervals() > total || self.inverted.len() != self.index.total_intervals()
-        {
+        let merged = self.index.total_intervals() + self.bitrows.interval_count();
+        if merged > total || self.inverted.len() != merged {
             return Err(format!(
-                "plane interval counts inconsistent: CSR {} (merged from {total}), inverted {}",
+                "plane interval counts inconsistent: CSR {} + bitset {} (merged from {total}), \
+                 inverted {}",
                 self.index.total_intervals(),
+                self.bitrows.interval_count(),
                 self.inverted.len()
+            ));
+        }
+        if self.cutoff.len() != lab.post.len() {
+            return Err(format!(
+                "plane cutoff labels cover {} nodes, labeling has {}",
+                self.cutoff.len(),
+                lab.post.len()
             ));
         }
         if self.line_nodes.len() != lab.line.live_count() {

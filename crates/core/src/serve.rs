@@ -259,14 +259,27 @@ impl ServiceBackend {
                 // back to the (bit-identical) resident plane rather than
                 // killing the writer.
                 forward: if c.config.paged_pool > 0 {
-                    match crate::paged::freeze_paged(&c.lab, c.config.paged_pool) {
+                    match crate::paged::freeze_paged(
+                        &c.graph,
+                        &c.lab,
+                        c.config.hybrid_threshold,
+                        c.config.paged_pool,
+                    ) {
                         Ok(plane) => SnapshotPlane::Paged(Arc::new(plane)),
-                        Err(_) => {
-                            SnapshotPlane::Mem(QueryPlane::freeze_with(&c.lab, forward_scratch))
-                        }
+                        Err(_) => SnapshotPlane::Mem(QueryPlane::freeze_with(
+                            &c.graph,
+                            &c.lab,
+                            c.config.hybrid_threshold,
+                            forward_scratch,
+                        )),
                     }
                 } else {
-                    SnapshotPlane::Mem(QueryPlane::freeze_with(&c.lab, forward_scratch))
+                    SnapshotPlane::Mem(QueryPlane::freeze_with(
+                        &c.graph,
+                        &c.lab,
+                        c.config.hybrid_threshold,
+                        forward_scratch,
+                    ))
                 },
                 reverse: None,
                 nodes: c.node_count(),
@@ -278,10 +291,17 @@ impl ServiceBackend {
             // paging it would reintroduce the latency it buys back.
             ServiceBackend::Bidirectional(bi) => ServiceSnapshot {
                 forward: SnapshotPlane::Mem(QueryPlane::freeze_with(
+                    &bi.forward().graph,
                     &bi.forward().lab,
+                    bi.forward().config.hybrid_threshold,
                     forward_scratch,
                 )),
-                reverse: Some(QueryPlane::freeze_with(&bi.reverse().lab, reverse_scratch)),
+                reverse: Some(QueryPlane::freeze_with(
+                    &bi.reverse().graph,
+                    &bi.reverse().lab,
+                    bi.reverse().config.hybrid_threshold,
+                    reverse_scratch,
+                )),
                 nodes: bi.node_count(),
                 applied_seq: consumed,
                 version,
@@ -390,7 +410,11 @@ impl ServiceSnapshot {
     pub fn capture(closure: &CompressedClosure) -> ServiceSnapshot {
         let forward = match closure.paged_plane() {
             Some(paged) => SnapshotPlane::Paged(Arc::clone(paged)),
-            None => SnapshotPlane::Mem(QueryPlane::freeze(&closure.lab)),
+            None => SnapshotPlane::Mem(QueryPlane::freeze(
+                &closure.graph,
+                &closure.lab,
+                closure.config.hybrid_threshold,
+            )),
         };
         ServiceSnapshot {
             forward,

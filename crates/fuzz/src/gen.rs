@@ -215,7 +215,13 @@ mod tests {
         let cfg = GenConfig {
             ops: 200,
             seed: 7,
-            config: FuzzConfig { gap: 64, reserve: 4, merge: true, threads: 2, scoped: true },
+            config: FuzzConfig {
+                gap: 64,
+                reserve: 4,
+                merge: true,
+                threads: 2,
+                ..FuzzConfig::default()
+            },
             ..GenConfig::default()
         };
         let trace = generate(&cfg);
@@ -328,6 +334,34 @@ mod tests {
             ops: biased.ops.clone(),
         };
         run_trace(&global, &CheckOptions::default()).unwrap();
+    }
+
+    #[test]
+    fn hybrid_config_replays_clean_under_freeze_churn() {
+        // Every freeze in these traces builds a hybrid plane; the per-step
+        // audit and differential oracle cross-check it against the mutable
+        // labels. Threshold 0 forces a bitset row on every node; threshold 2
+        // mixes both representations in one plane.
+        for hybrid in [0, 2] {
+            let cfg = GenConfig {
+                ops: 200,
+                seed: 3,
+                freeze: true,
+                paged: true,
+                config: FuzzConfig { gap: 64, reserve: 4, hybrid, ..FuzzConfig::default() },
+                ..GenConfig::default()
+            };
+            let trace = generate(&cfg);
+            assert!(trace.ops.iter().any(|op| matches!(op, Op::Freeze)));
+            run_trace(&trace, &CheckOptions::default())
+                .unwrap_or_else(|e| panic!("hybrid {hybrid}: {e}"));
+            // The knob changes the closure config, never the op stream.
+            let plain_cfg = GenConfig {
+                config: FuzzConfig { hybrid: u64::MAX, ..cfg.config },
+                ..cfg
+            };
+            assert_eq!(generate(&plain_cfg).ops, trace.ops);
+        }
     }
 
     #[test]

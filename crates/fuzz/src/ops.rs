@@ -150,6 +150,12 @@ pub struct FuzzConfig {
     /// deletion through the historical global sweep, so the two settings
     /// serve as cross-check oracles of each other.
     pub scoped: bool,
+    /// Hybrid bitset threshold ([`ClosureConfig::hybrid`]) applied to every
+    /// freeze in the trace. `u64::MAX` (the default) keeps freezes
+    /// pure-interval; any other value routes hot rows through bitset rows
+    /// and cutoff labels, which the per-step audit and differential oracle
+    /// then cross-check against the mutable labels.
+    pub hybrid: u64,
 }
 
 impl Default for FuzzConfig {
@@ -160,6 +166,7 @@ impl Default for FuzzConfig {
             merge: false,
             threads: 1,
             scoped: true,
+            hybrid: u64::MAX,
         }
     }
 }
@@ -174,12 +181,16 @@ impl FuzzConfig {
                 self.gap, self.reserve
             ));
         }
-        Ok(ClosureConfig::new()
+        let mut config = ClosureConfig::new()
             .gap(self.gap)
             .reserve(self.reserve)
             .merge_adjacent(self.merge)
             .threads(self.threads)
-            .scoped_deletes(self.scoped))
+            .scoped_deletes(self.scoped);
+        if self.hybrid != u64::MAX {
+            config = config.hybrid(self.hybrid as usize);
+        }
+        Ok(config)
     }
 }
 
@@ -205,6 +216,9 @@ impl OpTrace {
         if !self.config.scoped {
             out.push_str("scoped 0\n");
         }
+        if self.config.hybrid != u64::MAX {
+            out.push_str(&format!("hybrid {}\n", self.config.hybrid));
+        }
         for op in &self.ops {
             out.push_str(&op.to_string());
             out.push('\n');
@@ -213,7 +227,7 @@ impl OpTrace {
     }
 
     /// Parses a trace serialized by [`OpTrace::to_text`]. Header lines
-    /// (`gap`/`reserve`/`merge`/`threads`/`scoped <value>`) may appear in
+    /// (`gap`/`reserve`/`merge`/`threads`/`scoped`/`hybrid <value>`) may appear in
     /// any order before the first op and default when absent; blank lines
     /// and `#` comments are ignored.
     pub fn parse(text: &str) -> Result<OpTrace, String> {
@@ -245,13 +259,14 @@ impl OpTrace {
                 }
             };
             match head {
-                "gap" | "reserve" | "merge" | "threads" | "scoped" if in_header => {
+                "gap" | "reserve" | "merge" | "threads" | "scoped" | "hybrid" if in_header => {
                     let v = one(&rest)?;
                     match head {
                         "gap" => config.gap = v,
                         "reserve" => config.reserve = v,
                         "merge" => config.merge = v != 0,
                         "scoped" => config.scoped = v != 0,
+                        "hybrid" => config.hybrid = v,
                         _ => config.threads = v as usize,
                     }
                 }
@@ -327,7 +342,14 @@ mod tests {
     #[test]
     fn roundtrip() {
         let trace = OpTrace {
-            config: FuzzConfig { gap: 8, reserve: 2, merge: true, threads: 2, scoped: false },
+            config: FuzzConfig {
+                gap: 8,
+                reserve: 2,
+                merge: true,
+                threads: 2,
+                scoped: false,
+                hybrid: 3,
+            },
             ops: vec![
                 Op::AddNode { parents: vec![] },
                 Op::AddNode { parents: vec![0, 0, 1] },

@@ -177,6 +177,83 @@ pub fn layered_dag(layers: usize, width: usize, parents: usize, seed: u64) -> Di
     g
 }
 
+/// A layered DAG that is *hostile* to interval compression: every node
+/// draws `degree` arcs from nodes scattered across **all** earlier layers,
+/// not just the previous one. Long-range scattered parents make each
+/// node's successor set a fragmented subset of the postorder line, so
+/// per-node interval counts grow toward the successor count instead of
+/// collapsing into a few runs — the regime where the hybrid oracle's
+/// bitset rows beat interval rows (ROADMAP item 4).
+pub fn dense_layered(layers: usize, width: usize, degree: usize, seed: u64) -> DiGraph {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(layers * width);
+    for layer in 1..layers {
+        let pool = layer * width; // every node of every earlier layer
+        for w in 0..width {
+            let node = NodeId::from_index(layer * width + w);
+            let want = degree.min(pool);
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < want && attempts < 20 * want + 50 {
+                attempts += 1;
+                let p = rng.random_range(0..pool);
+                if g.add_edge(NodeId::from_index(p), node) {
+                    added += 1;
+                }
+            }
+        }
+    }
+    g
+}
+
+/// `chains` parallel chains of `chain_len` nodes plus `cross` random
+/// forward cross-links between distinct chains — a high-*path-width* DAG.
+/// Node `c * chain_len + j` is position `j` of chain `c`; cross arcs run
+/// from `(c, j)` to `(c', j + 1)` with `c' != c`. Any tree cover must pick
+/// one chain per node, so the other chains' members land as scattered
+/// singleton intervals: interval counts scale with `chains`, which is
+/// exactly the hostile regime the hybrid oracle's threshold targets.
+pub fn long_path_width(chains: usize, chain_len: usize, cross: usize, seed: u64) -> DiGraph {
+    assert!(chains >= 1 && chain_len >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(chains * chain_len);
+    let at = |c: usize, j: usize| NodeId::from_index(c * chain_len + j);
+    for c in 0..chains {
+        for j in 1..chain_len {
+            g.add_edge(at(c, j - 1), at(c, j));
+        }
+    }
+    if chains >= 2 && chain_len >= 2 {
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < cross && attempts < 20 * cross + 50 {
+            attempts += 1;
+            let c = rng.random_range(0..chains);
+            let j = rng.random_range(0..chain_len - 1);
+            let mut c2 = rng.random_range(0..chains - 1);
+            if c2 >= c {
+                c2 += 1;
+            }
+            if g.add_edge(at(c, j), at(c2, j + 1)) {
+                added += 1;
+            }
+        }
+    }
+    g
+}
+
+/// The arcs of `g` in a seeded random order — the *random-insertion-order*
+/// adversary. Replaying these arcs one by one through the §4 incremental
+/// update path (instead of a bulk build) denies the tree cover its
+/// topological sweep, so labels accumulate far more fragments than the
+/// same graph built at once. Node ids are unchanged; only arc order moves.
+pub fn shuffled_edges(g: &DiGraph, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.shuffle(&mut StdRng::seed_from_u64(seed));
+    edges
+}
+
 /// Total number of distinct DAGs over `n` labeled nodes **with the fixed
 /// topological order 0 < 1 < … < n-1**, i.e. `2^(n(n-1)/2)` upper-triangular
 /// adjacency matrices. This is the Fig 3.12 enumeration universe.
@@ -360,6 +437,54 @@ mod tests {
         for i in 10..40 {
             assert_eq!(g.in_degree(NodeId(i)), 2);
         }
+    }
+
+    #[test]
+    fn dense_layered_is_acyclic_and_scattered() {
+        let g = dense_layered(5, 20, 4, 7);
+        assert_eq!(g.node_count(), 100);
+        assert!(is_acyclic(&g));
+        // Parents come from *any* earlier layer: at least one arc must skip
+        // a layer (overwhelmingly likely at this size/seed).
+        let skips = g
+            .edges()
+            .filter(|(s, d)| d.index() / 20 > s.index() / 20 + 1)
+            .count();
+        assert!(skips > 0, "no layer-skipping arcs");
+        for i in 20..100 {
+            assert!(g.in_degree(NodeId(i)) >= 1);
+        }
+    }
+
+    #[test]
+    fn long_path_width_has_chains_and_cross_links() {
+        let g = long_path_width(4, 10, 12, 3);
+        assert_eq!(g.node_count(), 40);
+        assert!(is_acyclic(&g));
+        // Chain arcs all present.
+        for c in 0..4 {
+            for j in 1..10 {
+                assert!(g.has_edge(NodeId((c * 10 + j - 1) as u32), NodeId((c * 10 + j) as u32)));
+            }
+        }
+        assert_eq!(g.edge_count(), 4 * 9 + 12);
+        // Degenerate shapes stay valid.
+        assert_eq!(long_path_width(1, 5, 10, 0).edge_count(), 4);
+    }
+
+    #[test]
+    fn shuffled_edges_permutes_without_loss() {
+        let g = layered_dag(3, 5, 2, 11);
+        let shuffled = shuffled_edges(&g, 1);
+        assert_eq!(shuffled.len(), g.edge_count());
+        let mut sorted = shuffled.clone();
+        sorted.sort();
+        let mut original: Vec<(NodeId, NodeId)> = g.edges().collect();
+        original.sort();
+        assert_eq!(sorted, original);
+        // Seeded: same seed, same order; different seed, (almost surely) not.
+        assert_eq!(shuffled_edges(&g, 1), shuffled);
+        assert_ne!(shuffled_edges(&g, 2), shuffled);
     }
 
     #[test]

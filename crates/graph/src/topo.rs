@@ -166,6 +166,114 @@ pub fn topo_sort_dfs(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
     Ok(postorder)
 }
 
+/// GRAIL-style negative-cutoff labels over one DFS of a DAG (Yıldırım,
+/// Chaoji & Zaki's GRAIL index, reduced to a single traversal).
+///
+/// One iterative DFS over the whole graph (roots in ascending id order,
+/// successors in stored order) assigns every node its postorder finish
+/// index `post(v)`, and `mn(v) = min(post(v), min over successors' mn)` is
+/// folded in as each node finishes. On a DAG every arc `(u, v)` has
+/// `post(v) < post(u)` (finish times are a reverse topological order), and
+/// `mn` is monotone along arcs, so:
+///
+/// > `u` reaches `v`  ⟹  `mn(u) <= mn(v)` and `post(v) <= post(u)`.
+///
+/// The contrapositive is the cutoff: when the label containment fails, `v`
+/// is *provably* unreachable from `u` and the caller can answer "no"
+/// without consulting any index. A passing check proves nothing — distinct
+/// subtrees share label ranges — so positives must still be confirmed.
+/// Two `u32`s per node; building is one O(n + m) traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutoffLabels {
+    /// `mn[v]`: minimum postorder finish index reachable from `v`.
+    mn: Vec<u32>,
+    /// `post[v]`: `v`'s own postorder finish index.
+    post: Vec<u32>,
+}
+
+impl CutoffLabels {
+    /// Labels every node of `g` in one DFS. `g` must be acyclic: the
+    /// soundness argument above leans on finish times being a reverse
+    /// topological order, which only holds for DAGs (the closure layer
+    /// guarantees this; cyclic inputs would yield labels that cut off
+    /// reachable pairs).
+    pub fn build(g: &DiGraph) -> CutoffLabels {
+        let n = g.node_count();
+        let mut mn = vec![u32::MAX; n];
+        let mut post = vec![0u32; n];
+        let mut entered = vec![false; n];
+        let mut next_post = 0u32;
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        for start in g.nodes() {
+            if entered[start.index()] {
+                continue;
+            }
+            entered[start.index()] = true;
+            stack.push((start, 0));
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let succ = g.successors(node);
+                if *next < succ.len() {
+                    let child = succ[*next];
+                    *next += 1;
+                    if !entered[child.index()] {
+                        entered[child.index()] = true;
+                        stack.push((child, 0));
+                    }
+                } else {
+                    // On a DAG every successor is already finished here
+                    // (a gray successor would witness a cycle), so its mn
+                    // is final.
+                    let own = next_post;
+                    next_post += 1;
+                    post[node.index()] = own;
+                    let mut low = own;
+                    for &s in succ {
+                        low = low.min(mn[s.index()]);
+                    }
+                    mn[node.index()] = low;
+                    stack.pop();
+                }
+            }
+        }
+        CutoffLabels { mn, post }
+    }
+
+    /// Reassembles labels from their serialized halves (validated only for
+    /// shape; the arrays are trusted to come from [`CutoffLabels::build`]).
+    pub fn from_parts(mn: Vec<u32>, post: Vec<u32>) -> CutoffLabels {
+        assert_eq!(mn.len(), post.len(), "cutoff label halves disagree");
+        CutoffLabels { mn, post }
+    }
+
+    /// Number of labeled nodes.
+    pub fn len(&self) -> usize {
+        self.post.len()
+    }
+
+    /// Whether no nodes are labeled.
+    pub fn is_empty(&self) -> bool {
+        self.post.is_empty()
+    }
+
+    /// The `mn` halves, for serialization.
+    pub fn mn(&self) -> &[u32] {
+        &self.mn
+    }
+
+    /// The `post` halves, for serialization.
+    pub fn post(&self) -> &[u32] {
+        &self.post
+    }
+
+    /// `false` only when `u` provably cannot reach `v`; `true` means the
+    /// labels cannot rule the pair out and the caller must consult a real
+    /// index. Reflexive pairs always pass.
+    #[inline]
+    pub fn may_reach(&self, u: NodeId, v: NodeId) -> bool {
+        self.mn[u.index()] <= self.mn[v.index()] && self.post[v.index()] <= self.post[u.index()]
+    }
+}
+
 /// A topological *level decomposition* of a DAG.
 ///
 /// The level of a node is the length of the longest directed path from it to
@@ -702,5 +810,50 @@ mod tests {
         let c = DiGraph::from_edges([(0, 1), (1, 0)]);
         assert!(partition(&c, 1).is_err());
         assert!(partition(&c, 4).is_err());
+    }
+
+    #[test]
+    fn cutoff_labels_never_cut_reachable_pairs() {
+        use crate::generators;
+        use crate::traverse::reachable_set;
+        for seed in 0..4 {
+            let g = generators::random_dag(generators::RandomDagConfig {
+                nodes: 60,
+                avg_out_degree: 2.5,
+                seed,
+            });
+            let labels = CutoffLabels::build(&g);
+            assert_eq!(labels.len(), 60);
+            for u in g.nodes() {
+                let reach = reachable_set(&g, u);
+                for v in g.nodes() {
+                    if reach.contains(v.index()) {
+                        // Soundness: reachable pairs must always pass.
+                        assert!(labels.may_reach(u, v), "{u:?} reaches {v:?} but was cut off");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_labels_cut_most_negatives_on_a_chain() {
+        // On a chain, labels are exact: i reaches j iff i <= j.
+        let g = crate::generators::chain(50);
+        let labels = CutoffLabels::build(&g);
+        for i in 0..50u32 {
+            for j in 0..50u32 {
+                assert_eq!(labels.may_reach(NodeId(i), NodeId(j)), i <= j);
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_labels_roundtrip_parts() {
+        let g = diamond();
+        let labels = CutoffLabels::build(&g);
+        let back = CutoffLabels::from_parts(labels.mn().to_vec(), labels.post().to_vec());
+        assert_eq!(back, labels);
+        assert!(!back.is_empty());
     }
 }

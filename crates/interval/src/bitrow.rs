@@ -1,0 +1,311 @@
+//! Word-aligned bitset successor rows — the dense half of the hybrid
+//! reachability oracle (DESIGN.md, "Hybrid oracle").
+//!
+//! Interval rows degrade on hostile graphs: a node whose successor set is a
+//! *fragmented* subset of the rank line needs one `(lo, hi)` pair per run,
+//! and a probe pays a fenced binary search over all of them. A bitset row
+//! spends one bit per live rank instead: `reaches` becomes a single word
+//! load + mask, `successor_count` a popcount sweep, and `successors` a
+//! run-scan — all O(live/64) worst case and O(1) for the probe, regardless
+//! of how shredded the set is. The exemplar is the roaring-bitmap closure
+//! built in reverse topological order (SNIPPETS 2/3, axiom-profiler); here
+//! the rows are *range-filled from the node's own merged rank intervals*,
+//! which is provably the same set (each interval covers exactly the ranks
+//! the row must contain) while keeping the freeze single-pass and
+//! bit-identical to the interval representation it replaces.
+//!
+//! [`BitRows`] is a *partial* index: only the nodes whose merged interval
+//! count crossed the hybrid threshold get a row; everyone else keeps their
+//! interval row and probes fall through. A per-node slot directory maps
+//! node index → row ordinal (or [`NO_ROW`]), and all rows share one words
+//! arena at a fixed `ceil(live / 64)` word stride.
+
+/// Slot value marking "this node has no bitset row".
+pub const NO_ROW: u32 = u32::MAX;
+
+/// An immutable set of fixed-stride bitset rows over rank space, indexed by
+/// node. Built by [`BitRowsBuilder`]; empty (zero rows) when the freeze
+/// selected no node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitRows {
+    /// Words per row: `ceil(live / 64)`.
+    width_words: usize,
+    /// Per-node row ordinal, [`NO_ROW`] for interval-rowed nodes.
+    slots: Vec<u32>,
+    /// Row-major words arena: row `r` owns `words[r*width .. (r+1)*width]`.
+    words: Vec<u64>,
+    /// Merged rank intervals consumed by the rows — the count the interval
+    /// CSR *didn't* store, so plane audits can balance totals.
+    intervals: usize,
+}
+
+impl BitRows {
+    /// Reassembles rows from their serialized parts, validating shape:
+    /// slot ordinals must be dense `0..rows` (each used exactly once) and
+    /// the arena must hold exactly `rows * width_words` words.
+    pub fn from_parts(
+        width_words: usize,
+        slots: Vec<u32>,
+        words: Vec<u64>,
+        intervals: usize,
+    ) -> Result<BitRows, &'static str> {
+        let rows = slots.iter().filter(|&&s| s != NO_ROW).count();
+        if width_words == 0 && rows > 0 {
+            return Err("bitset rows with zero width");
+        }
+        if words.len() != rows * width_words {
+            return Err("bitset arena length mismatch");
+        }
+        let mut seen = vec![false; rows];
+        for &s in &slots {
+            if s == NO_ROW {
+                continue;
+            }
+            match seen.get_mut(s as usize) {
+                Some(flag) if !*flag => *flag = true,
+                _ => return Err("bitset slot ordinals not dense"),
+            }
+        }
+        Ok(BitRows { width_words, slots, words, intervals })
+    }
+
+    /// Whether no node carries a bitset row.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of nodes carrying a bitset row.
+    pub fn row_count(&self) -> usize {
+        self.words.len().checked_div(self.width_words).unwrap_or(0)
+    }
+
+    /// Words per row (`ceil(live / 64)` at build time).
+    pub fn width_words(&self) -> usize {
+        self.width_words
+    }
+
+    /// The per-node slot directory, for serialization.
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// The shared words arena, for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Merged rank intervals represented by the rows (the audit ledger).
+    pub fn interval_count(&self) -> usize {
+        self.intervals
+    }
+
+    /// Whether `node` carries a bitset row.
+    #[inline]
+    pub fn has_row(&self, node: usize) -> bool {
+        self.slots.get(node).is_some_and(|&s| s != NO_ROW)
+    }
+
+    #[inline]
+    fn row_words(&self, node: usize) -> Option<&[u64]> {
+        let slot = *self.slots.get(node)?;
+        if slot == NO_ROW {
+            return None;
+        }
+        let start = slot as usize * self.width_words;
+        Some(&self.words[start..start + self.width_words])
+    }
+
+    /// Whether `node`'s row contains rank `t`; `None` when the node has no
+    /// bitset row (fall through to its interval row).
+    #[inline]
+    pub fn contains(&self, node: usize, t: u32) -> Option<bool> {
+        let row = self.row_words(node)?;
+        let word = (t as usize) / 64;
+        Some(row.get(word).is_some_and(|w| w & (1u64 << (t % 64)) != 0))
+    }
+
+    /// Popcount of `node`'s row; `None` when the node has no bitset row.
+    pub fn count(&self, node: usize) -> Option<usize> {
+        let row = self.row_words(node)?;
+        Some(row.iter().map(|w| w.count_ones() as usize).sum())
+    }
+
+    /// Calls `f` with each maximal run `(lo, hi)` of set ranks in `node`'s
+    /// row, ascending — the same `(lo, hi)` geometry an interval row would
+    /// yield, so decode paths stay identical. Returns `false` (without
+    /// calling `f`) when the node has no bitset row.
+    pub fn for_each_run(&self, node: usize, mut f: impl FnMut(u32, u32)) -> bool {
+        let Some(row) = self.row_words(node) else {
+            return false;
+        };
+        let mut run: Option<(u32, u32)> = None;
+        for (wi, &word) in row.iter().enumerate() {
+            let mut w = word;
+            let word_base = (wi * 64) as u32;
+            while w != 0 {
+                let start = w.trailing_zeros();
+                let ones = (w >> start).trailing_ones();
+                let lo = word_base + start;
+                let hi = word_base + start + ones - 1;
+                match &mut run {
+                    Some((_, rhi)) if *rhi + 1 == lo => *rhi = hi,
+                    Some((rlo, rhi)) => {
+                        f(*rlo, *rhi);
+                        run = Some((lo, hi));
+                    }
+                    None => run = Some((lo, hi)),
+                }
+                if start + ones >= 64 {
+                    w = 0;
+                } else {
+                    w &= !(((1u64 << ones) - 1) << start);
+                }
+            }
+        }
+        if let Some((lo, hi)) = run {
+            f(lo, hi);
+        }
+        true
+    }
+}
+
+/// Accumulates bitset rows during a freeze: one [`BitRowsBuilder::add_row`]
+/// per selected node, in any node order.
+#[derive(Debug)]
+pub struct BitRowsBuilder {
+    width_words: usize,
+    slots: Vec<u32>,
+    words: Vec<u64>,
+    intervals: usize,
+}
+
+impl BitRowsBuilder {
+    /// A builder for `nodes` slots over a rank line of `live` entries.
+    pub fn new(nodes: usize, live: usize) -> BitRowsBuilder {
+        BitRowsBuilder {
+            width_words: live.div_ceil(64),
+            slots: vec![NO_ROW; nodes],
+            words: Vec::new(),
+            intervals: 0,
+        }
+    }
+
+    /// Range-fills a fresh row for `node` from its merged rank intervals
+    /// (ascending, disjoint, `hi < live`), marking its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` already has a row or an endpoint exceeds the line.
+    pub fn add_row(&mut self, node: usize, intervals: &[(u32, u32)]) {
+        assert_eq!(self.slots[node], NO_ROW, "node {node} already has a bitset row");
+        let row_ix = self.words.len() / self.width_words.max(1);
+        self.slots[node] = u32::try_from(row_ix).expect("bitset row ordinal fits u32");
+        let start = self.words.len();
+        self.words.resize(start + self.width_words, 0);
+        let row = &mut self.words[start..];
+        for &(lo, hi) in intervals {
+            assert!(lo <= hi && (hi as usize) < self.width_words * 64, "interval past line end");
+            let (wlo, whi) = (lo as usize / 64, hi as usize / 64);
+            let lo_mask = !0u64 << (lo % 64);
+            let hi_mask = !0u64 >> (63 - hi % 64);
+            if wlo == whi {
+                row[wlo] |= lo_mask & hi_mask;
+            } else {
+                row[wlo] |= lo_mask;
+                for w in &mut row[wlo + 1..whi] {
+                    *w = !0;
+                }
+                row[whi] |= hi_mask;
+            }
+        }
+        self.intervals += intervals.len();
+    }
+
+    /// The finished immutable rows.
+    pub fn finish(self) -> BitRows {
+        BitRows {
+            width_words: self.width_words,
+            slots: self.slots,
+            words: self.words,
+            intervals: self.intervals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_runs(rows: &BitRows, node: usize) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        assert!(rows.for_each_run(node, |lo, hi| out.push((lo, hi))));
+        out
+    }
+
+    #[test]
+    fn range_fill_roundtrips_runs() {
+        let mut b = BitRowsBuilder::new(3, 200);
+        let ivs: &[(u32, u32)] = &[(0, 0), (5, 70), (72, 72), (130, 199)];
+        b.add_row(1, ivs);
+        let rows = b.finish();
+        assert_eq!(rows.row_count(), 1);
+        assert_eq!(rows.interval_count(), 4);
+        assert!(rows.has_row(1) && !rows.has_row(0) && !rows.has_row(2));
+        assert_eq!(collect_runs(&rows, 1), ivs);
+        // Membership matches the interval union exactly.
+        for t in 0..200u32 {
+            let want = ivs.iter().any(|&(lo, hi)| lo <= t && t <= hi);
+            assert_eq!(rows.contains(1, t), Some(want), "rank {t}");
+        }
+        assert_eq!(rows.count(1), Some(1 + 66 + 1 + 70));
+        assert_eq!(rows.contains(0, 3), None);
+        assert_eq!(rows.count(2), None);
+        assert!(!rows.for_each_run(0, |_, _| panic!("no row")));
+    }
+
+    #[test]
+    fn word_boundary_runs_merge() {
+        // A run crossing words 0->1 and a full middle word must come back
+        // as single runs, not per-word fragments.
+        let mut b = BitRowsBuilder::new(1, 256);
+        b.add_row(0, &[(60, 70), (128, 191), (250, 255)]);
+        let rows = b.finish();
+        assert_eq!(collect_runs(&rows, 0), vec![(60, 70), (128, 191), (250, 255)]);
+        assert_eq!(rows.count(0), Some(11 + 64 + 6));
+    }
+
+    #[test]
+    fn empty_row_and_empty_index() {
+        let mut b = BitRowsBuilder::new(2, 100);
+        b.add_row(0, &[]);
+        let rows = b.finish();
+        assert!(!rows.is_empty());
+        assert_eq!(rows.contains(0, 50), Some(false));
+        assert_eq!(rows.count(0), Some(0));
+        assert_eq!(collect_runs(&rows, 0), vec![]);
+        let none = BitRowsBuilder::new(2, 100).finish();
+        assert!(none.is_empty());
+        assert_eq!(none.row_count(), 0);
+    }
+
+    #[test]
+    fn parts_roundtrip_and_validation() {
+        let mut b = BitRowsBuilder::new(3, 65);
+        b.add_row(2, &[(0, 64)]);
+        b.add_row(0, &[(3, 3)]);
+        let rows = b.finish();
+        let back = BitRows::from_parts(
+            rows.width_words(),
+            rows.slots().to_vec(),
+            rows.words().to_vec(),
+            rows.interval_count(),
+        )
+        .unwrap();
+        assert_eq!(back, rows);
+        // Corrupt shapes are rejected.
+        assert!(BitRows::from_parts(2, vec![0, NO_ROW], vec![1, 2, 3], 1).is_err());
+        assert!(BitRows::from_parts(1, vec![1, NO_ROW], vec![0], 0).is_err());
+        assert!(BitRows::from_parts(1, vec![0, 0], vec![0, 0], 0).is_err());
+        assert!(BitRows::from_parts(1, vec![NO_ROW], vec![7], 0).is_err());
+    }
+}

@@ -23,6 +23,10 @@
 //!   is a fenced parity count over two dependent cache accesses, and a
 //!   globally sorted inverted index answering "which sets contain `t`?"
 //!   stabbing queries in O(k log m).
+//! * [`BitRows`] — word-aligned bitset successor rows for the *hybrid*
+//!   plane: nodes whose merged rank-interval count crosses the configured
+//!   threshold trade their interval row for one bit per live rank, making
+//!   the probe a single word test however fragmented the set is.
 //! * [`paged`] — the same fenced row layout as raw bytes, for the
 //!   out-of-core plane: encode/probe helpers shared by the streaming freeze
 //!   writer and the buffer-pool-backed prober in `tc-core`.
@@ -31,12 +35,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod bitrow;
 mod flat;
 mod interval;
 mod numberline;
 pub mod paged;
 mod set;
 
+pub use bitrow::{BitRows, BitRowsBuilder, NO_ROW};
 pub use flat::{
     upper_bound, FlatBuilder, FlatIntervalIndex, NarrowBuilder, NarrowIntervalIndex, StabbingIndex,
 };

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the hybrid-oracle experiment (DESIGN.md, "Hybrid oracle") and leaves
+# the table in results/hybrid_scale.csv. The interval baseline, the cutoff
+# screen and the armed hybrid plane are asserted answer-identical over the
+# full probe sets before any timing; the binary aborts on divergence.
+#
+# Usage: scripts/bench_hybrid.sh [hybrid_scale flags...]
+#   e.g. scripts/bench_hybrid.sh --layers 96 --width 700 --order random
+#        scripts/bench_hybrid.sh --order topo --threshold 4
+#        scripts/bench_hybrid.sh --sources uniform   # don't target heavy rows
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin hybrid_scale
+exec target/release/hybrid_scale "$@"

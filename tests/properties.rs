@@ -635,3 +635,109 @@ proptest! {
         assert_paged_matches(&paged, &c);
     }
 }
+
+/// Freezes `c` with the hybrid oracle at `threshold` and checks every
+/// query surface — point probes via the batch path, successor decodes and
+/// counts, predecessors — against the mutable truth, plus the paged image
+/// of the same configuration (HYB1 overlay riding the PLN1 section)
+/// through an eviction-heavy 2-frame pool. Exactly the over-threshold rows
+/// must have switched representation. Leaves the closure thawed.
+fn assert_hybrid_matches(c: &mut CompressedClosure, threshold: usize) {
+    let nodes: Vec<NodeId> = (0..c.node_count() as u32).map(NodeId).collect();
+    let mutable: Vec<_> = nodes
+        .iter()
+        .map(|&v| (c.successors(v), c.predecessors(v)))
+        .collect();
+    let pairs: Vec<_> = nodes
+        .iter()
+        .flat_map(|&u| nodes.iter().map(move |&v| (u, v)))
+        .collect();
+    let want: Vec<bool> = pairs
+        .iter()
+        .map(|&(u, v)| mutable[u.index()].0.contains(&v))
+        .collect();
+    let over = c
+        .merged_interval_counts()
+        .iter()
+        .filter(|&&k| k > threshold)
+        .count();
+
+    c.set_hybrid_threshold(threshold);
+    c.freeze();
+    c.verify().unwrap();
+    let plane = c.plane().expect("just frozen");
+    prop_assert_eq!(plane.bitset_rows(), over, "row selection at threshold {}", threshold);
+    for (ix, &v) in nodes.iter().enumerate() {
+        prop_assert_eq!(&c.successors(v), &mutable[ix].0, "successors({:?})", v);
+        prop_assert_eq!(&c.predecessors(v), &mutable[ix].1, "predecessors({:?})", v);
+        prop_assert_eq!(c.successor_count(v), mutable[ix].0.len());
+    }
+    prop_assert_eq!(c.reaches_batch(&pairs), want.clone(), "hybrid reaches_batch");
+
+    let paged = tc_core::PagedPlane::open_from_bytes(&c.to_paged_bytes(), 2).unwrap();
+    prop_assert_eq!(paged.reaches_batch(&pairs), want);
+    for (ix, &v) in nodes.iter().enumerate() {
+        prop_assert_eq!(paged.successors(v), mutable[ix].0.clone(), "paged successors({:?})", v);
+        prop_assert_eq!(paged.successor_count(v), mutable[ix].0.len());
+    }
+    c.thaw();
+}
+
+/// Maps a proptest selector onto the three interesting threshold regimes:
+/// 0 (every non-trivial row goes bitset), `usize::MAX` (pure interval,
+/// the oracle disarmed), or a small mid value that splits the rows.
+fn threshold_from(sel: usize) -> usize {
+    match sel {
+        0 => 0,
+        7 => usize::MAX,
+        mid => mid,
+    }
+}
+
+proptest! {
+    /// Hybrid == pure-interval == mutable on the dense-layered adversary,
+    /// across the whole threshold spectrum.
+    #[test]
+    fn hybrid_matches_pure_on_dense_layered(
+        layers in 1usize..5, width in 1usize..6, degree in 1usize..4,
+        seed in any::<u64>(), sel in 0usize..8,
+    ) {
+        let g = tc_graph::generators::dense_layered(layers, width, degree, seed);
+        let mut c = ClosureConfig::new().build(&g).unwrap();
+        assert_hybrid_matches(&mut c, threshold_from(sel));
+    }
+
+    /// Same equivalence on the high-path-width adversary, whose scattered
+    /// singleton intervals hit the bitset builder's worst fill pattern.
+    #[test]
+    fn hybrid_matches_pure_on_long_path_width(
+        chains in 1usize..6, chain_len in 1usize..5, cross in 0usize..12,
+        seed in any::<u64>(), sel in 0usize..8,
+    ) {
+        let g = tc_graph::generators::long_path_width(chains, chain_len, cross, seed);
+        let mut c = ClosureConfig::new().build(&g).unwrap();
+        assert_hybrid_matches(&mut c, threshold_from(sel));
+    }
+
+    /// The random-insertion-order adversary: the same dense-layered arcs
+    /// replayed one at a time in seeded random order deny the tree cover
+    /// its topological sweep, so labels fragment far past the bulk build.
+    /// Every threshold regime must still answer identically (one closure,
+    /// refrozen per regime).
+    #[test]
+    fn hybrid_matches_pure_after_random_order_insertion(
+        layers in 1usize..4, width in 1usize..5, degree in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = tc_graph::generators::dense_layered(layers, width, degree, seed);
+        let mut c = ClosureConfig::new()
+            .build(&DiGraph::with_nodes(g.node_count()))
+            .unwrap();
+        for (u, v) in tc_graph::generators::shuffled_edges(&g, seed ^ 1) {
+            c.add_edge(u, v).unwrap();
+        }
+        for threshold in [0, 2, usize::MAX] {
+            assert_hybrid_matches(&mut c, threshold);
+        }
+    }
+}
