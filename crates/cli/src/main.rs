@@ -14,6 +14,7 @@
 //! interval-tc bench <graph> [--queries N]   time point/batch/predecessor queries
 //! interval-tc serve <graph> [flags]         concurrent snapshot-serving benchmark
 //! interval-tc serve <graph> --listen ADDR   network daemon (line protocol, string keys)
+//! interval-tc kb <script>                   run a knowledge-base command script
 //! interval-tc fuzz [flags]                  differential update-churn fuzzing
 //! ```
 //!
@@ -68,9 +69,10 @@ const USAGE: &str = "usage:
   interval-tc bench <graph> [--queries N]
   interval-tc serve <graph> [--readers N] [--duration-ms D] [--churn]
   interval-tc serve <graph> --listen ADDR
+  interval-tc kb <script> [--check]
   interval-tc fuzz [--ops N] [--seed S] [--seeds K] [--gap G] [--reserve R]
                    [--merge] [--freeze] [--serve] [--delete-bias] [--shrink]
-                   [--codec] [--out FILE] [--replay FILE]
+                   [--codec] [--kb] [--out FILE] [--replay FILE]
 
 global flags: --threads N   build/query on N worker threads (0 = one per CPU)
               --frozen      freeze the query plane after loading; all queries
@@ -133,7 +135,19 @@ mode: --seeds K corrupted .itc streams (bit flips, truncation, length-field
 sabotage, half with re-signed trailers) are fed to the decoder, which must
 reject each with a structured error — any panic fails the run; the same
 seeds then corrupt a paged (ITC1 + PLN1) image opened and probed through a
-2-frame buffer pool under the same zero-panic rule.";
+2-frame buffer pool, and a serialized ITCK taxonomy (interior ITC1 trailer
+re-signed so corruption reaches the name table), under the same zero-panic
+rule. --kb switches to knowledge-base differential mode: --seeds K seeded
+campaigns of random rule-driven assert/retract/feature churn, each
+checkpointed against a from-scratch naive re-derivation of the whole model
+— any divergence fails the run with the offending seed and step.
+
+kb: executes a knowledge-base command script (one command per line, '#'
+comments, '-' for stdin) against a fresh in-process knowledge base and
+prints each command's answer; see DESIGN.md for the command set (rule,
+assert, retract, ask, below, feature, set-prop, get-prop, check, stats).
+--check additionally runs the naive-re-derivation differential gate after
+the script, failing if the incrementally maintained closure diverges.";
 
 /// Global flags stripped from anywhere in the argument list.
 #[derive(Clone, Copy)]
@@ -181,6 +195,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => gen(&args),
         "bench" => bench(&args, globals),
         "serve" => serve(&args, globals),
+        "kb" => kb(&args),
         "fuzz" => fuzz(&args, globals),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -915,6 +930,49 @@ fn serve_listen(path: &str, addr: &str, globals: Globals) -> Result<(), String> 
     Ok(())
 }
 
+/// `kb <script> [--check]`: drive a fresh knowledge base through a command
+/// script, echoing each command's answer. Command failures abort with the
+/// offending line number; `--check` runs the naive-re-derivation
+/// differential gate after the script.
+fn kb(args: &[String]) -> Result<(), String> {
+    use tc_kb::{KbCommand, KnowledgeBase};
+
+    let path = arg(args, 1)?;
+    let mut check = false;
+    for flag in &args[2..] {
+        match flag.as_str() {
+            "--check" => check = true,
+            other => return Err(format!("unknown kb flag {other:?}")),
+        }
+    }
+    let text =
+        String::from_utf8(read_input(path)?).map_err(|_| format!("{path} is not UTF-8"))?;
+    let mut kb = KnowledgeBase::new();
+    for (ix, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let answer = KbCommand::parse(line)
+            .and_then(|cmd| cmd.execute(&mut kb))
+            .map_err(|e| format!("{path}:{}: {line}: {e}", ix + 1))?;
+        println!("{line} => {answer}");
+    }
+    if check {
+        kb.check_against_naive()
+            .map_err(|e| format!("differential check failed: {e}"))?;
+        let s = kb.stats();
+        println!(
+            "check => consistent ({} concepts, {} asserted, {} derived, {} cycle-rejected)",
+            kb.concept_count(),
+            s.asserted,
+            s.derived,
+            s.cycle_rejected
+        );
+    }
+    Ok(())
+}
+
 fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut ops = 256usize;
     let mut seed = 0u64;
@@ -933,6 +991,7 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
     let mut delete_bias = false;
     let mut want_shrink = false;
     let mut codec = false;
+    let mut kb_mode = false;
     // The global --paged flag doubles as the gen knob here: it mixes
     // paged-probe ops (full round trips through an eviction-forcing pool)
     // into the stream. The engine picks its own tiny pool, so the page
@@ -960,6 +1019,7 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
             "--delete-bias" => delete_bias = true,
             "--shrink" => want_shrink = true,
             "--codec" => codec = true,
+            "--kb" => kb_mode = true,
             "--out" => out = Some(value("--out")?.clone()),
             "--replay" => replay = Some(value("--replay")?.clone()),
             other => return Err(format!("unknown fuzz flag {other:?}")),
@@ -998,6 +1058,37 @@ fn fuzz(args: &[String], globals: Globals) -> Result<(), String> {
                 "paged open/probe panicked on {} case(s); replay seeds {:?}",
                 report.panics, report.panic_seeds
             ));
+        }
+        let report = tc_fuzz::taxonomy_campaign(seeds.max(1), seed);
+        println!(
+            "taxonomy (ITCK) mutation campaign: {} cases — {} rejected, {} ok+verified, \
+             {} ok-but-corrupt (re-signed interior trailers), {} panics",
+            report.cases, report.rejected, report.ok_clean, report.ok_corrupt, report.panics
+        );
+        if report.failed() {
+            return Err(format!(
+                "taxonomy decoder panicked on {} case(s); replay seeds {:?}",
+                report.panics, report.panic_seeds
+            ));
+        }
+        return Ok(());
+    }
+
+    if kb_mode {
+        // Knowledge-base differential mode: seeded campaigns of rule-driven
+        // assert/retract/feature churn, each checkpointed against a naive
+        // from-scratch re-derivation; `--ops` sets the steps per campaign.
+        for s in seed..seed.saturating_add(seeds.max(1)) {
+            let report = tc_fuzz::run_kb_campaign(&tc_fuzz::KbFuzzConfig {
+                steps: ops as u64,
+                seed: s,
+                ..tc_fuzz::KbFuzzConfig::default()
+            })?;
+            println!(
+                "kb seed {s}: ok — {} asserts, {} retracts, {} features, {} derived arcs, \
+                 {} differential checkpoints",
+                report.asserts, report.retracts, report.features, report.derived, report.checks
+            );
         }
         return Ok(());
     }

@@ -506,6 +506,16 @@ impl CompressedClosure {
         )
     }
 
+    /// Caps the number line at `capacity` occupied positions (live plus
+    /// tombstoned). Insertions past the cap fail with
+    /// [`crate::UpdateError::NumberLineFull`] — checked before anything
+    /// mutates — instead of growing without bound; [`Self::relabel`]
+    /// reclaims tombstones under the same ceiling. Serving deployments use
+    /// this as an admission control on untrusted writers.
+    pub fn set_number_line_capacity(&mut self, capacity: usize) {
+        self.lab.line.set_capacity(capacity);
+    }
+
     /// Re-labels the closure: keeps the current tree cover but reassigns
     /// postorder numbers with fresh gaps (and fresh refinement reserves),
     /// dropping tombstones, then re-propagates all intervals. Called

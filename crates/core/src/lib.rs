@@ -89,7 +89,7 @@ pub use serve::{ClosureService, ServiceClosed, ServiceConfig, ServiceOp, Service
 pub use shard::{ShardedClosure, ShardedReader, ShardedService, ShardedStats, SubmitOutcome};
 pub use stats::ClosureStats;
 pub use treecover::{CoverStrategy, TreeCover};
-pub use updates::UpdateError;
+pub use updates::{EdgeDelta, UpdateError};
 
 /// Default spacing between consecutive postorder numbers: the paper suggests
 /// "dividing the range of integers that can be accommodated in one word by

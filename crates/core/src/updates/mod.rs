@@ -38,7 +38,10 @@
 
 mod add;
 mod delete;
+mod delta;
 mod refine;
+
+pub use delta::EdgeDelta;
 
 use std::fmt;
 

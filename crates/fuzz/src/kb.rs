@@ -1,0 +1,172 @@
+//! Differential fuzzing for the rule-driven knowledge base.
+//!
+//! Hammers [`tc_kb::KnowledgeBase`] with random assert / retract / feature
+//! churn and, at every quiescent checkpoint, runs the naive-re-derivation
+//! differential gate: the incrementally maintained model (semi-naive
+//! forward chaining on asserts, DRed over-delete/re-derive on retracts)
+//! must match a from-scratch naive fixpoint over the surviving base facts,
+//! arc-for-arc and successor-set-for-successor-set.
+//!
+//! Concept names are drawn from a layered namespace and every generated
+//! fact points strictly downhill, so neither an assert nor a derived head
+//! can be cycle-rejected — rejections make the final model depend on
+//! arrival order, which a from-scratch replay cannot reproduce. The
+//! campaign asserts `cycle_rejected == 0` at every step to keep the gate
+//! meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tc_kb::{AssertOutcome, KnowledgeBase, Pred};
+
+/// Shape of one knowledge-base churn campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct KbFuzzConfig {
+    /// Random operations to apply.
+    pub steps: u64,
+    /// Campaign seed (each derived case perturbs it deterministically).
+    pub seed: u64,
+    /// Layers in the concept namespace (≥ 2; facts point downhill).
+    pub layers: usize,
+    /// Concepts per layer.
+    pub per_layer: usize,
+    /// Run the differential gate every this many steps (and at the end).
+    pub check_every: u64,
+}
+
+impl Default for KbFuzzConfig {
+    fn default() -> Self {
+        KbFuzzConfig {
+            steps: 160,
+            seed: 1,
+            layers: 5,
+            per_layer: 3,
+            check_every: 40,
+        }
+    }
+}
+
+/// Tally of one knowledge-base churn campaign.
+#[derive(Debug, Clone, Default)]
+pub struct KbFuzzReport {
+    /// Base facts asserted (Applied outcomes).
+    pub asserts: u64,
+    /// Base facts retracted.
+    pub retracts: u64,
+    /// Features attached.
+    pub features: u64,
+    /// Arcs derived by rules over the whole run (engine counter).
+    pub derived: u64,
+    /// Differential-gate checkpoints passed.
+    pub checks: u64,
+}
+
+/// Runs one seeded churn campaign. `Err` carries the seed, step, and the
+/// gate's divergence description — enough to replay deterministically.
+pub fn run_kb_campaign(cfg: &KbFuzzConfig) -> Result<KbFuzzReport, String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut kb = KnowledgeBase::new();
+    kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)")
+        .map_err(|e| e.to_string())?;
+    kb.define_rule("lift: partof(X, Y) :- isa(X, Z), partof(Z, Y), feat(Z, hub)")
+        .map_err(|e| e.to_string())?;
+    let layers = cfg.layers.max(2);
+    let per_layer = cfg.per_layer.max(1);
+    let name = |layer: usize, i: usize| format!("l{layer}n{i}");
+    let mut report = KbFuzzReport::default();
+    let mut live: Vec<(Pred, String, String)> = Vec::new();
+    let fail = |step: u64, what: &str, detail: String| {
+        Err(format!(
+            "seed {} step {step}: {what}: {detail}",
+            cfg.seed
+        ))
+    };
+    for step in 0..cfg.steps {
+        let retract = !live.is_empty() && rng.random_bool(0.3);
+        if retract {
+            let ix = rng.random_range(0..live.len());
+            let (p, a, b) = live.swap_remove(ix);
+            kb.retract_fact(p, &a, &b)
+                .map_err(|e| format!("seed {} step {step}: retract: {e}", cfg.seed))?;
+            report.retracts += 1;
+        } else {
+            let la = rng.random_range(0..layers - 1);
+            let lb = rng.random_range(la + 1..layers);
+            let a = name(la, rng.random_range(0..per_layer));
+            let b = name(lb, rng.random_range(0..per_layer));
+            let pred = if rng.random_bool(0.5) {
+                Pred::IsA
+            } else {
+                Pred::PartOf
+            };
+            match kb
+                .assert_fact(pred, &a, &b)
+                .map_err(|e| format!("seed {} step {step}: assert: {e}", cfg.seed))?
+            {
+                AssertOutcome::Applied => {
+                    report.asserts += 1;
+                    live.push((pred, a.clone(), b.clone()));
+                }
+                AssertOutcome::Noop => {
+                    if !live.contains(&(pred, a.clone(), b.clone())) {
+                        live.push((pred, a.clone(), b.clone()));
+                    }
+                }
+                AssertOutcome::CycleRejected => {
+                    return fail(step, "layered workload", "cycle-rejected".into());
+                }
+            }
+            if rng.random_bool(0.15) {
+                kb.add_feature(&a, "hub")
+                    .map_err(|e| format!("seed {} step {step}: feature: {e}", cfg.seed))?;
+                report.features += 1;
+            }
+        }
+        if kb.stats().cycle_rejected != 0 {
+            return fail(step, "gate precondition", "cycle_rejected != 0".into());
+        }
+        if cfg.check_every > 0 && step % cfg.check_every == cfg.check_every - 1 {
+            kb.check_against_naive()
+                .map_err(|e| format!("seed {} step {step}: differential gate: {e}", cfg.seed))?;
+            report.checks += 1;
+        }
+    }
+    kb.check_against_naive()
+        .map_err(|e| format!("seed {} final: differential gate: {e}", cfg.seed))?;
+    report.checks += 1;
+    report.derived = kb.stats().derived;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_campaign_passes_over_several_seeds() {
+        for seed in 0..3u64 {
+            let report = run_kb_campaign(&KbFuzzConfig {
+                steps: 100,
+                seed: seed * 31 + 7,
+                check_every: 25,
+                ..KbFuzzConfig::default()
+            })
+            .expect("differential gate must hold");
+            assert!(report.checks >= 4);
+            assert!(report.asserts > 0);
+        }
+    }
+
+    #[test]
+    fn kb_campaign_exercises_both_directions() {
+        let report = run_kb_campaign(&KbFuzzConfig {
+            steps: 200,
+            seed: 99,
+            check_every: 50,
+            ..KbFuzzConfig::default()
+        })
+        .expect("campaign");
+        assert!(report.retracts > 10, "retract path barely exercised");
+        assert!(report.derived > 0, "rules never fired");
+    }
+}

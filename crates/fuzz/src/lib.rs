@@ -34,6 +34,7 @@
 
 pub mod engine;
 pub mod gen;
+pub mod kb;
 pub mod mutate;
 pub mod ops;
 pub mod shrink;
@@ -43,9 +44,10 @@ pub use engine::{
     ViolationKind,
 };
 pub use gen::{generate, GenConfig};
+pub use kb::{run_kb_campaign, KbFuzzConfig, KbFuzzReport};
 pub use mutate::{
-    campaign, closure_campaign, mutate, paged_campaign, refix_checksum, CaseOutcome, MutationKind,
-    MutationReport,
+    campaign, closure_campaign, mutate, paged_campaign, refix_checksum, taxonomy_campaign,
+    CaseOutcome, MutationKind, MutationReport,
 };
 pub use ops::{FuzzConfig, Op, OpTrace};
 pub use shrink::{shrink, ShrinkResult};

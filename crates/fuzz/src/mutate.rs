@@ -343,6 +343,74 @@ pub fn paged_campaign(cases: u64, seed: u64) -> MutationReport {
     campaign_with_refix(&base, cases, seed, &|bytes| refix_plane_header(bytes), decode_paged)
 }
 
+/// Geometry of the `ITCK` taxonomy stream: magic, a u64 length for the
+/// embedded `ITC1` closure stream, the closure bytes (which end in their own
+/// FNV-1a trailer), then the name table.
+const ITCK_HEADER_BYTES: usize = 12;
+
+/// Re-signs the *interior* `ITC1` trailer of an `ITCK` taxonomy stream, at
+/// the offset the (possibly mutated) header claims. Re-signing against the
+/// claimed length is deliberate: it lets length-field sabotage carry a
+/// digest that validates over the wrong span, so the taxonomy decoder's own
+/// bounds checks — not the closure checksum — have to reject the stream.
+pub fn refix_taxonomy(bytes: &mut [u8]) {
+    if bytes.len() < ITCK_HEADER_BYTES {
+        return;
+    }
+    let claimed = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+    let Some(closure_len) = usize::try_from(claimed)
+        .ok()
+        .filter(|&n| n >= 8 && n <= bytes.len() - ITCK_HEADER_BYTES)
+    else {
+        return;
+    };
+    let start = ITCK_HEADER_BYTES;
+    let split = start + closure_len - 8;
+    let sum = fnv1a(&bytes[start..split]);
+    bytes[split..split + 8].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// The `ITCK` base corpus: a taxonomy with multi-parent concepts and
+/// non-trivial names (long, empty-suffix, UTF-8) so mutations can hit both
+/// the embedded closure stream and the name table.
+pub fn taxonomy_base_stream() -> Vec<u8> {
+    use tc_kb::Taxonomy;
+    let mut t = Taxonomy::new();
+    t.add_root("thing").expect("root");
+    t.add_concept("device", &["thing"]).expect("concept");
+    t.add_concept("printer", &["device"]).expect("concept");
+    t.add_concept("scanner", &["device"]).expect("concept");
+    t.add_concept("copier", &["printer", "scanner"]).expect("concept");
+    t.add_concept("λ-printer", &["printer"]).expect("concept");
+    t.add_concept(&"x".repeat(300), &["thing"]).expect("concept");
+    t.to_bytes()
+}
+
+/// Decodes one stream as a taxonomy and classifies the outcome. Accepted
+/// streams are deep-verified through the embedded closure's audit.
+pub fn decode_taxonomy(bytes: &[u8]) -> CaseOutcome {
+    match tc_kb::Taxonomy::from_bytes(bytes) {
+        Err(_) => CaseOutcome::Rejected,
+        Ok(t) => {
+            if t.closure().verify().is_ok() {
+                CaseOutcome::OkClean
+            } else {
+                CaseOutcome::OkCorrupt
+            }
+        }
+    }
+}
+
+/// The `ITCK` taxonomy-codec campaign: mutate serialized taxonomies —
+/// re-signing the interior `ITC1` trailer half the time so corruption
+/// reaches the length-prefixed name table — and require the decoder to fail
+/// closed. Zero panics is the pass criterion; this is the regression
+/// campaign for the `closure_len + 8` / name-length overflow panics.
+pub fn taxonomy_campaign(cases: u64, seed: u64) -> MutationReport {
+    let base = taxonomy_base_stream();
+    campaign_with_refix(&base, cases, seed, &|bytes| refix_taxonomy(bytes), decode_taxonomy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +465,44 @@ mod tests {
         assert!(
             interior_rejects > 8,
             "mutations never reached past the header digest: {interior_rejects}"
+        );
+    }
+
+    #[test]
+    fn taxonomy_codec_survives_mutation_campaign() {
+        let report = taxonomy_campaign(96, 0x17CB);
+        assert_eq!(report.cases, 96);
+        assert_eq!(
+            report.panics, 0,
+            "taxonomy decoder panicked; replay seeds {:?}",
+            report.panic_seeds
+        );
+        assert!(report.rejected > 0, "campaign never reached the decoder");
+    }
+
+    #[test]
+    fn refixed_taxonomies_reach_the_name_table() {
+        // With the interior ITC1 trailer re-signed, some rejections must
+        // come from the name-table bounds checks rather than the closure
+        // checksum — prove the campaign exercises the fixed panic sites.
+        let base = taxonomy_base_stream();
+        let mut name_table_rejects = 0;
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut bytes, _, refixed) =
+                mutate_with(&base, &mut rng, &|bytes| refix_taxonomy(bytes));
+            if !refixed {
+                refix_taxonomy(&mut bytes);
+            }
+            if let Err(e) = tc_kb::Taxonomy::from_bytes(&bytes) {
+                if e.contains("name") || e.contains("truncated") {
+                    name_table_rejects += 1;
+                }
+            }
+        }
+        assert!(
+            name_table_rejects > 4,
+            "mutations never reached the name table: {name_table_rejects}"
         );
     }
 

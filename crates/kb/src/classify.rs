@@ -56,11 +56,15 @@ impl Classifier {
     /// required features).
     pub fn new() -> Self {
         let mut taxonomy = Taxonomy::new();
-        taxonomy.add_root("top").expect("fresh taxonomy");
-        Classifier {
-            taxonomy,
-            defs: vec![DefinedConcept::new("top", &[])],
-        }
+        // A fresh default taxonomy has no names and an unbounded number
+        // line, so the root insertion cannot fail; should that invariant
+        // ever break, start without `top` instead of panicking — the first
+        // `classify` call then surfaces the real error.
+        let defs = match taxonomy.add_root("top") {
+            Ok(_) => vec![DefinedConcept::new("top", &[])],
+            Err(_) => Vec::new(),
+        };
+        Classifier { taxonomy, defs }
     }
 
     /// The maintained hierarchy.

@@ -1,0 +1,318 @@
+//! A line-oriented command layer over [`KnowledgeBase`], shared verbatim by
+//! the `interval-tc kb` script runner and the network daemon's KB verbs so
+//! both front ends parse and answer identically.
+
+use crate::rules::{AssertOutcome, KbError, KnowledgeBase, Pred, RetractOutcome};
+use crate::PropertyLookup;
+
+/// One parsed knowledge-base command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbCommand {
+    /// `concept <name>` — introduce a concept (idempotent).
+    Concept {
+        /// Concept name.
+        name: String,
+    },
+    /// `feature <concept> <feature>` — attach a feature (forward-chains).
+    Feature {
+        /// Concept name (created if absent).
+        concept: String,
+        /// Feature name.
+        feature: String,
+    },
+    /// `rule <name>: <head> :- <body>` — define or redefine a rule.
+    Rule {
+        /// Full rule text after the `rule` keyword.
+        text: String,
+    },
+    /// `assert isa|partof <a> <b>` — assert a base fact.
+    Assert {
+        /// Relation.
+        pred: Pred,
+        /// Subject.
+        a: String,
+        /// Object.
+        b: String,
+    },
+    /// `retract isa|partof <a> <b>` — retract a base fact (DRed cascade).
+    Retract {
+        /// Relation.
+        pred: Pred,
+        /// Subject.
+        a: String,
+        /// Object.
+        b: String,
+    },
+    /// `ask isa|partof <a> <b>` — one transitive membership probe.
+    Ask {
+        /// Relation.
+        pred: Pred,
+        /// Subject.
+        a: String,
+        /// Object.
+        b: String,
+    },
+    /// `below isa|partof <a>` — everything strictly below `a`, sorted.
+    Below {
+        /// Relation.
+        pred: Pred,
+        /// Subject.
+        a: String,
+    },
+    /// `set-prop <concept> <prop> <value>` — set an inheritable property.
+    SetProp {
+        /// Concept name (created if absent).
+        concept: String,
+        /// Property name.
+        prop: String,
+        /// Property value (rest of line, may contain spaces).
+        value: String,
+    },
+    /// `get-prop <concept> <prop>` — resolve a property by inheritance.
+    GetProp {
+        /// Concept name.
+        concept: String,
+        /// Property name.
+        prop: String,
+    },
+    /// `check` — run the naive-re-derivation differential gate.
+    Check,
+    /// `stats` — evaluation counters.
+    Stats,
+}
+
+impl KbCommand {
+    /// Parses one command line (comments start with `#`; blank lines are
+    /// rejected — filter them before calling).
+    pub fn parse(line: &str) -> Result<KbCommand, KbError> {
+        let fail = |m: String| Err(KbError::Parse(m));
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let two = |rest: &str| -> Result<(String, String), KbError> {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(a), Some(b), None) => Ok((a.to_string(), b.to_string())),
+                _ => Err(KbError::Parse(format!(
+                    "{verb} takes exactly two arguments"
+                ))),
+            }
+        };
+        let rel = |rest: &str, argc: usize| -> Result<(Pred, Vec<String>), KbError> {
+            let mut it = rest.split_whitespace();
+            let Some(pred) = it.next().and_then(Pred::parse) else {
+                return Err(KbError::Parse(format!(
+                    "{verb} needs a relation (isa or partof)"
+                )));
+            };
+            let args: Vec<String> = it.map(str::to_string).collect();
+            if args.len() != argc {
+                return Err(KbError::Parse(format!(
+                    "{verb} {} takes {argc} concept argument(s)",
+                    pred.name()
+                )));
+            }
+            Ok((pred, args))
+        };
+        match verb {
+            "concept" => {
+                if rest.is_empty() || rest.split_whitespace().count() != 1 {
+                    return fail("concept takes exactly one name".into());
+                }
+                Ok(KbCommand::Concept {
+                    name: rest.to_string(),
+                })
+            }
+            "feature" => {
+                let (concept, feature) = two(rest)?;
+                Ok(KbCommand::Feature { concept, feature })
+            }
+            "rule" => {
+                if rest.is_empty() {
+                    return fail("rule needs a definition".into());
+                }
+                Ok(KbCommand::Rule {
+                    text: rest.to_string(),
+                })
+            }
+            "assert" | "retract" | "ask" => {
+                let (pred, mut args) = rel(rest, 2)?;
+                let b = args.pop().expect("arity checked");
+                let a = args.pop().expect("arity checked");
+                Ok(match verb {
+                    "assert" => KbCommand::Assert { pred, a, b },
+                    "retract" => KbCommand::Retract { pred, a, b },
+                    _ => KbCommand::Ask { pred, a, b },
+                })
+            }
+            "below" => {
+                let (pred, mut args) = rel(rest, 1)?;
+                let a = args.pop().expect("arity checked");
+                Ok(KbCommand::Below { pred, a })
+            }
+            "set-prop" => {
+                let mut it = rest.splitn(3, char::is_whitespace);
+                match (it.next(), it.next(), it.next()) {
+                    (Some(concept), Some(prop), Some(value)) if !value.trim().is_empty() => {
+                        Ok(KbCommand::SetProp {
+                            concept: concept.to_string(),
+                            prop: prop.to_string(),
+                            value: value.trim().to_string(),
+                        })
+                    }
+                    _ => fail("set-prop takes concept, property and value".into()),
+                }
+            }
+            "get-prop" => {
+                let (concept, prop) = two(rest)?;
+                Ok(KbCommand::GetProp { concept, prop })
+            }
+            "check" if rest.is_empty() => Ok(KbCommand::Check),
+            "stats" if rest.is_empty() => Ok(KbCommand::Stats),
+            _ => fail(format!("unknown kb command {verb:?}")),
+        }
+    }
+
+    /// Executes the command, returning its one-line answer.
+    pub fn execute(&self, kb: &mut KnowledgeBase) -> Result<String, KbError> {
+        match self {
+            KbCommand::Concept { name } => {
+                kb.concept(name)?;
+                Ok("ok".into())
+            }
+            KbCommand::Feature { concept, feature } => {
+                kb.add_feature(concept, feature)?;
+                Ok("ok".into())
+            }
+            KbCommand::Rule { text } => {
+                let name = kb.define_rule(text)?;
+                Ok(format!("rule {name}"))
+            }
+            KbCommand::Assert { pred, a, b } => Ok(match kb.assert_fact(*pred, a, b)? {
+                AssertOutcome::Applied => "applied".into(),
+                AssertOutcome::Noop => "noop".into(),
+                AssertOutcome::CycleRejected => "rejected".into(),
+            }),
+            KbCommand::Retract { pred, a, b } => Ok(match kb.retract_fact(*pred, a, b)? {
+                RetractOutcome::Removed => "removed".into(),
+                RetractOutcome::KeptDerived => "kept-derived".into(),
+            }),
+            KbCommand::Ask { pred, a, b } => {
+                Ok(if kb.ask(*pred, a, b)? { "true" } else { "false" }.into())
+            }
+            KbCommand::Below { pred, a } => {
+                let names = kb.below(*pred, a)?;
+                Ok(format!("{} {}", names.len(), names.join(" "))
+                    .trim_end()
+                    .to_string())
+            }
+            KbCommand::SetProp {
+                concept,
+                prop,
+                value,
+            } => {
+                kb.set_prop(concept, prop, value)?;
+                Ok("ok".into())
+            }
+            KbCommand::GetProp { concept, prop } => Ok(match kb.get_prop(concept, prop)? {
+                PropertyLookup::Undefined => "undefined".into(),
+                PropertyLookup::Value { value, provider } => {
+                    format!("{value} from {}", kb.concept_name(provider.0))
+                }
+                PropertyLookup::Conflict(providers) => {
+                    let mut names: Vec<String> = providers
+                        .iter()
+                        .map(|(id, v)| format!("{}={v}", kb.concept_name(id.0)))
+                        .collect();
+                    names.sort_unstable();
+                    format!("conflict {}", names.join(" "))
+                }
+            }),
+            KbCommand::Check => match kb.check_against_naive() {
+                Ok(()) => Ok("consistent".into()),
+                Err(e) => Err(KbError::Parse(format!("differential check failed: {e}"))),
+            },
+            KbCommand::Stats => {
+                let s = kb.stats();
+                Ok(format!(
+                    "concepts {} asserted {} derived {} overdeleted {} rederived {} cycle-rejected {}",
+                    kb.concept_count(),
+                    s.asserted,
+                    s.derived,
+                    s.overdeleted,
+                    s.rederived,
+                    s.cycle_rejected
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kb: &mut KnowledgeBase, line: &str) -> String {
+        KbCommand::parse(line)
+            .unwrap_or_else(|e| panic!("{line:?}: {e}"))
+            .execute(kb)
+            .unwrap_or_else(|e| panic!("{line:?}: {e}"))
+    }
+
+    #[test]
+    fn command_script_drives_the_engine_end_to_end() {
+        let mut kb = KnowledgeBase::new();
+        assert_eq!(
+            run(&mut kb, "rule up: isa(X, Y) :- partof(X, Z), isa(Z, Y)"),
+            "rule up"
+        );
+        assert_eq!(run(&mut kb, "assert partof engine piston"), "applied");
+        assert_eq!(run(&mut kb, "assert isa piston forged-piston"), "applied");
+        assert_eq!(run(&mut kb, "ask isa engine forged-piston"), "true");
+        assert_eq!(run(&mut kb, "below isa engine"), "1 forged-piston");
+        assert_eq!(run(&mut kb, "retract partof engine piston"), "removed");
+        assert_eq!(run(&mut kb, "ask isa engine forged-piston"), "false");
+        assert_eq!(run(&mut kb, "check"), "consistent");
+        assert!(run(&mut kb, "stats").starts_with("concepts 3 asserted 2"));
+    }
+
+    #[test]
+    fn property_commands_resolve_by_inheritance() {
+        let mut kb = KnowledgeBase::new();
+        run(&mut kb, "assert isa vehicle car");
+        assert_eq!(run(&mut kb, "set-prop vehicle wheels 4 or more"), "ok");
+        assert_eq!(run(&mut kb, "get-prop car wheels"), "4 or more from vehicle");
+        assert_eq!(run(&mut kb, "get-prop vehicle cargo"), "undefined");
+    }
+
+    #[test]
+    fn malformed_commands_are_parse_errors() {
+        for bad in [
+            "",
+            "frobnicate",
+            "assert friend a b",
+            "assert isa a",
+            "assert isa a b c",
+            "ask partof",
+            "below isa",
+            "rule",
+            "concept",
+            "concept a b",
+            "set-prop x wheels",
+            "check now",
+        ] {
+            assert!(KbCommand::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn semantic_failures_are_errors_not_panics() {
+        let mut kb = KnowledgeBase::new();
+        let ask = KbCommand::parse("ask isa ghost gone").unwrap();
+        assert!(ask.execute(&mut kb).is_err());
+        let retract = KbCommand::parse("retract isa ghost gone").unwrap();
+        assert!(retract.execute(&mut kb).is_err());
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`Inheritance`] — property inheritance along IS-A paths with
 //!   most-specific-wins override and multiple-inheritance conflict
 //!   detection.
+//! * [`rules`] — datalog-ish Horn rules over the transitive relations,
+//!   forward-chained semi-naively through delta-reporting closure updates,
+//!   with DRed-style retraction and a naive-re-derivation differential gate.
 //! * [`Classifier`] — a feature-vector terminological classifier in the
 //!   KL-ONE tradition: subsumption is feature containment, and new concepts
 //!   are slotted under their most specific subsumers automatically.
@@ -29,12 +32,18 @@
 #![warn(rust_2018_idioms)]
 
 mod classify;
+mod command;
 mod disjoint;
 mod inherit;
 pub mod lattice;
+pub mod rules;
 mod taxonomy;
 
 pub use classify::{Classifier, DefinedConcept};
+pub use command::KbCommand;
 pub use disjoint::{DisjointnessAxioms, DisjointnessViolation};
 pub use inherit::{Inheritance, PropertyLookup};
+pub use rules::{
+    AssertOutcome, KbChange, KbError, KbStats, KnowledgeBase, Pred, RetractOutcome, Rule,
+};
 pub use taxonomy::{ConceptId, Taxonomy, TaxonomyError};

@@ -1,0 +1,1514 @@
+//! Rule-driven incremental inference over the compressed closure.
+//!
+//! The paper's §2.1 knowledge bases don't just *store* IS-A and PART-OF
+//! relations — they reason over them. This module adds a datalog-ish Horn
+//! rule layer on top of the closure:
+//!
+//! * **Rules** have a derived-edge head and a body of `isa`/`partof` atoms
+//!   plus `feat` (feature) predicates, e.g.
+//!   `up: isa(X, Y) :- partof(X, Z), isa(Z, Y), feat(Z, critical)`.
+//!   Identifiers starting with an uppercase letter are variables; anything
+//!   else names a concept or feature constant.
+//! * **Body atoms match the transitive relation**, not just direct arcs:
+//!   `isa(x, y)` holds iff `x` strictly reaches `y` in the IS-A closure —
+//!   one interval lookup, which is exactly why the closure is the right
+//!   substrate for rule evaluation.
+//! * **Assertion is semi-naive**: every arc insertion goes through the
+//!   delta-reporting update hooks ([`tc_core::EdgeDelta`]), and each rule is
+//!   joined only against the newly-true pairs — the classic delta-relation
+//!   argument: any new derivation must use at least one new atom, so seeding
+//!   one body position with the delta and the rest with the full relation
+//!   finds them all.
+//! * **Retraction is DRed-style** (delete and re-derive): after the base
+//!   fact's arc is removed — each removal running the §4.2 *scoped*
+//!   affected-region recompute inside `remove_edge` — derived facts whose
+//!   recorded supports are no longer valid are conservatively over-deleted,
+//!   then every casualty still derivable from the surviving model is
+//!   re-added and forward-chained back in.
+//! * **The differential gate** ([`KnowledgeBase::check_against_naive`])
+//!   replays the surviving base facts into a fresh knowledge base, runs a
+//!   genuinely naive all-rules/all-bindings fixpoint, and requires the two
+//!   models to agree edge-for-edge and successor-set-for-successor-set.
+//!
+//! Derived heads that would create a cycle are rejected and counted
+//! ([`KbStats::cycle_rejected`]); since a rejection makes the final model
+//! depend on insertion order, differential checks are only meaningful when
+//! the counter is zero — the fuzz campaign gates on exactly that.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use tc_core::{ClosureConfig, CompressedClosure, EdgeDelta, UpdateError};
+use tc_graph::NodeId;
+
+use crate::{ConceptId, Inheritance, PropertyLookup, Taxonomy, TaxonomyError};
+
+/// The two transitive base relations rules range over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pred {
+    /// Subsumption: `isa(g, s)` — `g` subsumes `s` (arc general → specific).
+    IsA,
+    /// Aggregation: `partof(w, p)` — `p` is a part of `w` (arc whole → part).
+    PartOf,
+}
+
+impl Pred {
+    /// Parses the wire/text name of a predicate.
+    pub fn parse(s: &str) -> Option<Pred> {
+        match s {
+            "isa" => Some(Pred::IsA),
+            "partof" => Some(Pred::PartOf),
+            _ => None,
+        }
+    }
+
+    /// The wire/text name of the predicate.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pred::IsA => "isa",
+            Pred::PartOf => "partof",
+        }
+    }
+}
+
+/// A rule term: a variable (capitalized) or a concept constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A variable, bound during evaluation.
+    Var(String),
+    /// A concept name, resolved lazily (rules may be defined before the
+    /// concepts they mention exist).
+    Const(String),
+}
+
+/// A body or head atom over one of the transitive relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Which relation the atom ranges over.
+    pub pred: Pred,
+    /// Subject (source of the arc).
+    pub sub: Term,
+    /// Object (target of the arc).
+    pub obj: Term,
+}
+
+/// A feature predicate in a rule body: `feat(Term, feature-name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatAtom {
+    /// The concept term carrying the feature.
+    pub term: Term,
+    /// The required feature.
+    pub feature: String,
+}
+
+/// A Horn rule: `head :- body-atoms, feat-atoms`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule name (diagnostics and redefinition).
+    pub name: String,
+    /// The derived edge.
+    pub head: Atom,
+    /// Edge atoms of the body.
+    pub body: Vec<Atom>,
+    /// Feature atoms of the body.
+    pub feats: Vec<FeatAtom>,
+}
+
+/// Errors from knowledge-base operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbError {
+    /// Rule or command text failed to parse.
+    Parse(String),
+    /// A referenced concept does not exist (queries never auto-create).
+    UnknownConcept(String),
+    /// Retraction of a fact that was never asserted as a base fact.
+    NotAsserted(Pred, String, String),
+    /// Relations are irreflexive; `assert isa x x` is meaningless.
+    SelfLoop(String),
+    /// An underlying taxonomy operation failed.
+    Taxonomy(TaxonomyError),
+    /// An underlying closure update failed.
+    Update(UpdateError),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Parse(m) => write!(f, "parse error: {m}"),
+            KbError::UnknownConcept(n) => write!(f, "unknown concept {n:?}"),
+            KbError::NotAsserted(p, a, b) => {
+                write!(f, "{}({a}, {b}) is not an asserted base fact", p.name())
+            }
+            KbError::SelfLoop(n) => write!(f, "self-referential fact on {n:?}"),
+            KbError::Taxonomy(e) => write!(f, "{e}"),
+            KbError::Update(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+impl From<TaxonomyError> for KbError {
+    fn from(e: TaxonomyError) -> Self {
+        KbError::Taxonomy(e)
+    }
+}
+
+/// Outcome of an assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssertOutcome {
+    /// The fact was new; its arc was inserted and rules forward-chained.
+    Applied,
+    /// The fact was already present (asserted or derived); marked asserted.
+    Noop,
+    /// The arc would create a cycle; rejected and counted.
+    CycleRejected,
+}
+
+/// Outcome of a retract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetractOutcome {
+    /// The arc was removed (with DRed cascade over derived facts).
+    Removed,
+    /// The fact is still derivable by rule, so the arc stays as a derived
+    /// fact; only the asserted flag was cleared.
+    KeptDerived,
+}
+
+/// One closure mutation, journaled for serving-layer forwarding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbChange {
+    /// A concept was created (dense ids, in creation order).
+    NewConcept {
+        /// The new concept's dense id.
+        id: u32,
+        /// Its name.
+        name: String,
+    },
+    /// An arc entered one of the relations.
+    EdgeAdded {
+        /// Relation.
+        pred: Pred,
+        /// Arc source.
+        src: u32,
+        /// Arc target.
+        dst: u32,
+        /// Whether a rule (rather than an assert) introduced it.
+        derived: bool,
+    },
+    /// An arc left one of the relations.
+    EdgeRemoved {
+        /// Relation.
+        pred: Pred,
+        /// Arc source.
+        src: u32,
+        /// Arc target.
+        dst: u32,
+    },
+}
+
+/// Evaluation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KbStats {
+    /// Base facts applied.
+    pub asserted: u64,
+    /// Derived arcs introduced by rule heads.
+    pub derived: u64,
+    /// Derived arcs conservatively removed during DRed over-deletion.
+    pub overdeleted: u64,
+    /// Over-deleted arcs restored by re-derivation.
+    pub rederived: u64,
+    /// Head instantiations rejected because the arc would create a cycle.
+    pub cycle_rejected: u64,
+}
+
+/// One recorded derivation of a fact: the ground body that produced it.
+/// Supports are capped per fact — losing one is safe because the DRed
+/// re-derive phase re-checks derivability from scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Support {
+    edges: Vec<(Pred, u32, u32)>,
+    feats: Vec<(u32, String)>,
+}
+
+const MAX_SUPPORTS: usize = 8;
+
+#[derive(Debug, Clone)]
+struct Fact {
+    asserted: bool,
+    supports: Vec<Support>,
+}
+
+/// A knowledge base: named concepts, two transitive relations served by
+/// compressed closures, features, Horn rules, and property inheritance.
+///
+/// ```
+/// use tc_kb::rules::{KnowledgeBase, Pred};
+///
+/// let mut kb = KnowledgeBase::new();
+/// kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+/// kb.assert_fact(Pred::PartOf, "engine", "piston").unwrap();
+/// kb.assert_fact(Pred::IsA, "piston", "small-piston").unwrap();
+/// assert!(kb.ask(Pred::IsA, "engine", "small-piston").unwrap());
+/// kb.check_against_naive().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    taxonomy: Taxonomy,
+    part: CompressedClosure,
+    features: Vec<BTreeSet<String>>,
+    feat_index: HashMap<String, BTreeSet<u32>>,
+    rules: Vec<Rule>,
+    facts: BTreeMap<(Pred, u32, u32), Fact>,
+    props: Inheritance,
+    journal: Vec<KbChange>,
+    stats: KbStats,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type Env = HashMap<String, u32>;
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    pub fn new() -> Self {
+        KnowledgeBase {
+            taxonomy: Taxonomy::new(),
+            part: ClosureConfig::new()
+                .build(&tc_graph::DiGraph::new())
+                .expect("empty graph is acyclic"),
+            features: Vec::new(),
+            feat_index: HashMap::new(),
+            rules: Vec::new(),
+            facts: BTreeMap::new(),
+            props: Inheritance::new(),
+            journal: Vec::new(),
+            stats: KbStats::default(),
+        }
+    }
+
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.taxonomy.len()
+    }
+
+    /// Evaluation counters.
+    pub fn stats(&self) -> KbStats {
+        self.stats
+    }
+
+    /// The IS-A side of the knowledge base (names + subsumption closure).
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Drains the journal of closure mutations accumulated since the last
+    /// drain (serving layers forward these to their own replicas).
+    pub fn take_journal(&mut self) -> Vec<KbChange> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// The id of an existing concept.
+    pub fn concept_id(&self, name: &str) -> Option<u32> {
+        self.taxonomy.id(name).ok().map(|c| c.0)
+    }
+
+    /// The name of a concept id.
+    pub fn concept_name(&self, id: u32) -> &str {
+        self.taxonomy.name(ConceptId(id))
+    }
+
+    /// Returns the id of `name`, creating the concept if needed (facts
+    /// auto-introduce the concepts they mention, the way streamed knowledge
+    /// bases grow).
+    pub fn concept(&mut self, name: &str) -> Result<u32, KbError> {
+        if let Ok(c) = self.taxonomy.id(name) {
+            return Ok(c.0);
+        }
+        let id = self.taxonomy.add_root(name)?;
+        let mirrored = self
+            .part
+            .add_node_with_parents(&[])
+            .map_err(KbError::Update)?;
+        debug_assert_eq!(id.0, mirrored.0, "relations must stay in lockstep");
+        self.features.push(BTreeSet::new());
+        self.journal.push(KbChange::NewConcept {
+            id: id.0,
+            name: name.to_string(),
+        });
+        Ok(id.0)
+    }
+
+    /// Attaches a feature to a concept (creating the concept if needed) and
+    /// forward-chains any rules the new feature atom enables. Features are
+    /// extensional only — rules test them, never derive them.
+    pub fn add_feature(&mut self, concept: &str, feature: &str) -> Result<(), KbError> {
+        let id = self.concept(concept)?;
+        if !self.features[id as usize].insert(feature.to_string()) {
+            return Ok(());
+        }
+        self.feat_index
+            .entry(feature.to_string())
+            .or_default()
+            .insert(id);
+        let mut work = VecDeque::new();
+        work.push_back(DeltaAtom::Feat(id, feature.to_string()));
+        self.propagate(work);
+        Ok(())
+    }
+
+    /// Defines (or redefines, by name) a rule. Returns the rule's name.
+    /// Concept constants named by the rule are created if absent, so a
+    /// rule can never refer to a concept the model doesn't know.
+    ///
+    /// Existing derived facts are not re-evaluated — define rules before the
+    /// facts they should fire on (the streaming-ingestion order).
+    pub fn define_rule(&mut self, text: &str) -> Result<String, KbError> {
+        let rule = parse_rule(text)?;
+        let consts: Vec<String> = rule
+            .body
+            .iter()
+            .chain(std::iter::once(&rule.head))
+            .flat_map(|a| [&a.sub, &a.obj])
+            .chain(rule.feats.iter().map(|f| &f.term))
+            .filter_map(|t| match t {
+                Term::Const(c) => Some(c.clone()),
+                Term::Var(_) => None,
+            })
+            .collect();
+        for c in consts {
+            self.concept(&c)?;
+        }
+        let name = rule.name.clone();
+        if let Some(slot) = self.rules.iter_mut().find(|r| r.name == name) {
+            *slot = rule;
+        } else {
+            self.rules.push(rule);
+        }
+        Ok(name)
+    }
+
+    /// The currently defined rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Whether `pred(a, b)` holds in the transitive relation (strict: a
+    /// concept neither subsumes itself nor is a part of itself here).
+    pub fn ask(&self, pred: Pred, a: &str, b: &str) -> Result<bool, KbError> {
+        let x = self
+            .concept_id(a)
+            .ok_or_else(|| KbError::UnknownConcept(a.to_string()))?;
+        let y = self
+            .concept_id(b)
+            .ok_or_else(|| KbError::UnknownConcept(b.to_string()))?;
+        Ok(self.holds(pred, x, y))
+    }
+
+    /// Every concept strictly below `a` in the given relation, sorted.
+    pub fn below(&self, pred: Pred, a: &str) -> Result<Vec<String>, KbError> {
+        let x = self
+            .concept_id(a)
+            .ok_or_else(|| KbError::UnknownConcept(a.to_string()))?;
+        let mut out: Vec<String> = self
+            .clos(pred)
+            .successors(NodeId(x))
+            .into_iter()
+            .filter(|v| v.0 != x)
+            .map(|v| self.concept_name(v.0).to_string())
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Sets a property on a concept (creating it if needed); resolved by
+    /// most-specific-provider inheritance over the IS-A relation.
+    pub fn set_prop(&mut self, concept: &str, prop: &str, value: &str) -> Result<(), KbError> {
+        self.concept(concept)?;
+        self.props.set(&self.taxonomy, concept, prop, value)?;
+        Ok(())
+    }
+
+    /// Resolves a property at a concept by inheritance along IS-A.
+    pub fn get_prop(&self, concept: &str, prop: &str) -> Result<PropertyLookup, KbError> {
+        Ok(self.props.effective(&self.taxonomy, concept, prop)?)
+    }
+
+    /// Asserts a base fact, inserting its arc through the delta-reporting
+    /// §4.1 add path and semi-naively forward-chaining every rule over the
+    /// newly-true pairs.
+    pub fn assert_fact(&mut self, pred: Pred, a: &str, b: &str) -> Result<AssertOutcome, KbError> {
+        if a == b {
+            return Err(KbError::SelfLoop(a.to_string()));
+        }
+        let x = self.concept(a)?;
+        let y = self.concept(b)?;
+        let key = (pred, x, y);
+        if let Some(fact) = self.facts.get_mut(&key) {
+            fact.asserted = true;
+            return Ok(AssertOutcome::Noop);
+        }
+        let delta = match self.edge_add(pred, x, y) {
+            Ok(delta) => delta,
+            Err(KbEdgeError::Cycle) => {
+                self.stats.cycle_rejected += 1;
+                return Ok(AssertOutcome::CycleRejected);
+            }
+            Err(KbEdgeError::Other(e)) => return Err(e),
+        };
+        self.facts.insert(
+            key,
+            Fact {
+                asserted: true,
+                supports: Vec::new(),
+            },
+        );
+        self.stats.asserted += 1;
+        self.journal.push(KbChange::EdgeAdded {
+            pred,
+            src: x,
+            dst: y,
+            derived: false,
+        });
+        let mut work = VecDeque::new();
+        for &(s, t) in &delta.changed {
+            work.push_back(DeltaAtom::Edge(pred, s.0, t.0));
+        }
+        self.propagate(work);
+        Ok(AssertOutcome::Applied)
+    }
+
+    /// Retracts a base fact with DRed-style maintenance: if rules still
+    /// derive the fact its arc survives as derived-only; otherwise the arc
+    /// is removed (scoped §4.2 recompute inside `remove_edge`), derived
+    /// facts left without a valid recorded support are over-deleted, and
+    /// every casualty still derivable from the surviving model is re-added
+    /// and forward-chained.
+    pub fn retract_fact(
+        &mut self,
+        pred: Pred,
+        a: &str,
+        b: &str,
+    ) -> Result<RetractOutcome, KbError> {
+        let x = self
+            .concept_id(a)
+            .ok_or_else(|| KbError::UnknownConcept(a.to_string()))?;
+        let y = self
+            .concept_id(b)
+            .ok_or_else(|| KbError::UnknownConcept(b.to_string()))?;
+        let key = (pred, x, y);
+        match self.facts.get_mut(&key) {
+            Some(fact) if fact.asserted => fact.asserted = false,
+            _ => return Err(KbError::NotAsserted(pred, a.to_string(), b.to_string())),
+        }
+        if let Some(support) = self.derivation_of(pred, x, y) {
+            let fact = self.facts.get_mut(&key).expect("checked above");
+            fact.supports.clear();
+            fact.supports.push(support);
+            return Ok(RetractOutcome::KeptDerived);
+        }
+        self.remove_fact_edge(key)?;
+        self.dred_cascade()?;
+        Ok(RetractOutcome::Removed)
+    }
+
+    /// Differential gate: rebuilds the model from scratch — same concepts,
+    /// features and rules, the surviving base facts replayed in canonical
+    /// order, then a genuinely naive all-rules/all-bindings fixpoint — and
+    /// checks the incremental model against it arc-for-arc and
+    /// successor-set-for-successor-set.
+    ///
+    /// Only meaningful while [`KbStats::cycle_rejected`] is zero: a rejected
+    /// head makes the surviving model depend on arrival order, which a
+    /// from-scratch replay cannot reproduce.
+    pub fn check_against_naive(&self) -> Result<(), String> {
+        let mut naive = KnowledgeBase::new();
+        naive.rules = self.rules.clone();
+        for name in self.taxonomy.concepts() {
+            naive.concept(name).map_err(|e| e.to_string())?;
+        }
+        for (id, feats) in self.features.iter().enumerate() {
+            for f in feats {
+                naive.features[id].insert(f.clone());
+                naive.feat_index.entry(f.clone()).or_default().insert(id as u32);
+            }
+        }
+        // Base facts in canonical key order. The base graph is a subgraph
+        // of the (acyclic) full graph, so none of these can be rejected.
+        for (&(pred, x, y), fact) in &self.facts {
+            if !fact.asserted {
+                continue;
+            }
+            naive
+                .edge_add(pred, x, y)
+                .map_err(|e| format!("naive replay of {}({x},{y}): {e:?}", pred.name()))?;
+            naive.facts.insert(
+                (pred, x, y),
+                Fact {
+                    asserted: true,
+                    supports: Vec::new(),
+                },
+            );
+        }
+        naive.naive_fixpoint().map_err(|e| e.to_string())?;
+        if naive.stats.cycle_rejected > 0 {
+            return Err("naive fixpoint hit a cycle rejection; model is order-dependent".into());
+        }
+        for pred in [Pred::IsA, Pred::PartOf] {
+            let mine: BTreeSet<(u32, u32)> = self
+                .clos(pred)
+                .graph()
+                .edges()
+                .map(|(s, t)| (s.0, t.0))
+                .collect();
+            let theirs: BTreeSet<(u32, u32)> = naive
+                .clos(pred)
+                .graph()
+                .edges()
+                .map(|(s, t)| (s.0, t.0))
+                .collect();
+            if mine != theirs {
+                let extra: Vec<_> = mine.difference(&theirs).take(5).collect();
+                let missing: Vec<_> = theirs.difference(&mine).take(5).collect();
+                return Err(format!(
+                    "{} arc sets diverge: incremental has extra {extra:?}, missing {missing:?}",
+                    pred.name()
+                ));
+            }
+            for id in 0..self.concept_count() as u32 {
+                let mut a = self.clos(pred).successors(NodeId(id));
+                let mut b = naive.clos(pred).successors(NodeId(id));
+                a.sort_unstable();
+                b.sort_unstable();
+                if a != b {
+                    return Err(format!(
+                        "{} successor set of {} ({:?}) diverges from naive re-derivation",
+                        pred.name(),
+                        self.concept_name(id),
+                        NodeId(id),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery
+    // ------------------------------------------------------------------
+
+    fn clos(&self, pred: Pred) -> &CompressedClosure {
+        match pred {
+            Pred::IsA => self.taxonomy.closure(),
+            Pred::PartOf => &self.part,
+        }
+    }
+
+    /// Strict transitive truth: `x` reaches `y` and `x != y`.
+    fn holds(&self, pred: Pred, x: u32, y: u32) -> bool {
+        x != y && self.clos(pred).reaches(NodeId(x), NodeId(y))
+    }
+
+    fn edge_add(&mut self, pred: Pred, x: u32, y: u32) -> Result<EdgeDelta, KbEdgeError> {
+        match pred {
+            Pred::IsA => match self.taxonomy.add_isa_delta(ConceptId(x), ConceptId(y)) {
+                Ok(d) => Ok(d),
+                Err(TaxonomyError::SubsumptionCycle(_, _)) => Err(KbEdgeError::Cycle),
+                Err(e) => Err(KbEdgeError::Other(KbError::Taxonomy(e))),
+            },
+            Pred::PartOf => match self.part.add_edge_delta(NodeId(x), NodeId(y)) {
+                Ok(d) => Ok(d),
+                Err(UpdateError::WouldCreateCycle { .. }) | Err(UpdateError::SelfLoop(_)) => {
+                    Err(KbEdgeError::Cycle)
+                }
+                Err(e) => Err(KbEdgeError::Other(KbError::Update(e))),
+            },
+        }
+    }
+
+    fn remove_fact_edge(&mut self, key: (Pred, u32, u32)) -> Result<EdgeDelta, KbError> {
+        let (pred, x, y) = key;
+        let delta = match pred {
+            Pred::IsA => self
+                .taxonomy
+                .remove_isa_delta(ConceptId(x), ConceptId(y))
+                .map_err(KbError::Taxonomy)?,
+            Pred::PartOf => self
+                .part
+                .remove_edge_delta(NodeId(x), NodeId(y))
+                .map_err(KbError::Update)?,
+        };
+        self.facts.remove(&key);
+        self.journal.push(KbChange::EdgeRemoved {
+            pred,
+            src: x,
+            dst: y,
+        });
+        Ok(delta)
+    }
+
+    /// Semi-naive forward chaining: each worklist entry is one newly-true
+    /// ground atom; for every rule position it can fill, the remaining body
+    /// is joined against the full current relations and the resulting heads
+    /// are materialized (which can enqueue further newly-true pairs).
+    fn propagate(&mut self, mut work: VecDeque<DeltaAtom>) {
+        while let Some(delta) = work.pop_front() {
+            for ri in 0..self.rules.len() {
+                let rule = self.rules[ri].clone();
+                match &delta {
+                    DeltaAtom::Edge(pred, x, y) => {
+                        for pos in 0..rule.body.len() {
+                            if rule.body[pos].pred != *pred {
+                                continue;
+                            }
+                            let mut env = Env::new();
+                            if !bind_term(&rule.body[pos].sub, *x, &mut env, self)
+                                || !bind_term(&rule.body[pos].obj, *y, &mut env, self)
+                            {
+                                continue;
+                            }
+                            let envs = self.complete(&rule, env, Some(pos), usize::MAX);
+                            for env in envs {
+                                self.fire(&rule, &env, &mut work);
+                            }
+                        }
+                    }
+                    DeltaAtom::Feat(id, feature) => {
+                        for pos in 0..rule.feats.len() {
+                            if rule.feats[pos].feature != *feature {
+                                continue;
+                            }
+                            let mut env = Env::new();
+                            if !bind_term(&rule.feats[pos].term, *id, &mut env, self) {
+                                continue;
+                            }
+                            let envs = self.complete(&rule, env, None, pos);
+                            for env in envs {
+                                self.fire(&rule, &env, &mut work);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materializes one ground head instantiation. An already-present fact
+    /// just gains a support; a genuinely new arc goes through the delta add
+    /// path and its newly-true pairs join the worklist.
+    fn fire(&mut self, rule: &Rule, env: &Env, work: &mut VecDeque<DeltaAtom>) {
+        let Some(x) = self.resolve(&rule.head.sub, env) else {
+            return;
+        };
+        let Some(y) = self.resolve(&rule.head.obj, env) else {
+            return;
+        };
+        if x == y {
+            return;
+        }
+        let pred = rule.head.pred;
+        let support = self.ground_support(rule, env);
+        if let Some(fact) = self.facts.get_mut(&(pred, x, y)) {
+            if fact.supports.len() < MAX_SUPPORTS && !fact.supports.contains(&support) {
+                fact.supports.push(support);
+            }
+            return;
+        }
+        match self.edge_add(pred, x, y) {
+            Ok(delta) => {
+                self.facts.insert(
+                    (pred, x, y),
+                    Fact {
+                        asserted: false,
+                        supports: vec![support],
+                    },
+                );
+                self.stats.derived += 1;
+                self.journal.push(KbChange::EdgeAdded {
+                    pred,
+                    src: x,
+                    dst: y,
+                    derived: true,
+                });
+                for &(s, t) in &delta.changed {
+                    work.push_back(DeltaAtom::Edge(pred, s.0, t.0));
+                }
+            }
+            Err(KbEdgeError::Cycle) => {
+                self.stats.cycle_rejected += 1;
+            }
+            Err(KbEdgeError::Other(_)) => {
+                // Capacity-style failures during derivation: the head is
+                // dropped (counted as a rejection) rather than poisoning the
+                // whole propagation.
+                self.stats.cycle_rejected += 1;
+            }
+        }
+    }
+
+    fn ground_support(&self, rule: &Rule, env: &Env) -> Support {
+        let mut edges = Vec::with_capacity(rule.body.len());
+        for atom in &rule.body {
+            if let (Some(s), Some(o)) = (self.resolve(&atom.sub, env), self.resolve(&atom.obj, env))
+            {
+                edges.push((atom.pred, s, o));
+            }
+        }
+        let mut feats = Vec::with_capacity(rule.feats.len());
+        for fa in &rule.feats {
+            if let Some(c) = self.resolve(&fa.term, env) {
+                feats.push((c, fa.feature.clone()));
+            }
+        }
+        Support { edges, feats }
+    }
+
+    fn support_valid(&self, support: &Support) -> bool {
+        support
+            .edges
+            .iter()
+            .all(|&(p, x, y)| self.holds(p, x, y))
+            && support
+                .feats
+                .iter()
+                .all(|(c, f)| self.features[*c as usize].contains(f))
+    }
+
+    /// DRed cascade: over-delete every derived arc whose recorded supports
+    /// all fail against the current model, then re-derive the casualties
+    /// that the surviving model still justifies.
+    fn dred_cascade(&mut self) -> Result<(), KbError> {
+        let mut casualties: Vec<(Pred, u32, u32)> = Vec::new();
+        loop {
+            let victim = self.facts.iter().find_map(|(key, fact)| {
+                if fact.asserted {
+                    return None;
+                }
+                let justified = fact.supports.iter().any(|s| self.support_valid(s));
+                (!justified).then_some(*key)
+            });
+            let Some(key) = victim else { break };
+            self.remove_fact_edge(key)?;
+            self.stats.overdeleted += 1;
+            casualties.push(key);
+        }
+        // Re-derive: restoring one casualty can justify another, so sweep
+        // until a full pass restores nothing. Each restoration forward-
+        // chains, which may itself re-materialize later casualties — those
+        // are skipped when their turn comes.
+        loop {
+            let mut restored = false;
+            for &(pred, x, y) in &casualties {
+                if self.facts.contains_key(&(pred, x, y)) {
+                    continue;
+                }
+                let Some(support) = self.derivation_of(pred, x, y) else {
+                    continue;
+                };
+                let delta = match self.edge_add(pred, x, y) {
+                    Ok(delta) => delta,
+                    Err(KbEdgeError::Cycle) => {
+                        self.stats.cycle_rejected += 1;
+                        continue;
+                    }
+                    Err(KbEdgeError::Other(e)) => return Err(e),
+                };
+                self.facts.insert(
+                    (pred, x, y),
+                    Fact {
+                        asserted: false,
+                        supports: vec![support],
+                    },
+                );
+                self.stats.rederived += 1;
+                self.journal.push(KbChange::EdgeAdded {
+                    pred,
+                    src: x,
+                    dst: y,
+                    derived: true,
+                });
+                let mut work = VecDeque::new();
+                for &(s, t) in &delta.changed {
+                    work.push_back(DeltaAtom::Edge(pred, s.0, t.0));
+                }
+                self.propagate(work);
+                restored = true;
+            }
+            if !restored {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Searches for any current derivation of `pred(x, y)` and returns its
+    /// ground support.
+    fn derivation_of(&self, pred: Pred, x: u32, y: u32) -> Option<Support> {
+        for rule in &self.rules {
+            if rule.head.pred != pred {
+                continue;
+            }
+            let mut env = Env::new();
+            if !bind_term(&rule.head.sub, x, &mut env, self)
+                || !bind_term(&rule.head.obj, y, &mut env, self)
+            {
+                continue;
+            }
+            if let Some(env) = self
+                .complete(rule, env, None, usize::MAX)
+                .into_iter()
+                .next()
+            {
+                return Some(self.ground_support(rule, &env));
+            }
+        }
+        None
+    }
+
+    /// Completes a partial binding against the full current relations,
+    /// returning every total binding of the rule's body. `skip_edge` /
+    /// `skip_feat` exclude the already-satisfied delta position.
+    fn complete(
+        &self,
+        rule: &Rule,
+        env: Env,
+        skip_edge: Option<usize>,
+        skip_feat: usize,
+    ) -> Vec<Env> {
+        let edge_todo: Vec<usize> = (0..rule.body.len())
+            .filter(|&i| Some(i) != skip_edge)
+            .collect();
+        let feat_todo: Vec<usize> = (0..rule.feats.len()).filter(|&i| i != skip_feat).collect();
+        let mut out = Vec::new();
+        self.join(rule, env, &edge_todo, &feat_todo, &mut out);
+        out
+    }
+
+    /// Backtracking join, most-bound atom first: fully bound atoms are
+    /// verified with one interval lookup; half-bound atoms enumerate one
+    /// successor or predecessor row; feature atoms filter or enumerate the
+    /// feature index. Unbound edge atoms are deferred until a binding
+    /// reaches them (rules are expected to be range-connected; a fully
+    /// unconstrained atom falls back to enumerating every concept's row).
+    fn join(
+        &self,
+        rule: &Rule,
+        env: Env,
+        edge_todo: &[usize],
+        feat_todo: &[usize],
+        out: &mut Vec<Env>,
+    ) {
+        // Feature atoms first when bound (cheap filters), else the most
+        // bound edge atom.
+        for (slot, &fi) in feat_todo.iter().enumerate() {
+            let fa = &rule.feats[fi];
+            if let Some(c) = self.resolve(&fa.term, &env) {
+                if !self.features[c as usize].contains(&fa.feature) {
+                    return;
+                }
+                let rest: Vec<usize> = feat_todo
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, &f)| (j != slot).then_some(f))
+                    .collect();
+                return self.join(rule, env, edge_todo, &rest, out);
+            }
+        }
+        if edge_todo.is_empty() {
+            // Any remaining feature atoms have unbound terms: enumerate the
+            // feature index for the first one.
+            if let Some((slot, &fi)) = feat_todo.iter().enumerate().next() {
+                let fa = &rule.feats[fi];
+                let Term::Var(v) = &fa.term else {
+                    return; // unknown constant: unsatisfiable
+                };
+                let rest: Vec<usize> = feat_todo
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, &f)| (j != slot).then_some(f))
+                    .collect();
+                if let Some(ids) = self.feat_index.get(&fa.feature) {
+                    for &c in ids {
+                        let mut env2 = env.clone();
+                        env2.insert(v.clone(), c);
+                        self.join(rule, env2, edge_todo, &rest, out);
+                    }
+                }
+                return;
+            }
+            out.push(env);
+            return;
+        }
+        // Pick the edge atom with the most bound terms.
+        let (slot, _) = edge_todo
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let a = &rule.body[i];
+                self.resolve(&a.sub, &env).is_some() as usize
+                    + self.resolve(&a.obj, &env).is_some() as usize
+            })
+            .expect("non-empty");
+        let ai = edge_todo[slot];
+        let atom = &rule.body[ai];
+        let rest: Vec<usize> = edge_todo
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &e)| (j != slot).then_some(e))
+            .collect();
+        let sub = self.resolve(&atom.sub, &env);
+        let obj = self.resolve(&atom.obj, &env);
+        match (sub, obj) {
+            (Some(s), Some(o)) => {
+                if self.holds(atom.pred, s, o) {
+                    self.join(rule, env, &rest, feat_todo, out);
+                }
+            }
+            (Some(s), None) => {
+                let Term::Var(v) = &atom.obj else { return };
+                for t in self.clos(atom.pred).successors(NodeId(s)) {
+                    if t.0 == s {
+                        continue;
+                    }
+                    let mut env2 = env.clone();
+                    env2.insert(v.clone(), t.0);
+                    self.join(rule, env2, &rest, feat_todo, out);
+                }
+            }
+            (None, Some(o)) => {
+                let Term::Var(v) = &atom.sub else { return };
+                for s in self.clos(atom.pred).predecessors(NodeId(o)) {
+                    if s.0 == o {
+                        continue;
+                    }
+                    let mut env2 = env.clone();
+                    env2.insert(v.clone(), s.0);
+                    self.join(rule, env2, &rest, feat_todo, out);
+                }
+            }
+            (None, None) => {
+                let (Term::Var(vs), Term::Var(vo)) = (&atom.sub, &atom.obj) else {
+                    return; // an unknown constant: unsatisfiable
+                };
+                for s in 0..self.concept_count() as u32 {
+                    for t in self.clos(atom.pred).successors(NodeId(s)) {
+                        if t.0 == s {
+                            continue;
+                        }
+                        let mut env2 = env.clone();
+                        env2.insert(vs.clone(), s);
+                        env2.insert(vo.clone(), t.0);
+                        self.join(rule, env2, &rest, feat_todo, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve(&self, term: &Term, env: &Env) -> Option<u32> {
+        match term {
+            Term::Var(v) => env.get(v).copied(),
+            Term::Const(c) => self.concept_id(c),
+        }
+    }
+
+    /// Genuinely naive fixpoint: every rule against every binding until no
+    /// new arc is materialized. The differential oracle the incremental
+    /// engine is checked against.
+    fn naive_fixpoint(&mut self) -> Result<(), KbError> {
+        loop {
+            let mut new_heads: Vec<(Pred, u32, u32, Support)> = Vec::new();
+            for rule in self.rules.clone() {
+                for env in self.complete(&rule, Env::new(), None, usize::MAX) {
+                    let (Some(x), Some(y)) = (
+                        self.resolve(&rule.head.sub, &env),
+                        self.resolve(&rule.head.obj, &env),
+                    ) else {
+                        continue;
+                    };
+                    if x == y || self.facts.contains_key(&(rule.head.pred, x, y)) {
+                        continue;
+                    }
+                    new_heads.push((rule.head.pred, x, y, self.ground_support(&rule, &env)));
+                }
+            }
+            let mut changed = false;
+            for (pred, x, y, support) in new_heads {
+                if self.facts.contains_key(&(pred, x, y)) {
+                    continue;
+                }
+                match self.edge_add(pred, x, y) {
+                    Ok(_) => {
+                        self.facts.insert(
+                            (pred, x, y),
+                            Fact {
+                                asserted: false,
+                                supports: vec![support],
+                            },
+                        );
+                        self.stats.derived += 1;
+                        changed = true;
+                    }
+                    Err(KbEdgeError::Cycle) => {
+                        self.stats.cycle_rejected += 1;
+                    }
+                    Err(KbEdgeError::Other(e)) => return Err(e),
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum KbEdgeError {
+    Cycle,
+    Other(KbError),
+}
+
+#[derive(Debug, Clone)]
+enum DeltaAtom {
+    Edge(Pred, u32, u32),
+    Feat(u32, String),
+}
+
+/// Binds a term against a concrete id: variables extend the environment
+/// (or must agree with it); constants must name exactly that concept.
+fn bind_term(term: &Term, id: u32, env: &mut Env, kb: &KnowledgeBase) -> bool {
+    match term {
+        Term::Var(v) => match env.get(v) {
+            Some(&bound) => bound == id,
+            None => {
+                env.insert(v.clone(), id);
+                true
+            }
+        },
+        Term::Const(c) => kb.concept_id(c) == Some(id),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule text parser
+// ----------------------------------------------------------------------
+
+/// Parses `name: head :- atom, atom, ...` where each atom is
+/// `isa(T, T)`, `partof(T, T)` or `feat(T, feature)`. Capitalized
+/// identifiers are variables. Every head variable must occur in the body.
+pub fn parse_rule(text: &str) -> Result<Rule, KbError> {
+    let fail = |m: String| Err(KbError::Parse(m));
+    let Some((name, rest)) = text.split_once(':') else {
+        return fail("expected `name: head :- body`".into());
+    };
+    let name = name.trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return fail(format!("bad rule name {name:?}"));
+    }
+    let Some((head_text, body_text)) = rest.split_once(":-") else {
+        return fail("missing `:-`".into());
+    };
+    let head_atoms = parse_atoms(head_text)?;
+    let [ParsedAtom::Edge(head)] = head_atoms.as_slice() else {
+        return fail("head must be exactly one isa/partof atom".into());
+    };
+    let head = head.clone();
+    let mut body = Vec::new();
+    let mut feats = Vec::new();
+    for atom in parse_atoms(body_text)? {
+        match atom {
+            ParsedAtom::Edge(a) => body.push(a),
+            ParsedAtom::Feat(f) => feats.push(f),
+        }
+    }
+    if body.is_empty() && feats.is_empty() {
+        return fail("empty body".into());
+    }
+    // Range restriction: head variables must be bound by the body.
+    for term in [&head.sub, &head.obj] {
+        if let Term::Var(v) = term {
+            let in_body = body
+                .iter()
+                .any(|a| a.sub == Term::Var(v.clone()) || a.obj == Term::Var(v.clone()))
+                || feats.iter().any(|f| f.term == Term::Var(v.clone()));
+            if !in_body {
+                return fail(format!("head variable {v} is not bound by the body"));
+            }
+        }
+    }
+    Ok(Rule {
+        name: name.to_string(),
+        head,
+        body,
+        feats,
+    })
+}
+
+enum ParsedAtom {
+    Edge(Atom),
+    Feat(FeatAtom),
+}
+
+fn parse_atoms(text: &str) -> Result<Vec<ParsedAtom>, KbError> {
+    let fail = |m: String| Err(KbError::Parse(m));
+    let mut out = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let Some(open) = rest.find('(') else {
+            return fail(format!("expected an atom at {rest:?}"));
+        };
+        let pred_name = rest[..open].trim();
+        let Some(close) = rest.find(')') else {
+            return fail(format!("unclosed atom at {rest:?}"));
+        };
+        if close < open {
+            return fail(format!("mismatched parentheses at {rest:?}"));
+        }
+        let args: Vec<&str> = rest[open + 1..close].split(',').map(str::trim).collect();
+        let [first, second] = args.as_slice() else {
+            return fail(format!("{pred_name} takes exactly two arguments"));
+        };
+        if first.is_empty() || second.is_empty() {
+            return fail(format!("{pred_name} has an empty argument"));
+        }
+        match pred_name {
+            "feat" => out.push(ParsedAtom::Feat(FeatAtom {
+                term: parse_term(first),
+                feature: second.to_string(),
+            })),
+            _ => {
+                let Some(pred) = Pred::parse(pred_name) else {
+                    return fail(format!("unknown predicate {pred_name:?}"));
+                };
+                out.push(ParsedAtom::Edge(Atom {
+                    pred,
+                    sub: parse_term(first),
+                    obj: parse_term(second),
+                }));
+            }
+        }
+        rest = rest[close + 1..].trim();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim();
+            if rest.is_empty() {
+                return fail("trailing comma".into());
+            }
+        } else if !rest.is_empty() {
+            return fail(format!("expected `,` before {rest:?}"));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_term(s: &str) -> Term {
+    if s.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        Term::Var(s.to_string())
+    } else {
+        Term::Const(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parser_accepts_the_readme_shape() {
+        let r = parse_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y), feat(Z, critical)")
+            .unwrap();
+        assert_eq!(r.name, "up");
+        assert_eq!(r.head.pred, Pred::IsA);
+        assert_eq!(r.body.len(), 2);
+        assert_eq!(r.feats.len(), 1);
+        assert_eq!(r.feats[0].feature, "critical");
+        assert_eq!(r.body[0].sub, Term::Var("X".into()));
+    }
+
+    #[test]
+    fn rule_parser_rejects_malformed_programs() {
+        for bad in [
+            "no-body: isa(X, Y) :-",
+            "unbound: isa(X, Y) :- isa(X, Z)",
+            "feat-head: feat(X, f) :- isa(X, y)",
+            "arity: isa(X) :- isa(X, Y)",
+            "pred: friend(X, Y) :- isa(X, Y)",
+            "missing-neck: isa(X, Y)",
+            "isa(X, Y) :- isa(X, Z)",
+            "two-heads: isa(X, Y), isa(Y, X) :- isa(X, Y)",
+        ] {
+            assert!(parse_rule(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn transitive_part_inheritance_fires_on_assert() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        assert_eq!(
+            kb.assert_fact(Pred::PartOf, "engine", "piston").unwrap(),
+            AssertOutcome::Applied
+        );
+        assert_eq!(
+            kb.assert_fact(Pred::IsA, "piston", "forged-piston").unwrap(),
+            AssertOutcome::Applied
+        );
+        assert!(kb.ask(Pred::IsA, "engine", "forged-piston").unwrap());
+        assert!(kb.stats().derived >= 1);
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn feature_atoms_gate_and_trigger_rules() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("crit: isa(X, Y) :- partof(X, Z), isa(Z, Y), feat(Z, critical)")
+            .unwrap();
+        kb.assert_fact(Pred::PartOf, "plane", "engine").unwrap();
+        kb.assert_fact(Pred::IsA, "engine", "jet-engine").unwrap();
+        // Feature not present yet: rule must NOT have fired.
+        assert!(!kb.ask(Pred::IsA, "plane", "jet-engine").unwrap());
+        // The feature arrives later and forward-chains the rule.
+        kb.add_feature("engine", "critical").unwrap();
+        assert!(kb.ask(Pred::IsA, "plane", "jet-engine").unwrap());
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn derived_facts_chain_through_derived_facts() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("lift: partof(X, Y) :- isa(X, Z), partof(Z, Y)").unwrap();
+        kb.assert_fact(Pred::IsA, "car", "sports-car").unwrap();
+        kb.assert_fact(Pred::IsA, "sports-car", "gt").unwrap();
+        kb.assert_fact(Pred::PartOf, "gt", "spoiler").unwrap();
+        // car isa gt (transitively) and gt has a spoiler, so car gets one;
+        // so does sports-car, through the same transitive body atom.
+        assert!(kb.ask(Pred::PartOf, "car", "spoiler").unwrap());
+        assert!(kb.ask(Pred::PartOf, "sports-car", "spoiler").unwrap());
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn retraction_of_underived_support_removes_derived_facts() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        kb.assert_fact(Pred::PartOf, "engine", "piston").unwrap();
+        kb.assert_fact(Pred::IsA, "piston", "forged-piston").unwrap();
+        assert!(kb.ask(Pred::IsA, "engine", "forged-piston").unwrap());
+        assert_eq!(
+            kb.retract_fact(Pred::PartOf, "engine", "piston").unwrap(),
+            RetractOutcome::Removed
+        );
+        assert!(!kb.ask(Pred::PartOf, "engine", "piston").unwrap());
+        assert!(
+            !kb.ask(Pred::IsA, "engine", "forged-piston").unwrap(),
+            "derived fact must fall with its support"
+        );
+        assert!(kb.stats().overdeleted >= 1);
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn retraction_keeps_facts_with_surviving_derivations() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        // Two independent parts both justify isa(machine, alloy-gear).
+        kb.assert_fact(Pred::PartOf, "machine", "gearbox").unwrap();
+        kb.assert_fact(Pred::PartOf, "machine", "spare-gearbox").unwrap();
+        kb.assert_fact(Pred::IsA, "gearbox", "alloy-gear").unwrap();
+        kb.assert_fact(Pred::IsA, "spare-gearbox", "alloy-gear").unwrap();
+        assert!(kb.ask(Pred::IsA, "machine", "alloy-gear").unwrap());
+        kb.retract_fact(Pred::PartOf, "machine", "gearbox").unwrap();
+        assert!(
+            kb.ask(Pred::IsA, "machine", "alloy-gear").unwrap(),
+            "second derivation must keep the fact alive"
+        );
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn retracting_a_fact_that_rules_still_derive_keeps_the_arc() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        kb.assert_fact(Pred::PartOf, "engine", "piston").unwrap();
+        kb.assert_fact(Pred::IsA, "piston", "forged-piston").unwrap();
+        // Assert the derivable fact as a base fact too, then retract it:
+        // the arc must survive as derived-only.
+        assert_eq!(
+            kb.assert_fact(Pred::IsA, "engine", "forged-piston").unwrap(),
+            AssertOutcome::Noop
+        );
+        assert_eq!(
+            kb.retract_fact(Pred::IsA, "engine", "forged-piston").unwrap(),
+            RetractOutcome::KeptDerived
+        );
+        assert!(kb.ask(Pred::IsA, "engine", "forged-piston").unwrap());
+        // Now remove the real support; the derived-only arc falls too.
+        kb.retract_fact(Pred::PartOf, "engine", "piston").unwrap();
+        assert!(!kb.ask(Pred::IsA, "engine", "forged-piston").unwrap());
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn rederivation_restores_overdeleted_facts() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        kb.define_rule("lift: partof(X, Y) :- isa(X, Z), partof(Z, Y)").unwrap();
+        kb.assert_fact(Pred::IsA, "fleet", "truck").unwrap();
+        kb.assert_fact(Pred::PartOf, "truck", "axle").unwrap();
+        kb.assert_fact(Pred::IsA, "axle", "steel-axle").unwrap();
+        // Derived: partof(fleet, axle), isa(truck, steel-axle), ...
+        assert!(kb.ask(Pred::PartOf, "fleet", "axle").unwrap());
+        assert!(kb.ask(Pred::IsA, "truck", "steel-axle").unwrap());
+        // Retract and re-assert in various orders; the differential check
+        // must hold at every quiescent point.
+        kb.retract_fact(Pred::IsA, "fleet", "truck").unwrap();
+        kb.check_against_naive().unwrap();
+        assert!(!kb.ask(Pred::PartOf, "fleet", "axle").unwrap());
+        kb.assert_fact(Pred::IsA, "fleet", "truck").unwrap();
+        assert!(kb.ask(Pred::PartOf, "fleet", "axle").unwrap());
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn cycle_heads_are_rejected_and_counted() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("inv: isa(Y, X) :- isa(X, Y), feat(X, flip)").unwrap();
+        kb.assert_fact(Pred::IsA, "a", "b").unwrap();
+        kb.add_feature("a", "flip").unwrap();
+        // The rule wants isa(b, a), which would close a cycle.
+        assert!(kb.ask(Pred::IsA, "a", "b").unwrap());
+        assert!(!kb.ask(Pred::IsA, "b", "a").unwrap());
+        assert_eq!(kb.stats().cycle_rejected, 1);
+    }
+
+    #[test]
+    fn constants_in_rules_bind_by_name() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("pin: isa(root, X) :- isa(anchor, X)").unwrap();
+        kb.assert_fact(Pred::IsA, "anchor", "leaf").unwrap();
+        kb.assert_fact(Pred::IsA, "root", "unrelated").unwrap();
+        assert!(kb.ask(Pred::IsA, "root", "leaf").unwrap());
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn asserts_are_idempotent_and_self_loops_rejected() {
+        let mut kb = KnowledgeBase::new();
+        assert_eq!(
+            kb.assert_fact(Pred::IsA, "a", "b").unwrap(),
+            AssertOutcome::Applied
+        );
+        assert_eq!(
+            kb.assert_fact(Pred::IsA, "a", "b").unwrap(),
+            AssertOutcome::Noop
+        );
+        assert!(matches!(
+            kb.assert_fact(Pred::IsA, "a", "a"),
+            Err(KbError::SelfLoop(_))
+        ));
+        assert_eq!(
+            kb.assert_fact(Pred::IsA, "b", "a").unwrap(),
+            AssertOutcome::CycleRejected
+        );
+        assert!(matches!(
+            kb.retract_fact(Pred::IsA, "b", "a"),
+            Err(KbError::NotAsserted(..))
+        ));
+    }
+
+    #[test]
+    fn inheritance_rides_the_rule_derived_hierarchy() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        kb.assert_fact(Pred::PartOf, "assembly", "bolt").unwrap();
+        kb.assert_fact(Pred::IsA, "bolt", "m8-bolt").unwrap();
+        kb.set_prop("assembly", "torque", "12nm").unwrap();
+        // assembly subsumes m8-bolt via the rule, so the property inherits.
+        match kb.get_prop("m8-bolt", "torque").unwrap() {
+            PropertyLookup::Value { value, .. } => assert_eq!(value, "12nm"),
+            other => panic!("expected inherited value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_records_every_closure_mutation() {
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        kb.assert_fact(Pred::PartOf, "engine", "piston").unwrap();
+        kb.assert_fact(Pred::IsA, "piston", "forged").unwrap();
+        let journal = kb.take_journal();
+        let concepts = journal
+            .iter()
+            .filter(|c| matches!(c, KbChange::NewConcept { .. }))
+            .count();
+        let derived = journal
+            .iter()
+            .filter(|c| matches!(c, KbChange::EdgeAdded { derived: true, .. }))
+            .count();
+        assert_eq!(concepts, 3);
+        assert_eq!(derived, 1, "isa(engine, forged) was derived");
+        assert!(kb.take_journal().is_empty(), "drained");
+        kb.retract_fact(Pred::PartOf, "engine", "piston").unwrap();
+        let journal = kb.take_journal();
+        assert!(journal
+            .iter()
+            .any(|c| matches!(c, KbChange::EdgeRemoved { .. })));
+    }
+
+    #[test]
+    fn randomized_assert_retract_churn_matches_naive_rederivation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Layered name spaces keep every asserted arc pointing "downhill",
+        // so no head or assert can be cycle-rejected and the differential
+        // gate stays meaningful (cycle_rejected == 0 throughout).
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed * 7 + 1);
+            let mut kb = KnowledgeBase::new();
+            kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+            kb.define_rule("lift: partof(X, Y) :- isa(X, Z), partof(Z, Y), feat(Z, hub)")
+                .unwrap();
+            let name = |layer: usize, i: usize| format!("l{layer}n{i}");
+            let mut live: Vec<(Pred, String, String)> = Vec::new();
+            for step in 0..120 {
+                let retract = !live.is_empty() && rng.random_bool(0.3);
+                if retract {
+                    let ix = rng.random_range(0..live.len());
+                    let (p, a, b) = live.swap_remove(ix);
+                    kb.retract_fact(p, &a, &b).unwrap();
+                } else {
+                    let la = rng.random_range(0..4usize);
+                    let lb = rng.random_range(la + 1..5usize);
+                    let a = name(la, rng.random_range(0..3));
+                    let b = name(lb, rng.random_range(0..3));
+                    let pred = if rng.random_bool(0.5) { Pred::IsA } else { Pred::PartOf };
+                    match kb.assert_fact(pred, &a, &b).unwrap() {
+                        AssertOutcome::Applied => live.push((pred, a.clone(), b.clone())),
+                        AssertOutcome::Noop => {
+                            if !live.contains(&(pred, a.clone(), b.clone())) {
+                                live.push((pred, a.clone(), b.clone()));
+                            }
+                        }
+                        AssertOutcome::CycleRejected => {
+                            panic!("layered workload cannot cycle")
+                        }
+                    }
+                    if rng.random_bool(0.15) {
+                        kb.add_feature(&a, "hub").unwrap();
+                    }
+                }
+                assert_eq!(kb.stats().cycle_rejected, 0);
+                if step % 20 == 19 {
+                    kb.check_against_naive()
+                        .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                }
+            }
+            kb.check_against_naive()
+                .unwrap_or_else(|e| panic!("seed {seed} final: {e}"));
+        }
+    }
+}

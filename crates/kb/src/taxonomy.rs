@@ -28,6 +28,9 @@ pub enum TaxonomyError {
     /// Refinement precondition failed (see
     /// [`tc_core::CompressedClosure::refine_insert`]).
     Refine(UpdateError),
+    /// The underlying closure rejected the update — e.g. a configured
+    /// number-line capacity ran out ([`UpdateError::NumberLineFull`]).
+    Update(UpdateError),
     /// A disjointness declaration is already contradicted by the hierarchy.
     DisjointnessViolated {
         /// First declared concept.
@@ -48,6 +51,7 @@ impl fmt::Display for TaxonomyError {
                 write!(f, "IS-A arc {a:?} -> {b:?} would create a subsumption cycle")
             }
             TaxonomyError::Refine(e) => write!(f, "refinement failed: {e}"),
+            TaxonomyError::Update(e) => write!(f, "closure update failed: {e}"),
             TaxonomyError::DisjointnessViolated { a, b, witness } => write!(
                 f,
                 "cannot declare {a:?} disjoint from {b:?}: {witness:?} is subsumed by both"
@@ -136,10 +140,13 @@ impl Taxonomy {
             .iter()
             .map(|p| self.id(p).map(ConceptId::node))
             .collect::<Result<_, _>>()?;
+        // Parent validation has already passed, but the insertion itself can
+        // still fail when a configured number-line capacity is exhausted —
+        // surface that instead of panicking (nothing has mutated yet).
         let node = self
             .closure
             .add_node_with_parents(&parent_nodes)
-            .expect("validated parents cannot fail");
+            .map_err(TaxonomyError::Update)?;
         let id = ConceptId(node.0);
         self.names.push(name.to_string());
         self.by_name.insert(name.to_string(), id);
@@ -159,6 +166,44 @@ impl Taxonomy {
             ),
             Err(e) => Err(TaxonomyError::Refine(e)),
         }
+    }
+
+    /// [`Self::add_isa`] by id, additionally reporting every subsumption
+    /// pair the arc made true ([`tc_core::EdgeDelta`]) — the delta a rule
+    /// engine forward-chains over.
+    pub fn add_isa_delta(
+        &mut self,
+        general: ConceptId,
+        specific: ConceptId,
+    ) -> Result<tc_core::EdgeDelta, TaxonomyError> {
+        match self.closure.add_edge_delta(general.node(), specific.node()) {
+            Ok(delta) => Ok(delta),
+            Err(UpdateError::WouldCreateCycle { .. }) | Err(UpdateError::SelfLoop(_)) => {
+                Err(TaxonomyError::SubsumptionCycle(
+                    self.name(general).to_string(),
+                    self.name(specific).to_string(),
+                ))
+            }
+            Err(e) => Err(TaxonomyError::Update(e)),
+        }
+    }
+
+    /// Removes a direct IS-A arc by id, reporting every subsumption pair
+    /// that lost its last witness path. Runs the §4.2 scoped recompute
+    /// internally.
+    pub fn remove_isa_delta(
+        &mut self,
+        general: ConceptId,
+        specific: ConceptId,
+    ) -> Result<tc_core::EdgeDelta, TaxonomyError> {
+        self.closure
+            .remove_edge_delta(general.node(), specific.node())
+            .map_err(TaxonomyError::Update)
+    }
+
+    /// Whether a *direct* IS-A arc exists between the two ids.
+    pub fn has_direct_isa(&self, general: ConceptId, specific: ConceptId) -> bool {
+        self.closure.graph().has_edge(general.node(), specific.node())
     }
 
     /// Interposes a new concept between `child`'s current parents and
@@ -271,6 +316,13 @@ impl Taxonomy {
         &self.closure
     }
 
+    /// Caps the underlying number line (admission control for untrusted
+    /// writers): once the cap is hit, concept insertion fails with
+    /// [`TaxonomyError::Update`] instead of growing without bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.closure.set_number_line_capacity(capacity);
+    }
+
     /// Serializes the taxonomy (closure plus concept names) to bytes.
     /// The knowledge base "must be managed as a database" (§2.1): the cached
     /// hierarchy persists instead of being re-derived on startup.
@@ -294,36 +346,41 @@ impl Taxonomy {
         if data.len() < 12 || &data[..4] != b"ITCK" {
             return fail("bad header");
         }
-        let closure_len =
-            u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
+        // Every length below comes straight off the wire; a hostile value
+        // can exceed the stream (or usize itself), so each bound is checked
+        // with wrap-free arithmetic *before* any slice is taken.
+        let closure_len = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes"));
         let rest = &data[12..];
-        if rest.len() < closure_len + 8 {
+        let Some(closure_len) = usize::try_from(closure_len)
+            .ok()
+            .filter(|&n| n <= rest.len() && rest.len() - n >= 8)
+        else {
             return fail("truncated");
-        }
+        };
         let closure = CompressedClosure::from_bytes(&rest[..closure_len])
             .map_err(|e| format!("taxonomy stream: {e}"))?;
         let mut pos = closure_len;
-        let count = u64::from_le_bytes(rest[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+        let count = u64::from_le_bytes(rest[pos..pos + 8].try_into().expect("8 bytes"));
         pos += 8;
-        if count != closure.node_count() {
+        if count != closure.node_count() as u64 {
             return fail("name count does not match closure");
         }
+        let count = closure.node_count();
         let mut names = Vec::with_capacity(count);
         let mut by_name = HashMap::with_capacity(count);
         for ix in 0..count {
-            if rest.len() < pos + 4 {
+            let Some(len_end) = pos.checked_add(4).filter(|&e| e <= rest.len()) else {
                 return fail("truncated name length");
-            }
-            let len =
-                u32::from_le_bytes(rest[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            pos += 4;
-            if rest.len() < pos + len {
+            };
+            let len = u32::from_le_bytes(rest[pos..len_end].try_into().expect("4 bytes")) as usize;
+            pos = len_end;
+            let Some(name_end) = pos.checked_add(len).filter(|&e| e <= rest.len()) else {
                 return fail("truncated name");
-            }
-            let name = std::str::from_utf8(&rest[pos..pos + len])
+            };
+            let name = std::str::from_utf8(&rest[pos..name_end])
                 .map_err(|_| "taxonomy stream: non-UTF-8 name".to_string())?
                 .to_string();
-            pos += len;
+            pos = name_end;
             if by_name.insert(name.clone(), ConceptId(ix as u32)).is_some() {
                 return fail("duplicate concept name");
             }
@@ -462,6 +519,60 @@ mod tests {
         let mut back = back;
         back.add_concept("color-copier", &["copier"]).unwrap();
         assert!(back.subsumes("imaging-device", "color-copier").unwrap());
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrapping_closure_lengths_without_panicking() {
+        // Shrunk reproducer from the ITCK mutation campaign: an all-ones
+        // closure length made the old `closure_len + 8` truncation check
+        // wrap to a tiny value, and the subsequent slice panicked.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(b"ITCK");
+        evil.extend_from_slice(&u64::MAX.to_le_bytes());
+        evil.extend_from_slice(&[0u8; 16]);
+        assert!(Taxonomy::from_bytes(&evil).is_err());
+        // Same shape with the length tuned so `closure_len + 8` wraps to 4.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(b"ITCK");
+        evil.extend_from_slice(&(u64::MAX - 3).to_le_bytes());
+        evil.extend_from_slice(&[0u8; 16]);
+        assert!(Taxonomy::from_bytes(&evil).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_hostile_name_lengths_without_panicking() {
+        // Patch the first name's length field to u32::MAX: the name-table
+        // bound must reject it wrap-free rather than slicing past the end.
+        let bytes = device_taxonomy().to_bytes();
+        let closure_len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+        let len_off = 12 + closure_len + 8; // first name's u32 length field
+        let mut bad = bytes.clone();
+        bad[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Taxonomy::from_bytes(&bad).is_err());
+        // Stream cut mid-length-field.
+        let mut short = bytes.clone();
+        short.truncate(len_off + 2);
+        assert!(Taxonomy::from_bytes(&short).is_err());
+        // Stream cut mid-name.
+        let mut short = bytes;
+        short.truncate(len_off + 5);
+        assert!(Taxonomy::from_bytes(&short).is_err());
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_an_error_not_a_panic() {
+        let mut t = Taxonomy::new();
+        t.add_root("a").unwrap();
+        t.add_concept("b", &["a"]).unwrap();
+        t.set_capacity(t.closure().node_count());
+        assert!(matches!(
+            t.add_concept("c", &["b"]),
+            Err(TaxonomyError::Update(UpdateError::NumberLineFull { .. }))
+        ));
+        // Nothing mutated: the failed name is not registered.
+        assert!(matches!(t.id("c"), Err(TaxonomyError::Unknown(_))));
+        assert_eq!(t.len(), 2);
+        t.verify().unwrap();
     }
 
     #[test]

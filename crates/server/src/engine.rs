@@ -16,15 +16,30 @@
 //! therefore serve some prefix of the accepted write sequence, at most one
 //! flush interval old — the staleness model measured in EXPERIMENTS.md X6,
 //! now exposed over the wire.
+//!
+//! The KB verbs (`define-rule` / `assert` / `retract` / `ask`) drive a
+//! [`tc_kb::KnowledgeBase`] behind a mutex. Every IS-A arc the rule engine
+//! adds or removes — base or derived — is forwarded from the KB's journal
+//! into the sharded service, so `ask isa` answers through the same
+//! epoch-validated reader snapshots as `reaches`; an `ask` only flushes
+//! when KB writes are actually pending, so query windows between writes
+//! run at full snapshot-read speed. PART-OF stays resident in the KB's own
+//! closure (the service mirrors one relation), so `ask partof` answers
+//! from the KB directly. Concept names are also bound in the shared
+//! dictionary when free, which makes KB concepts visible to the generic
+//! graph verbs (`successors kb-concept`, ...).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use std::collections::HashMap;
+
 use tc_core::shard::SubmitOutcome;
 use tc_core::{ServiceOp, ShardedClosure, ShardedReader, ShardedService, ShardedStats};
 use tc_graph::NodeId;
+use tc_kb::{KbChange, KbCommand, KbError, KnowledgeBase, Pred};
 
 use crate::dict::{valid_key, Dict};
 use crate::proto::{parse, ProtoError, Request};
@@ -48,11 +63,23 @@ struct FlusherState {
     stop: bool,
 }
 
+/// The knowledge base behind the KB verbs, plus the mapping from its dense
+/// concept ids to the service node ids its IS-A arcs were forwarded under.
+struct KbState {
+    kb: KnowledgeBase,
+    node_of: HashMap<u32, NodeId>,
+}
+
 /// The shared serving engine. Cheap to share via `Arc`; connections call
 /// [`Engine::handle`] with their own reader.
 pub struct Engine {
     service: ShardedService,
     dict: RwLock<Dict>,
+    kb: Mutex<KbState>,
+    /// KB writes forwarded to the service but not yet flushed; the next
+    /// `ask isa` flushes once and clears this, so reads between writes stay
+    /// pure snapshot probes.
+    kb_dirty: AtomicBool,
     closed: AtomicBool,
     flusher: Mutex<Option<JoinHandle<()>>>,
     fl: Arc<(Mutex<FlusherState>, Condvar)>,
@@ -66,6 +93,8 @@ impl Engine {
         let engine = Arc::new(Engine {
             service,
             dict: RwLock::new(dict),
+            kb: Mutex::new(KbState { kb: KnowledgeBase::new(), node_of: HashMap::new() }),
+            kb_dirty: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             flusher: Mutex::new(None),
             fl: Arc::new((Mutex::new(FlusherState { dirty: false, stop: false }), Condvar::new())),
@@ -260,6 +289,10 @@ impl Engine {
                 src: s,
                 dst: d,
             }, "removed"),
+            Request::DefineRule(text) => self.kb_mutate(&format!("rule {text}")),
+            Request::Assert { rel, a, b } => self.kb_mutate(&format!("assert {rel} {a} {b}")),
+            Request::Retract { rel, a, b } => self.kb_mutate(&format!("retract {rel} {a} {b}")),
+            Request::Ask { rel, a, b } => self.kb_ask(reader, rel, a, b),
             Request::RemoveNode(k) => {
                 let mut dict = self.dict.write().expect("dict poisoned");
                 let Some(id) = dict.resolve(k) else {
@@ -274,6 +307,124 @@ impl Engine {
                     }
                     Ok(_) => "ok rejected".to_owned(),
                 }
+            }
+        }
+    }
+
+    /// Executes one mutating KB command through the shared command layer,
+    /// then forwards the journaled IS-A closure changes into the service.
+    fn kb_mutate(&self, line: &str) -> String {
+        if self.is_closed() {
+            return ProtoError::Closed.line();
+        }
+        let cmd = match KbCommand::parse(line) {
+            Ok(c) => c,
+            Err(e) => return format!("err bad-request {e}"),
+        };
+        let mut st = self.kb.lock().expect("kb poisoned");
+        let answer = match cmd.execute(&mut st.kb) {
+            Ok(a) => a,
+            Err(KbError::UnknownConcept(_)) => return ProtoError::UnknownKey.line(),
+            Err(e) => return format!("err bad-request {e}"),
+        };
+        if let Err(resp) = self.kb_forward(&mut st) {
+            return resp;
+        }
+        format!("ok {answer}")
+    }
+
+    /// Drains the KB journal into the sharded service: new concepts become
+    /// service nodes (bound in the dictionary when the name is free, so the
+    /// generic graph verbs can see them), IS-A arc changes — asserted and
+    /// rule-derived alike — become edge ops. PART-OF changes stay resident
+    /// in the KB's own closure.
+    fn kb_forward(&self, st: &mut KbState) -> Result<(), String> {
+        let mut wrote = false;
+        for change in st.kb.take_journal() {
+            match change {
+                KbChange::NewConcept { id, name } => {
+                    match self.service.submit_with_outcome(ServiceOp::AddNode { parents: vec![] })
+                    {
+                        Err(_) => return Err(ProtoError::Closed.line()),
+                        Ok((_, SubmitOutcome::Routed { new_node: Some(nid) })) => {
+                            st.node_of.insert(id, nid);
+                            wrote = true;
+                            let mut dict = self.dict.write().expect("dict poisoned");
+                            if valid_key(&name) && dict.resolve(&name).is_none() {
+                                dict.bind(nid, &name).expect("fresh id gets a fresh key");
+                            }
+                        }
+                        Ok(_) => {
+                            return Err("err internal kb concept rejected by service".to_owned())
+                        }
+                    }
+                }
+                KbChange::EdgeAdded { pred: Pred::IsA, src, dst, .. } => {
+                    let (Some(&s), Some(&d)) = (st.node_of.get(&src), st.node_of.get(&dst))
+                    else {
+                        continue;
+                    };
+                    match self
+                        .service
+                        .submit_with_outcome(ServiceOp::AddEdge { src: s, dst: d })
+                    {
+                        Err(_) => return Err(ProtoError::Closed.line()),
+                        Ok(_) => wrote = true,
+                    }
+                }
+                KbChange::EdgeRemoved { pred: Pred::IsA, src, dst } => {
+                    let (Some(&s), Some(&d)) = (st.node_of.get(&src), st.node_of.get(&dst))
+                    else {
+                        continue;
+                    };
+                    match self
+                        .service
+                        .submit_with_outcome(ServiceOp::RemoveEdge { src: s, dst: d })
+                    {
+                        Err(_) => return Err(ProtoError::Closed.line()),
+                        Ok(_) => wrote = true,
+                    }
+                }
+                // PART-OF is answered from the KB's resident closure.
+                KbChange::EdgeAdded { .. } | KbChange::EdgeRemoved { .. } => {}
+            }
+        }
+        if wrote {
+            self.kb_dirty.store(true, Ordering::Release);
+            self.mark_dirty();
+        }
+        Ok(())
+    }
+
+    /// `ask rel a b`. IS-A probes resolve to service node ids and answer
+    /// through the connection's epoch-validated reader — the same path as
+    /// `reaches` — flushing first only if KB writes are pending. PART-OF
+    /// probes answer from the KB's own closure.
+    fn kb_ask(&self, reader: &mut ShardedReader, rel: &str, a: &str, b: &str) -> String {
+        let Some(pred) = Pred::parse(rel) else {
+            return format!("err bad-request unknown relation {rel:?} (want isa or partof)");
+        };
+        let st = self.kb.lock().expect("kb poisoned");
+        match pred {
+            Pred::PartOf => match st.kb.ask(pred, a, b) {
+                Ok(v) => format!("ok {v}"),
+                Err(KbError::UnknownConcept(_)) => ProtoError::UnknownKey.line(),
+                Err(e) => format!("err bad-request {e}"),
+            },
+            Pred::IsA => {
+                let ids = (
+                    st.kb.concept_id(a).and_then(|x| st.node_of.get(&x).copied()),
+                    st.kb.concept_id(b).and_then(|y| st.node_of.get(&y).copied()),
+                );
+                let (Some(s), Some(d)) = ids else {
+                    return ProtoError::UnknownKey.line();
+                };
+                drop(st);
+                if self.kb_dirty.swap(false, Ordering::AcqRel) {
+                    self.flush();
+                }
+                // The KB relation is strict; the closure is reflexive.
+                format!("ok {}", s != d && reader.reaches(s, d))
             }
         }
     }
@@ -394,6 +545,54 @@ mod tests {
         let stats = e.stats();
         assert_eq!(stats.submitted, 0, "failed requests never touch the service");
         e.close();
+    }
+
+    #[test]
+    fn kb_verbs_serve_rule_driven_inference_over_the_wire() {
+        let (e, mut r) = engine();
+        assert_eq!(
+            e.handle(&mut r, "define-rule up: isa(X, Y) :- partof(X, Z), isa(Z, Y)"),
+            "ok rule up"
+        );
+        assert_eq!(e.handle(&mut r, "assert partof engine piston"), "ok applied");
+        assert_eq!(e.handle(&mut r, "assert isa piston forged"), "ok applied");
+        // The derived isa(engine, forged) arc was forwarded to the service;
+        // ask answers through the reader snapshot, flushing the pending
+        // writes itself.
+        assert_eq!(e.handle(&mut r, "ask isa engine forged"), "ok true");
+        assert_eq!(e.handle(&mut r, "ask isa forged engine"), "ok false");
+        assert_eq!(e.handle(&mut r, "ask partof engine piston"), "ok true");
+        // Strictness: a concept neither subsumes itself nor is its own part.
+        assert_eq!(e.handle(&mut r, "ask isa engine engine"), "ok false");
+        // Concept names were bound in the shared dictionary, so generic
+        // graph verbs see the KB's IS-A relation too.
+        assert_eq!(e.handle(&mut r, "reaches engine forged"), "ok true");
+        // Retraction cascades: the derived arc falls with its support, and
+        // the removal is forwarded so the service agrees.
+        assert_eq!(e.handle(&mut r, "retract partof engine piston"), "ok removed");
+        assert_eq!(e.handle(&mut r, "ask isa engine forged"), "ok false");
+        assert_eq!(e.handle(&mut r, "ask partof engine piston"), "ok false");
+        e.close();
+    }
+
+    #[test]
+    fn kb_verbs_fail_closed_on_bad_input() {
+        let (e, mut r) = engine();
+        assert!(e.handle(&mut r, "ask isa ghost gone").starts_with("err unknown-key"));
+        assert!(e.handle(&mut r, "ask friendof a b").starts_with("err bad-request"));
+        assert!(e
+            .handle(&mut r, "define-rule broken: isa(X, Y) :- ")
+            .starts_with("err bad-request"));
+        assert!(e
+            .handle(&mut r, "retract isa never asserted")
+            .starts_with("err unknown-key"));
+        assert_eq!(e.handle(&mut r, "assert isa a b"), "ok applied");
+        // Both concepts exist, but isa(b, a) was never a base fact.
+        assert!(e.handle(&mut r, "retract isa b a").starts_with("err bad-request"));
+        assert_eq!(e.handle(&mut r, "assert isa b a"), "ok rejected"); // cycle
+        assert_eq!(e.handle(&mut r, "assert isa a b"), "ok noop");
+        e.close();
+        assert!(e.handle(&mut r, "assert isa c d").starts_with("err closed"));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!           | "add-edge" key key
 //!           | "remove-edge" key key
 //!           | "remove-node" key
+//!           | "define-rule" text           ; rest of line, `name: head :- body`
+//!           | "assert" rel key key         ; rel = "isa" | "partof"
+//!           | "retract" rel key key
+//!           | "ask" rel key key
 //!
 //! response  = "ok" [token*]
 //!           | "err" code [text]
@@ -67,6 +71,36 @@ pub enum Request<'a> {
     RemoveEdge(&'a str, &'a str),
     /// Remove the node and its arcs, releasing its name.
     RemoveNode(&'a str),
+    /// Define (or redefine) a knowledge-base rule; the operand is the raw
+    /// rule text (`name: head :- body`), spaces and all.
+    DefineRule(&'a str),
+    /// Assert a knowledge-base fact: `rel` (`isa`/`partof`), subject, object.
+    Assert {
+        /// Relation name, validated by the knowledge base.
+        rel: &'a str,
+        /// Subject concept.
+        a: &'a str,
+        /// Object concept.
+        b: &'a str,
+    },
+    /// Retract a base fact (DRed-maintained).
+    Retract {
+        /// Relation name.
+        rel: &'a str,
+        /// Subject concept.
+        a: &'a str,
+        /// Object concept.
+        b: &'a str,
+    },
+    /// One transitive membership probe over the knowledge base.
+    Ask {
+        /// Relation name.
+        rel: &'a str,
+        /// Subject concept.
+        a: &'a str,
+        /// Object concept.
+        b: &'a str,
+    },
 }
 
 /// A request the daemon could not interpret or admit.
@@ -136,6 +170,16 @@ impl std::error::Error for ProtoError {}
 pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
     let mut toks = line.split_ascii_whitespace();
     let verb = toks.next().ok_or(ProtoError::BadRequest("empty request"))?;
+    if verb == "define-rule" {
+        // Rule text keeps its spaces: take the raw remainder of the line,
+        // not the token stream.
+        let at = line.find("define-rule").expect("verb came from this line");
+        let text = line[at + "define-rule".len()..].trim();
+        if text.is_empty() {
+            return Err(ProtoError::BadRequest("need a rule definition"));
+        }
+        return Ok(Request::DefineRule(text));
+    }
     let rest: Vec<&str> = toks.collect();
     let expect = |n: usize| -> Result<(), ProtoError> {
         if rest.len() == n {
@@ -197,6 +241,18 @@ pub fn parse(line: &str) -> Result<Request<'_>, ProtoError> {
             expect(1)?;
             Ok(Request::RemoveNode(rest[0]))
         }
+        "assert" => {
+            expect(3)?;
+            Ok(Request::Assert { rel: rest[0], a: rest[1], b: rest[2] })
+        }
+        "retract" => {
+            expect(3)?;
+            Ok(Request::Retract { rel: rest[0], a: rest[1], b: rest[2] })
+        }
+        "ask" => {
+            expect(3)?;
+            Ok(Request::Ask { rel: rest[0], a: rest[1], b: rest[2] })
+        }
         _ => Err(ProtoError::UnknownVerb),
     }
 }
@@ -219,6 +275,19 @@ mod tests {
         );
         assert_eq!(parse("add-node root"), Ok(Request::AddNode { key: "root", parents: vec![] }));
         assert_eq!(parse("remove-node x"), Ok(Request::RemoveNode("x")));
+        assert_eq!(
+            parse("define-rule up: isa(X, Y) :- partof(X, Z), isa(Z, Y)"),
+            Ok(Request::DefineRule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)"))
+        );
+        assert_eq!(
+            parse("assert isa engine piston"),
+            Ok(Request::Assert { rel: "isa", a: "engine", b: "piston" })
+        );
+        assert_eq!(
+            parse("retract partof a b"),
+            Ok(Request::Retract { rel: "partof", a: "a", b: "b" })
+        );
+        assert_eq!(parse("ask isa a b"), Ok(Request::Ask { rel: "isa", a: "a", b: "b" }));
     }
 
     #[test]
@@ -232,5 +301,14 @@ mod tests {
             Err(ProtoError::BadRequest("need one or more key pairs"))
         );
         assert_eq!(parse("add-node"), Err(ProtoError::BadRequest("need a key")));
+        assert_eq!(
+            parse("define-rule"),
+            Err(ProtoError::BadRequest("need a rule definition"))
+        );
+        assert_eq!(parse("ask isa a"), Err(ProtoError::BadRequest("wrong operand count")));
+        assert_eq!(
+            parse("assert isa a b c"),
+            Err(ProtoError::BadRequest("wrong operand count"))
+        );
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the rule-driven knowledge-base serving experiment (DESIGN.md,
+# "Rule-driven inference"; EXPERIMENTS.md X11) and leaves the table in
+# results/kb_scale.csv.
+#
+# The bench starts the daemon in-process on an ephemeral localhost port
+# with an empty graph, defines Horn rules over the wire, then streams a
+# layered parts-catalog fact mix (asserts + DRed retracts) through a real
+# socket in windows, timing ingestion throughput and ask round-trip
+# latency. Every wire answer is compared with an in-process mirror KB, and
+# the mirror's naive re-derivation gate runs after every window; any
+# divergence exits nonzero.
+#
+# Usage: scripts/bench_kb.sh [kb_scale flags...]
+#   e.g. scripts/bench_kb.sh --windows 6 --ops-per-window 400 --retract-pct 20
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tc-bench --bin kb_scale
+exec target/release/kb_scale "$@"

@@ -741,3 +741,140 @@ proptest! {
         }
     }
 }
+
+// --------------------------------------------------------------------
+// Knowledge-base properties: the taxonomy codec, the subsumption order,
+// and the rule engine's incremental maintenance, each against an oracle
+// that shares no code with the implementation under test.
+
+/// Concept name at (layer, slot) for the downhill fact generators below.
+fn kb_name(layer: usize, slot: usize) -> String {
+    format!("l{layer}n{slot}")
+}
+
+/// Strategy: IS-A arcs pointing strictly downhill through a small layer
+/// stack — `(general_layer, general_slot, specific_layer, specific_slot)`
+/// with `general_layer < specific_layer`, so no insertion order can form a
+/// subsumption cycle.
+fn arb_downhill_arcs(max: usize) -> impl Strategy<Value = Vec<(usize, usize, usize, usize)>> {
+    proptest::collection::vec((1usize..4, 0usize..4, 0usize..4, 0usize..4), 1..=max).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(spec, i, gen_sel, j)| (gen_sel % spec, j, spec, i))
+                .collect()
+        },
+    )
+}
+
+/// Builds a taxonomy from downhill arcs, creating concepts on first use.
+fn taxonomy_from_arcs(arcs: &[(usize, usize, usize, usize)]) -> tc_kb::Taxonomy {
+    let mut t = tc_kb::Taxonomy::new();
+    for &(gl, gs, sl, ss) in arcs {
+        for n in [kb_name(gl, gs), kb_name(sl, ss)] {
+            if t.id(&n).is_err() {
+                t.add_root(&n).expect("fresh concept");
+            }
+        }
+        // Downhill by construction: only a duplicate arc can be rejected.
+        let _ = t.add_isa(&kb_name(gl, gs), &kb_name(sl, ss));
+    }
+    t
+}
+
+proptest! {
+    /// `to_bytes` / `from_bytes` is the identity on the whole observable
+    /// surface: concept order, structural verification, and every pairwise
+    /// subsumption answer.
+    #[test]
+    fn taxonomy_codec_roundtrips(arcs in arb_downhill_arcs(24)) {
+        let t = taxonomy_from_arcs(&arcs);
+        let back = tc_kb::Taxonomy::from_bytes(&t.to_bytes())
+            .expect("clean snapshot decodes");
+        back.verify().expect("decoded taxonomy verifies");
+        prop_assert_eq!(t.len(), back.len());
+        let names: Vec<&str> = t.concepts().collect();
+        let back_names: Vec<&str> = back.concepts().collect();
+        prop_assert_eq!(&names, &back_names);
+        for a in &names {
+            for b in &names {
+                prop_assert_eq!(
+                    t.subsumes(a, b).expect("known concepts"),
+                    back.subsumes(a, b).expect("known concepts"),
+                    "subsumes({}, {}) changed across the codec", a, b
+                );
+            }
+        }
+    }
+
+    /// The interval-compressed subsumption order equals a from-scratch
+    /// reachability oracle over plain adjacency sets (reflexive, per the
+    /// closure's `reaches`).
+    #[test]
+    fn subsumption_matches_set_oracle(arcs in arb_downhill_arcs(24)) {
+        let t = taxonomy_from_arcs(&arcs);
+        let mut direct: std::collections::BTreeMap<String, std::collections::BTreeSet<String>> =
+            std::collections::BTreeMap::new();
+        for &(gl, gs, sl, ss) in &arcs {
+            direct.entry(kb_name(gl, gs)).or_default().insert(kb_name(sl, ss));
+        }
+        let names: Vec<String> = t.concepts().map(str::to_owned).collect();
+        for a in &names {
+            // Depth-first reachability from `a` over the raw arc sets.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut stack = vec![a.clone()];
+            while let Some(n) = stack.pop() {
+                if seen.insert(n.clone()) {
+                    if let Some(kids) = direct.get(&n) {
+                        stack.extend(kids.iter().cloned());
+                    }
+                }
+            }
+            for b in &names {
+                prop_assert_eq!(
+                    t.subsumes(a, b).expect("known concepts"),
+                    seen.contains(b),
+                    "subsumes({}, {}) disagrees with the set oracle", a, b
+                );
+            }
+        }
+    }
+
+    /// Semi-naive forward chaining plus DRed retraction leaves exactly the
+    /// fact base a naive from-scratch re-derivation would build, across
+    /// random downhill assert/retract scripts over mixed relations.
+    #[test]
+    fn rule_engine_matches_naive_rederivation(
+        ops in proptest::collection::vec(
+            ((any::<bool>(), any::<bool>()), (1usize..4, 0usize..4), (0usize..4, 0usize..4)),
+            1..40,
+        )
+    ) {
+        use tc_kb::{AssertOutcome, KnowledgeBase, Pred};
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").expect("rule parses");
+        kb.define_rule("share: partof(X, Y) :- isa(X, Z), partof(Z, Y)").expect("rule parses");
+        let mut live: Vec<(Pred, String, String)> = Vec::new();
+        for ((retract, is_isa), (spec, i), (gen_sel, j)) in ops {
+            if retract && !live.is_empty() {
+                let ix = (spec * 13 + i * 7 + j) % live.len();
+                let (p, a, b) = live.remove(ix);
+                kb.retract_fact(p, &a, &b).expect("live fact retracts");
+            } else {
+                let pred = if is_isa { Pred::IsA } else { Pred::PartOf };
+                let fact = (pred, kb_name(spec, i), kb_name(gen_sel % spec, j));
+                let out = kb.assert_fact(pred, &fact.1, &fact.2).expect("downhill assert");
+                prop_assert!(
+                    !matches!(out, AssertOutcome::CycleRejected),
+                    "downhill assert was cycle-rejected"
+                );
+                if !live.contains(&fact) {
+                    live.push(fact);
+                }
+            }
+        }
+        prop_assert_eq!(kb.stats().cycle_rejected, 0);
+        if let Err(e) = kb.check_against_naive() {
+            panic!("incremental fact base diverged from naive re-derivation: {e}");
+        }
+    }
+}
