@@ -86,6 +86,7 @@ impl Harness {
     /// was already proven answer-for-answer identical to it.
     fn gate(&mut self, window: usize) {
         assert_eq!(self.mirror.stats().cycle_rejected, 0, "downhill stream cannot cycle");
+        assert_eq!(self.mirror.stats().derive_failed, 0, "no derivation may be dropped");
         if let Err(e) = self.mirror.check_against_naive() {
             eprintln!("FAIL: differential gate after window {window}: {e}");
             std::process::exit(1);

@@ -963,11 +963,13 @@ fn kb(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("differential check failed: {e}"))?;
         let s = kb.stats();
         println!(
-            "check => consistent ({} concepts, {} asserted, {} derived, {} cycle-rejected)",
+            "check => consistent ({} concepts, {} asserted, {} derived, {} cycle-rejected, \
+             {} derive-failed)",
             kb.concept_count(),
             s.asserted,
             s.derived,
-            s.cycle_rejected
+            s.cycle_rejected,
+            s.derive_failed
         );
     }
     Ok(())

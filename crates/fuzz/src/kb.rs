@@ -125,6 +125,9 @@ pub fn run_kb_campaign(cfg: &KbFuzzConfig) -> Result<KbFuzzReport, String> {
         if kb.stats().cycle_rejected != 0 {
             return fail(step, "gate precondition", "cycle_rejected != 0".into());
         }
+        if kb.stats().derive_failed != 0 {
+            return fail(step, "gate precondition", "derive_failed != 0".into());
+        }
         if cfg.check_every > 0 && step % cfg.check_every == cfg.check_every - 1 {
             kb.check_against_naive()
                 .map_err(|e| format!("seed {} step {step}: differential gate: {e}", cfg.seed))?;

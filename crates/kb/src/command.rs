@@ -237,13 +237,15 @@ impl KbCommand {
             KbCommand::Stats => {
                 let s = kb.stats();
                 Ok(format!(
-                    "concepts {} asserted {} derived {} overdeleted {} rederived {} cycle-rejected {}",
+                    "concepts {} asserted {} derived {} overdeleted {} rederived {} \
+                     cycle-rejected {} derive-failed {}",
                     kb.concept_count(),
                     s.asserted,
                     s.derived,
                     s.overdeleted,
                     s.rederived,
-                    s.cycle_rejected
+                    s.cycle_rejected,
+                    s.derive_failed
                 ))
             }
         }

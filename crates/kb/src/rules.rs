@@ -19,21 +19,30 @@
 //!   argument: any new derivation must use at least one new atom, so seeding
 //!   one body position with the delta and the rest with the full relation
 //!   finds them all.
-//! * **Retraction is DRed-style** (delete and re-derive): after the base
-//!   fact's arc is removed — each removal running the §4.2 *scoped*
-//!   affected-region recompute inside `remove_edge` — derived facts whose
-//!   recorded supports are no longer valid are conservatively over-deleted,
-//!   then every casualty still derivable from the surviving model is
-//!   re-added and forward-chained back in.
+//! * **Retraction is DRed-style** (delete and re-derive): the base fact's
+//!   arc is removed first — each removal running the §4.2 *scoped*
+//!   affected-region recompute inside `remove_edge` — and every removal
+//!   then over-deletes the derived facts whose rule bodies could have
+//!   routed through the removed arc: a body pair `(q, a, b)` is suspect
+//!   exactly when it lies in the removal's affected rectangle
+//!   `pred*(src) × succ*(dst)`, and the remaining body atoms are joined
+//!   against a pre-retraction snapshot so a derivation broken earlier in
+//!   the cascade is still enumerated. Once the cascade converges, every
+//!   casualty still derivable from the surviving model is re-added and
+//!   forward-chained back in. Because derivability is always judged with
+//!   the candidate's own arc absent, a fact can never justify itself (or a
+//!   partner in a mutual loop) through its own reachability.
 //! * **The differential gate** ([`KnowledgeBase::check_against_naive`])
 //!   replays the surviving base facts into a fresh knowledge base, runs a
 //!   genuinely naive all-rules/all-bindings fixpoint, and requires the two
 //!   models to agree edge-for-edge and successor-set-for-successor-set.
 //!
 //! Derived heads that would create a cycle are rejected and counted
-//! ([`KbStats::cycle_rejected`]); since a rejection makes the final model
-//! depend on insertion order, differential checks are only meaningful when
-//! the counter is zero — the fuzz campaign gates on exactly that.
+//! ([`KbStats::cycle_rejected`]), and heads dropped by a non-cycle failure
+//! (e.g. label-capacity exhaustion) are counted separately
+//! ([`KbStats::derive_failed`]); either makes the final model depend on
+//! insertion order, so differential checks are only meaningful when both
+//! counters are zero — the fuzz campaign gates on exactly that.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
@@ -170,8 +179,8 @@ pub enum AssertOutcome {
 pub enum RetractOutcome {
     /// The arc was removed (with DRed cascade over derived facts).
     Removed,
-    /// The fact is still derivable by rule, so the arc stays as a derived
-    /// fact; only the asserted flag was cleared.
+    /// With its own arc out of the closure the fact was still derivable by
+    /// rule, so it was re-derived and survives as a derived-only fact.
     KeptDerived,
 }
 
@@ -220,23 +229,15 @@ pub struct KbStats {
     pub rederived: u64,
     /// Head instantiations rejected because the arc would create a cycle.
     pub cycle_rejected: u64,
+    /// Head instantiations dropped by a non-cycle update failure (e.g.
+    /// label-capacity exhaustion). The model is incomplete afterwards, so
+    /// differential gates must require this to stay zero.
+    pub derive_failed: u64,
 }
-
-/// One recorded derivation of a fact: the ground body that produced it.
-/// Supports are capped per fact — losing one is safe because the DRed
-/// re-derive phase re-checks derivability from scratch.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Support {
-    edges: Vec<(Pred, u32, u32)>,
-    feats: Vec<(u32, String)>,
-}
-
-const MAX_SUPPORTS: usize = 8;
 
 #[derive(Debug, Clone)]
 struct Fact {
     asserted: bool,
-    supports: Vec<Support>,
 }
 
 /// A knowledge base: named concepts, two transitive relations served by
@@ -460,13 +461,7 @@ impl KnowledgeBase {
             }
             Err(KbEdgeError::Other(e)) => return Err(e),
         };
-        self.facts.insert(
-            key,
-            Fact {
-                asserted: true,
-                supports: Vec::new(),
-            },
-        );
+        self.facts.insert(key, Fact { asserted: true });
         self.stats.asserted += 1;
         self.journal.push(KbChange::EdgeAdded {
             pred,
@@ -482,12 +477,17 @@ impl KnowledgeBase {
         Ok(AssertOutcome::Applied)
     }
 
-    /// Retracts a base fact with DRed-style maintenance: if rules still
-    /// derive the fact its arc survives as derived-only; otherwise the arc
-    /// is removed (scoped §4.2 recompute inside `remove_edge`), derived
-    /// facts left without a valid recorded support are over-deleted, and
-    /// every casualty still derivable from the surviving model is re-added
-    /// and forward-chained.
+    /// Retracts a base fact with DRed-style maintenance: the arc is removed
+    /// (scoped §4.2 recompute inside `remove_edge`), derived facts whose
+    /// rule bodies could have routed through any removed arc are
+    /// over-deleted in cascade, and every casualty still derivable from the
+    /// surviving model — the retracted fact included — is re-added and
+    /// forward-chained. A fact that rules still derive therefore comes back
+    /// as derived-only ([`RetractOutcome::KeptDerived`]).
+    ///
+    /// Derivability is always judged with the candidate's own arc out of
+    /// the closure, so a fact can never be kept by a derivation that only
+    /// exists because of the arc under retraction.
     pub fn retract_fact(
         &mut self,
         pred: Pred,
@@ -505,15 +505,19 @@ impl KnowledgeBase {
             Some(fact) if fact.asserted => fact.asserted = false,
             _ => return Err(KbError::NotAsserted(pred, a.to_string(), b.to_string())),
         }
-        if let Some(support) = self.derivation_of(pred, x, y) {
-            let fact = self.facts.get_mut(&key).expect("checked above");
-            fact.supports.clear();
-            fact.supports.push(support);
-            return Ok(RetractOutcome::KeptDerived);
-        }
+        // Pre-retraction snapshot (journal excluded): the over-deletion
+        // joins complete against it, so a derivation whose other body atoms
+        // die earlier in the cascade is still enumerated.
+        let journal = std::mem::take(&mut self.journal);
+        let old = self.clone();
+        self.journal = journal;
         self.remove_fact_edge(key)?;
-        self.dred_cascade()?;
-        Ok(RetractOutcome::Removed)
+        self.dred_cascade(&old, key)?;
+        Ok(if self.facts.contains_key(&key) {
+            RetractOutcome::KeptDerived
+        } else {
+            RetractOutcome::Removed
+        })
     }
 
     /// Differential gate: rebuilds the model from scratch — same concepts,
@@ -522,9 +526,10 @@ impl KnowledgeBase {
     /// checks the incremental model against it arc-for-arc and
     /// successor-set-for-successor-set.
     ///
-    /// Only meaningful while [`KbStats::cycle_rejected`] is zero: a rejected
-    /// head makes the surviving model depend on arrival order, which a
-    /// from-scratch replay cannot reproduce.
+    /// Only meaningful while [`KbStats::cycle_rejected`] and
+    /// [`KbStats::derive_failed`] are zero: a rejected or dropped head makes
+    /// the surviving model depend on arrival order, which a from-scratch
+    /// replay cannot reproduce.
     pub fn check_against_naive(&self) -> Result<(), String> {
         let mut naive = KnowledgeBase::new();
         naive.rules = self.rules.clone();
@@ -546,13 +551,7 @@ impl KnowledgeBase {
             naive
                 .edge_add(pred, x, y)
                 .map_err(|e| format!("naive replay of {}({x},{y}): {e:?}", pred.name()))?;
-            naive.facts.insert(
-                (pred, x, y),
-                Fact {
-                    asserted: true,
-                    supports: Vec::new(),
-                },
-            );
+            naive.facts.insert((pred, x, y), Fact { asserted: true });
         }
         naive.naive_fixpoint().map_err(|e| e.to_string())?;
         if naive.stats.cycle_rejected > 0 {
@@ -698,8 +697,8 @@ impl KnowledgeBase {
     }
 
     /// Materializes one ground head instantiation. An already-present fact
-    /// just gains a support; a genuinely new arc goes through the delta add
-    /// path and its newly-true pairs join the worklist.
+    /// is left alone; a genuinely new arc goes through the delta add path
+    /// and its newly-true pairs join the worklist.
     fn fire(&mut self, rule: &Rule, env: &Env, work: &mut VecDeque<DeltaAtom>) {
         let Some(x) = self.resolve(&rule.head.sub, env) else {
             return;
@@ -707,26 +706,13 @@ impl KnowledgeBase {
         let Some(y) = self.resolve(&rule.head.obj, env) else {
             return;
         };
-        if x == y {
+        if x == y || self.facts.contains_key(&(rule.head.pred, x, y)) {
             return;
         }
         let pred = rule.head.pred;
-        let support = self.ground_support(rule, env);
-        if let Some(fact) = self.facts.get_mut(&(pred, x, y)) {
-            if fact.supports.len() < MAX_SUPPORTS && !fact.supports.contains(&support) {
-                fact.supports.push(support);
-            }
-            return;
-        }
         match self.edge_add(pred, x, y) {
             Ok(delta) => {
-                self.facts.insert(
-                    (pred, x, y),
-                    Fact {
-                        asserted: false,
-                        supports: vec![support],
-                    },
-                );
+                self.facts.insert((pred, x, y), Fact { asserted: false });
                 self.stats.derived += 1;
                 self.journal.push(KbChange::EdgeAdded {
                     pred,
@@ -743,58 +729,45 @@ impl KnowledgeBase {
             }
             Err(KbEdgeError::Other(_)) => {
                 // Capacity-style failures during derivation: the head is
-                // dropped (counted as a rejection) rather than poisoning the
-                // whole propagation.
-                self.stats.cycle_rejected += 1;
+                // dropped rather than poisoning the whole propagation, but
+                // the model is incomplete from here on — counted separately
+                // so gates can tell this apart from order-dependence.
+                self.stats.derive_failed += 1;
             }
         }
     }
 
-    fn ground_support(&self, rule: &Rule, env: &Env) -> Support {
-        let mut edges = Vec::with_capacity(rule.body.len());
-        for atom in &rule.body {
-            if let (Some(s), Some(o)) = (self.resolve(&atom.sub, env), self.resolve(&atom.obj, env))
-            {
-                edges.push((atom.pred, s, o));
+    /// DRed cascade after `seed`'s arc has been removed: over-delete every
+    /// derived fact whose rule body could have routed through a removed
+    /// arc, then re-derive the casualties the surviving model still
+    /// justifies.
+    ///
+    /// The over-deletion is driven by arcs, not recorded supports: removing
+    /// arc `(q, u, v)` makes every same-relation body pair in the affected
+    /// rectangle `pred*(u) × succ*(v)` suspect, and each suspect head is
+    /// removed in turn (enqueueing its own rectangle). Joining the other
+    /// body positions against the pre-retraction snapshot `old` keeps the
+    /// enumeration complete even when a derivation's remaining atoms were
+    /// broken by an earlier removal in the same cascade. This deletes a
+    /// superset of what is truly lost — including mutually-supporting
+    /// derived facts whose grounding died — and the re-derive phase, which
+    /// only ever consults the live (grounded) model, restores the rest.
+    fn dred_cascade(
+        &mut self,
+        old: &KnowledgeBase,
+        seed: (Pred, u32, u32),
+    ) -> Result<(), KbError> {
+        let mut casualties: Vec<(Pred, u32, u32)> = vec![seed];
+        let mut queue: VecDeque<(Pred, u32, u32)> = self.suspect_heads(old, seed).into();
+        while let Some(key) = queue.pop_front() {
+            match self.facts.get(&key) {
+                Some(fact) if !fact.asserted => {}
+                _ => continue,
             }
-        }
-        let mut feats = Vec::with_capacity(rule.feats.len());
-        for fa in &rule.feats {
-            if let Some(c) = self.resolve(&fa.term, env) {
-                feats.push((c, fa.feature.clone()));
-            }
-        }
-        Support { edges, feats }
-    }
-
-    fn support_valid(&self, support: &Support) -> bool {
-        support
-            .edges
-            .iter()
-            .all(|&(p, x, y)| self.holds(p, x, y))
-            && support
-                .feats
-                .iter()
-                .all(|(c, f)| self.features[*c as usize].contains(f))
-    }
-
-    /// DRed cascade: over-delete every derived arc whose recorded supports
-    /// all fail against the current model, then re-derive the casualties
-    /// that the surviving model still justifies.
-    fn dred_cascade(&mut self) -> Result<(), KbError> {
-        let mut casualties: Vec<(Pred, u32, u32)> = Vec::new();
-        loop {
-            let victim = self.facts.iter().find_map(|(key, fact)| {
-                if fact.asserted {
-                    return None;
-                }
-                let justified = fact.supports.iter().any(|s| self.support_valid(s));
-                (!justified).then_some(*key)
-            });
-            let Some(key) = victim else { break };
             self.remove_fact_edge(key)?;
             self.stats.overdeleted += 1;
             casualties.push(key);
+            queue.extend(self.suspect_heads(old, key));
         }
         // Re-derive: restoring one casualty can justify another, so sweep
         // until a full pass restores nothing. Each restoration forward-
@@ -803,12 +776,9 @@ impl KnowledgeBase {
         loop {
             let mut restored = false;
             for &(pred, x, y) in &casualties {
-                if self.facts.contains_key(&(pred, x, y)) {
+                if self.facts.contains_key(&(pred, x, y)) || !self.derivable(pred, x, y) {
                     continue;
                 }
-                let Some(support) = self.derivation_of(pred, x, y) else {
-                    continue;
-                };
                 let delta = match self.edge_add(pred, x, y) {
                     Ok(delta) => delta,
                     Err(KbEdgeError::Cycle) => {
@@ -817,13 +787,7 @@ impl KnowledgeBase {
                     }
                     Err(KbEdgeError::Other(e)) => return Err(e),
                 };
-                self.facts.insert(
-                    (pred, x, y),
-                    Fact {
-                        asserted: false,
-                        supports: vec![support],
-                    },
-                );
+                self.facts.insert((pred, x, y), Fact { asserted: false });
                 self.stats.rederived += 1;
                 self.journal.push(KbChange::EdgeAdded {
                     pred,
@@ -845,9 +809,75 @@ impl KnowledgeBase {
         Ok(())
     }
 
-    /// Searches for any current derivation of `pred(x, y)` and returns its
-    /// ground support.
-    fn derivation_of(&self, pred: Pred, x: u32, y: u32) -> Option<Support> {
+    /// Heads of rule instantiations with a body pair in the affected
+    /// rectangle of the just-removed arc `(q, u, v)`: any such derivation
+    /// may have routed through the arc, so its head is an over-deletion
+    /// suspect. The rectangle is probed against the current closure (a path
+    /// `a → u` or `v → b` cannot use the arc `u → v` in a DAG, so pre- and
+    /// post-removal reachability agree); the remaining body atoms join
+    /// against the pre-retraction snapshot `old`.
+    fn suspect_heads(
+        &self,
+        old: &KnowledgeBase,
+        removed: (Pred, u32, u32),
+    ) -> Vec<(Pred, u32, u32)> {
+        let (q, u, v) = removed;
+        let clos = self.clos(q);
+        let mut above: Vec<u32> = clos
+            .predecessors(NodeId(u))
+            .into_iter()
+            .map(|n| n.0)
+            .filter(|&n| n != u)
+            .collect();
+        above.push(u);
+        let mut below: Vec<u32> = clos
+            .successors(NodeId(v))
+            .into_iter()
+            .map(|n| n.0)
+            .filter(|&n| n != v)
+            .collect();
+        below.push(v);
+        let mut out = Vec::new();
+        for rule in &old.rules {
+            for pos in 0..rule.body.len() {
+                if rule.body[pos].pred != q {
+                    continue;
+                }
+                for &a in &above {
+                    let mut env_a = Env::new();
+                    if !bind_term(&rule.body[pos].sub, a, &mut env_a, old) {
+                        continue;
+                    }
+                    for &b in &below {
+                        if a == b {
+                            continue;
+                        }
+                        let mut env = env_a.clone();
+                        if !bind_term(&rule.body[pos].obj, b, &mut env, old) {
+                            continue;
+                        }
+                        for env in old.complete(rule, env, Some(pos), usize::MAX) {
+                            let (Some(hx), Some(hy)) = (
+                                old.resolve(&rule.head.sub, &env),
+                                old.resolve(&rule.head.obj, &env),
+                            ) else {
+                                continue;
+                            };
+                            if hx != hy {
+                                out.push((rule.head.pred, hx, hy));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any rule currently derives `pred(x, y)`. Judged against the
+    /// live model, which never contains the candidate's own arc when this
+    /// is asked (retraction removes first, then re-derives).
+    fn derivable(&self, pred: Pred, x: u32, y: u32) -> bool {
         for rule in &self.rules {
             if rule.head.pred != pred {
                 continue;
@@ -858,15 +888,11 @@ impl KnowledgeBase {
             {
                 continue;
             }
-            if let Some(env) = self
-                .complete(rule, env, None, usize::MAX)
-                .into_iter()
-                .next()
-            {
-                return Some(self.ground_support(rule, &env));
+            if !self.complete(rule, env, None, usize::MAX).is_empty() {
+                return true;
             }
         }
-        None
+        false
     }
 
     /// Completes a partial binding against the full current relations,
@@ -1021,7 +1047,7 @@ impl KnowledgeBase {
     /// engine is checked against.
     fn naive_fixpoint(&mut self) -> Result<(), KbError> {
         loop {
-            let mut new_heads: Vec<(Pred, u32, u32, Support)> = Vec::new();
+            let mut new_heads: Vec<(Pred, u32, u32)> = Vec::new();
             for rule in self.rules.clone() {
                 for env in self.complete(&rule, Env::new(), None, usize::MAX) {
                     let (Some(x), Some(y)) = (
@@ -1033,23 +1059,17 @@ impl KnowledgeBase {
                     if x == y || self.facts.contains_key(&(rule.head.pred, x, y)) {
                         continue;
                     }
-                    new_heads.push((rule.head.pred, x, y, self.ground_support(&rule, &env)));
+                    new_heads.push((rule.head.pred, x, y));
                 }
             }
             let mut changed = false;
-            for (pred, x, y, support) in new_heads {
+            for (pred, x, y) in new_heads {
                 if self.facts.contains_key(&(pred, x, y)) {
                     continue;
                 }
                 match self.edge_add(pred, x, y) {
                     Ok(_) => {
-                        self.facts.insert(
-                            (pred, x, y),
-                            Fact {
-                                asserted: false,
-                                supports: vec![support],
-                            },
-                        );
+                        self.facts.insert((pred, x, y), Fact { asserted: false });
                         self.stats.derived += 1;
                         changed = true;
                     }
@@ -1374,6 +1394,77 @@ mod tests {
     }
 
     #[test]
+    fn retraction_rejects_circular_self_justification() {
+        // isa(p, q) is "derivable" by up only through m -> p -> q, i.e.
+        // through the very arc being retracted. Keeping it would be a
+        // circular self-justification; the fact must fall.
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("up: isa(X, Y) :- partof(X, Z), isa(Z, Y)").unwrap();
+        kb.assert_fact(Pred::PartOf, "p", "m").unwrap();
+        kb.assert_fact(Pred::IsA, "m", "p").unwrap();
+        kb.assert_fact(Pred::IsA, "p", "q").unwrap();
+        assert_eq!(
+            kb.retract_fact(Pred::IsA, "p", "q").unwrap(),
+            RetractOutcome::Removed
+        );
+        assert!(!kb.ask(Pred::IsA, "p", "q").unwrap());
+        assert_eq!(kb.stats().cycle_rejected, 0);
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn mutual_support_loops_do_not_survive_retraction() {
+        // r1 and r2 derive each other's bodies: once partof(c, d) exists,
+        // isa(a, b) is derived, and each then "justifies" the other. After
+        // the only base fact is retracted nothing grounds the pair, so both
+        // must fall together.
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("r1: isa(a, b) :- partof(c, d)").unwrap();
+        kb.define_rule("r2: partof(c, d) :- isa(a, b)").unwrap();
+        kb.assert_fact(Pred::PartOf, "c", "d").unwrap();
+        assert!(kb.ask(Pred::IsA, "a", "b").unwrap());
+        assert_eq!(
+            kb.retract_fact(Pred::PartOf, "c", "d").unwrap(),
+            RetractOutcome::Removed
+        );
+        assert!(!kb.ask(Pred::PartOf, "c", "d").unwrap());
+        assert!(!kb.ask(Pred::IsA, "a", "b").unwrap());
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
+    fn parallel_path_loops_do_not_survive_retraction() {
+        // The adversarial shape for delta-driven over-deletion: the pairs
+        // sustaining the f/g loop (partof(g1, g2) and isa(a, b)) each hold
+        // through TWO paths — a grounded one through the seed-derived arcs
+        // h/k, and the loop partner's own arc. Removing h or k therefore
+        // never flips those pairs; only an affected-rectangle cascade sees
+        // that the loop may have routed through them. After the seed goes,
+        // every derived fact must fall.
+        let mut kb = KnowledgeBase::new();
+        kb.define_rule("rh: partof(m, g2) :- partof(s1, s2)").unwrap();
+        kb.define_rule("rk: isa(n, b) :- partof(s1, s2)").unwrap();
+        kb.define_rule("rf: isa(a, b) :- partof(g1, g2)").unwrap();
+        kb.define_rule("rg: partof(g1, g2) :- isa(a, b)").unwrap();
+        kb.assert_fact(Pred::PartOf, "g1", "m").unwrap();
+        kb.assert_fact(Pred::IsA, "a", "n").unwrap();
+        kb.assert_fact(Pred::PartOf, "s1", "s2").unwrap();
+        assert!(kb.ask(Pred::IsA, "a", "b").unwrap());
+        assert!(kb.ask(Pred::PartOf, "g1", "g2").unwrap());
+        kb.check_against_naive().unwrap();
+        assert_eq!(
+            kb.retract_fact(Pred::PartOf, "s1", "s2").unwrap(),
+            RetractOutcome::Removed
+        );
+        assert!(!kb.ask(Pred::IsA, "a", "b").unwrap());
+        assert!(!kb.ask(Pred::PartOf, "g1", "g2").unwrap());
+        assert!(!kb.ask(Pred::PartOf, "m", "g2").unwrap());
+        assert!(!kb.ask(Pred::IsA, "n", "b").unwrap());
+        assert_eq!(kb.stats().cycle_rejected, 0);
+        kb.check_against_naive().unwrap();
+    }
+
+    #[test]
     fn cycle_heads_are_rejected_and_counted() {
         let mut kb = KnowledgeBase::new();
         kb.define_rule("inv: isa(Y, X) :- isa(X, Y), feat(X, flip)").unwrap();
@@ -1502,6 +1593,7 @@ mod tests {
                     }
                 }
                 assert_eq!(kb.stats().cycle_rejected, 0);
+                assert_eq!(kb.stats().derive_failed, 0);
                 if step % 20 == 19 {
                     kb.check_against_naive()
                         .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));

@@ -873,6 +873,7 @@ proptest! {
             }
         }
         prop_assert_eq!(kb.stats().cycle_rejected, 0);
+        prop_assert_eq!(kb.stats().derive_failed, 0);
         if let Err(e) = kb.check_against_naive() {
             panic!("incremental fact base diverged from naive re-derivation: {e}");
         }
